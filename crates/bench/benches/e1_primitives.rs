@@ -1,0 +1,57 @@
+//! E1 ("Table 1"): cost of the pairing-level primitives the construction
+//! composes — the pairing itself, scalar multiplication in `G`, exponentiation
+//! in `G_1`, hash-to-curve and hash-to-scalar — across security levels.
+//!
+//! The paper reports no absolute numbers; the series to check is the *shape*:
+//! the pairing dominates everything else at every level, and costs grow
+//! steeply with the field size (embedding degree 2 forces large `p`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tibpre_bench::{bench_rng, sweep_levels};
+use tibpre_pairing::PairingParams;
+
+fn primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_primitives");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for level in sweep_levels() {
+        let params = PairingParams::cached(level);
+        let mut rng = bench_rng();
+        let p = params.random_g1(&mut rng);
+        let q = params.random_g1(&mut rng);
+        let scalar = params.random_nonzero_scalar(&mut rng);
+        let gt = params.random_gt(&mut rng);
+        let label = level.label();
+
+        group.bench_function(BenchmarkId::new("pairing", label), |b| {
+            b.iter(|| params.pairing(&p, &q))
+        });
+        group.bench_function(BenchmarkId::new("g1_scalar_mul", label), |b| {
+            b.iter(|| p.mul_scalar(&scalar))
+        });
+        group.bench_function(BenchmarkId::new("gt_exponentiation", label), |b| {
+            b.iter(|| gt.pow_scalar(&scalar))
+        });
+        group.bench_function(BenchmarkId::new("hash_to_curve_H1", label), |b| {
+            let mut counter = 0u64;
+            b.iter(|| {
+                counter += 1;
+                params
+                    .hash_to_g1("TIBPRE-BF-H1", &[&counter.to_be_bytes()])
+                    .unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("hash_to_scalar_H2", label), |b| {
+            let mut counter = 0u64;
+            b.iter(|| {
+                counter += 1;
+                params.hash_to_zq("TIBPRE-H2", &[&counter.to_be_bytes()])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, primitives);
+criterion_main!(benches);

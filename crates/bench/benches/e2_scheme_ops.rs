@@ -1,0 +1,106 @@
+//! E2 ("Table 2"): cost of every algorithm of the TIB-PRE scheme at the
+//! paper-era (~80-bit) security level, next to the baselines it replaces
+//! (plain Boneh–Franklin IBE, identity-only PRE).
+//!
+//! Expected shape: Encrypt1 ≈ plain-IBE encrypt plus one extra hash;
+//! Pextract ≈ one encryption plus one hash-to-curve; Preenc and the delegatee
+//! decryption each cost about one pairing — i.e. fine-grained delegation costs
+//! the same order of magnitude as the coarse-grained baseline, not more.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tibpre_bench::{bench_rng, Fixture};
+use tibpre_core::baseline::identity_pre::IdentityPreDelegator;
+use tibpre_core::{proxy, TypeTag};
+use tibpre_ibe::{bf, Identity, Kgc};
+use tibpre_pairing::SecurityLevel;
+
+fn scheme_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_scheme_ops");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let fixture = Fixture::new(SecurityLevel::Low80);
+    let mut rng = bench_rng();
+    let params = fixture.params.clone();
+    let t = TypeTag::new("illness-history");
+    let m = params.random_gt(&mut rng);
+
+    // --- Setup / Extract ---
+    group.bench_function("setup_kgc", |b| {
+        b.iter(|| Kgc::setup(params.clone(), "bench", &mut rng))
+    });
+    group.bench_function("extract_private_key", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            fixture.kgc1.extract(&Identity::new(format!("user-{i}")))
+        })
+    });
+
+    // --- The TIB-PRE algorithms ---
+    group.bench_function("tibpre_encrypt1_typed", |b| {
+        b.iter(|| fixture.delegator.encrypt_typed(&m, &t, &mut rng))
+    });
+    let ct = fixture.delegator.encrypt_typed(&m, &t, &mut rng);
+    group.bench_function("tibpre_decrypt1_by_delegator", |b| {
+        b.iter(|| fixture.delegator.decrypt_typed(&ct).unwrap())
+    });
+    group.bench_function("tibpre_pextract_rekey_gen", |b| {
+        b.iter(|| {
+            fixture
+                .delegator
+                .make_reencryption_key(&fixture.delegatee_id, fixture.kgc2_public(), &t, &mut rng)
+                .unwrap()
+        })
+    });
+    let rk = fixture
+        .delegator
+        .make_reencryption_key(&fixture.delegatee_id, fixture.kgc2_public(), &t, &mut rng)
+        .unwrap();
+    group.bench_function("tibpre_preenc_by_proxy", |b| {
+        b.iter(|| proxy::re_encrypt(&ct, &rk).unwrap())
+    });
+    let transformed = proxy::re_encrypt(&ct, &rk).unwrap();
+    group.bench_function("tibpre_decrypt_by_delegatee", |b| {
+        b.iter(|| fixture.delegatee.decrypt_reencrypted(&transformed).unwrap())
+    });
+
+    // --- Baseline: plain Boneh–Franklin (patient decrypts on demand) ---
+    let alice = Identity::new("alice@bench.example");
+    let sk_alice = fixture.kgc1.extract(&alice);
+    group.bench_function("baseline_ibe_encrypt", |b| {
+        b.iter(|| bf::encrypt_gt(fixture.kgc1.public_params(), &alice, &m, &mut rng))
+    });
+    let ibe_ct = bf::encrypt_gt(fixture.kgc1.public_params(), &alice, &m, &mut rng);
+    group.bench_function("baseline_ibe_decrypt", |b| {
+        b.iter(|| bf::decrypt_gt(&sk_alice, &ibe_ct).unwrap())
+    });
+
+    // --- Baseline: identity-only PRE (coarse-grained) ---
+    let id_delegator = IdentityPreDelegator::new(
+        fixture.kgc1.public_params().clone(),
+        fixture.kgc1.extract(&alice),
+    );
+    group.bench_function("baseline_idpre_encrypt", |b| {
+        b.iter(|| id_delegator.encrypt(&m, &mut rng))
+    });
+    group.bench_function("baseline_idpre_rekey_gen", |b| {
+        b.iter(|| {
+            id_delegator
+                .make_reencryption_key(&fixture.delegatee_id, fixture.kgc2_public(), &mut rng)
+                .unwrap()
+        })
+    });
+    let id_ct = id_delegator.encrypt(&m, &mut rng);
+    let id_rk = id_delegator
+        .make_reencryption_key(&fixture.delegatee_id, fixture.kgc2_public(), &mut rng)
+        .unwrap();
+    group.bench_function("baseline_idpre_reencrypt", |b| {
+        b.iter(|| tibpre_core::baseline::identity_pre::re_encrypt(&id_ct, &id_rk))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, scheme_ops);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! E3 ("Figure 1"): key-management cost as the number of categories (types)
+//! and delegatees grows — the paper's "the delegator only needs one key pair"
+//! claim, against the per-type-virtual-identity baseline.
+//!
+//! Two series are produced for T ∈ {1, 2, 4, 8, 16, 32} types:
+//!   * time to provision T delegations with the TIB-PRE scheme
+//!     (re-encryption keys only; the delegator's key material stays constant),
+//!   * time to provision T delegations with the multi-key baseline
+//!     (extract one per-type key *and* build one re-encryption key each).
+//!
+//! In addition the bench prints the stored-key-material table (bytes) that the
+//! size experiment E5 references.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use tibpre_bench::{bench_rng, Fixture};
+use tibpre_core::baseline::multikey::MultiKeyDelegator;
+use tibpre_core::sizes::SizeReport;
+use tibpre_core::TypeTag;
+use tibpre_pairing::SecurityLevel;
+
+fn key_management(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_key_management");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let fixture = Fixture::new(SecurityLevel::Toy);
+    let mut rng = bench_rng();
+    let report = SizeReport::for_params(&fixture.params);
+
+    println!("\nE3 stored key material (bytes) — one delegator, T categories");
+    println!("{:>6} {:>16} {:>22}", "T", "TIB-PRE (ours)", "multi-key baseline");
+    for t_count in [1usize, 2, 4, 8, 16, 32] {
+        println!(
+            "{:>6} {:>16} {:>22}",
+            t_count,
+            report.tibpre_delegator_storage(t_count),
+            report.multikey_delegator_storage(t_count)
+        );
+    }
+    println!();
+
+    for t_count in [1usize, 2, 4, 8, 16, 32] {
+        let types: Vec<TypeTag> = (0..t_count)
+            .map(|i| TypeTag::new(format!("category-{i}")))
+            .collect();
+        group.throughput(Throughput::Elements(t_count as u64));
+
+        // Ours: one key pair; provisioning = T × Pextract.
+        group.bench_with_input(
+            BenchmarkId::new("tibpre_provision_T_delegations", t_count),
+            &types,
+            |b, types| {
+                b.iter(|| {
+                    for t in types {
+                        fixture
+                            .delegator
+                            .make_reencryption_key(
+                                &fixture.delegatee_id,
+                                fixture.kgc2_public(),
+                                t,
+                                &mut rng,
+                            )
+                            .unwrap();
+                    }
+                })
+            },
+        );
+
+        // Baseline: T key extractions + T re-encryption keys.
+        group.bench_with_input(
+            BenchmarkId::new("multikey_provision_T_delegations", t_count),
+            &types,
+            |b, types| {
+                b.iter(|| {
+                    let mut delegator = MultiKeyDelegator::new(
+                        fixture.kgc1.public_params().clone(),
+                        fixture.delegator.identity().clone(),
+                    );
+                    for t in types {
+                        delegator.register_type(&fixture.kgc1, t);
+                        delegator
+                            .make_reencryption_key(
+                                &fixture.delegatee_id,
+                                fixture.kgc2_public(),
+                                t,
+                                &mut rng,
+                            )
+                            .unwrap();
+                    }
+                    delegator.stored_key_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, key_management);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! E4 ("Figure 2"): the end-to-end PHR workload of Section 5 — store encrypted
+//! records, provision the three paper categories, serve disclosure requests
+//! through per-category proxies, and run the emergency-access path.
+//!
+//! Series: total time to (a) ingest N records and (b) disclose one full
+//! category, for N ∈ {10, 100, 1000}.  Uses the toy parameter level so the
+//! sweep stays in seconds; the per-operation costs at realistic levels are
+//! covered by E2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use std::sync::Arc;
+use std::time::Duration;
+use tibpre_bench::bench_rng;
+use tibpre_ibe::{Identity, Kgc};
+use tibpre_pairing::PairingParams;
+use tibpre_phr::{
+    category::Category, patient::Patient, provider::HealthcareProvider,
+    proxy_service::ProxyService, record::HealthRecord, store::EncryptedPhrStore,
+};
+
+struct World {
+    provider_kgc: Kgc,
+    patient_kgc: Kgc,
+    rng: StdRng,
+}
+
+fn world() -> World {
+    let mut rng = bench_rng();
+    let params = PairingParams::insecure_toy();
+    World {
+        patient_kgc: Kgc::setup(params.clone(), "patients", &mut rng),
+        provider_kgc: Kgc::setup(params, "providers", &mut rng),
+        rng,
+    }
+}
+
+fn categories() -> [Category; 3] {
+    [
+        Category::IllnessHistory,
+        Category::FoodStatistics,
+        Category::Emergency,
+    ]
+}
+
+/// Builds a fully-populated store with N records and grants for each category.
+fn populate(
+    w: &mut World,
+    n: usize,
+) -> (
+    Arc<EncryptedPhrStore>,
+    Patient,
+    ProxyService,
+    HealthcareProvider,
+) {
+    let store = Arc::new(EncryptedPhrStore::new("bench-store"));
+    let mut patient = Patient::new("alice@bench", &w.patient_kgc);
+    let mut proxy = ProxyService::new("bench-proxy", store.clone());
+    let doctor = Identity::new("doctor@bench");
+    let provider = HealthcareProvider::new(w.provider_kgc.extract(&doctor));
+    let cats = categories();
+    for i in 0..n {
+        let category = cats[i % cats.len()].clone();
+        let record = HealthRecord::new(
+            patient.identity().clone(),
+            category,
+            format!("record-{i}"),
+            vec![0xA5u8; 200 + (i % 800)],
+        );
+        patient.store_record(&store, &record, &mut w.rng).unwrap();
+    }
+    for category in cats {
+        patient
+            .grant_access(
+                category,
+                &doctor,
+                w.provider_kgc.public_params(),
+                &mut proxy,
+                &mut w.rng,
+            )
+            .unwrap();
+    }
+    (store, patient, proxy, provider)
+}
+
+fn phr_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_phr_workload");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    for n in [10usize, 100, 1000] {
+        group.throughput(Throughput::Elements(n as u64));
+
+        // (a) Ingest: encrypt and store N records.
+        group.bench_with_input(BenchmarkId::new("ingest_records", n), &n, |b, &n| {
+            let mut w = world();
+            let store = Arc::new(EncryptedPhrStore::new("ingest-store"));
+            let patient = Patient::new("alice@bench", &w.patient_kgc);
+            let cats = categories();
+            b.iter(|| {
+                for i in 0..n {
+                    let record = HealthRecord::new(
+                        patient.identity().clone(),
+                        cats[i % cats.len()].clone(),
+                        format!("r{i}"),
+                        vec![0x5Au8; 512],
+                    );
+                    patient.store_record(&store, &record, &mut w.rng).unwrap();
+                }
+            })
+        });
+
+        // (b) Disclose one full category (≈ N/3 records) through the proxy and
+        //     decrypt everything at the provider.
+        group.bench_with_input(
+            BenchmarkId::new("disclose_one_category", n),
+            &n,
+            |b, &n| {
+                let mut w = world();
+                let (_store, patient, proxy, provider) = populate(&mut w, n);
+                b.iter(|| {
+                    let bundles = proxy
+                        .disclose_category(
+                            patient.identity(),
+                            &Category::IllnessHistory,
+                            provider.identity(),
+                        )
+                        .unwrap();
+                    let mut total = 0usize;
+                    for bundle in &bundles {
+                        total += provider.open(bundle).unwrap().body.len();
+                    }
+                    total
+                })
+            },
+        );
+    }
+
+    // (c) The emergency path: disclose the (small) emergency category on demand.
+    group.bench_function("emergency_access_path", |b| {
+        let mut w = world();
+        let (_store, patient, proxy, provider) = populate(&mut w, 30);
+        b.iter(|| {
+            tibpre_phr::emergency::emergency_disclosure(&proxy, patient.identity(), &provider)
+                .unwrap()
+                .len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, phr_workload);
+criterion_main!(benches);

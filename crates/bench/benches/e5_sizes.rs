@@ -1,0 +1,69 @@
+//! E5 ("Table 3"): communication and storage cost — serialized sizes of every
+//! object the scheme transmits, per security level, plus the time spent on
+//! (de)serialization itself.
+//!
+//! The size table is printed to stdout when the bench runs; EXPERIMENTS.md
+//! records the values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tibpre_bench::{bench_rng, sweep_levels, Fixture};
+use tibpre_core::sizes::SizeReport;
+use tibpre_core::{ReEncryptionKey, TypeTag, TypedCiphertext};
+use tibpre_pairing::PairingParams;
+
+fn sizes(c: &mut Criterion) {
+    // ---- The size table itself (pure accounting, printed once) ----
+    println!("\nE5 serialized sizes per security level (bytes)");
+    println!(
+        "{:<22} {:>10} {:>10} {:>12} {:>14} {:>16}",
+        "level", "G elem", "G1 elem", "private key", "typed ctext", "re-enc key"
+    );
+    for level in sweep_levels() {
+        let params = PairingParams::cached(level);
+        let report = SizeReport::for_params(&params);
+        println!(
+            "{:<22} {:>10} {:>10} {:>12} {:>14} {:>16}",
+            level.label(),
+            report.g1_element,
+            report.gt_element,
+            report.private_key,
+            report.typed_ciphertext,
+            report.reencryption_key
+        );
+    }
+    println!();
+
+    // ---- Serialization / deserialization timing ----
+    let mut group = c.benchmark_group("e5_serialization");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for level in sweep_levels() {
+        let fixture = Fixture::new(level);
+        let mut rng = bench_rng();
+        let t = TypeTag::new("illness-history");
+        let m = fixture.params.random_gt(&mut rng);
+        let ct = fixture.delegator.encrypt_typed(&m, &t, &mut rng);
+        let rk = fixture
+            .delegator
+            .make_reencryption_key(&fixture.delegatee_id, fixture.kgc2_public(), &t, &mut rng)
+            .unwrap();
+        let ct_bytes = ct.to_bytes();
+        let rk_bytes = rk.to_bytes();
+        let label = level.label();
+
+        group.bench_function(BenchmarkId::new("typed_ciphertext_encode", label), |b| {
+            b.iter(|| ct.to_bytes())
+        });
+        group.bench_function(BenchmarkId::new("typed_ciphertext_decode", label), |b| {
+            b.iter(|| TypedCiphertext::from_bytes(&fixture.params, &ct_bytes).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("rekey_decode", label), |b| {
+            b.iter(|| ReEncryptionKey::from_bytes(&fixture.params, &rk_bytes).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sizes);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! E6 ("Figure 3"): proxy-compromise containment.
+//!
+//! For a patient with 1000 records split over T ∈ {2, 4, 8, 16} categories,
+//! one proxy (and the grantee it serves) is fully compromised.  The series
+//! reports the fraction of the patient's records the attacker can recover:
+//!
+//!   * TIB-PRE (this paper): ≈ 1/T of the records (only the delegated category),
+//!   * identity-only PRE baseline: 100% regardless of T.
+//!
+//! The fractions are printed; the timed portion measures the attacker's work
+//! for the TIB-PRE case (converting everything it can with the leaked keys).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use tibpre_bench::bench_rng;
+use tibpre_core::baseline::identity_pre;
+use tibpre_core::Delegatee;
+use tibpre_ibe::{Identity, Kgc};
+use tibpre_pairing::PairingParams;
+use tibpre_phr::{
+    category::Category, patient::Patient, proxy_service::ProxyService, record::HealthRecord,
+    store::EncryptedPhrStore,
+};
+
+const TOTAL_RECORDS: usize = 1000;
+
+fn compromise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_compromise");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    let mut rng = bench_rng();
+    let params = PairingParams::insecure_toy();
+    let patient_kgc = Kgc::setup(params.clone(), "patients", &mut rng);
+    let provider_kgc = Kgc::setup(params.clone(), "providers", &mut rng);
+
+    println!("\nE6 fraction of records exposed when one proxy is compromised ({TOTAL_RECORDS} records)");
+    println!("{:>6} {:>18} {:>26}", "T", "TIB-PRE (ours)", "identity-only baseline");
+
+    for t_count in [2usize, 4, 8, 16] {
+        // --- Build the patient's store with T categories and one proxy per category ---
+        let store = Arc::new(EncryptedPhrStore::new("compromise-store"));
+        let mut patient = Patient::new("alice@bench", &patient_kgc);
+        let categories: Vec<Category> = (0..t_count)
+            .map(|i| Category::Custom(format!("cat-{i}")))
+            .collect();
+        for i in 0..TOTAL_RECORDS {
+            let record = HealthRecord::new(
+                patient.identity().clone(),
+                categories[i % t_count].clone(),
+                format!("r{i}"),
+                vec![0xEE; 64],
+            );
+            patient.store_record(&store, &record, &mut rng).unwrap();
+        }
+        let mut proxies = Vec::new();
+        let mut grantees = Vec::new();
+        for category in &categories {
+            let grantee = Identity::new(format!("provider-{category}"));
+            let mut proxy = ProxyService::new(format!("proxy-{category}"), store.clone());
+            patient
+                .grant_access(
+                    category.clone(),
+                    &grantee,
+                    provider_kgc.public_params(),
+                    &mut proxy,
+                    &mut rng,
+                )
+                .unwrap();
+            proxies.push(proxy);
+            grantees.push(grantee);
+        }
+
+        // --- The breach: proxy 0 and its grantee collude ---
+        let exposed = proxies[0].simulate_compromise(patient.identity(), &grantees[0]);
+        let ours_fraction = exposed.len() as f64 / TOTAL_RECORDS as f64;
+
+        // --- Identity-only baseline: one key converts everything ---
+        let baseline_delegator = identity_pre::IdentityPreDelegator::new(
+            patient_kgc.public_params().clone(),
+            patient_kgc.extract(&Identity::new("alice@bench")),
+        );
+        let colluder = Identity::new("colluder");
+        let colluder_delegatee = Delegatee::new(provider_kgc.extract(&colluder));
+        let baseline_rk = baseline_delegator
+            .make_reencryption_key(&colluder, provider_kgc.public_params(), &mut rng)
+            .unwrap();
+        // Sample 30 records to confirm the 100% exposure without re-running
+        // a thousand pairings per T.
+        let sample = 30usize;
+        let mut recovered = 0usize;
+        for _ in 0..sample {
+            let secret = params.random_gt(&mut rng);
+            let ct = baseline_delegator.encrypt(&secret, &mut rng);
+            let converted = identity_pre::re_encrypt(&ct, &baseline_rk);
+            if colluder_delegatee.decrypt_reencrypted(&converted).unwrap() == secret {
+                recovered += 1;
+            }
+        }
+        let baseline_fraction = recovered as f64 / sample as f64;
+
+        println!(
+            "{:>6} {:>17.1}% {:>25.1}%",
+            t_count,
+            100.0 * ours_fraction,
+            100.0 * baseline_fraction
+        );
+
+        // --- Timed portion: the attacker's conversion work under TIB-PRE ---
+        group.bench_with_input(
+            BenchmarkId::new("attacker_work_tibpre", t_count),
+            &t_count,
+            |b, _| {
+                b.iter(|| proxies[0].simulate_compromise(patient.identity(), &grantees[0]).len())
+            },
+        );
+    }
+    println!();
+    group.finish();
+}
+
+criterion_group!(benches, compromise);
+criterion_main!(benches);

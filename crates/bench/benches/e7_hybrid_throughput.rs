@@ -1,0 +1,58 @@
+//! E7: hybrid (KEM/DEM) throughput for realistic PHR payload sizes.
+//!
+//! The claim under test: the pairing work is a fixed per-record cost, so
+//! end-to-end throughput approaches the symmetric-cipher rate as payloads grow
+//! — and the proxy's re-encryption cost is *independent* of the payload size
+//! (it only touches the KEM header).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use tibpre_bench::{bench_rng, Fixture};
+use tibpre_core::{hybrid, TypeTag};
+use tibpre_pairing::SecurityLevel;
+
+fn hybrid_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_hybrid_throughput");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let fixture = Fixture::new(SecurityLevel::Low80);
+    let mut rng = bench_rng();
+    let t = TypeTag::new("imaging");
+    let rk = fixture
+        .delegator
+        .make_reencryption_key(&fixture.delegatee_id, fixture.kgc2_public(), &t, &mut rng)
+        .unwrap();
+
+    for size in [256usize, 4 * 1024, 64 * 1024, 1024 * 1024] {
+        let payload: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        group.throughput(Throughput::Bytes(size as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("hybrid_encrypt", size),
+            &payload,
+            |b, payload| {
+                b.iter(|| fixture.delegator.encrypt_bytes(payload, b"aad", &t, &mut rng))
+            },
+        );
+
+        let ct = fixture.delegator.encrypt_bytes(&payload, b"aad", &t, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("proxy_reencrypt_header_only", size),
+            &ct,
+            |b, ct| b.iter(|| hybrid::re_encrypt_hybrid(ct, &rk).unwrap()),
+        );
+
+        let transformed = hybrid::re_encrypt_hybrid(&ct, &rk).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("delegatee_hybrid_decrypt", size),
+            &transformed,
+            |b, transformed| {
+                b.iter(|| fixture.delegatee.decrypt_bytes(transformed, b"aad").unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, hybrid_throughput);
+criterion_main!(benches);

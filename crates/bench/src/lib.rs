@@ -1,0 +1,126 @@
+//! Shared fixtures for the TIB-PRE benchmark harness.
+//!
+//! One Criterion bench target exists per experiment in `EXPERIMENTS.md`
+//! (E1–E7).  This library centralises the pieces they share — cached pairing
+//! parameters, two-domain fixtures, and the PHR workload generator — so that
+//! expensive parameter generation happens once per process and every bench
+//! reports over identical inputs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use tibpre_core::{Delegatee, Delegator, TypeTag};
+use tibpre_ibe::{Identity, IbePublicParams, Kgc};
+use tibpre_pairing::{PairingParams, SecurityLevel};
+
+/// Deterministic RNG so benchmark inputs are identical across runs.
+pub fn bench_rng() -> StdRng {
+    StdRng::seed_from_u64(0xBEAC4)
+}
+
+/// The security levels swept by the primitive / size experiments.
+///
+/// `Toy` is included because the workload-scaling experiments (E4, E6) use it
+/// to keep wall-clock time reasonable; the op-level experiments focus on the
+/// realistic levels.
+pub fn sweep_levels() -> Vec<SecurityLevel> {
+    vec![
+        SecurityLevel::Toy,
+        SecurityLevel::Low80,
+        SecurityLevel::Medium112,
+    ]
+}
+
+/// A ready-made two-domain world: shared parameters, `KGC1`/`KGC2`, a
+/// delegator ("the patient") and a delegatee ("the doctor").
+pub struct Fixture {
+    /// Shared pairing parameters.
+    pub params: Arc<PairingParams>,
+    /// The delegator-domain KGC.
+    pub kgc1: Kgc,
+    /// The delegatee-domain KGC.
+    pub kgc2: Kgc,
+    /// The delegator, bound to `kgc1`.
+    pub delegator: Delegator,
+    /// The delegatee identity.
+    pub delegatee_id: Identity,
+    /// The delegatee, bound to `kgc2`.
+    pub delegatee: Delegatee,
+}
+
+impl Fixture {
+    /// Builds the fixture for one security level (parameters come from the
+    /// process-wide cache).
+    pub fn new(level: SecurityLevel) -> Self {
+        let mut rng = bench_rng();
+        let params = PairingParams::cached(level);
+        let kgc1 = Kgc::setup(params.clone(), "bench-kgc1", &mut rng);
+        let kgc2 = Kgc::setup(params.clone(), "bench-kgc2", &mut rng);
+        let patient = Identity::new("alice@bench.example");
+        let doctor = Identity::new("doctor@bench.example");
+        let delegator = Delegator::new(kgc1.public_params().clone(), kgc1.extract(&patient));
+        let delegatee = Delegatee::new(kgc2.extract(&doctor));
+        Fixture {
+            params,
+            kgc1,
+            kgc2,
+            delegator,
+            delegatee_id: doctor,
+            delegatee,
+        }
+    }
+
+    /// The delegatee-domain public parameters.
+    pub fn kgc2_public(&self) -> &IbePublicParams {
+        self.kgc2.public_params()
+    }
+}
+
+/// The three PHR categories of the paper's Section 5 example.
+pub fn paper_categories() -> Vec<TypeTag> {
+    vec![
+        TypeTag::new("illness-history"),
+        TypeTag::new("food-statistics"),
+        TypeTag::new("emergency"),
+    ]
+}
+
+/// Generates `count` synthetic PHR payloads of roughly realistic sizes,
+/// cycling through the given categories.
+pub fn synthetic_records(count: usize, categories: &[TypeTag]) -> Vec<(TypeTag, Vec<u8>)> {
+    (0..count)
+        .map(|i| {
+            let category = categories[i % categories.len()].clone();
+            // 200–1200 byte bodies, deterministic content.
+            let len = 200 + (i * 97) % 1000;
+            let body: Vec<u8> = (0..len).map(|j| ((i + j) % 251) as u8).collect();
+            (category, body)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds_and_roundtrips() {
+        let mut rng = bench_rng();
+        let f = Fixture::new(SecurityLevel::Toy);
+        let m = f.params.random_gt(&mut rng);
+        let t = TypeTag::new("t");
+        let ct = f.delegator.encrypt_typed(&m, &t, &mut rng);
+        assert_eq!(f.delegator.decrypt_typed(&ct).unwrap(), m);
+    }
+
+    #[test]
+    fn synthetic_records_cycle_categories() {
+        let cats = paper_categories();
+        let records = synthetic_records(10, &cats);
+        assert_eq!(records.len(), 10);
+        assert_eq!(records[0].0, cats[0]);
+        assert_eq!(records[1].0, cats[1]);
+        assert_eq!(records[3].0, cats[0]);
+        assert!(records.iter().all(|(_, b)| b.len() >= 200));
+    }
+}

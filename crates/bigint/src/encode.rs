@@ -1,0 +1,185 @@
+//! Hexadecimal and big-endian byte encodings for [`Uint`].
+
+use crate::uint::{Uint, MAX_LIMBS};
+use crate::{BigIntError, Result};
+
+impl Uint {
+    /// Encodes the value as lowercase hexadecimal without leading zeros
+    /// (`"0"` for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = String::new();
+        let mut started = false;
+        for i in (0..MAX_LIMBS).rev() {
+            if !started {
+                if self.limbs[i] == 0 {
+                    continue;
+                }
+                s.push_str(&format!("{:x}", self.limbs[i]));
+                started = true;
+            } else {
+                s.push_str(&format!("{:016x}", self.limbs[i]));
+            }
+        }
+        s
+    }
+
+    /// Parses a hexadecimal string (with or without a `0x` prefix).
+    pub fn from_hex(s: &str) -> Result<Self> {
+        let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        if s.is_empty() {
+            return Err(BigIntError::InvalidHex);
+        }
+        let mut out = Uint::ZERO;
+        for ch in s.chars() {
+            let digit = ch.to_digit(16).ok_or(BigIntError::InvalidHex)? as u64;
+            // out = out * 16 + digit, checking for overflow.
+            if out.bits() + 4 > crate::uint::MAX_BITS {
+                return Err(BigIntError::Overflow);
+            }
+            out = out.shl(4);
+            out.limbs[0] |= digit;
+        }
+        Ok(out)
+    }
+
+    /// Encodes the value as a fixed-length big-endian byte string.
+    ///
+    /// Returns an error if the value does not fit in `len` bytes.
+    pub fn to_be_bytes(&self, len: usize) -> Result<Vec<u8>> {
+        if self.bits() > len * 8 {
+            return Err(BigIntError::Overflow);
+        }
+        let mut out = vec![0u8; len];
+        for (byte_idx, slot) in out.iter_mut().rev().enumerate() {
+            let limb = byte_idx / 8;
+            let shift = (byte_idx % 8) * 8;
+            if limb < MAX_LIMBS {
+                *slot = (self.limbs[limb] >> shift) as u8;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Minimal-length big-endian byte encoding (empty for zero).
+    pub fn to_be_bytes_minimal(&self) -> Vec<u8> {
+        let len = self.bits().div_ceil(8);
+        self.to_be_bytes(len).expect("minimal length always fits")
+    }
+
+    /// Decodes a big-endian byte string.
+    ///
+    /// Returns an error if the value would exceed the capacity.
+    pub fn from_be_bytes(bytes: &[u8]) -> Result<Self> {
+        // Skip leading zero bytes so oversized-but-zero-padded inputs still parse.
+        let bytes = {
+            let first_nonzero = bytes.iter().position(|&b| b != 0).unwrap_or(bytes.len());
+            &bytes[first_nonzero..]
+        };
+        if bytes.len() * 8 > crate::uint::MAX_BITS {
+            return Err(BigIntError::InvalidBytes("value exceeds Uint capacity"));
+        }
+        let mut out = Uint::ZERO;
+        for (byte_idx, &b) in bytes.iter().rev().enumerate() {
+            let limb = byte_idx / 8;
+            let shift = (byte_idx % 8) * 8;
+            out.limbs[limb] |= (b as u64) << shift;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let cases = [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef0123456789abcdef",
+            "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff",
+        ];
+        for c in cases {
+            let v = Uint::from_hex(c).unwrap();
+            assert_eq!(v.to_hex(), c, "round trip failed for {c}");
+        }
+    }
+
+    #[test]
+    fn hex_prefix_and_case() {
+        assert_eq!(
+            Uint::from_hex("0xDEADBEEF").unwrap(),
+            Uint::from_u64(0xDEAD_BEEF)
+        );
+        assert_eq!(
+            Uint::from_hex("DeadBeef").unwrap(),
+            Uint::from_u64(0xDEAD_BEEF)
+        );
+    }
+
+    #[test]
+    fn invalid_hex_rejected() {
+        assert!(Uint::from_hex("").is_err());
+        assert!(Uint::from_hex("0x").is_err());
+        assert!(Uint::from_hex("xyz").is_err());
+        assert!(Uint::from_hex("12 34").is_err());
+        // 1793 bits worth of hex digits overflows the capacity.
+        let too_long = "f".repeat(449);
+        assert!(Uint::from_hex(&too_long).is_err());
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let v = Uint::from_hex("0123456789abcdef00ff").unwrap();
+        let bytes = v.to_be_bytes(16).unwrap();
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(Uint::from_be_bytes(&bytes).unwrap(), v);
+        // Minimal encoding strips the leading zeros.
+        let min = v.to_be_bytes_minimal();
+        assert_eq!(min.len(), 10);
+        assert_eq!(Uint::from_be_bytes(&min).unwrap(), v);
+    }
+
+    #[test]
+    fn zero_encodings() {
+        assert_eq!(Uint::ZERO.to_hex(), "0");
+        assert_eq!(Uint::ZERO.to_be_bytes_minimal(), Vec::<u8>::new());
+        assert_eq!(Uint::from_be_bytes(&[]).unwrap(), Uint::ZERO);
+        assert_eq!(Uint::from_be_bytes(&[0, 0, 0]).unwrap(), Uint::ZERO);
+        assert_eq!(Uint::ZERO.to_be_bytes(4).unwrap(), vec![0u8; 4]);
+    }
+
+    #[test]
+    fn to_be_bytes_checks_length() {
+        let v = Uint::from_u64(0x1_0000);
+        assert!(v.to_be_bytes(2).is_err());
+        assert_eq!(v.to_be_bytes(3).unwrap(), vec![1, 0, 0]);
+        assert_eq!(v.to_be_bytes(5).unwrap(), vec![0, 0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn from_be_bytes_ignores_leading_zero_padding() {
+        let mut padded = vec![0u8; 300];
+        padded.extend_from_slice(&[0xAB, 0xCD]);
+        assert_eq!(
+            Uint::from_be_bytes(&padded).unwrap(),
+            Uint::from_u64(0xABCD)
+        );
+        // A genuinely too-large value is still rejected.
+        let huge = vec![0xFFu8; 300];
+        assert!(Uint::from_be_bytes(&huge).is_err());
+    }
+
+    #[test]
+    fn display_and_debug_use_hex() {
+        let v = Uint::from_u64(0xBEEF);
+        assert_eq!(format!("{v}"), "0xbeef");
+        assert!(format!("{v:?}").contains("beef"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type shared by all big-integer operations.
+
+use core::fmt;
+
+/// Errors produced by the big-integer layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BigIntError {
+    /// The value does not fit into the fixed [`crate::MAX_LIMBS`] capacity.
+    Overflow,
+    /// A modulus was zero, even, or too large for the Montgomery machinery.
+    InvalidModulus(&'static str),
+    /// Division by zero was attempted.
+    DivisionByZero,
+    /// The element has no inverse modulo the given modulus.
+    NotInvertible,
+    /// A hex string could not be parsed.
+    InvalidHex,
+    /// A byte string could not be decoded into a `Uint`.
+    InvalidBytes(&'static str),
+    /// Prime generation failed within the iteration budget.
+    PrimeGenerationFailed,
+    /// A parameter was outside the accepted range.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for BigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BigIntError::Overflow => write!(f, "value exceeds fixed Uint capacity"),
+            BigIntError::InvalidModulus(why) => write!(f, "invalid modulus: {why}"),
+            BigIntError::DivisionByZero => write!(f, "division by zero"),
+            BigIntError::NotInvertible => write!(f, "element is not invertible"),
+            BigIntError::InvalidHex => write!(f, "invalid hexadecimal string"),
+            BigIntError::InvalidBytes(why) => write!(f, "invalid byte encoding: {why}"),
+            BigIntError::PrimeGenerationFailed => {
+                write!(f, "prime generation exceeded its iteration budget")
+            }
+            BigIntError::InvalidParameter(why) => write!(f, "invalid parameter: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for BigIntError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let s = BigIntError::InvalidModulus("must be odd").to_string();
+        assert!(s.contains("must be odd"));
+        assert!(BigIntError::Overflow.to_string().contains("capacity"));
+        assert!(BigIntError::DivisionByZero.to_string().contains("zero"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(BigIntError::NotInvertible, BigIntError::NotInvertible);
+        assert_ne!(BigIntError::NotInvertible, BigIntError::InvalidHex);
+    }
+}

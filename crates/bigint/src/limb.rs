@@ -1,0 +1,86 @@
+//! Single-limb (64-bit) carry/borrow primitives used by the multi-precision code.
+//!
+//! Every routine returns the low 64 bits of the result together with the carry
+//! or borrow that must be propagated to the next limb.  The functions are kept
+//! tiny and `#[inline]` so the schoolbook loops in [`crate::uint`] and the CIOS
+//! loop in [`crate::mont`] compile down to the obvious add-with-carry chains.
+
+/// Adds `a + b + carry_in`, returning the low limb and the carry out (0 or 1).
+#[inline(always)]
+pub const fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let wide = a as u128 + b as u128 + carry as u128;
+    (wide as u64, (wide >> 64) as u64)
+}
+
+/// Subtracts `a - b - borrow_in`, returning the low limb and the borrow out (0 or 1).
+#[inline(always)]
+pub const fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let wide = (a as u128)
+        .wrapping_sub(b as u128)
+        .wrapping_sub(borrow as u128);
+    (wide as u64, ((wide >> 64) as u64) & 1)
+}
+
+/// Computes `acc + a * b + carry_in`, returning the low limb and the carry out.
+///
+/// The maximum value `(2^64-1) + (2^64-1)^2 + (2^64-1)` fits in 128 bits, so the
+/// computation never overflows the intermediate.
+#[inline(always)]
+pub const fn mac(acc: u64, a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let wide = acc as u128 + (a as u128) * (b as u128) + carry as u128;
+    (wide as u64, (wide >> 64) as u64)
+}
+
+/// Computes the inverse of `x` modulo 2^64.  Requires `x` to be odd.
+///
+/// Used to derive the Montgomery constant `n0 = -m^{-1} mod 2^64`.
+#[inline]
+pub const fn inv_mod_u64(x: u64) -> u64 {
+    debug_assert!(x & 1 == 1);
+    // Newton–Hensel lifting: starting from an inverse modulo 2, each iteration
+    // doubles the number of correct low-order bits; six iterations reach 2^64.
+    let mut inv: u64 = 1;
+    let mut i = 0;
+    while i < 6 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(x.wrapping_mul(inv)));
+        i += 1;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_propagates_carry() {
+        assert_eq!(adc(u64::MAX, 1, 0), (0, 1));
+        assert_eq!(adc(u64::MAX, u64::MAX, 1), (u64::MAX, 1));
+        assert_eq!(adc(1, 2, 1), (4, 0));
+    }
+
+    #[test]
+    fn sbb_propagates_borrow() {
+        assert_eq!(sbb(0, 1, 0), (u64::MAX, 1));
+        assert_eq!(sbb(5, 3, 1), (1, 0));
+        assert_eq!(sbb(0, 0, 1), (u64::MAX, 1));
+        assert_eq!(sbb(0, u64::MAX, 1), (0, 1));
+    }
+
+    #[test]
+    fn mac_handles_extremes() {
+        // (2^64-1)^2 + (2^64-1) + (2^64-1) = 2^128 - 1
+        let (lo, hi) = mac(u64::MAX, u64::MAX, u64::MAX, u64::MAX);
+        assert_eq!(lo, u64::MAX);
+        assert_eq!(hi, u64::MAX);
+        assert_eq!(mac(10, 3, 4, 5), (27, 0));
+    }
+
+    #[test]
+    fn inv_mod_u64_inverts_odd_values() {
+        for x in [1u64, 3, 5, 0xFFFF_FFFF_FFFF_FFFF, 0x1234_5678_9ABC_DEF1] {
+            let inv = inv_mod_u64(x);
+            assert_eq!(x.wrapping_mul(inv), 1, "inverse failed for {x}");
+        }
+    }
+}

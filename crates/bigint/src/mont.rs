@@ -1,0 +1,456 @@
+//! Montgomery-form modular arithmetic context.
+//!
+//! A [`MontCtx`] is created once per modulus (field prime or group order) and
+//! then shared (typically behind an `Arc`) by every element of that ring.  All
+//! hot-path operations — CIOS multiplication, squaring, exponentiation — only
+//! iterate over the limbs actually occupied by the modulus, so a 512-bit prime
+//! pays nothing for the 1792-bit capacity of [`Uint`].
+
+use crate::error::BigIntError;
+use crate::limb::{adc, inv_mod_u64, mac};
+use crate::uint::{Uint, MAX_LIMBS};
+use crate::Result;
+
+/// Montgomery reduction context for an odd modulus `m`.
+///
+/// Values handled by the context come in two flavours:
+/// * *plain* residues in `[0, m)`, and
+/// * *Montgomery* residues `a·R mod m` where `R = 2^(64·nlimbs)`.
+///
+/// Methods are explicit about which representation they expect.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MontCtx {
+    modulus: Uint,
+    nlimbs: usize,
+    /// `-m^{-1} mod 2^64`
+    n0: u64,
+    /// `R mod m` — the Montgomery form of 1.
+    r1: Uint,
+    /// `R^2 mod m` — used to convert into Montgomery form.
+    r2: Uint,
+    /// `m - 2`, cached for Fermat inversion.
+    m_minus_2: Uint,
+}
+
+impl MontCtx {
+    /// Creates a context for the odd modulus `m`.
+    ///
+    /// The modulus must be odd, greater than one, and leave at least one spare
+    /// limb of capacity (so modular addition cannot wrap).
+    pub fn new(m: &Uint) -> Result<Self> {
+        if m.is_zero() || m.is_one() {
+            return Err(BigIntError::InvalidModulus("modulus must be > 1"));
+        }
+        if m.is_even() {
+            return Err(BigIntError::InvalidModulus("modulus must be odd"));
+        }
+        let nlimbs = m.limb_len();
+        if nlimbs > MAX_LIMBS - 1 {
+            return Err(BigIntError::InvalidModulus(
+                "modulus too large for Montgomery context",
+            ));
+        }
+        let n0 = inv_mod_u64(m.limbs()[0]).wrapping_neg();
+
+        // R mod m via 64*nlimbs modular doublings of 1.
+        let mut r1 = Uint::ONE;
+        for _ in 0..(64 * nlimbs) {
+            r1 = r1.mod_double(m);
+        }
+        // R^2 mod m via another 64*nlimbs doublings.
+        let mut r2 = r1;
+        for _ in 0..(64 * nlimbs) {
+            r2 = r2.mod_double(m);
+        }
+        let m_minus_2 = m.wrapping_sub(&Uint::from_u64(2));
+        Ok(MontCtx {
+            modulus: *m,
+            nlimbs,
+            n0,
+            r1,
+            r2,
+            m_minus_2,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &Uint {
+        &self.modulus
+    }
+
+    /// Number of 64-bit limbs occupied by the modulus.
+    pub fn nlimbs(&self) -> usize {
+        self.nlimbs
+    }
+
+    /// The Montgomery form of 1 (`R mod m`).
+    pub fn one_mont(&self) -> Uint {
+        self.r1
+    }
+
+    /// Converts a plain residue (must already be `< m`) into Montgomery form.
+    pub fn to_mont(&self, a: &Uint) -> Uint {
+        debug_assert!(a < &self.modulus);
+        self.mont_mul(a, &self.r2)
+    }
+
+    /// Converts a Montgomery-form value back to a plain residue.
+    pub fn from_mont(&self, a: &Uint) -> Uint {
+        self.mont_mul(a, &Uint::ONE)
+    }
+
+    /// Reduces an arbitrary `Uint` modulo `m` (plain representation).
+    pub fn reduce(&self, a: &Uint) -> Uint {
+        if a < &self.modulus {
+            *a
+        } else {
+            a.rem(&self.modulus).expect("modulus is non-zero")
+        }
+    }
+
+    /// Montgomery multiplication (CIOS): returns `a·b·R^{-1} mod m`.
+    ///
+    /// Both inputs must be `< m`.
+    pub fn mont_mul(&self, a: &Uint, b: &Uint) -> Uint {
+        let n = self.nlimbs;
+        let al = a.limbs();
+        let bl = b.limbs();
+        let ml = self.modulus.limbs();
+        // t has n + 2 significant slots during the loop.
+        let mut t = [0u64; MAX_LIMBS + 2];
+
+        for i in 0..n {
+            // t += a * b[i]
+            let bi = bl[i];
+            let mut carry = 0u64;
+            for j in 0..n {
+                let (lo, hi) = mac(t[j], al[j], bi, carry);
+                t[j] = lo;
+                carry = hi;
+            }
+            let (lo, hi) = adc(t[n], carry, 0);
+            t[n] = lo;
+            t[n + 1] = hi;
+
+            // m' = t[0] * n0 mod 2^64; t += m' * m; t >>= 64
+            let m_prime = t[0].wrapping_mul(self.n0);
+            let (_, mut carry) = mac(t[0], m_prime, ml[0], 0);
+            for j in 1..n {
+                let (lo, hi) = mac(t[j], m_prime, ml[j], carry);
+                t[j - 1] = lo;
+                carry = hi;
+            }
+            let (lo, hi) = adc(t[n], carry, 0);
+            t[n - 1] = lo;
+            t[n] = t[n + 1] + hi;
+            t[n + 1] = 0;
+        }
+
+        let mut out = Uint::ZERO;
+        out.limbs[..n].copy_from_slice(&t[..n]);
+        // The CIOS invariant guarantees the intermediate (including the carry
+        // limb t[n]) is < 2m; since nlimbs <= MAX_LIMBS - 1 the carry limb fits
+        // into the capacity, so a single conditional subtraction finishes the job.
+        out.limbs[n] = t[n];
+        if out >= self.modulus {
+            out = out.wrapping_sub(&self.modulus);
+        }
+        out
+    }
+
+    /// Montgomery squaring.
+    pub fn mont_sqr(&self, a: &Uint) -> Uint {
+        self.mont_mul(a, a)
+    }
+
+    /// Modular addition of plain or Montgomery residues (both `< m`).
+    pub fn add(&self, a: &Uint, b: &Uint) -> Uint {
+        a.mod_add(b, &self.modulus)
+    }
+
+    /// Modular subtraction of plain or Montgomery residues (both `< m`).
+    pub fn sub(&self, a: &Uint, b: &Uint) -> Uint {
+        a.mod_sub(b, &self.modulus)
+    }
+
+    /// Modular negation.
+    pub fn neg(&self, a: &Uint) -> Uint {
+        a.mod_neg(&self.modulus)
+    }
+
+    /// Modular doubling.
+    pub fn double(&self, a: &Uint) -> Uint {
+        a.mod_double(&self.modulus)
+    }
+
+    /// Montgomery exponentiation: `base^exp · R mod m` for a Montgomery-form base.
+    ///
+    /// Square-and-multiply from the most significant bit of `exp`.
+    pub fn mont_pow(&self, base_mont: &Uint, exp: &Uint) -> Uint {
+        let bits = exp.bits();
+        if bits == 0 {
+            return self.r1;
+        }
+        let mut acc = self.r1;
+        for i in (0..bits).rev() {
+            acc = self.mont_sqr(&acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, base_mont);
+            }
+        }
+        acc
+    }
+
+    /// Plain modular exponentiation on plain residues: `base^exp mod m`.
+    pub fn pow(&self, base: &Uint, exp: &Uint) -> Uint {
+        let base_m = self.to_mont(&self.reduce(base));
+        let out = self.mont_pow(&base_m, exp);
+        self.from_mont(&out)
+    }
+
+    /// Inversion of a Montgomery-form value via Fermat's little theorem.
+    ///
+    /// Only valid when the modulus is prime.  Returns an error for zero.
+    pub fn mont_inv_fermat(&self, a_mont: &Uint) -> Result<Uint> {
+        if a_mont.is_zero() {
+            return Err(BigIntError::NotInvertible);
+        }
+        Ok(self.mont_pow(a_mont, &self.m_minus_2))
+    }
+
+    /// Inversion of a *plain* residue using the binary extended-GCD algorithm
+    /// (HAC 14.61 specialised to odd moduli).  Works for any odd modulus as
+    /// long as `gcd(a, m) = 1`.
+    pub fn inv_plain(&self, a: &Uint) -> Result<Uint> {
+        let m = &self.modulus;
+        let a = self.reduce(a);
+        if a.is_zero() {
+            return Err(BigIntError::NotInvertible);
+        }
+        let mut u = a;
+        let mut v = *m;
+        let mut x1 = Uint::ONE; // satisfies x1 * a ≡ u (mod m)
+        let mut x2 = Uint::ZERO; // satisfies x2 * a ≡ v (mod m)
+        while !u.is_zero() {
+            while u.is_even() {
+                u = u.shr1();
+                x1 = if x1.is_even() {
+                    x1.shr1()
+                } else {
+                    // (x1 + m) is even because m is odd and x1 is odd.
+                    let (sum, carry) = x1.overflowing_add(m);
+                    debug_assert!(!carry);
+                    sum.shr1()
+                };
+            }
+            while v.is_even() {
+                v = v.shr1();
+                x2 = if x2.is_even() {
+                    x2.shr1()
+                } else {
+                    let (sum, carry) = x2.overflowing_add(m);
+                    debug_assert!(!carry);
+                    sum.shr1()
+                };
+            }
+            if u >= v {
+                u = u.wrapping_sub(&v);
+                x1 = x1.mod_sub(&x2, m);
+            } else {
+                v = v.wrapping_sub(&u);
+                x2 = x2.mod_sub(&x1, m);
+            }
+        }
+        if !v.is_one() {
+            return Err(BigIntError::NotInvertible);
+        }
+        Ok(x2)
+    }
+
+    /// Inversion of a Montgomery-form value using the binary extended GCD.
+    ///
+    /// `a_mont = a·R`, so `inv_plain` yields `a^{-1}·R^{-1}`; two extra
+    /// Montgomery multiplications by `R^2` restore the Montgomery form of the
+    /// inverse: `a^{-1}·R`.
+    pub fn mont_inv(&self, a_mont: &Uint) -> Result<Uint> {
+        if a_mont.is_zero() {
+            return Err(BigIntError::NotInvertible);
+        }
+        let inv = self.inv_plain(a_mont)?; // (a R)^{-1} mod m = a^{-1} R^{-1}
+        let step = self.mont_mul(&inv, &self.r2); // a^{-1} R^{-1} · R^2 · R^{-1} = a^{-1}
+        Ok(self.mont_mul(&step, &self.r2)) // a^{-1} · R^2 · R^{-1} = a^{-1} R
+    }
+
+    /// Checks whether a plain residue is a quadratic residue modulo a prime
+    /// modulus, via Euler's criterion.
+    pub fn is_quadratic_residue(&self, a: &Uint) -> bool {
+        if a.is_zero() {
+            return true;
+        }
+        // a^((m-1)/2) == 1 ?
+        let exp = self.modulus.wrapping_sub(&Uint::ONE).shr1();
+        self.pow(a, &exp).is_one()
+    }
+
+    /// Square root modulo a prime `m ≡ 3 (mod 4)`: returns `a^((m+1)/4)`.
+    ///
+    /// The caller must check the result squares back to `a` (it will not when
+    /// `a` is a non-residue).  Returns an error if the modulus is not ≡ 3 mod 4.
+    pub fn sqrt_3mod4(&self, a: &Uint) -> Result<Uint> {
+        if self.modulus.limbs()[0] & 3 != 3 {
+            return Err(BigIntError::InvalidParameter(
+                "sqrt_3mod4 requires modulus ≡ 3 (mod 4)",
+            ));
+        }
+        let exp = self
+            .modulus
+            .wrapping_add(&Uint::ONE)
+            .shr(2);
+        Ok(self.pow(a, &exp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(m: u64) -> MontCtx {
+        MontCtx::new(&Uint::from_u64(m)).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_moduli() {
+        assert!(MontCtx::new(&Uint::ZERO).is_err());
+        assert!(MontCtx::new(&Uint::ONE).is_err());
+        assert!(MontCtx::new(&Uint::from_u64(100)).is_err());
+        let mut too_big = Uint::ZERO;
+        for l in too_big.limbs.iter_mut() {
+            *l = u64::MAX;
+        }
+        assert!(MontCtx::new(&too_big).is_err());
+    }
+
+    #[test]
+    fn mont_round_trip() {
+        let c = ctx(1_000_003);
+        for v in [0u64, 1, 2, 999_999, 1_000_002] {
+            let plain = Uint::from_u64(v);
+            let m = c.to_mont(&plain);
+            assert_eq!(c.from_mont(&m), plain);
+        }
+    }
+
+    #[test]
+    fn mont_mul_matches_u128() {
+        let p = 0xFFFF_FFFF_FFFF_FFC5u64; // largest 64-bit prime
+        let c = ctx(p);
+        let cases = [
+            (0u64, 0u64),
+            (1, 1),
+            (p - 1, p - 1),
+            (0x1234_5678_9ABC_DEF0, 0x0FED_CBA9_8765_4321),
+            (p - 2, 7),
+        ];
+        for (a, b) in cases {
+            let am = c.to_mont(&Uint::from_u64(a));
+            let bm = c.to_mont(&Uint::from_u64(b));
+            let got = c.from_mont(&c.mont_mul(&am, &bm));
+            let expect = ((a as u128) * (b as u128) % (p as u128)) as u64;
+            assert_eq!(got, Uint::from_u64(expect), "failed for {a} * {b}");
+        }
+    }
+
+    #[test]
+    fn multi_limb_mont_mul() {
+        // 2^127 - 1 is a Mersenne prime; two limbs exercise the CIOS carries.
+        let p = Uint::from_u128((1u128 << 127) - 1);
+        let c = MontCtx::new(&p).unwrap();
+        let a = Uint::from_u128(0x0123_4567_89AB_CDEF_0011_2233_4455_6677u128);
+        let b = Uint::from_u128(0x7FFF_FFFF_FFFF_FFFF_FFFF_FFFF_FFFF_FFFEu128);
+        let am = c.to_mont(&a);
+        let bm = c.to_mont(&b);
+        let got = c.from_mont(&c.mont_mul(&am, &bm));
+        // Verify with wide multiplication + reduction.
+        let (lo, hi) = a.mul_wide(&b);
+        let expect = Uint::rem_wide(&lo, &hi, &p).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn pow_matches_naive() {
+        let c = ctx(1_000_003);
+        let base = Uint::from_u64(12345);
+        let exp = Uint::from_u64(67);
+        let got = c.pow(&base, &exp);
+        let mut expect = 1u128;
+        for _ in 0..67 {
+            expect = expect * 12345 % 1_000_003;
+        }
+        assert_eq!(got, Uint::from_u64(expect as u64));
+        // Edge cases.
+        assert!(c.pow(&base, &Uint::ZERO).is_one());
+        assert_eq!(c.pow(&base, &Uint::ONE), base);
+        assert!(c.pow(&Uint::ZERO, &Uint::ZERO).is_one());
+    }
+
+    #[test]
+    fn fermat_and_binary_inversion_agree() {
+        let p = 0xFFFF_FFFF_FFFF_FFC5u64;
+        let c = ctx(p);
+        for v in [1u64, 2, 3, 0xDEAD_BEEF, p - 1, p / 2] {
+            let vm = c.to_mont(&Uint::from_u64(v));
+            let inv_f = c.mont_inv_fermat(&vm).unwrap();
+            let inv_b = c.mont_inv(&vm).unwrap();
+            assert_eq!(inv_f, inv_b, "disagree for {v}");
+            let prod = c.from_mont(&c.mont_mul(&vm, &inv_f));
+            assert!(prod.is_one(), "not an inverse for {v}");
+        }
+    }
+
+    #[test]
+    fn inversion_of_zero_fails() {
+        let c = ctx(1_000_003);
+        assert!(c.mont_inv(&Uint::ZERO).is_err());
+        assert!(c.mont_inv_fermat(&Uint::ZERO).is_err());
+        assert!(c.inv_plain(&Uint::ZERO).is_err());
+    }
+
+    #[test]
+    fn non_coprime_inversion_fails() {
+        // 15 shares a factor with modulus 45 (odd, composite).
+        let c = MontCtx::new(&Uint::from_u64(45)).unwrap();
+        assert!(c.inv_plain(&Uint::from_u64(15)).is_err());
+        assert!(c.inv_plain(&Uint::from_u64(7)).is_ok());
+    }
+
+    #[test]
+    fn quadratic_residue_detection() {
+        let c = ctx(1_000_003); // 1_000_003 ≡ 3 (mod 4)
+        let a = Uint::from_u64(4);
+        assert!(c.is_quadratic_residue(&a));
+        let sqrt = c.sqrt_3mod4(&a).unwrap();
+        let check = c.pow(&sqrt, &Uint::from_u64(2));
+        assert_eq!(check, a);
+        // A known non-residue: -1 mod p when p ≡ 3 (mod 4).
+        let minus_one = Uint::from_u64(1_000_002);
+        assert!(!c.is_quadratic_residue(&minus_one));
+    }
+
+    #[test]
+    fn sqrt_requires_3_mod_4() {
+        // 1_000_033 ≡ 1 (mod 4)
+        let c = ctx(1_000_033);
+        assert!(c.sqrt_3mod4(&Uint::from_u64(4)).is_err());
+    }
+
+    #[test]
+    fn add_sub_neg_double() {
+        let c = ctx(97);
+        let a = Uint::from_u64(90);
+        let b = Uint::from_u64(15);
+        assert_eq!(c.add(&a, &b), Uint::from_u64(8));
+        assert_eq!(c.sub(&b, &a), Uint::from_u64(22));
+        assert_eq!(c.neg(&a), Uint::from_u64(7));
+        assert_eq!(c.double(&a), Uint::from_u64(83));
+    }
+}

@@ -1,0 +1,111 @@
+//! The delegatee role: decryption of re-encrypted ciphertexts.
+
+use crate::proxy::ReEncryptedCiphertext;
+use crate::{PreError, Result};
+use std::sync::Arc;
+use tibpre_ibe::{bf, Identity, IbePrivateKey, H1_DOMAIN};
+use tibpre_pairing::{Gt, PairingParams};
+
+/// The delegatee: holds a private key extracted by *their own* KGC (the
+/// paper's `KGC2`) and can open ciphertexts a proxy re-encrypted for them.
+pub struct Delegatee {
+    private_key: IbePrivateKey,
+}
+
+impl Delegatee {
+    /// Binds a delegatee to their extracted private key.
+    pub fn new(private_key: IbePrivateKey) -> Self {
+        Delegatee { private_key }
+    }
+
+    /// The delegatee's identity.
+    pub fn identity(&self) -> &Identity {
+        self.private_key.identity()
+    }
+
+    /// The shared pairing parameters.
+    pub fn params(&self) -> &Arc<PairingParams> {
+        self.private_key.params()
+    }
+
+    /// Access to the private key (needed by the security-game harness).
+    pub fn private_key(&self) -> &IbePrivateKey {
+        &self.private_key
+    }
+
+    /// Decrypts a re-encrypted ciphertext:
+    /// `m = c'₂ / ê(c'₁, H1(Decrypt2(c'₃, sk_idj)))`.
+    pub fn decrypt_reencrypted(&self, ciphertext: &ReEncryptedCiphertext) -> Result<Gt> {
+        let params = self.params();
+        // Recover the random element X with the delegatee's own IBE key.
+        let x = bf::decrypt_gt(&self.private_key, &ciphertext.encrypted_x)?;
+        // Remove the mask ê(g^r, H1(X)).
+        let h1_of_x = params.hash_to_g1(H1_DOMAIN, &[&x.to_bytes()])?;
+        let mask = params.pairing(&ciphertext.c1, &h1_of_x);
+        ciphertext
+            .c2
+            .div(&mask)
+            .map_err(|_| PreError::InvalidEncoding("degenerate re-encryption mask"))
+    }
+}
+
+impl core::fmt::Debug for Delegatee {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Delegatee(identity={})", self.identity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delegator::Delegator;
+    use crate::proxy::re_encrypt;
+    use crate::types::TypeTag;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tibpre_ibe::Kgc;
+
+    #[test]
+    fn tampered_reencrypted_ciphertexts_do_not_decrypt_to_m() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let params = PairingParams::insecure_toy();
+        let kgc1 = Kgc::setup(params.clone(), "kgc1", &mut rng);
+        let kgc2 = Kgc::setup(params.clone(), "kgc2", &mut rng);
+        let alice = Identity::new("alice");
+        let bob = Identity::new("bob");
+        let delegator = Delegator::new(kgc1.public_params().clone(), kgc1.extract(&alice));
+        let delegatee = Delegatee::new(kgc2.extract(&bob));
+        let t = TypeTag::new("t");
+        let m = params.random_gt(&mut rng);
+        let ct = delegator.encrypt_typed(&m, &t, &mut rng);
+        let rk = delegator
+            .make_reencryption_key(&bob, kgc2.public_params(), &t, &mut rng)
+            .unwrap();
+        let good = re_encrypt(&ct, &rk).unwrap();
+        assert_eq!(delegatee.decrypt_reencrypted(&good).unwrap(), m);
+
+        // Tamper with c2: decryption yields a different element.
+        let mut bad = good.clone();
+        bad.c2 = bad.c2.mul(params.gt_generator());
+        assert_ne!(delegatee.decrypt_reencrypted(&bad).unwrap(), m);
+
+        // Swap in a different encrypted X: the mask no longer matches.
+        let other_rk = delegator
+            .make_reencryption_key(&bob, kgc2.public_params(), &t, &mut rng)
+            .unwrap();
+        let mut bad = good.clone();
+        bad.encrypted_x = other_rk.encrypted_x().clone();
+        assert_ne!(delegatee.decrypt_reencrypted(&bad).unwrap(), m);
+    }
+
+    #[test]
+    fn delegatee_metadata() {
+        let mut rng = StdRng::seed_from_u64(82);
+        let params = PairingParams::insecure_toy();
+        let kgc = Kgc::setup(params, "kgc2", &mut rng);
+        let bob = Identity::new("bob@clinic.example");
+        let delegatee = Delegatee::new(kgc.extract(&bob));
+        assert_eq!(delegatee.identity(), &bob);
+        assert!(format!("{delegatee:?}").contains("bob@clinic.example"));
+    }
+}

@@ -1,0 +1,419 @@
+//! The proxy role: re-encryption (`Preenc`) and re-encryption-key management.
+
+use crate::delegator::TypedCiphertext;
+use crate::rekey::ReEncryptionKey;
+use crate::types::TypeTag;
+use crate::{PreError, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tibpre_ibe::{bf::IbeCiphertext, Identity};
+use tibpre_pairing::{G1Affine, Gt, PairingParams};
+
+/// A re-encrypted ciphertext `(c1, c2·ê(c1, rk₂), Encrypt2(X, id_j))`.
+///
+/// After `Preenc` the mask has collapsed to `ê(g^r, H1(X))`: the ciphertext no
+/// longer depends on the delegator's key at all, only on the random `X` that is
+/// itself encrypted to the delegatee.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReEncryptedCiphertext {
+    /// `c'1 = c1 = g^r`.
+    pub c1: G1Affine,
+    /// `c'2 = m · ê(g^r, H1(X))`.
+    pub c2: Gt,
+    /// `c'3 = Encrypt2(X, id_j)`.
+    pub encrypted_x: IbeCiphertext,
+    /// The message type, carried along for bookkeeping (the delegatee does not
+    /// need it for decryption).
+    pub type_tag: TypeTag,
+    /// The intended delegatee (bookkeeping; the ciphertext only opens under
+    /// this identity's key anyway).
+    pub delegatee: Identity,
+}
+
+impl ReEncryptedCiphertext {
+    /// Serializes as
+    /// `c1 || c2 || encrypted_x || type_len || type || delegatee_len || delegatee`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.c1.to_bytes();
+        out.extend(self.c2.to_bytes());
+        out.extend(self.encrypted_x.to_bytes());
+        for field in [self.type_tag.as_bytes(), self.delegatee.as_bytes()] {
+            out.extend((field.len() as u32).to_be_bytes());
+            out.extend(field);
+        }
+        out
+    }
+
+    /// Parses the serialization produced by [`Self::to_bytes`].
+    pub fn from_bytes(params: &Arc<PairingParams>, bytes: &[u8]) -> Result<Self> {
+        let g1_len = params.g1_byte_len();
+        let gt_len = params.gt_byte_len();
+        let ibe_len = IbeCiphertext::serialized_len(params);
+        let fixed = g1_len + gt_len + ibe_len;
+        if bytes.len() < fixed + 8 {
+            return Err(PreError::InvalidEncoding("re-encrypted ciphertext too short"));
+        }
+        let c1 = G1Affine::from_bytes(params.fp_ctx(), &bytes[..g1_len])?;
+        let c2 = Gt::from_bytes_unchecked(params.fp_ctx(), &bytes[g1_len..g1_len + gt_len])?;
+        let encrypted_x = IbeCiphertext::from_bytes(params, &bytes[g1_len + gt_len..fixed])?;
+
+        let mut offset = fixed;
+        let mut fields = Vec::new();
+        for _ in 0..2 {
+            if bytes.len() < offset + 4 {
+                return Err(PreError::InvalidEncoding("re-encrypted ciphertext truncated"));
+            }
+            let mut len_bytes = [0u8; 4];
+            len_bytes.copy_from_slice(&bytes[offset..offset + 4]);
+            let len = u32::from_be_bytes(len_bytes) as usize;
+            offset += 4;
+            if bytes.len() < offset + len {
+                return Err(PreError::InvalidEncoding("re-encrypted ciphertext truncated"));
+            }
+            fields.push(bytes[offset..offset + len].to_vec());
+            offset += len;
+        }
+        if offset != bytes.len() {
+            return Err(PreError::InvalidEncoding(
+                "re-encrypted ciphertext has trailing bytes",
+            ));
+        }
+        let delegatee = Identity::from_bytes(fields.pop().expect("two fields were read"));
+        let type_tag = TypeTag::from_bytes(fields.pop().expect("two fields were read"));
+        Ok(ReEncryptedCiphertext {
+            c1,
+            c2,
+            encrypted_x,
+            type_tag,
+            delegatee,
+        })
+    }
+}
+
+/// `Preenc(c, rk)`: converts one typed ciphertext with one re-encryption key.
+///
+/// The proxy refuses to convert a ciphertext whose type does not match the
+/// key's type — and even a malicious proxy that skipped this check would only
+/// produce garbage, because the key algebraically cancels the wrong exponent.
+pub fn re_encrypt(
+    ciphertext: &TypedCiphertext,
+    rekey: &ReEncryptionKey,
+) -> Result<ReEncryptedCiphertext> {
+    if ciphertext.type_tag != *rekey.type_tag() {
+        return Err(PreError::TypeMismatch {
+            ciphertext_type: ciphertext.type_tag.display(),
+            key_type: rekey.type_tag().display(),
+        });
+    }
+    // c'2 = c2 · ê(c1, rk₂)
+    let adjustment = rekey.params().pairing(&ciphertext.c1, rekey.rk_point());
+    let c2 = ciphertext.c2.mul(&adjustment);
+    Ok(ReEncryptedCiphertext {
+        c1: ciphertext.c1.clone(),
+        c2,
+        encrypted_x: rekey.encrypted_x().clone(),
+        type_tag: ciphertext.type_tag.clone(),
+        delegatee: rekey.delegatee().clone(),
+    })
+}
+
+/// A stateful proxy service holding re-encryption keys for many
+/// (delegator, type, delegatee) triples.
+///
+/// This models the semi-trusted party of the paper's threat model: it converts
+/// ciphertexts honestly using the keys it was given, and the scheme guarantees
+/// that even a corrupted proxy learns nothing about the plaintexts and cannot
+/// convert types it holds no key for.
+pub struct Proxy {
+    name: String,
+    keys: HashMap<(Vec<u8>, Vec<u8>, Vec<u8>), ReEncryptionKey>,
+}
+
+impl Proxy {
+    /// Creates an empty proxy service.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Proxy {
+            name: name.as_ref().to_string(),
+            keys: HashMap::new(),
+        }
+    }
+
+    /// The proxy's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Installs a re-encryption key.  Replaces any previous key for the same
+    /// (delegator, type, delegatee) triple and returns the old one.
+    pub fn install_key(&mut self, key: ReEncryptionKey) -> Option<ReEncryptionKey> {
+        self.keys.insert(Self::index_of(&key), key)
+    }
+
+    /// Removes (revokes) the key for one (delegator, type, delegatee) triple.
+    pub fn revoke_key(
+        &mut self,
+        delegator: &Identity,
+        type_tag: &TypeTag,
+        delegatee: &Identity,
+    ) -> Option<ReEncryptionKey> {
+        self.keys.remove(&(
+            delegator.as_bytes().to_vec(),
+            type_tag.as_bytes().to_vec(),
+            delegatee.as_bytes().to_vec(),
+        ))
+    }
+
+    /// Number of installed keys.
+    pub fn key_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// All installed keys (e.g. what an adversary obtains when the proxy is compromised).
+    pub fn installed_keys(&self) -> impl Iterator<Item = &ReEncryptionKey> {
+        self.keys.values()
+    }
+
+    /// Looks up the installed key for one (delegator, type, delegatee) triple.
+    pub fn key_for(
+        &self,
+        delegator: &Identity,
+        type_tag: &TypeTag,
+        delegatee: &Identity,
+    ) -> Option<&ReEncryptionKey> {
+        self.keys.get(&(
+            delegator.as_bytes().to_vec(),
+            type_tag.as_bytes().to_vec(),
+            delegatee.as_bytes().to_vec(),
+        ))
+    }
+
+    /// Returns `true` if a key for the triple is installed.
+    pub fn has_key(
+        &self,
+        delegator: &Identity,
+        type_tag: &TypeTag,
+        delegatee: &Identity,
+    ) -> bool {
+        self.key_for(delegator, type_tag, delegatee).is_some()
+    }
+
+    /// Stateless conversion with an explicit key (does not need the key to be installed).
+    pub fn re_encrypt(
+        &self,
+        ciphertext: &TypedCiphertext,
+        rekey: &ReEncryptionKey,
+    ) -> Result<ReEncryptedCiphertext> {
+        re_encrypt(ciphertext, rekey)
+    }
+
+    /// Converts a ciphertext for the given delegatee using an installed key.
+    pub fn re_encrypt_for(
+        &self,
+        ciphertext: &TypedCiphertext,
+        delegator: &Identity,
+        delegatee: &Identity,
+    ) -> Result<ReEncryptedCiphertext> {
+        let key = self
+            .keys
+            .get(&(
+                delegator.as_bytes().to_vec(),
+                ciphertext.type_tag.as_bytes().to_vec(),
+                delegatee.as_bytes().to_vec(),
+            ))
+            .ok_or(PreError::NoMatchingKey)?;
+        re_encrypt(ciphertext, key)
+    }
+
+    fn index_of(key: &ReEncryptionKey) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+        (
+            key.delegator().as_bytes().to_vec(),
+            key.type_tag().as_bytes().to_vec(),
+            key.delegatee().as_bytes().to_vec(),
+        )
+    }
+}
+
+impl core::fmt::Debug for Proxy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Proxy(name={}, keys={})", self.name, self.keys.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delegatee::Delegatee;
+    use crate::delegator::Delegator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tibpre_ibe::Kgc;
+
+    struct Fixture {
+        params: Arc<PairingParams>,
+        delegator: Delegator,
+        delegatee_id: Identity,
+        delegatee: Delegatee,
+        kgc2_pp: tibpre_ibe::IbePublicParams,
+        rng: StdRng,
+    }
+
+    fn fixture() -> Fixture {
+        let mut rng = StdRng::seed_from_u64(71);
+        let params = PairingParams::insecure_toy();
+        let kgc1 = Kgc::setup(params.clone(), "kgc1", &mut rng);
+        let kgc2 = Kgc::setup(params.clone(), "kgc2", &mut rng);
+        let alice = Identity::new("alice");
+        let bob = Identity::new("bob");
+        Fixture {
+            params: params.clone(),
+            delegator: Delegator::new(kgc1.public_params().clone(), kgc1.extract(&alice)),
+            delegatee_id: bob.clone(),
+            delegatee: Delegatee::new(kgc2.extract(&bob)),
+            kgc2_pp: kgc2.public_params().clone(),
+            rng,
+        }
+    }
+
+    #[test]
+    fn full_delegation_round_trip() {
+        let mut f = fixture();
+        let t = TypeTag::new("illness-history");
+        let m = f.params.random_gt(&mut f.rng);
+        let ct = f.delegator.encrypt_typed(&m, &t, &mut f.rng);
+        let rk = f
+            .delegator
+            .make_reencryption_key(&f.delegatee_id, &f.kgc2_pp, &t, &mut f.rng)
+            .unwrap();
+        let transformed = re_encrypt(&ct, &rk).unwrap();
+        assert_eq!(transformed.type_tag, t);
+        assert_eq!(transformed.delegatee, f.delegatee_id);
+        assert_eq!(f.delegatee.decrypt_reencrypted(&transformed).unwrap(), m);
+    }
+
+    #[test]
+    fn type_mismatch_is_refused() {
+        let mut f = fixture();
+        let m = f.params.random_gt(&mut f.rng);
+        let ct = f
+            .delegator
+            .encrypt_typed(&m, &TypeTag::new("diet"), &mut f.rng);
+        let rk = f
+            .delegator
+            .make_reencryption_key(
+                &f.delegatee_id,
+                &f.kgc2_pp,
+                &TypeTag::new("illness-history"),
+                &mut f.rng,
+            )
+            .unwrap();
+        match re_encrypt(&ct, &rk) {
+            Err(PreError::TypeMismatch { .. }) => {}
+            other => panic!("expected a type mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forcing_a_wrong_type_key_yields_garbage() {
+        // Even if a malicious proxy relabels the ciphertext to bypass the type
+        // check, the algebra does not cooperate: the delegatee gets garbage.
+        let mut f = fixture();
+        let m = f.params.random_gt(&mut f.rng);
+        let mut ct = f
+            .delegator
+            .encrypt_typed(&m, &TypeTag::new("diet"), &mut f.rng);
+        let rk = f
+            .delegator
+            .make_reencryption_key(
+                &f.delegatee_id,
+                &f.kgc2_pp,
+                &TypeTag::new("illness-history"),
+                &mut f.rng,
+            )
+            .unwrap();
+        ct.type_tag = TypeTag::new("illness-history"); // adversarial relabel
+        let transformed = re_encrypt(&ct, &rk).unwrap();
+        assert_ne!(f.delegatee.decrypt_reencrypted(&transformed).unwrap(), m);
+    }
+
+    #[test]
+    fn proxy_key_store_lookup_and_revocation() {
+        let mut f = fixture();
+        let t = TypeTag::new("emergency");
+        let rk = f
+            .delegator
+            .make_reencryption_key(&f.delegatee_id, &f.kgc2_pp, &t, &mut f.rng)
+            .unwrap();
+        let mut proxy = Proxy::new("gateway");
+        assert_eq!(proxy.key_count(), 0);
+        assert!(proxy.install_key(rk.clone()).is_none());
+        assert_eq!(proxy.key_count(), 1);
+
+        let m = f.params.random_gt(&mut f.rng);
+        let ct = f.delegator.encrypt_typed(&m, &t, &mut f.rng);
+        let out = proxy
+            .re_encrypt_for(&ct, f.delegator.identity(), &f.delegatee_id)
+            .unwrap();
+        assert_eq!(f.delegatee.decrypt_reencrypted(&out).unwrap(), m);
+
+        // No key for another type.
+        let other_ct = f
+            .delegator
+            .encrypt_typed(&m, &TypeTag::new("diet"), &mut f.rng);
+        assert_eq!(
+            proxy
+                .re_encrypt_for(&other_ct, f.delegator.identity(), &f.delegatee_id)
+                .unwrap_err(),
+            PreError::NoMatchingKey
+        );
+
+        // Revocation removes the capability.
+        assert!(proxy
+            .revoke_key(f.delegator.identity(), &t, &f.delegatee_id)
+            .is_some());
+        assert_eq!(
+            proxy
+                .re_encrypt_for(&ct, f.delegator.identity(), &f.delegatee_id)
+                .unwrap_err(),
+            PreError::NoMatchingKey
+        );
+        assert_eq!(proxy.key_count(), 0);
+    }
+
+    #[test]
+    fn reencrypted_ciphertext_serialization_round_trip() {
+        let mut f = fixture();
+        let t = TypeTag::new("illness-history");
+        let m = f.params.random_gt(&mut f.rng);
+        let ct = f.delegator.encrypt_typed(&m, &t, &mut f.rng);
+        let rk = f
+            .delegator
+            .make_reencryption_key(&f.delegatee_id, &f.kgc2_pp, &t, &mut f.rng)
+            .unwrap();
+        let transformed = re_encrypt(&ct, &rk).unwrap();
+        let bytes = transformed.to_bytes();
+        let parsed = ReEncryptedCiphertext::from_bytes(&f.params, &bytes).unwrap();
+        assert_eq!(parsed, transformed);
+        assert_eq!(f.delegatee.decrypt_reencrypted(&parsed).unwrap(), m);
+        assert!(ReEncryptedCiphertext::from_bytes(&f.params, &bytes[..12]).is_err());
+        let mut longer = bytes;
+        longer.push(7);
+        assert!(ReEncryptedCiphertext::from_bytes(&f.params, &longer).is_err());
+    }
+
+    #[test]
+    fn reencryption_does_not_help_other_delegatees() {
+        // A ciphertext re-encrypted for Bob is useless to Carol.
+        let mut f = fixture();
+        let carol_kgc = Kgc::setup(f.params.clone(), "kgc3", &mut f.rng);
+        let carol = Delegatee::new(carol_kgc.extract(&Identity::new("carol")));
+        let t = TypeTag::new("illness-history");
+        let m = f.params.random_gt(&mut f.rng);
+        let ct = f.delegator.encrypt_typed(&m, &t, &mut f.rng);
+        let rk = f
+            .delegator
+            .make_reencryption_key(&f.delegatee_id, &f.kgc2_pp, &t, &mut f.rng)
+            .unwrap();
+        let transformed = re_encrypt(&ct, &rk).unwrap();
+        assert_ne!(carol.decrypt_reencrypted(&transformed).unwrap(), m);
+    }
+}

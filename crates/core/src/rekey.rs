@@ -1,0 +1,243 @@
+//! Re-encryption keys (`Pextract` output).
+
+use crate::types::TypeTag;
+use crate::{PreError, Result};
+use std::sync::Arc;
+use tibpre_ibe::{bf::IbeCiphertext, Identity};
+use tibpre_pairing::{G1Affine, PairingParams};
+
+/// A re-encryption key `rk_{i→j} = (t, sk_i^{−H2(sk_i‖t)}·H1(X), Encrypt2(X, id_j))`.
+///
+/// The key is bound to one (delegator, delegatee, type) triple.  Holding it,
+/// the proxy can convert the delegator's ciphertexts *of that type only*; by
+/// Theorem 1 of the paper it learns nothing that helps with any other type.
+#[derive(Clone, Debug)]
+pub struct ReEncryptionKey {
+    delegator: Identity,
+    delegatee: Identity,
+    type_tag: TypeTag,
+    /// `rk₂ = sk_i^{−H2(sk_i ‖ t)} · H1(X)`.
+    rk_point: G1Affine,
+    /// `rk₃ = Encrypt2(X, id_j)` — the random element `X` encrypted to the
+    /// delegatee under the delegatee's KGC.
+    encrypted_x: IbeCiphertext,
+    /// The shared pairing parameters, carried so the proxy can re-encrypt
+    /// without a separate parameter handle.
+    params: Arc<PairingParams>,
+}
+
+impl PartialEq for ReEncryptionKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.delegator == other.delegator
+            && self.delegatee == other.delegatee
+            && self.type_tag == other.type_tag
+            && self.rk_point == other.rk_point
+            && self.encrypted_x == other.encrypted_x
+    }
+}
+
+impl Eq for ReEncryptionKey {}
+
+impl ReEncryptionKey {
+    /// Assembles a re-encryption key from its parts (called by
+    /// [`crate::Delegator::make_reencryption_key`]).
+    pub(crate) fn new(
+        delegator: Identity,
+        delegatee: Identity,
+        type_tag: TypeTag,
+        rk_point: G1Affine,
+        encrypted_x: IbeCiphertext,
+        params: Arc<PairingParams>,
+    ) -> Self {
+        ReEncryptionKey {
+            delegator,
+            delegatee,
+            type_tag,
+            rk_point,
+            encrypted_x,
+            params,
+        }
+    }
+
+    /// The shared pairing parameters.
+    pub fn params(&self) -> &Arc<PairingParams> {
+        &self.params
+    }
+
+    /// The delegator this key re-encrypts *from*.
+    pub fn delegator(&self) -> &Identity {
+        &self.delegator
+    }
+
+    /// The delegatee this key re-encrypts *to*.
+    pub fn delegatee(&self) -> &Identity {
+        &self.delegatee
+    }
+
+    /// The message type this key is restricted to.
+    pub fn type_tag(&self) -> &TypeTag {
+        &self.type_tag
+    }
+
+    /// The group element `rk₂` used by the proxy's pairing.
+    pub fn rk_point(&self) -> &G1Affine {
+        &self.rk_point
+    }
+
+    /// The encrypted random element `rk₃ = Encrypt2(X, id_j)`.
+    pub fn encrypted_x(&self) -> &IbeCiphertext {
+        &self.encrypted_x
+    }
+
+    /// Serializes the key:
+    /// `del_len || delegator || dee_len || delegatee || type_len || type || rk_point || encrypted_x`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for field in [
+            self.delegator.as_bytes(),
+            self.delegatee.as_bytes(),
+            self.type_tag.as_bytes(),
+        ] {
+            out.extend((field.len() as u32).to_be_bytes());
+            out.extend(field);
+        }
+        out.extend(self.rk_point.to_bytes());
+        out.extend(self.encrypted_x.to_bytes());
+        out
+    }
+
+    /// Parses the serialization produced by [`Self::to_bytes`].
+    pub fn from_bytes(params: &Arc<PairingParams>, bytes: &[u8]) -> Result<Self> {
+        fn read_field(bytes: &[u8], offset: &mut usize) -> Result<Vec<u8>> {
+            if bytes.len() < *offset + 4 {
+                return Err(PreError::InvalidEncoding("re-encryption key too short"));
+            }
+            let mut len_bytes = [0u8; 4];
+            len_bytes.copy_from_slice(&bytes[*offset..*offset + 4]);
+            let len = u32::from_be_bytes(len_bytes) as usize;
+            *offset += 4;
+            if bytes.len() < *offset + len {
+                return Err(PreError::InvalidEncoding("re-encryption key truncated"));
+            }
+            let field = bytes[*offset..*offset + len].to_vec();
+            *offset += len;
+            Ok(field)
+        }
+        let mut offset = 0usize;
+        let delegator = Identity::from_bytes(read_field(bytes, &mut offset)?);
+        let delegatee = Identity::from_bytes(read_field(bytes, &mut offset)?);
+        let type_tag = TypeTag::from_bytes(read_field(bytes, &mut offset)?);
+
+        let g1_len = params.g1_byte_len();
+        let ibe_len = IbeCiphertext::serialized_len(params);
+        if bytes.len() != offset + g1_len + ibe_len {
+            return Err(PreError::InvalidEncoding(
+                "re-encryption key has the wrong total length",
+            ));
+        }
+        let rk_point = G1Affine::from_bytes(params.fp_ctx(), &bytes[offset..offset + g1_len])?;
+        if !rk_point.is_in_subgroup(params.q()) {
+            return Err(PreError::InvalidEncoding(
+                "rk point is not in the prime-order subgroup",
+            ));
+        }
+        let encrypted_x = IbeCiphertext::from_bytes(params, &bytes[offset + g1_len..])?;
+        Ok(ReEncryptionKey {
+            delegator,
+            delegatee,
+            type_tag,
+            rk_point,
+            encrypted_x,
+            params: Arc::clone(params),
+        })
+    }
+
+    /// Serialized length for bookkeeping / the size experiment.
+    pub fn serialized_len(&self, params: &PairingParams) -> usize {
+        12 + self.delegator.as_bytes().len()
+            + self.delegatee.as_bytes().len()
+            + self.type_tag.as_bytes().len()
+            + params.g1_byte_len()
+            + IbeCiphertext::serialized_len(params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delegator::Delegator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tibpre_ibe::Kgc;
+    use tibpre_pairing::PairingParams;
+
+    fn make_rekey() -> (ReEncryptionKey, Arc<PairingParams>) {
+        let mut rng = StdRng::seed_from_u64(61);
+        let params = PairingParams::insecure_toy();
+        let kgc1 = Kgc::setup(params.clone(), "kgc1", &mut rng);
+        let kgc2 = Kgc::setup(params.clone(), "kgc2", &mut rng);
+        let alice = Identity::new("alice");
+        let delegator = Delegator::new(kgc1.public_params().clone(), kgc1.extract(&alice));
+        let rk = delegator
+            .make_reencryption_key(
+                &Identity::new("bob"),
+                kgc2.public_params(),
+                &TypeTag::new("illness-history"),
+                &mut rng,
+            )
+            .unwrap();
+        (rk, params)
+    }
+
+    #[test]
+    fn accessors_reflect_the_delegation() {
+        let (rk, params) = make_rekey();
+        assert_eq!(rk.delegator(), &Identity::new("alice"));
+        assert_eq!(rk.delegatee(), &Identity::new("bob"));
+        assert_eq!(rk.type_tag(), &TypeTag::new("illness-history"));
+        assert!(rk.rk_point().is_on_curve());
+        assert!(rk.rk_point().is_in_subgroup(params.q()));
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let (rk, params) = make_rekey();
+        let bytes = rk.to_bytes();
+        assert_eq!(bytes.len(), rk.serialized_len(&params));
+        let parsed = ReEncryptionKey::from_bytes(&params, &bytes).unwrap();
+        assert_eq!(parsed, rk);
+    }
+
+    #[test]
+    fn malformed_encodings_rejected() {
+        let (rk, params) = make_rekey();
+        let bytes = rk.to_bytes();
+        assert!(ReEncryptionKey::from_bytes(&params, &bytes[..3]).is_err());
+        assert!(ReEncryptionKey::from_bytes(&params, &bytes[..bytes.len() - 1]).is_err());
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(ReEncryptionKey::from_bytes(&params, &longer).is_err());
+        assert!(ReEncryptionKey::from_bytes(&params, &[]).is_err());
+    }
+
+    #[test]
+    fn distinct_delegations_produce_distinct_keys() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let params = PairingParams::insecure_toy();
+        let kgc1 = Kgc::setup(params.clone(), "kgc1", &mut rng);
+        let kgc2 = Kgc::setup(params.clone(), "kgc2", &mut rng);
+        let delegator = Delegator::new(
+            kgc1.public_params().clone(),
+            kgc1.extract(&Identity::new("alice")),
+        );
+        let t = TypeTag::new("t");
+        let rk1 = delegator
+            .make_reencryption_key(&Identity::new("bob"), kgc2.public_params(), &t, &mut rng)
+            .unwrap();
+        let rk2 = delegator
+            .make_reencryption_key(&Identity::new("bob"), kgc2.public_params(), &t, &mut rng)
+            .unwrap();
+        // Even for the same triple, the random X makes the keys differ.
+        assert_ne!(rk1, rk2);
+    }
+}

@@ -1,0 +1,162 @@
+//! Key and ciphertext size accounting (communication cost, experiment E5).
+//!
+//! The paper never tabulates sizes, but "one key pair for the delegator" is a
+//! storage claim, so the benchmark harness reports concrete byte counts per
+//! security level; this module centralises the arithmetic so the benches and
+//! the documentation stay consistent.
+
+use tibpre_pairing::{PairingParams, SecurityLevel};
+
+/// Byte sizes of every object the scheme transmits or stores, for one
+/// parameter set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeReport {
+    /// Security level of the parameter set.
+    pub level: SecurityLevel,
+    /// Serialized size of an uncompressed curve point.
+    pub g1_element: usize,
+    /// Serialized size of a target-group element.
+    pub gt_element: usize,
+    /// Serialized size of a scalar.
+    pub scalar: usize,
+    /// The delegator / delegatee private key (one curve point).
+    pub private_key: usize,
+    /// A typed ciphertext (excluding the variable-length type tag).
+    pub typed_ciphertext: usize,
+    /// A plain Boneh–Franklin ciphertext (the delegatee-domain `Encrypt2`).
+    pub ibe_ciphertext: usize,
+    /// A re-encryption key (excluding identity / type strings).
+    pub reencryption_key: usize,
+    /// A re-encrypted ciphertext (excluding identity / type strings).
+    pub reencrypted_ciphertext: usize,
+    /// Fixed overhead a hybrid ciphertext adds on top of the payload
+    /// (KEM header + AEAD nonce/length/tag).
+    pub hybrid_overhead: usize,
+}
+
+impl SizeReport {
+    /// Computes the report for one parameter set.
+    pub fn for_params(params: &PairingParams) -> Self {
+        let g1 = params.g1_byte_len();
+        let gt = params.gt_byte_len();
+        let scalar = params.scalar_byte_len();
+        let ibe_ciphertext = g1 + gt;
+        let typed_ciphertext = g1 + gt + 4;
+        let reencryption_key = g1 + ibe_ciphertext + 12;
+        let reencrypted_ciphertext = g1 + gt + ibe_ciphertext + 8;
+        // AEAD overhead: 12-byte nonce + 8-byte length + 32-byte tag.
+        let hybrid_overhead = typed_ciphertext + 12 + 8 + 32;
+        SizeReport {
+            level: params.level(),
+            g1_element: g1,
+            gt_element: gt,
+            scalar,
+            private_key: g1,
+            typed_ciphertext,
+            ibe_ciphertext,
+            reencryption_key,
+            reencrypted_ciphertext,
+            hybrid_overhead,
+        }
+    }
+
+    /// Total key material the TIB-PRE delegator stores to manage `types`
+    /// categories: always a single private key.
+    pub fn tibpre_delegator_storage(&self, _types: usize) -> usize {
+        self.private_key
+    }
+
+    /// Total key material the multi-key baseline stores for `types` categories:
+    /// one private key per category.
+    pub fn multikey_delegator_storage(&self, types: usize) -> usize {
+        self.private_key * types
+    }
+}
+
+impl core::fmt::Display for SizeReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "size report for {}:", self.level.label())?;
+        writeln!(f, "  G element                {:>6} B", self.g1_element)?;
+        writeln!(f, "  G_1 (target) element     {:>6} B", self.gt_element)?;
+        writeln!(f, "  scalar                   {:>6} B", self.scalar)?;
+        writeln!(f, "  private key              {:>6} B", self.private_key)?;
+        writeln!(f, "  typed ciphertext         {:>6} B", self.typed_ciphertext)?;
+        writeln!(f, "  IBE ciphertext           {:>6} B", self.ibe_ciphertext)?;
+        writeln!(f, "  re-encryption key        {:>6} B", self.reencryption_key)?;
+        writeln!(
+            f,
+            "  re-encrypted ciphertext  {:>6} B",
+            self.reencrypted_ciphertext
+        )?;
+        write!(f, "  hybrid overhead          {:>6} B", self.hybrid_overhead)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delegator::{Delegator, TypedCiphertext};
+    use crate::types::TypeTag;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tibpre_ibe::{bf::IbeCiphertext, Identity, Kgc};
+    use tibpre_pairing::PairingParams;
+
+    #[test]
+    fn report_matches_actual_serializations() {
+        let mut rng = StdRng::seed_from_u64(111);
+        let params = PairingParams::insecure_toy();
+        let report = SizeReport::for_params(&params);
+
+        let kgc1 = Kgc::setup(params.clone(), "kgc1", &mut rng);
+        let kgc2 = Kgc::setup(params.clone(), "kgc2", &mut rng);
+        let alice = Identity::new("a");
+        let bob = Identity::new("b");
+        let delegator = Delegator::new(kgc1.public_params().clone(), kgc1.extract(&alice));
+
+        assert_eq!(report.private_key, kgc1.extract(&alice).to_bytes().len());
+
+        let t = TypeTag::from_bytes(Vec::new());
+        let m = params.random_gt(&mut rng);
+        let ct = delegator.encrypt_typed(&m, &t, &mut rng);
+        assert_eq!(report.typed_ciphertext, ct.to_bytes().len());
+        assert_eq!(
+            report.typed_ciphertext,
+            TypedCiphertext::serialized_len(&params, 0)
+        );
+        assert_eq!(report.ibe_ciphertext, IbeCiphertext::serialized_len(&params));
+
+        let rk = delegator
+            .make_reencryption_key(&bob, kgc2.public_params(), &t, &mut rng)
+            .unwrap();
+        // The report excludes the variable-length identity strings ("a", "b").
+        assert_eq!(
+            report.reencryption_key + alice.as_bytes().len() + bob.as_bytes().len(),
+            rk.to_bytes().len()
+        );
+    }
+
+    #[test]
+    fn storage_comparison_shape() {
+        let params = PairingParams::insecure_toy();
+        let report = SizeReport::for_params(&params);
+        for types in [1usize, 2, 8, 32] {
+            assert_eq!(report.tibpre_delegator_storage(types), report.private_key);
+            assert_eq!(
+                report.multikey_delegator_storage(types),
+                report.private_key * types
+            );
+        }
+        // The whole point: the baseline grows linearly, ours does not.
+        assert!(report.multikey_delegator_storage(32) > report.tibpre_delegator_storage(32));
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let report = SizeReport::for_params(&PairingParams::insecure_toy());
+        let s = report.to_string();
+        for needle in ["private key", "re-encryption key", "hybrid overhead"] {
+            assert!(s.contains(needle), "missing {needle}");
+        }
+    }
+}

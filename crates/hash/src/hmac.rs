@@ -1,0 +1,149 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//!
+//! Used by the DEM layer (`tibpre-symmetric`) for encrypt-then-MAC integrity
+//! and by the HKDF construction in [`crate::kdf`].
+
+use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Streaming HMAC-SHA-256 instance.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer_key_pad: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC instance keyed with `key` (any length).
+    pub fn new(key: &[u8]) -> Self {
+        // Keys longer than the block size are hashed first, shorter keys are
+        // zero-padded, exactly as the RFC specifies.
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = Sha256::digest(key);
+            key_block[..DIGEST_LEN].copy_from_slice(&digest);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut inner_key_pad = [0u8; BLOCK_LEN];
+        let mut outer_key_pad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            inner_key_pad[i] = key_block[i] ^ 0x36;
+            outer_key_pad[i] = key_block[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&inner_key_pad);
+        HmacSha256 {
+            inner,
+            outer_key_pad,
+        }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes and returns the 32-byte tag.
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.outer_key_pad);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot MAC computation.
+    pub fn mac(key: &[u8], data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut h = Self::new(key);
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Constant-time-ish tag comparison (single pass, no early exit).
+    pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
+        let expected = Self::mac(key, data);
+        if tag.len() != expected.len() {
+            return false;
+        }
+        let mut acc = 0u8;
+        for (a, b) in expected.iter().zip(tag.iter()) {
+            acc |= a ^ b;
+        }
+        acc == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_test_case_1() {
+        // Key = 20 bytes of 0x0b, data = "Hi There".
+        let key = [0x0bu8; 20];
+        let tag = HmacSha256::mac(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_2() {
+        // Key = "Jefe", data = "what do ya want for nothing?".
+        let tag = HmacSha256::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn long_key_is_hashed_first() {
+        // Keys longer than 64 bytes take the hashing path; the MAC must still
+        // be deterministic and distinct from the truncated-key MAC.
+        let long_key = vec![0xAAu8; 131];
+        let t1 = HmacSha256::mac(&long_key, b"msg");
+        let t2 = HmacSha256::mac(&long_key, b"msg");
+        let t3 = HmacSha256::mac(&long_key[..64], b"msg");
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let key = b"streaming key";
+        let data: Vec<u8> = (0..500u16).map(|i| (i % 256) as u8).collect();
+        let one_shot = HmacSha256::mac(key, &data);
+        let mut h = HmacSha256::new(key);
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), one_shot);
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let key = b"verify key";
+        let tag = HmacSha256::mac(key, b"payload");
+        assert!(HmacSha256::verify(key, b"payload", &tag));
+        assert!(!HmacSha256::verify(key, b"payloae", &tag));
+        assert!(!HmacSha256::verify(b"other key", b"payload", &tag));
+        let mut bad_tag = tag;
+        bad_tag[31] ^= 1;
+        assert!(!HmacSha256::verify(key, b"payload", &bad_tag));
+        assert!(!HmacSha256::verify(key, b"payload", &tag[..16]));
+    }
+
+    #[test]
+    fn different_keys_give_different_tags() {
+        assert_ne!(
+            HmacSha256::mac(b"key-a", b"same message"),
+            HmacSha256::mac(b"key-b", b"same message")
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! HKDF-style extract-and-expand key derivation over HMAC-SHA-256 (RFC 5869).
+//!
+//! The hybrid (KEM/DEM) mode of `tibpre-core` encapsulates a random element of
+//! the pairing target group and derives the symmetric encryption and MAC keys
+//! from its canonical byte encoding through this KDF.
+
+use crate::hmac::HmacSha256;
+use crate::sha256::DIGEST_LEN;
+
+/// HKDF over HMAC-SHA-256.
+pub struct Hkdf {
+    pseudo_random_key: [u8; DIGEST_LEN],
+}
+
+impl Hkdf {
+    /// HKDF-Extract: derives a pseudo-random key from input keying material
+    /// and an optional salt (an empty salt is replaced by a zero block, as in
+    /// the RFC).
+    pub fn extract(salt: &[u8], input_keying_material: &[u8]) -> Self {
+        let salt_block: &[u8] = if salt.is_empty() {
+            &[0u8; DIGEST_LEN]
+        } else {
+            salt
+        };
+        Hkdf {
+            pseudo_random_key: HmacSha256::mac(salt_block, input_keying_material),
+        }
+    }
+
+    /// HKDF-Expand: derives `len` bytes of output keying material bound to `info`.
+    ///
+    /// # Panics
+    /// Panics if `len > 255 * 32` (the RFC limit).
+    pub fn expand(&self, info: &[u8], len: usize) -> Vec<u8> {
+        assert!(len <= 255 * DIGEST_LEN, "HKDF output length limit exceeded");
+        let mut output = Vec::with_capacity(len);
+        let mut previous: Vec<u8> = Vec::new();
+        let mut counter = 1u8;
+        while output.len() < len {
+            let mut mac = HmacSha256::new(&self.pseudo_random_key);
+            mac.update(&previous);
+            mac.update(info);
+            mac.update(&[counter]);
+            let block = mac.finalize();
+            let take = (len - output.len()).min(DIGEST_LEN);
+            output.extend_from_slice(&block[..take]);
+            previous = block.to_vec();
+            counter = counter.wrapping_add(1);
+        }
+        output
+    }
+
+    /// Convenience: extract-then-expand in one call.
+    pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+        Self::extract(salt, ikm).expand(info, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc5869_test_case_1() {
+        let ikm = [0x0bu8; 22];
+        let salt: Vec<u8> = (0x00u8..=0x0c).collect();
+        let info: Vec<u8> = (0xf0u8..=0xf9).collect();
+        let okm = Hkdf::derive(&salt, &ikm, &info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf\
+             34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn rfc5869_test_case_3_empty_salt_and_info() {
+        let ikm = [0x0bu8; 22];
+        let okm = Hkdf::derive(&[], &ikm, &[], 42);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d\
+             9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn output_is_deterministic_and_info_bound() {
+        let a = Hkdf::derive(b"salt", b"secret", b"context-a", 64);
+        let b = Hkdf::derive(b"salt", b"secret", b"context-a", 64);
+        let c = Hkdf::derive(b"salt", b"secret", b"context-b", 64);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shorter_outputs_are_prefixes() {
+        let long = Hkdf::derive(b"s", b"ikm", b"info", 96);
+        let short = Hkdf::derive(b"s", b"ikm", b"info", 16);
+        assert_eq!(&long[..16], &short[..]);
+    }
+
+    #[test]
+    fn length_edge_cases() {
+        assert_eq!(Hkdf::derive(b"s", b"k", b"i", 0).len(), 0);
+        assert_eq!(Hkdf::derive(b"s", b"k", b"i", 1).len(), 1);
+        assert_eq!(Hkdf::derive(b"s", b"k", b"i", 32).len(), 32);
+        assert_eq!(Hkdf::derive(b"s", b"k", b"i", 33).len(), 33);
+        assert_eq!(Hkdf::derive(b"s", b"k", b"i", 255 * 32).len(), 255 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "HKDF output length limit")]
+    fn over_limit_panics() {
+        let _ = Hkdf::derive(b"s", b"k", b"i", 255 * 32 + 1);
+    }
+}

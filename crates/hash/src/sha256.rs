@@ -1,0 +1,318 @@
+//! SHA-256 (FIPS 180-4).
+//!
+//! The round constants are the first 32 bits of the fractional parts of the
+//! cube roots of the first 64 primes and the initial state words are derived
+//! from the square roots of the first 8 primes.  Instead of hard-coding the
+//! tables (and risking a transcription error) they are derived once at runtime
+//! with exact integer square/cube roots and cached; the published "abc" and
+//! empty-string test vectors then pin the whole construction down.
+
+use std::sync::OnceLock;
+
+/// Output size of SHA-256 in bytes.
+pub const DIGEST_LEN: usize = 32;
+/// Internal block size in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+/// Streaming SHA-256 hasher.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; BLOCK_LEN],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+/// First `n` primes, by trial division (tiny `n`, clarity over speed).
+fn first_primes(n: usize) -> Vec<u64> {
+    let mut primes = Vec::with_capacity(n);
+    let mut candidate = 2u64;
+    while primes.len() < n {
+        if primes.iter().all(|&p| candidate % p != 0) {
+            primes.push(candidate);
+        }
+        candidate += 1;
+    }
+    primes
+}
+
+/// Integer square root by binary search (exact floor).
+fn isqrt(n: u128) -> u128 {
+    if n < 2 {
+        return n;
+    }
+    let mut lo = 0u128;
+    let mut hi = 1u128 << ((128 - n.leading_zeros()).div_ceil(2) + 1);
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if mid.checked_mul(mid).map(|sq| sq <= n).unwrap_or(false) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Integer cube root by binary search (exact floor).
+fn icbrt(n: u128) -> u128 {
+    if n < 2 {
+        return n;
+    }
+    let mut lo = 0u128;
+    let mut hi = 1u128 << ((128 - n.leading_zeros()).div_ceil(3) + 1);
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        let cube = mid.checked_mul(mid).and_then(|sq| sq.checked_mul(mid));
+        if cube.map(|c| c <= n).unwrap_or(false) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Initial hash state: first 32 bits of the fractional parts of sqrt(first 8 primes).
+fn initial_state() -> &'static [u32; 8] {
+    static H: OnceLock<[u32; 8]> = OnceLock::new();
+    H.get_or_init(|| {
+        let primes = first_primes(8);
+        let mut h = [0u32; 8];
+        for (i, &p) in primes.iter().enumerate() {
+            // floor(sqrt(p) * 2^32) mod 2^32 == floor(frac(sqrt(p)) * 2^32)
+            h[i] = (isqrt((p as u128) << 64) & 0xFFFF_FFFF) as u32;
+        }
+        h
+    })
+}
+
+/// Round constants: first 32 bits of the fractional parts of cbrt(first 64 primes).
+fn round_constants() -> &'static [u32; 64] {
+    static K: OnceLock<[u32; 64]> = OnceLock::new();
+    K.get_or_init(|| {
+        let primes = first_primes(64);
+        let mut k = [0u32; 64];
+        for (i, &p) in primes.iter().enumerate() {
+            // floor(cbrt(p) * 2^32) mod 2^32 == floor(frac(cbrt(p)) * 2^32)
+            k[i] = (icbrt((p as u128) << 96) & 0xFFFF_FFFF) as u32;
+        }
+        k
+    })
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha256 {
+            state: *initial_state(),
+            buffer: [0u8; BLOCK_LEN],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// One-shot convenience: hashes `data` and returns the 32-byte digest.
+    pub fn digest(data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut h = Sha256::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Absorbs more input.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        // Fill the partial block first.
+        if self.buffer_len > 0 {
+            let take = (BLOCK_LEN - self.buffer_len).min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == BLOCK_LEN {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+        // Full blocks straight from the input.
+        while data.len() >= BLOCK_LEN {
+            let mut block = [0u8; BLOCK_LEN];
+            block.copy_from_slice(&data[..BLOCK_LEN]);
+            self.compress(&block);
+            data = &data[BLOCK_LEN..];
+        }
+        // Stash the tail.
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffer_len = data.len();
+        }
+    }
+
+    /// Finishes the computation and returns the digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80, zeros, 64-bit big-endian length.
+        let mut padding = Vec::with_capacity(BLOCK_LEN * 2);
+        padding.push(0x80u8);
+        let after = (self.buffer_len + 1) % BLOCK_LEN;
+        let zeros = if after <= 56 { 56 - after } else { 56 + BLOCK_LEN - after };
+        padding.extend(std::iter::repeat(0u8).take(zeros));
+        padding.extend_from_slice(&bit_len.to_be_bytes());
+        // Do not let the padding bytes count towards the message length.
+        let saved_len = self.total_len;
+        self.update(&padding);
+        self.total_len = saved_len;
+        debug_assert_eq!(self.buffer_len, 0);
+
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        let k = round_constants();
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn derived_constants_match_the_standard() {
+        // Spot checks against FIPS 180-4 values.
+        let h = initial_state();
+        assert_eq!(h[0], 0x6a09e667);
+        assert_eq!(h[7], 0x5be0cd19);
+        let k = round_constants();
+        assert_eq!(k[0], 0x428a2f98);
+        assert_eq!(k[1], 0x71374491);
+        assert_eq!(k[63], 0xc67178f2);
+    }
+
+    #[test]
+    fn empty_string_vector() {
+        assert_eq!(
+            hex(&Sha256::digest(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            hex(&Sha256::digest(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_vector() {
+        // NIST test vector for the 448-bit message.
+        assert_eq!(
+            hex(&Sha256::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let one_shot = Sha256::digest(&data);
+        for chunk_size in [1usize, 3, 7, 63, 64, 65, 128, 999] {
+            let mut h = Sha256::new();
+            for chunk in data.chunks(chunk_size) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finalize(), one_shot, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn million_a_vector() {
+        // The classic "one million 'a'" NIST vector.
+        let mut h = Sha256::new();
+        let block = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&block);
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(Sha256::digest(b"hello"), Sha256::digest(b"hellp"));
+        assert_ne!(Sha256::digest(b""), Sha256::digest(b"\0"));
+    }
+
+    #[test]
+    fn boundary_lengths_are_consistent() {
+        // Lengths around the 55/56/64 byte padding boundaries.
+        for len in [54usize, 55, 56, 57, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0xA5u8; len];
+            let mut h = Sha256::new();
+            h.update(&data);
+            assert_eq!(h.finalize(), Sha256::digest(&data), "len {len}");
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Boneh–Franklin `BasicIdent`: the original XOR variant over byte messages.
+//!
+//! In the original scheme the mask is `H2'(ê(pk_id, pk)^r)` stretched to the
+//! message length and XORed onto the plaintext.  The paper points out that the
+//! PRE construction *cannot* be built on this variant (the multiplicative
+//! structure is what the proxy exploits); it is provided here as the baseline
+//! "plain IBE, patient decrypts on demand" alternative discussed in Section 5
+//! and measured by the benchmark harness.
+
+use crate::identity::Identity;
+use crate::kgc::{IbePrivateKey, IbePublicParams};
+use crate::{IbeError, Result};
+use rand::{CryptoRng, RngCore};
+use std::sync::Arc;
+use tibpre_hash::DomainSeparatedHasher;
+use tibpre_pairing::{G1Affine, Gt, PairingParams};
+
+/// Domain-separation tag of the mask-derivation oracle (the original scheme's `H2`).
+const MASK_DOMAIN: &str = "TIBPRE-BF-XOR-MASK";
+
+/// A `BasicIdent` ciphertext `(c1, c2) = (g^r, m ⊕ H2'(ê(pk_id, pk)^r))`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IbeXorCiphertext {
+    /// `c1 = g^r`.
+    pub c1: G1Affine,
+    /// `c2 = m ⊕ mask`.
+    pub c2: Vec<u8>,
+}
+
+fn mask_bytes(shared: &Gt, len: usize) -> Vec<u8> {
+    DomainSeparatedHasher::hash(MASK_DOMAIN, &[&shared.to_bytes()], len)
+}
+
+/// Encrypts an arbitrary byte message to the identity `id`.
+pub fn encrypt<R: RngCore + CryptoRng>(
+    pp: &IbePublicParams,
+    id: &Identity,
+    message: &[u8],
+    rng: &mut R,
+) -> IbeXorCiphertext {
+    let params = pp.pairing();
+    let r = params.random_nonzero_scalar(rng);
+    let c1 = params.generator().mul_scalar(&r);
+    let pk_id = pp.identity_public_key(id);
+    let shared = params.pairing(&pk_id, pp.kgc_public_key()).pow_scalar(&r);
+    let mask = mask_bytes(&shared, message.len());
+    let c2 = message
+        .iter()
+        .zip(mask.iter())
+        .map(|(m, k)| m ^ k)
+        .collect();
+    IbeXorCiphertext { c1, c2 }
+}
+
+/// Decrypts a `BasicIdent` ciphertext.
+pub fn decrypt(sk: &IbePrivateKey, ciphertext: &IbeXorCiphertext) -> Result<Vec<u8>> {
+    let shared = sk.params().pairing(sk.key(), &ciphertext.c1);
+    let mask = mask_bytes(&shared, ciphertext.c2.len());
+    Ok(ciphertext
+        .c2
+        .iter()
+        .zip(mask.iter())
+        .map(|(c, k)| c ^ k)
+        .collect())
+}
+
+impl IbeXorCiphertext {
+    /// Serializes as `c1 || body_len(u64 BE) || body`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.c1.to_bytes();
+        out.extend((self.c2.len() as u64).to_be_bytes());
+        out.extend(&self.c2);
+        out
+    }
+
+    /// Parses the serialization produced by [`Self::to_bytes`].
+    pub fn from_bytes(params: &Arc<PairingParams>, bytes: &[u8]) -> Result<Self> {
+        let g1_len = params.g1_byte_len();
+        if bytes.len() < g1_len + 8 {
+            return Err(IbeError::InvalidCiphertext("too short"));
+        }
+        let c1 = G1Affine::from_bytes(params.fp_ctx(), &bytes[..g1_len])
+            .map_err(IbeError::Pairing)?;
+        let mut len_bytes = [0u8; 8];
+        len_bytes.copy_from_slice(&bytes[g1_len..g1_len + 8]);
+        let body_len = u64::from_be_bytes(len_bytes) as usize;
+        if bytes.len() != g1_len + 8 + body_len {
+            return Err(IbeError::InvalidCiphertext("length mismatch"));
+        }
+        Ok(IbeXorCiphertext {
+            c1,
+            c2: bytes[g1_len + 8..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kgc::Kgc;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Kgc, IbePublicParams, StdRng) {
+        let mut rng = StdRng::seed_from_u64(31);
+        let params = PairingParams::insecure_toy();
+        let kgc = Kgc::setup(params, "xor-test", &mut rng);
+        let pp = kgc.public_params().clone();
+        (kgc, pp, rng)
+    }
+
+    #[test]
+    fn round_trip_various_lengths() {
+        let (kgc, pp, mut rng) = setup();
+        let id = Identity::new("alice");
+        let sk = kgc.extract(&id);
+        for len in [0usize, 1, 16, 100, 1000] {
+            let message: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let ct = encrypt(&pp, &id, &message, &mut rng);
+            assert_eq!(decrypt(&sk, &ct).unwrap(), message, "len {len}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_gives_garbage() {
+        let (kgc, pp, mut rng) = setup();
+        let alice = Identity::new("alice");
+        let bob = Identity::new("bob");
+        let message = b"confidential lab result".to_vec();
+        let ct = encrypt(&pp, &alice, &message, &mut rng);
+        let wrong = decrypt(&kgc.extract(&bob), &ct).unwrap();
+        assert_ne!(wrong, message);
+    }
+
+    #[test]
+    fn ciphertext_is_randomised_and_length_preserving() {
+        let (_kgc, pp, mut rng) = setup();
+        let id = Identity::new("alice");
+        let message = vec![0xAB; 64];
+        let c1 = encrypt(&pp, &id, &message, &mut rng);
+        let c2 = encrypt(&pp, &id, &message, &mut rng);
+        assert_ne!(c1, c2);
+        assert_eq!(c1.c2.len(), 64);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let (kgc, pp, mut rng) = setup();
+        let id = Identity::new("alice");
+        let sk = kgc.extract(&id);
+        let message = b"serialize me too".to_vec();
+        let ct = encrypt(&pp, &id, &message, &mut rng);
+        let bytes = ct.to_bytes();
+        let parsed = IbeXorCiphertext::from_bytes(pp.pairing(), &bytes).unwrap();
+        assert_eq!(parsed, ct);
+        assert_eq!(decrypt(&sk, &parsed).unwrap(), message);
+        assert!(IbeXorCiphertext::from_bytes(pp.pairing(), &bytes[..5]).is_err());
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(IbeXorCiphertext::from_bytes(pp.pairing(), &extended).is_err());
+    }
+}

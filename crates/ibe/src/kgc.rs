@@ -1,0 +1,288 @@
+//! The Key Generation Centre (KGC) and its keys.
+//!
+//! `Setup` and `Extract` of the Boneh–Franklin scheme (Section 3.2 of the
+//! paper).  The TIB-PRE construction uses two KGCs — `KGC1` for the delegator
+//! and `KGC2` for the delegatee — that share the pairing parameters but hold
+//! independent master keys `α₁`, `α₂`; both are instances of this type.
+
+use crate::identity::Identity;
+use crate::{IbeError, Result, H1_DOMAIN};
+use rand::{CryptoRng, RngCore};
+use std::sync::Arc;
+use tibpre_pairing::{G1Affine, PairingParams, Scalar};
+
+/// Public parameters of one KGC domain: the shared pairing parameters plus the
+/// KGC public key `pk = g^α`.
+#[derive(Clone, Debug)]
+pub struct IbePublicParams {
+    pairing: Arc<PairingParams>,
+    kgc_public_key: G1Affine,
+    label: String,
+}
+
+impl IbePublicParams {
+    /// The shared pairing parameters.
+    pub fn pairing(&self) -> &Arc<PairingParams> {
+        &self.pairing
+    }
+
+    /// The KGC public key `pk = g^α`.
+    pub fn kgc_public_key(&self) -> &G1Affine {
+        &self.kgc_public_key
+    }
+
+    /// Human-readable label of the KGC (e.g. `"national-phr-kgc"`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The paper's `pk_id = H1(id)`: the public key associated with an identity.
+    ///
+    /// `H1` is part of the shared parameters, so this value is the same in
+    /// every domain; only the extracted private keys differ.
+    pub fn identity_public_key(&self, id: &Identity) -> G1Affine {
+        self.pairing
+            .hash_to_g1(H1_DOMAIN, &[id.as_bytes()])
+            .expect("hash-to-curve budget is astronomically unlikely to be exceeded")
+    }
+
+    /// Checks that two domains share the same pairing parameters (required by
+    /// the delegation algebra).
+    pub fn shares_parameters_with(&self, other: &IbePublicParams) -> bool {
+        Arc::ptr_eq(&self.pairing, &other.pairing) || self.pairing.p() == other.pairing.p()
+    }
+}
+
+/// The private key extracted for an identity: `sk_id = pk_id^α = H1(id)^α`.
+#[derive(Clone, Debug)]
+pub struct IbePrivateKey {
+    identity: Identity,
+    key: G1Affine,
+    /// The label of the KGC that extracted this key (for diagnostics only).
+    kgc_label: String,
+    /// The shared pairing parameters, kept so decryption does not need a
+    /// separate parameter handle.
+    params: Arc<PairingParams>,
+}
+
+impl IbePrivateKey {
+    /// The identity this key belongs to.
+    pub fn identity(&self) -> &Identity {
+        &self.identity
+    }
+
+    /// The group element `H1(id)^α`.
+    pub fn key(&self) -> &G1Affine {
+        &self.key
+    }
+
+    /// Label of the extracting KGC.
+    pub fn kgc_label(&self) -> &str {
+        &self.kgc_label
+    }
+
+    /// The shared pairing parameters.
+    pub fn params(&self) -> &Arc<PairingParams> {
+        &self.params
+    }
+
+    /// Canonical serialization of the key material (used by the paper's
+    /// `H2(sk_id ‖ t)` computation, which hashes the private key).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.key.to_bytes()
+    }
+
+    /// Reconstructs a private key from its serialized group element.
+    pub fn from_bytes(
+        params: &Arc<PairingParams>,
+        identity: Identity,
+        kgc_label: &str,
+        bytes: &[u8],
+    ) -> Result<Self> {
+        let key = G1Affine::from_bytes(params.fp_ctx(), bytes).map_err(IbeError::Pairing)?;
+        if !key.is_in_subgroup(params.q()) {
+            return Err(IbeError::InvalidEncoding(
+                "private key is not in the prime-order subgroup",
+            ));
+        }
+        Ok(IbePrivateKey {
+            identity,
+            key,
+            kgc_label: kgc_label.to_string(),
+            params: Arc::clone(params),
+        })
+    }
+}
+
+/// A Key Generation Centre: holds the master key `α` and answers `Extract` queries.
+pub struct Kgc {
+    master_key: Scalar,
+    public: IbePublicParams,
+}
+
+impl Kgc {
+    /// `Setup`: samples a master key `α ∈ Z_q^*` and publishes `pk = g^α`.
+    pub fn setup<R: RngCore + CryptoRng>(
+        pairing: Arc<PairingParams>,
+        label: &str,
+        rng: &mut R,
+    ) -> Self {
+        let master_key = pairing.random_nonzero_scalar(rng);
+        let kgc_public_key = pairing.generator().mul_scalar(&master_key);
+        Kgc {
+            master_key,
+            public: IbePublicParams {
+                pairing,
+                kgc_public_key,
+                label: label.to_string(),
+            },
+        }
+    }
+
+    /// Reconstructs a KGC from an existing master key (e.g. loaded from secure
+    /// storage).  The public key is re-derived.
+    pub fn from_master_key(pairing: Arc<PairingParams>, label: &str, master_key: Scalar) -> Self {
+        let kgc_public_key = pairing.generator().mul_scalar(&master_key);
+        Kgc {
+            master_key,
+            public: IbePublicParams {
+                pairing,
+                kgc_public_key,
+                label: label.to_string(),
+            },
+        }
+    }
+
+    /// The public parameters of this domain.
+    pub fn public_params(&self) -> &IbePublicParams {
+        &self.public
+    }
+
+    /// The master secret `α`.  Exposed for the security-game harness and for
+    /// tests; production code never needs it outside the KGC.
+    pub fn master_key(&self) -> &Scalar {
+        &self.master_key
+    }
+
+    /// `Extract`: computes `sk_id = H1(id)^α`.
+    pub fn extract(&self, id: &Identity) -> IbePrivateKey {
+        let pk_id = self.public.identity_public_key(id);
+        IbePrivateKey {
+            identity: id.clone(),
+            key: pk_id.mul_scalar(&self.master_key),
+            kgc_label: self.public.label.clone(),
+            params: Arc::clone(&self.public.pairing),
+        }
+    }
+}
+
+impl core::fmt::Debug for Kgc {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print the master key.
+        write!(f, "Kgc(label={})", self.public.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tibpre_pairing::PairingParams;
+
+    fn setup() -> (Kgc, StdRng) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let params = PairingParams::insecure_toy();
+        let kgc = Kgc::setup(params, "test-kgc", &mut rng);
+        (kgc, rng)
+    }
+
+    #[test]
+    fn setup_produces_consistent_public_key() {
+        let (kgc, _) = setup();
+        let pp = kgc.public_params();
+        let expect = pp.pairing().generator().mul_scalar(kgc.master_key());
+        assert_eq!(pp.kgc_public_key(), &expect);
+        assert_eq!(pp.label(), "test-kgc");
+    }
+
+    #[test]
+    fn extract_satisfies_the_key_equation() {
+        let (kgc, _) = setup();
+        let pp = kgc.public_params();
+        let id = Identity::new("alice@example.org");
+        let sk = kgc.extract(&id);
+        // ê(sk_id, g) == ê(H1(id), pk): both equal ê(H1(id), g)^α.
+        let params = pp.pairing();
+        let lhs = params.pairing(sk.key(), params.generator());
+        let rhs = params.pairing(&pp.identity_public_key(&id), pp.kgc_public_key());
+        assert_eq!(lhs, rhs);
+        assert_eq!(sk.identity(), &id);
+        assert_eq!(sk.kgc_label(), "test-kgc");
+    }
+
+    #[test]
+    fn different_identities_get_different_keys() {
+        let (kgc, _) = setup();
+        let a = kgc.extract(&Identity::new("alice"));
+        let b = kgc.extract(&Identity::new("bob"));
+        assert_ne!(a.key(), b.key());
+        // Extraction is deterministic.
+        let a2 = kgc.extract(&Identity::new("alice"));
+        assert_eq!(a.key(), a2.key());
+    }
+
+    #[test]
+    fn different_kgcs_share_identity_public_keys_but_not_private_keys() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let params = PairingParams::insecure_toy();
+        let kgc1 = Kgc::setup(params.clone(), "domain-1", &mut rng);
+        let kgc2 = Kgc::setup(params, "domain-2", &mut rng);
+        let id = Identity::new("carol");
+        assert_eq!(
+            kgc1.public_params().identity_public_key(&id),
+            kgc2.public_params().identity_public_key(&id)
+        );
+        assert_ne!(kgc1.extract(&id).key(), kgc2.extract(&id).key());
+        assert!(kgc1
+            .public_params()
+            .shares_parameters_with(kgc2.public_params()));
+    }
+
+    #[test]
+    fn from_master_key_round_trip() {
+        let (kgc, _) = setup();
+        let rebuilt = Kgc::from_master_key(
+            kgc.public_params().pairing().clone(),
+            "rebuilt",
+            kgc.master_key().clone(),
+        );
+        assert_eq!(
+            rebuilt.public_params().kgc_public_key(),
+            kgc.public_params().kgc_public_key()
+        );
+        let id = Identity::new("dave");
+        assert_eq!(rebuilt.extract(&id).key(), kgc.extract(&id).key());
+    }
+
+    #[test]
+    fn private_key_serialization_round_trip() {
+        let (kgc, _) = setup();
+        let id = Identity::new("erin");
+        let sk = kgc.extract(&id);
+        let bytes = sk.to_bytes();
+        let params = kgc.public_params().pairing();
+        let restored =
+            IbePrivateKey::from_bytes(params, id.clone(), "test-kgc", &bytes).unwrap();
+        assert_eq!(restored.key(), sk.key());
+        assert!(IbePrivateKey::from_bytes(params, id, "test-kgc", &bytes[1..]).is_err());
+    }
+
+    #[test]
+    fn debug_output_hides_master_key() {
+        let (kgc, _) = setup();
+        let dbg = format!("{kgc:?}");
+        assert!(dbg.contains("test-kgc"));
+        assert!(!dbg.contains(&kgc.master_key().to_uint().to_hex()));
+    }
+}

@@ -1,0 +1,62 @@
+//! Boneh–Franklin identity-based encryption on the TIB-PRE pairing substrate.
+//!
+//! Section 3.2 of Ibraimi et al. reviews the Boneh–Franklin scheme in a
+//! slightly modified form — the message space is the pairing target group and
+//! the mask is multiplicative (`c2 = m · ê(pk_id, pk)^r`) instead of the
+//! original XOR mask — because that modification is what makes the proxy
+//! re-encryption algebra work.  This crate implements **both** variants:
+//!
+//! * [`bf`] — the multiplicative ("modified") variant used as `Encrypt2` /
+//!   `Decrypt2` by the PRE scheme,
+//! * [`bf_xor`] — the original `BasicIdent` XOR variant over byte messages,
+//!   provided as a baseline and for completeness,
+//!
+//! together with the key-generation-centre abstraction ([`kgc::Kgc`]) that the
+//! paper's two domains (`KGC1` for the delegator, `KGC2` for the delegatee)
+//! instantiate over *shared* pairing parameters but independent master keys.
+//!
+//! # Example
+//!
+//! ```
+//! use tibpre_ibe::{Identity, Kgc};
+//! use tibpre_pairing::PairingParams;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let params = PairingParams::insecure_toy();
+//! let kgc = Kgc::setup(params.clone(), "hospital-kgc", &mut rng);
+//! let pp = kgc.public_params().clone();
+//!
+//! let alice = Identity::new("alice@example.org");
+//! let sk_alice = kgc.extract(&alice);
+//!
+//! let message = params.random_gt(&mut rng);
+//! let ct = tibpre_ibe::bf::encrypt_gt(&pp, &alice, &message, &mut rng);
+//! let recovered = tibpre_ibe::bf::decrypt_gt(&sk_alice, &ct).unwrap();
+//! assert_eq!(recovered, message);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bf;
+pub mod bf_xor;
+pub mod error;
+pub mod identity;
+pub mod kgc;
+
+pub use bf::IbeCiphertext;
+pub use bf_xor::IbeXorCiphertext;
+pub use error::IbeError;
+pub use identity::Identity;
+pub use kgc::{IbePrivateKey, IbePublicParams, Kgc};
+
+/// Crate-wide result alias.
+pub type Result<T> = core::result::Result<T, IbeError>;
+
+/// Domain-separation tag of the paper's `H1 : {0,1}* → G` oracle.
+///
+/// `H1` is part of the *shared* public parameters, so it deliberately does not
+/// depend on which KGC extracts the key.
+pub const H1_DOMAIN: &str = "TIBPRE-BF-H1";

@@ -1,0 +1,69 @@
+//! Error type for the pairing substrate.
+
+use core::fmt;
+use tibpre_bigint::BigIntError;
+
+/// Errors produced by the pairing layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PairingError {
+    /// An error bubbled up from the big-integer layer.
+    BigInt(BigIntError),
+    /// A point failed the curve-membership check.
+    NotOnCurve,
+    /// A point failed the subgroup-membership check.
+    NotInSubgroup,
+    /// A byte string could not be decoded into a group or field element.
+    InvalidEncoding(&'static str),
+    /// Elements from different parameter sets were mixed in one operation.
+    MismatchedParameters,
+    /// Parameter generation failed (e.g. the prime search gave up).
+    ParameterGeneration(&'static str),
+    /// An element was not invertible (zero in a field, identity where not allowed).
+    NotInvertible,
+    /// A hash-to-curve / hash-to-field loop exceeded its iteration budget.
+    HashToGroupFailed,
+}
+
+impl fmt::Display for PairingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PairingError::BigInt(e) => write!(f, "big-integer error: {e}"),
+            PairingError::NotOnCurve => write!(f, "point is not on the curve"),
+            PairingError::NotInSubgroup => write!(f, "point is not in the prime-order subgroup"),
+            PairingError::InvalidEncoding(why) => write!(f, "invalid encoding: {why}"),
+            PairingError::MismatchedParameters => {
+                write!(f, "elements belong to different parameter sets")
+            }
+            PairingError::ParameterGeneration(why) => {
+                write!(f, "parameter generation failed: {why}")
+            }
+            PairingError::NotInvertible => write!(f, "element is not invertible"),
+            PairingError::HashToGroupFailed => {
+                write!(f, "hash-to-group exceeded its iteration budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PairingError {}
+
+impl From<BigIntError> for PairingError {
+    fn from(e: BigIntError) -> Self {
+        PairingError::BigInt(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: PairingError = BigIntError::NotInvertible.into();
+        assert!(e.to_string().contains("big-integer"));
+        assert!(PairingError::NotOnCurve.to_string().contains("curve"));
+        assert!(PairingError::MismatchedParameters
+            .to_string()
+            .contains("parameter"));
+    }
+}

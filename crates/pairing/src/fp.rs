@@ -1,0 +1,440 @@
+//! The prime field `F_p` underlying the curve.
+//!
+//! Elements store their value in Montgomery form together with a shared
+//! [`FpCtx`] handle; all arithmetic is delegated to the Montgomery context of
+//! `tibpre-bigint`.  Operator overloading is provided for references so the
+//! curve and pairing formulas read like the textbook equations.
+
+use crate::error::PairingError;
+use crate::Result;
+use rand::{CryptoRng, RngCore};
+use std::sync::Arc;
+use tibpre_bigint::random::random_below;
+use tibpre_bigint::{MontCtx, Uint};
+
+/// Shared context for a prime field `F_p` with `p ≡ 3 (mod 4)`.
+#[derive(Debug)]
+pub struct FpCtx {
+    mont: MontCtx,
+    byte_len: usize,
+}
+
+impl FpCtx {
+    /// Creates a field context for the prime `p`.
+    ///
+    /// The primality of `p` is the caller's responsibility (the parameter
+    /// generator proves it); this constructor only validates the structural
+    /// requirements (odd, `p ≡ 3 (mod 4)`).
+    pub fn new(p: &Uint) -> Result<Arc<Self>> {
+        if p.limbs()[0] & 3 != 3 {
+            return Err(PairingError::ParameterGeneration(
+                "field prime must be ≡ 3 (mod 4) so that i² = −1 is irreducible",
+            ));
+        }
+        let mont = MontCtx::new(p)?;
+        let byte_len = p.bits().div_ceil(8);
+        Ok(Arc::new(FpCtx { mont, byte_len }))
+    }
+
+    /// The field prime `p`.
+    pub fn modulus(&self) -> &Uint {
+        self.mont.modulus()
+    }
+
+    /// Length of the canonical byte encoding of one element.
+    pub fn byte_len(&self) -> usize {
+        self.byte_len
+    }
+
+}
+
+/// An element of `F_p` (Montgomery form internally).
+#[derive(Clone)]
+pub struct Fp {
+    ctx: Arc<FpCtx>,
+    mont_repr: Uint,
+}
+
+impl Fp {
+    /// The additive identity.
+    pub fn zero(ctx: &Arc<FpCtx>) -> Self {
+        Fp {
+            ctx: Arc::clone(ctx),
+            mont_repr: Uint::ZERO,
+        }
+    }
+
+    /// The multiplicative identity.
+    pub fn one(ctx: &Arc<FpCtx>) -> Self {
+        Fp {
+            ctx: Arc::clone(ctx),
+            mont_repr: ctx.mont.one_mont(),
+        }
+    }
+
+    /// Constructs an element from an arbitrary integer (reduced modulo `p`).
+    pub fn from_uint(ctx: &Arc<FpCtx>, value: &Uint) -> Self {
+        let reduced = ctx.mont.reduce(value);
+        Fp {
+            ctx: Arc::clone(ctx),
+            mont_repr: ctx.mont.to_mont(&reduced),
+        }
+    }
+
+    /// Constructs an element from a small integer.
+    pub fn from_u64(ctx: &Arc<FpCtx>, value: u64) -> Self {
+        Self::from_uint(ctx, &Uint::from_u64(value))
+    }
+
+    /// Samples a uniformly random element.
+    pub fn random<R: RngCore + CryptoRng>(ctx: &Arc<FpCtx>, rng: &mut R) -> Self {
+        let v = random_below(rng, ctx.modulus());
+        Self::from_uint(ctx, &v)
+    }
+
+    /// The plain (non-Montgomery) integer representative in `[0, p)`.
+    pub fn to_uint(&self) -> Uint {
+        self.ctx.mont.from_mont(&self.mont_repr)
+    }
+
+    /// The field context this element belongs to.
+    pub fn ctx(&self) -> &Arc<FpCtx> {
+        &self.ctx
+    }
+
+    /// Returns `true` if this is the additive identity.
+    pub fn is_zero(&self) -> bool {
+        self.mont_repr.is_zero()
+    }
+
+    /// Returns `true` if this is the multiplicative identity.
+    pub fn is_one(&self) -> bool {
+        self.mont_repr == self.ctx.mont.one_mont()
+    }
+
+    fn assert_same_ctx(&self, other: &Fp) {
+        debug_assert!(
+            Arc::ptr_eq(&self.ctx, &other.ctx) || self.ctx.modulus() == other.ctx.modulus(),
+            "mixed field contexts"
+        );
+    }
+
+    /// Field addition.
+    pub fn add(&self, other: &Fp) -> Fp {
+        self.assert_same_ctx(other);
+        Fp {
+            ctx: Arc::clone(&self.ctx),
+            mont_repr: self.ctx.mont.add(&self.mont_repr, &other.mont_repr),
+        }
+    }
+
+    /// Field subtraction.
+    pub fn sub(&self, other: &Fp) -> Fp {
+        self.assert_same_ctx(other);
+        Fp {
+            ctx: Arc::clone(&self.ctx),
+            mont_repr: self.ctx.mont.sub(&self.mont_repr, &other.mont_repr),
+        }
+    }
+
+    /// Field negation.
+    pub fn neg(&self) -> Fp {
+        Fp {
+            ctx: Arc::clone(&self.ctx),
+            mont_repr: self.ctx.mont.neg(&self.mont_repr),
+        }
+    }
+
+    /// Doubling (`2·self`).
+    pub fn double(&self) -> Fp {
+        Fp {
+            ctx: Arc::clone(&self.ctx),
+            mont_repr: self.ctx.mont.double(&self.mont_repr),
+        }
+    }
+
+    /// Field multiplication.
+    pub fn mul(&self, other: &Fp) -> Fp {
+        self.assert_same_ctx(other);
+        Fp {
+            ctx: Arc::clone(&self.ctx),
+            mont_repr: self.ctx.mont.mont_mul(&self.mont_repr, &other.mont_repr),
+        }
+    }
+
+    /// Squaring.
+    pub fn square(&self) -> Fp {
+        Fp {
+            ctx: Arc::clone(&self.ctx),
+            mont_repr: self.ctx.mont.mont_sqr(&self.mont_repr),
+        }
+    }
+
+    /// Multiplication by a small integer constant.
+    pub fn mul_u64(&self, k: u64) -> Fp {
+        self.mul(&Fp::from_u64(&self.ctx, k))
+    }
+
+    /// Multiplicative inverse.  Fails for zero.
+    pub fn invert(&self) -> Result<Fp> {
+        let inv = self
+            .ctx
+            .mont
+            .mont_inv(&self.mont_repr)
+            .map_err(|_| PairingError::NotInvertible)?;
+        Ok(Fp {
+            ctx: Arc::clone(&self.ctx),
+            mont_repr: inv,
+        })
+    }
+
+    /// Exponentiation by an arbitrary integer exponent.
+    pub fn pow(&self, exp: &Uint) -> Fp {
+        Fp {
+            ctx: Arc::clone(&self.ctx),
+            mont_repr: self.ctx.mont.mont_pow(&self.mont_repr, exp),
+        }
+    }
+
+    /// Euler-criterion quadratic-residue test.
+    pub fn is_square(&self) -> bool {
+        self.ctx.mont.is_quadratic_residue(&self.to_uint())
+    }
+
+    /// Square root for `p ≡ 3 (mod 4)`.  Returns `None` for non-residues.
+    pub fn sqrt(&self) -> Option<Fp> {
+        if self.is_zero() {
+            return Some(self.clone());
+        }
+        let candidate_plain = self
+            .ctx
+            .mont
+            .sqrt_3mod4(&self.to_uint())
+            .expect("FpCtx::new guarantees p ≡ 3 (mod 4)");
+        let candidate = Fp::from_uint(&self.ctx, &candidate_plain);
+        if candidate.square() == *self {
+            Some(candidate)
+        } else {
+            None
+        }
+    }
+
+    /// Parity of the plain representative, used to fix the sign of square
+    /// roots in point compression.
+    pub fn is_odd_repr(&self) -> bool {
+        self.to_uint().is_odd()
+    }
+
+    /// Canonical fixed-length big-endian encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_uint()
+            .to_be_bytes(self.ctx.byte_len)
+            .expect("reduced element always fits")
+    }
+
+    /// Decodes a canonical encoding.  Rejects values `≥ p` and wrong lengths.
+    pub fn from_bytes(ctx: &Arc<FpCtx>, bytes: &[u8]) -> Result<Fp> {
+        if bytes.len() != ctx.byte_len {
+            return Err(PairingError::InvalidEncoding("wrong field-element length"));
+        }
+        let value = Uint::from_be_bytes(bytes)
+            .map_err(|_| PairingError::InvalidEncoding("field element does not parse"))?;
+        if &value >= ctx.modulus() {
+            return Err(PairingError::InvalidEncoding(
+                "field element not reduced modulo p",
+            ));
+        }
+        Ok(Fp::from_uint(ctx, &value))
+    }
+}
+
+impl PartialEq for Fp {
+    fn eq(&self, other: &Self) -> bool {
+        self.mont_repr == other.mont_repr && self.ctx.modulus() == other.ctx.modulus()
+    }
+}
+
+impl Eq for Fp {}
+
+impl core::fmt::Debug for Fp {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Fp(0x{})", self.to_uint().to_hex())
+    }
+}
+
+macro_rules! impl_fp_binop {
+    ($trait:ident, $method:ident, $inner:ident) => {
+        impl core::ops::$trait<&Fp> for &Fp {
+            type Output = Fp;
+            fn $method(self, rhs: &Fp) -> Fp {
+                Fp::$inner(self, rhs)
+            }
+        }
+        impl core::ops::$trait<Fp> for Fp {
+            type Output = Fp;
+            fn $method(self, rhs: Fp) -> Fp {
+                Fp::$inner(&self, &rhs)
+            }
+        }
+        impl core::ops::$trait<&Fp> for Fp {
+            type Output = Fp;
+            fn $method(self, rhs: &Fp) -> Fp {
+                Fp::$inner(&self, rhs)
+            }
+        }
+    };
+}
+
+impl_fp_binop!(Add, add, add);
+impl_fp_binop!(Sub, sub, sub);
+impl_fp_binop!(Mul, mul, mul);
+
+impl core::ops::Neg for &Fp {
+    type Output = Fp;
+    fn neg(self) -> Fp {
+        Fp::neg(self)
+    }
+}
+
+impl core::ops::Neg for Fp {
+    type Output = Fp;
+    fn neg(self) -> Fp {
+        Fp::neg(&self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Arc<FpCtx> {
+        // 2^127 - 1 ≡ 3 (mod 4), prime.
+        FpCtx::new(&Uint::from_u128((1u128 << 127) - 1)).unwrap()
+    }
+
+    #[test]
+    fn rejects_primes_not_3_mod_4() {
+        // 1_000_033 ≡ 1 (mod 4)
+        assert!(FpCtx::new(&Uint::from_u64(1_000_033)).is_err());
+        assert!(FpCtx::new(&Uint::from_u64(1_000_003)).is_ok());
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let c = ctx();
+        let a = Fp::from_u64(&c, 1234567);
+        let b = Fp::from_u64(&c, 7654321);
+        assert_eq!(
+            (&a + &b).to_uint(),
+            Uint::from_u64(1234567 + 7654321)
+        );
+        assert_eq!((&b - &a).to_uint(), Uint::from_u64(7654321 - 1234567));
+        assert_eq!(
+            (&a * &b).to_uint(),
+            Uint::from_u128(1234567u128 * 7654321)
+        );
+        assert_eq!(a.double(), &a + &a);
+        assert_eq!(a.square(), &a * &a);
+        assert_eq!(&a + &a.neg(), Fp::zero(&c));
+        assert_eq!(a.mul_u64(3), &(&a + &a) + &a);
+    }
+
+    #[test]
+    fn identities() {
+        let c = ctx();
+        let a = Fp::from_u64(&c, 42);
+        assert_eq!(&a + &Fp::zero(&c), a);
+        assert_eq!(&a * &Fp::one(&c), a);
+        assert!(Fp::zero(&c).is_zero());
+        assert!(Fp::one(&c).is_one());
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn inversion() {
+        let c = ctx();
+        let a = Fp::from_u64(&c, 987654321);
+        let inv = a.invert().unwrap();
+        assert!( (&a * &inv).is_one());
+        assert!(Fp::zero(&c).invert().is_err());
+    }
+
+    #[test]
+    fn pow_and_fermat() {
+        let c = ctx();
+        let a = Fp::from_u64(&c, 5);
+        assert!(a.pow(&Uint::ZERO).is_one());
+        assert_eq!(a.pow(&Uint::ONE), a);
+        assert_eq!(a.pow(&Uint::from_u64(5)).to_uint(), Uint::from_u64(3125));
+        // Fermat: a^(p-1) = 1.
+        let p_minus_1 = c.modulus().wrapping_sub(&Uint::ONE);
+        assert!(a.pow(&p_minus_1).is_one());
+    }
+
+    #[test]
+    fn sqrt_round_trip() {
+        let c = ctx();
+        for v in [1u64, 2, 4, 9, 1_000_000, 123_456_789] {
+            let a = Fp::from_u64(&c, v);
+            let sq = a.square();
+            let root = sq.sqrt().expect("square must have a root");
+            assert!(root == a || root == a.neg());
+        }
+        assert_eq!(Fp::zero(&c).sqrt().unwrap(), Fp::zero(&c));
+    }
+
+    #[test]
+    fn non_residues_have_no_sqrt() {
+        let c = ctx();
+        // -1 is a non-residue when p ≡ 3 (mod 4).
+        let minus_one = Fp::one(&c).neg();
+        assert!(!minus_one.is_square());
+        assert!(minus_one.sqrt().is_none());
+        // A residue times a non-residue is a non-residue.
+        let nr = &minus_one * &Fp::from_u64(&c, 4);
+        assert!(nr.sqrt().is_none());
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let c = ctx();
+        let mut rng = rand::rngs::mock::StepRng::new(12345, 67891);
+        // StepRng is not a CryptoRng; use from_uint with varied values instead.
+        let _ = &mut rng;
+        for v in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
+            let a = Fp::from_u64(&c, v);
+            let bytes = a.to_bytes();
+            assert_eq!(bytes.len(), c.byte_len());
+            assert_eq!(Fp::from_bytes(&c, &bytes).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_bad_input() {
+        let c = ctx();
+        assert!(Fp::from_bytes(&c, &[]).is_err());
+        assert!(Fp::from_bytes(&c, &vec![0u8; c.byte_len() + 1]).is_err());
+        // p itself is not a reduced representative.
+        let p_bytes = c.modulus().to_be_bytes(c.byte_len()).unwrap();
+        assert!(Fp::from_bytes(&c, &p_bytes).is_err());
+    }
+
+    #[test]
+    fn random_elements_differ() {
+        let c = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        use rand::SeedableRng;
+        let a = Fp::random(&c, &mut rng);
+        let b = Fp::random(&c, &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn distributivity_spot_check() {
+        let c = ctx();
+        let a = Fp::from_u64(&c, 0xAAAA_BBBB);
+        let b = Fp::from_u64(&c, 0xCCCC_DDDD);
+        let d = Fp::from_u64(&c, 0xEEEE_FFFF);
+        assert_eq!(&a * &(&b + &d), &(&a * &b) + &(&a * &d));
+    }
+}

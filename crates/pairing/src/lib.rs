@@ -1,0 +1,56 @@
+//! Symmetric ("Type A") pairing substrate for the TIB-PRE workspace.
+//!
+//! The scheme of Ibraimi et al. is stated over two multiplicative groups `G`
+//! and `G1` of prime order with an efficiently computable bilinear map
+//! `ê : G × G → G1`.  The standard instantiation of that abstraction — and the
+//! one the original Boneh–Franklin paper uses — is a supersingular elliptic
+//! curve with a distortion map, which is what this crate builds from scratch:
+//!
+//! * **Field tower** — [`Fp`] (prime field, Montgomery arithmetic on top of
+//!   `tibpre-bigint`) and [`Fp2`] = `F_p[i]/(i² + 1)`, which requires the field
+//!   prime to satisfy `p ≡ 3 (mod 4)`.
+//! * **Curve** — the supersingular curve `E : y² = x³ + x` over `F_p`, which
+//!   has exactly `p + 1` points.  Parameters are generated so that
+//!   `p + 1 = h·q` for a large prime `q`; the order-`q` subgroup is the
+//!   pairing group `G` ([`G1Affine`] / [`G1Projective`]).
+//! * **Distortion map** — `φ(x, y) = (−x, i·y)` maps `E(F_p)` into
+//!   `E(F_{p²}) \ E(F_p)`, making the modified Tate pairing
+//!   `ê(P, Q) = e(P, φ(Q))` non-degenerate on `G × G` (a "Type 1" /
+//!   symmetric pairing, exactly the object the paper works with).
+//! * **Pairing** — Miller's algorithm in the BKLS form (denominator
+//!   elimination thanks to the even embedding degree) followed by the final
+//!   exponentiation `(p² − 1)/q`; the result lives in the order-`q`
+//!   subgroup [`Gt`] of `F_{p²}^*`.
+//! * **Hashing** — `MapToPoint`-style hash-to-curve and hash-to-scalar oracles
+//!   in [`hash`], used by the IBE and PRE layers for `H1` and `H2`.
+//! * **Parameters** — [`PairingParams`] generation for several security
+//!   levels, with process-wide cached instances for tests and benches.
+//!
+//! The scheme layers treat this crate the way they would treat `arkworks` or
+//! `pbc`: as the group-and-pairing provider.  See `DESIGN.md` for why this
+//! substitution is faithful to the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod curve;
+pub mod error;
+pub mod fp;
+pub mod fp2;
+pub mod gt;
+pub mod hash;
+pub mod pairing;
+pub mod params;
+pub mod scalar;
+
+pub use curve::{G1Affine, G1Projective};
+pub use error::PairingError;
+pub use fp::{Fp, FpCtx};
+pub use fp2::Fp2;
+pub use gt::Gt;
+pub use pairing::{pairing, pairing_unreduced};
+pub use params::{PairingParams, SecurityLevel};
+pub use scalar::{Scalar, ScalarCtx};
+
+/// Crate-wide result alias.
+pub type Result<T> = core::result::Result<T, PairingError>;

@@ -1,0 +1,162 @@
+//! The modified Tate pairing `ê(P, Q) = e(P, φ(Q))` on the supersingular curve.
+//!
+//! * `e` is the Tate pairing of order `q` computed with Miller's algorithm in
+//!   the BKLS form: because the embedding degree is 2 and the second argument's
+//!   x-coordinate `−x_Q` lies in the base field, every vertical-line factor is
+//!   an element of `F_p^*` and is annihilated by the final exponentiation
+//!   `(p² − 1)/q = (p − 1)·h`, so denominators are simply dropped.
+//! * `φ(x, y) = (−x, i·y)` is the distortion map, which moves the second
+//!   argument off the base-field subgroup and makes the pairing non-degenerate
+//!   even when both inputs are the *same* point — giving the symmetric
+//!   ("Type 1") pairing `ê : G × G → G_1` the paper requires.
+//!
+//! The functions here are the low-level building blocks; the convenient entry
+//! point is [`crate::params::PairingParams::pairing`], which returns a [`crate::Gt`].
+
+use crate::curve::G1Affine;
+use crate::error::PairingError;
+use crate::fp::Fp;
+use crate::fp2::Fp2;
+use crate::Result;
+use tibpre_bigint::Uint;
+
+/// Evaluates the (doubling or addition) line through the current Miller point
+/// at the distorted second argument `φ(Q) = (−x_Q, i·y_Q)`.
+///
+/// For a line `l(X, Y) = Y − y_0 − λ(X − x_0)` through `(x_0, y_0)` the value
+/// at `φ(Q)` is `(λ(x_Q + x_0) − y_0) + y_Q·i`.
+fn line_at_distorted_q(lambda: &Fp, x0: &Fp, y0: &Fp, xq: &Fp, yq: &Fp) -> Fp2 {
+    let real = &lambda.mul(&(xq + x0)) - y0;
+    Fp2::new(real, yq.clone())
+}
+
+/// Miller's algorithm computing `f_{q, P}(φ(Q))` without denominators (BKLS).
+///
+/// `order` must be the prime order of the subgroup both points belong to.
+/// Returns the *unreduced* pairing value; callers almost always want
+/// [`pairing_unreduced`] composed with [`final_exponentiation`] (or simply
+/// [`crate::params::PairingParams::pairing`]).
+pub fn miller_loop(p: &G1Affine, q_point: &G1Affine, order: &Uint) -> Fp2 {
+    let ctx = p.ctx();
+    if p.is_identity() || q_point.is_identity() {
+        return Fp2::one(ctx);
+    }
+    let xq = q_point.x();
+    let yq = q_point.y();
+    let one = Fp::one(ctx);
+
+    let mut f = Fp2::one(ctx);
+    let mut t = p.clone();
+    let bits = order.bits();
+    debug_assert!(bits >= 2, "the group order must be a large prime");
+
+    for i in (0..bits - 1).rev() {
+        // --- Doubling step: f <- f² · l_{T,T}(φ(Q)), T <- 2T ---
+        f = f.square();
+        if !t.is_identity() {
+            if t.y().is_zero() {
+                // Vertical tangent (2-torsion): the line is X − x_T ∈ F_p,
+                // eliminated by the final exponentiation.
+                t = G1Affine::identity(ctx);
+            } else {
+                let lambda = (&t.x().square().mul_u64(3) + &one)
+                    .mul(&t.y().double().invert().expect("y ≠ 0 checked above"));
+                let line = line_at_distorted_q(&lambda, t.x(), t.y(), xq, yq);
+                f = f.mul(&line);
+                t = t.double();
+            }
+        }
+
+        // --- Addition step (when the bit is set): f <- f · l_{T,P}(φ(Q)), T <- T + P ---
+        if order.bit(i) && !t.is_identity() {
+            if t.x() == p.x() {
+                if t.y() == &p.y().neg() {
+                    // T = −P: vertical line, eliminated.
+                    t = G1Affine::identity(ctx);
+                } else {
+                    // T = P: tangent line.  (Unreachable for prime-order inputs
+                    // but handled for robustness.)
+                    let lambda = (&t.x().square().mul_u64(3) + &one)
+                        .mul(&t.y().double().invert().expect("y ≠ 0 for T = P of odd order"));
+                    let line = line_at_distorted_q(&lambda, t.x(), t.y(), xq, yq);
+                    f = f.mul(&line);
+                    t = t.double();
+                }
+            } else {
+                let lambda = (t.y() - p.y())
+                    .mul(&(t.x() - p.x()).invert().expect("x_T ≠ x_P checked above"));
+                let line = line_at_distorted_q(&lambda, p.x(), p.y(), xq, yq);
+                f = f.mul(&line);
+                t = t.add(p);
+            }
+        }
+    }
+    f
+}
+
+/// Alias for [`miller_loop`], emphasising that the value still needs the final
+/// exponentiation before it is a well-defined pairing value.
+pub fn pairing_unreduced(p: &G1Affine, q_point: &G1Affine, order: &Uint) -> Fp2 {
+    miller_loop(p, q_point, order)
+}
+
+/// The final exponentiation `f ↦ f^{(p² − 1)/q}`.
+///
+/// Decomposed as `f^{p−1} = conj(f)·f^{−1}` (the "easy" part, using that the
+/// Frobenius on `F_{p²}` is conjugation) followed by exponentiation by the
+/// cofactor `h = (p + 1)/q`.
+pub fn final_exponentiation(f: &Fp2, cofactor: &Uint) -> Result<Fp2> {
+    if f.is_zero() {
+        return Err(PairingError::NotInvertible);
+    }
+    let easy = f.conjugate().mul(&f.invert()?);
+    Ok(easy.pow(cofactor))
+}
+
+/// Full reduced pairing `ê(P, Q) = f_{q,P}(φ(Q))^{(p²−1)/q}` as a raw `F_{p²}` value.
+///
+/// Prefer [`crate::params::PairingParams::pairing`], which wraps the result in
+/// the type-safe [`crate::Gt`].
+pub fn pairing(p: &G1Affine, q_point: &G1Affine, order: &Uint, cofactor: &Uint) -> Result<Fp2> {
+    let unreduced = miller_loop(p, q_point, order);
+    final_exponentiation(&unreduced, cofactor)
+}
+
+#[cfg(test)]
+mod tests {
+    // The meaningful pairing tests (bilinearity, non-degeneracy, symmetry)
+    // need properly generated parameters and therefore live in
+    // `params.rs` and in the crate-level integration tests, where a cached
+    // toy parameter set is available.  Here we only exercise degenerate inputs.
+    use super::*;
+    use crate::fp::FpCtx;
+    use std::sync::Arc;
+
+    fn ctx() -> Arc<FpCtx> {
+        FpCtx::new(&Uint::from_u128((1u128 << 127) - 1)).unwrap()
+    }
+
+    #[test]
+    fn pairing_with_identity_is_one() {
+        let c = ctx();
+        let id = G1Affine::identity(&c);
+        let order = Uint::from_u64(1_000_003);
+        let f = miller_loop(&id, &id, &order);
+        assert!(f.is_one());
+    }
+
+    #[test]
+    fn final_exponentiation_rejects_zero() {
+        let c = ctx();
+        let zero = Fp2::zero(&c);
+        assert!(final_exponentiation(&zero, &Uint::from_u64(12)).is_err());
+    }
+
+    #[test]
+    fn final_exponentiation_of_one_is_one() {
+        let c = ctx();
+        let one = Fp2::one(&c);
+        let out = final_exponentiation(&one, &Uint::from_u64(123456)).unwrap();
+        assert!(out.is_one());
+    }
+}

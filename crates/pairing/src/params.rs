@@ -1,0 +1,424 @@
+//! Pairing parameter sets ("Type A" curves) and their generation.
+//!
+//! A parameter set fixes the field prime `p = h·q − 1` (with `p ≡ 3 (mod 4)`),
+//! the prime group order `q`, the cofactor `h`, a generator `g` of the
+//! order-`q` subgroup of `E(F_p) : y² = x³ + x`, and the derived generator
+//! `ê(g, g)` of the target group.  The delegator's and delegatee's KGCs in the
+//! paper *share* these public parameters while holding independent master
+//! keys, which is exactly how the IBE / PRE layers use this type.
+
+use crate::curve::{random_curve_point, G1Affine};
+use crate::error::PairingError;
+use crate::fp::FpCtx;
+use crate::gt::Gt;
+use crate::hash::{hash_to_curve, hash_to_scalar};
+use crate::pairing::{final_exponentiation, miller_loop};
+use crate::scalar::{Scalar, ScalarCtx};
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{CryptoRng, RngCore, SeedableRng};
+use std::sync::{Arc, OnceLock};
+use tibpre_bigint::prime::{generate_cofactor_prime, generate_prime};
+use tibpre_bigint::Uint;
+
+/// Security levels supported by the parameter generator.
+///
+/// The bit sizes follow the usual guidance for pairing-based systems built on
+/// supersingular curves with embedding degree 2 (the discrete log in `F_{p²}`
+/// is the limiting factor, so `p` must be large).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SecurityLevel {
+    /// Tiny parameters for unit tests only.  **Provides no security.**
+    Toy,
+    /// Legacy ~80-bit security: 160-bit group order, 512-bit field prime.
+    Low80,
+    /// ~112-bit security: 224-bit group order, 1024-bit field prime.
+    Medium112,
+    /// ~128-bit security: 256-bit group order, 1536-bit field prime.
+    High128,
+}
+
+impl SecurityLevel {
+    /// Bit length of the prime group order `q`.
+    pub fn q_bits(self) -> usize {
+        match self {
+            SecurityLevel::Toy => 64,
+            SecurityLevel::Low80 => 160,
+            SecurityLevel::Medium112 => 224,
+            SecurityLevel::High128 => 256,
+        }
+    }
+
+    /// Bit length of the field prime `p`.
+    pub fn p_bits(self) -> usize {
+        match self {
+            SecurityLevel::Toy => 192,
+            SecurityLevel::Low80 => 512,
+            SecurityLevel::Medium112 => 1024,
+            SecurityLevel::High128 => 1536,
+        }
+    }
+
+    /// A short human-readable label used in benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            SecurityLevel::Toy => "toy(64/192)",
+            SecurityLevel::Low80 => "80-bit(160/512)",
+            SecurityLevel::Medium112 => "112-bit(224/1024)",
+            SecurityLevel::High128 => "128-bit(256/1536)",
+        }
+    }
+
+    /// All levels, in increasing strength order.
+    pub fn all() -> [SecurityLevel; 4] {
+        [
+            SecurityLevel::Toy,
+            SecurityLevel::Low80,
+            SecurityLevel::Medium112,
+            SecurityLevel::High128,
+        ]
+    }
+}
+
+/// A complete symmetric-pairing parameter set.
+#[derive(Debug)]
+pub struct PairingParams {
+    level: SecurityLevel,
+    p: Uint,
+    q: Uint,
+    cofactor: Uint,
+    fp_ctx: Arc<FpCtx>,
+    scalar_ctx: Arc<ScalarCtx>,
+    generator: G1Affine,
+    gt_generator: Gt,
+}
+
+impl PairingParams {
+    /// Generates a fresh parameter set at the given security level.
+    pub fn generate<R: RngCore + CryptoRng>(
+        level: SecurityLevel,
+        rng: &mut R,
+    ) -> Result<Arc<Self>> {
+        Self::generate_custom(level, level.q_bits(), level.p_bits(), rng)
+    }
+
+    /// Generates a parameter set with custom bit sizes (exposed for tests and
+    /// for the parameter-sweep benchmarks).
+    pub fn generate_custom<R: RngCore + CryptoRng>(
+        level: SecurityLevel,
+        q_bits: usize,
+        p_bits: usize,
+        rng: &mut R,
+    ) -> Result<Arc<Self>> {
+        // Group order q, then field prime p = h·q − 1 ≡ 3 (mod 4).
+        let q = generate_prime(q_bits, rng)
+            .map_err(|_| PairingError::ParameterGeneration("group-order prime search failed"))?;
+        let (p, cofactor) = generate_cofactor_prime(&q, p_bits, rng)
+            .map_err(|_| PairingError::ParameterGeneration("field prime search failed"))?;
+        let fp_ctx = FpCtx::new(&p)?;
+        let scalar_ctx = ScalarCtx::new(&q)?;
+
+        // Generator of the order-q subgroup: random curve point times the cofactor.
+        let generator = loop {
+            let candidate = random_curve_point(&fp_ctx, rng).mul_uint(&cofactor);
+            if !candidate.is_identity() {
+                break candidate;
+            }
+        };
+        debug_assert!(generator.is_in_subgroup(&q));
+
+        // Target-group generator ê(g, g); non-degeneracy of the distortion-map
+        // pairing guarantees it is not 1 — checked anyway.
+        let unreduced = miller_loop(&generator, &generator, &q);
+        let gt_generator = Gt::from_fp2_unchecked(final_exponentiation(&unreduced, &cofactor)?);
+        if gt_generator.is_one() {
+            return Err(PairingError::ParameterGeneration(
+                "degenerate pairing for the chosen generator",
+            ));
+        }
+
+        Ok(Arc::new(PairingParams {
+            level,
+            p,
+            q,
+            cofactor,
+            fp_ctx,
+            scalar_ctx,
+            generator,
+            gt_generator,
+        }))
+    }
+
+    /// A process-wide cached parameter set for the given level.
+    ///
+    /// Generation uses a fixed seed so test runs and benchmark tables are
+    /// reproducible; real deployments must call [`PairingParams::generate`]
+    /// with a fresh RNG instead.
+    pub fn cached(level: SecurityLevel) -> Arc<Self> {
+        static TOY: OnceLock<Arc<PairingParams>> = OnceLock::new();
+        static LOW80: OnceLock<Arc<PairingParams>> = OnceLock::new();
+        static MEDIUM112: OnceLock<Arc<PairingParams>> = OnceLock::new();
+        static HIGH128: OnceLock<Arc<PairingParams>> = OnceLock::new();
+        let (cell, seed) = match level {
+            SecurityLevel::Toy => (&TOY, 0x7134_7079_u64),
+            SecurityLevel::Low80 => (&LOW80, 0x8071_6272_u64),
+            SecurityLevel::Medium112 => (&MEDIUM112, 0x1127_1193_u64),
+            SecurityLevel::High128 => (&HIGH128, 0x1287_6553_u64),
+        };
+        Arc::clone(cell.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            PairingParams::generate(level, &mut rng)
+                .expect("deterministic parameter generation must succeed")
+        }))
+    }
+
+    /// Cached tiny parameters for unit tests.  **Provides no security.**
+    pub fn insecure_toy() -> Arc<Self> {
+        Self::cached(SecurityLevel::Toy)
+    }
+
+    /// Cached parameters at the paper-era default (~80-bit) level.
+    pub fn default_80() -> Arc<Self> {
+        Self::cached(SecurityLevel::Low80)
+    }
+
+    /// The security level this set was generated for.
+    pub fn level(&self) -> SecurityLevel {
+        self.level
+    }
+
+    /// The field prime `p`.
+    pub fn p(&self) -> &Uint {
+        &self.p
+    }
+
+    /// The prime group order `q` (the paper's group order, written `p` there).
+    pub fn q(&self) -> &Uint {
+        &self.q
+    }
+
+    /// The cofactor `h = (p + 1)/q`.
+    pub fn cofactor(&self) -> &Uint {
+        &self.cofactor
+    }
+
+    /// The base-field context.
+    pub fn fp_ctx(&self) -> &Arc<FpCtx> {
+        &self.fp_ctx
+    }
+
+    /// The scalar-field context.
+    pub fn scalar_ctx(&self) -> &Arc<ScalarCtx> {
+        &self.scalar_ctx
+    }
+
+    /// The generator `g` of the order-`q` curve subgroup.
+    pub fn generator(&self) -> &G1Affine {
+        &self.generator
+    }
+
+    /// The target-group generator `ê(g, g)`.
+    pub fn gt_generator(&self) -> &Gt {
+        &self.gt_generator
+    }
+
+    /// The identity element of the curve group.
+    pub fn g1_identity(&self) -> G1Affine {
+        G1Affine::identity(&self.fp_ctx)
+    }
+
+    /// The identity element of the target group.
+    pub fn gt_identity(&self) -> Gt {
+        Gt::one(&self.fp_ctx)
+    }
+
+    /// Computes the symmetric pairing `ê(a, b) = e(a, φ(b))`.
+    pub fn pairing(&self, a: &G1Affine, b: &G1Affine) -> Gt {
+        let unreduced = miller_loop(a, b, &self.q);
+        let reduced = final_exponentiation(&unreduced, &self.cofactor)
+            .expect("Miller values are never zero for points on the curve");
+        Gt::from_fp2_unchecked(reduced)
+    }
+
+    /// Samples a uniformly random scalar in `Z_q`.
+    pub fn random_scalar<R: RngCore + CryptoRng>(&self, rng: &mut R) -> Scalar {
+        Scalar::random(&self.scalar_ctx, rng)
+    }
+
+    /// Samples a uniformly random non-zero scalar in `Z_q^*`.
+    pub fn random_nonzero_scalar<R: RngCore + CryptoRng>(&self, rng: &mut R) -> Scalar {
+        Scalar::random_nonzero(&self.scalar_ctx, rng)
+    }
+
+    /// Samples a uniformly random point of the order-`q` subgroup.
+    pub fn random_g1<R: RngCore + CryptoRng>(&self, rng: &mut R) -> G1Affine {
+        self.generator
+            .mul_scalar(&Scalar::random_nonzero(&self.scalar_ctx, rng))
+    }
+
+    /// Samples a uniformly random element of the target group (the paper's
+    /// "`X ∈_R G_1`" used by `Pextract`).
+    pub fn random_gt<R: RngCore + CryptoRng>(&self, rng: &mut R) -> Gt {
+        self.gt_generator
+            .pow_scalar(&Scalar::random_nonzero(&self.scalar_ctx, rng))
+    }
+
+    /// The paper's `H1 : {0,1}* → G`, with an explicit domain string.
+    pub fn hash_to_g1(&self, domain: &str, fields: &[&[u8]]) -> Result<G1Affine> {
+        hash_to_curve(self, domain, fields)
+    }
+
+    /// The paper's `H2 : {0,1}* → Z_q^*`, with an explicit domain string.
+    pub fn hash_to_zq(&self, domain: &str, fields: &[&[u8]]) -> Scalar {
+        hash_to_scalar(&self.scalar_ctx, domain, fields)
+    }
+
+    /// Byte length of a serialized (uncompressed) curve point.
+    pub fn g1_byte_len(&self) -> usize {
+        1 + 2 * self.fp_ctx.byte_len()
+    }
+
+    /// Byte length of a serialized target-group element.
+    pub fn gt_byte_len(&self) -> usize {
+        2 * self.fp_ctx.byte_len()
+    }
+
+    /// Byte length of a serialized scalar.
+    pub fn scalar_byte_len(&self) -> usize {
+        self.scalar_ctx.byte_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Arc<PairingParams> {
+        PairingParams::insecure_toy()
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xABCD)
+    }
+
+    #[test]
+    fn structural_invariants() {
+        let pp = params();
+        // p = h·q − 1
+        let (hq, overflow) = pp.cofactor().mul_wide(pp.q());
+        assert!(overflow.is_zero());
+        assert_eq!(hq.wrapping_sub(&Uint::ONE), *pp.p());
+        // p ≡ 3 (mod 4)
+        assert_eq!(pp.p().limbs()[0] & 3, 3);
+        // Generator is on the curve, in the subgroup, and not the identity.
+        assert!(pp.generator().is_on_curve());
+        assert!(!pp.generator().is_identity());
+        assert!(pp.generator().is_in_subgroup(pp.q()));
+        // Sizes match the requested level.
+        assert_eq!(pp.level(), SecurityLevel::Toy);
+        assert_eq!(pp.q().bits(), SecurityLevel::Toy.q_bits());
+    }
+
+    #[test]
+    fn pairing_is_non_degenerate_and_in_subgroup() {
+        let pp = params();
+        let e_gg = pp.pairing(pp.generator(), pp.generator());
+        assert!(!e_gg.is_one());
+        assert_eq!(&e_gg, pp.gt_generator());
+        assert!(e_gg.is_in_subgroup(pp.q()));
+    }
+
+    #[test]
+    fn pairing_is_bilinear() {
+        let pp = params();
+        let mut r = rng();
+        let g = pp.generator();
+        for _ in 0..3 {
+            let a = pp.random_nonzero_scalar(&mut r);
+            let b = pp.random_nonzero_scalar(&mut r);
+            let ga = g.mul_scalar(&a);
+            let gb = g.mul_scalar(&b);
+            // ê(aG, bG) = ê(G, G)^{ab}
+            let lhs = pp.pairing(&ga, &gb);
+            let ab = a.mul(&b);
+            let rhs = pp.gt_generator().pow_scalar(&ab);
+            assert_eq!(lhs, rhs);
+            // ê(aG, G) = ê(G, aG) = ê(G,G)^a  (symmetry)
+            assert_eq!(pp.pairing(&ga, g), pp.pairing(g, &ga));
+            assert_eq!(pp.pairing(&ga, g), pp.gt_generator().pow_scalar(&a));
+        }
+    }
+
+    #[test]
+    fn pairing_with_identity_is_one() {
+        let pp = params();
+        let id = pp.g1_identity();
+        assert!(pp.pairing(&id, pp.generator()).is_one());
+        assert!(pp.pairing(pp.generator(), &id).is_one());
+        assert!(pp.pairing(&id, &id).is_one());
+    }
+
+    #[test]
+    fn pairing_respects_group_structure() {
+        let pp = params();
+        let mut r = rng();
+        let p1 = pp.random_g1(&mut r);
+        let p2 = pp.random_g1(&mut r);
+        let q = pp.random_g1(&mut r);
+        // ê(P1 + P2, Q) = ê(P1, Q) · ê(P2, Q)
+        let lhs = pp.pairing(&p1.add(&p2), &q);
+        let rhs = pp.pairing(&p1, &q).mul(&pp.pairing(&p2, &q));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn hash_to_g1_lands_in_subgroup() {
+        let pp = params();
+        let a = pp.hash_to_g1("TIBPRE-H1", &[b"alice@example.org"]).unwrap();
+        let b = pp.hash_to_g1("TIBPRE-H1", &[b"bob@example.org"]).unwrap();
+        let a_again = pp.hash_to_g1("TIBPRE-H1", &[b"alice@example.org"]).unwrap();
+        assert!(a.is_on_curve());
+        assert!(a.is_in_subgroup(pp.q()));
+        assert!(!a.is_identity());
+        assert_ne!(a, b);
+        assert_eq!(a, a_again);
+    }
+
+    #[test]
+    fn random_elements_have_the_right_order()
+    {
+        let pp = params();
+        let mut r = rng();
+        let g1 = pp.random_g1(&mut r);
+        assert!(g1.is_in_subgroup(pp.q()));
+        let gt = pp.random_gt(&mut r);
+        assert!(gt.is_in_subgroup(pp.q()));
+    }
+
+    #[test]
+    fn cached_parameters_are_shared() {
+        let a = PairingParams::insecure_toy();
+        let b = PairingParams::insecure_toy();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn level_metadata() {
+        assert_eq!(SecurityLevel::Low80.q_bits(), 160);
+        assert_eq!(SecurityLevel::Low80.p_bits(), 512);
+        assert_eq!(SecurityLevel::all().len(), 4);
+        assert!(SecurityLevel::High128.label().contains("128"));
+    }
+
+    #[test]
+    fn byte_lengths_are_consistent() {
+        let pp = params();
+        let mut r = rng();
+        assert_eq!(pp.random_g1(&mut r).to_bytes().len(), pp.g1_byte_len());
+        assert_eq!(pp.random_gt(&mut r).to_bytes().len(), pp.gt_byte_len());
+        assert_eq!(
+            pp.random_scalar(&mut r).to_bytes().len(),
+            pp.scalar_byte_len()
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Append-only audit trail shared by the store and the proxy services.
+//!
+//! Regulations such as HIPAA (which the paper cites as the motivation for
+//! patient-controlled disclosure) require an account of disclosures; every
+//! store and proxy operation therefore appends an event here.
+
+use crate::category::Category;
+use crate::record::RecordId;
+use tibpre_ibe::Identity;
+
+/// One entry of the audit trail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditEvent {
+    /// An encrypted record was stored.
+    RecordStored {
+        /// Identifier assigned by the store.
+        id: RecordId,
+        /// Owning patient.
+        patient: Identity,
+        /// Category of the record.
+        category: Category,
+        /// Logical timestamp.
+        at: u64,
+    },
+    /// An encrypted record was deleted by its owner.
+    RecordDeleted {
+        /// Identifier of the deleted record.
+        id: RecordId,
+        /// Logical timestamp.
+        at: u64,
+    },
+    /// A re-encryption key was installed at a proxy.
+    AccessGranted {
+        /// The patient who delegated.
+        patient: Identity,
+        /// The category that was delegated.
+        category: Category,
+        /// The grantee (delegatee).
+        grantee: Identity,
+        /// Logical timestamp.
+        at: u64,
+    },
+    /// A re-encryption key was removed from a proxy.
+    AccessRevoked {
+        /// The patient who revoked.
+        patient: Identity,
+        /// The category that was revoked.
+        category: Category,
+        /// The grantee whose access was revoked.
+        grantee: Identity,
+        /// Logical timestamp.
+        at: u64,
+    },
+    /// A record was re-encrypted and handed to a requester.
+    DisclosurePerformed {
+        /// The record that was disclosed.
+        id: RecordId,
+        /// The requesting identity.
+        requester: Identity,
+        /// Logical timestamp.
+        at: u64,
+    },
+    /// A disclosure request was refused (no matching re-encryption key).
+    DisclosureDenied {
+        /// The record that was requested.
+        id: RecordId,
+        /// The requesting identity.
+        requester: Identity,
+        /// Logical timestamp.
+        at: u64,
+    },
+}
+
+impl AuditEvent {
+    /// The logical timestamp of the event.
+    pub fn at(&self) -> u64 {
+        match self {
+            AuditEvent::RecordStored { at, .. }
+            | AuditEvent::RecordDeleted { at, .. }
+            | AuditEvent::AccessGranted { at, .. }
+            | AuditEvent::AccessRevoked { at, .. }
+            | AuditEvent::DisclosurePerformed { at, .. }
+            | AuditEvent::DisclosureDenied { at, .. } => *at,
+        }
+    }
+}
+
+/// An append-only audit log with a logical clock.
+#[derive(Debug, Default, Clone)]
+pub struct AuditLog {
+    events: Vec<AuditEvent>,
+    clock: u64,
+}
+
+impl AuditLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the logical clock and returns the new timestamp.
+    pub fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Appends an event.
+    pub fn append(&mut self, event: AuditEvent) {
+        self.events.push(event);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A snapshot of all events, in order.
+    pub fn events(&self) -> &[AuditEvent] {
+        &self.events
+    }
+
+    /// Events concerning one record.
+    pub fn events_for_record(&self, id: RecordId) -> Vec<&AuditEvent> {
+        self.events
+            .iter()
+            .filter(|e| match e {
+                AuditEvent::RecordStored { id: rid, .. }
+                | AuditEvent::RecordDeleted { id: rid, .. }
+                | AuditEvent::DisclosurePerformed { id: rid, .. }
+                | AuditEvent::DisclosureDenied { id: rid, .. } => *rid == id,
+                _ => false,
+            })
+            .collect()
+    }
+
+    /// Count of disclosures performed for one requester.
+    pub fn disclosures_to(&self, requester: &Identity) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(e, AuditEvent::DisclosurePerformed { requester: r, .. } if r == requester)
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_orders_and_filters_events() {
+        let mut log = AuditLog::new();
+        let alice = Identity::new("alice");
+        let doctor = Identity::new("doctor");
+        let at1 = log.tick();
+        log.append(AuditEvent::RecordStored {
+            id: RecordId(1),
+            patient: alice.clone(),
+            category: Category::Emergency,
+            at: at1,
+        });
+        let at2 = log.tick();
+        log.append(AuditEvent::DisclosurePerformed {
+            id: RecordId(1),
+            requester: doctor.clone(),
+            at: at2,
+        });
+        let at3 = log.tick();
+        log.append(AuditEvent::DisclosureDenied {
+            id: RecordId(2),
+            requester: doctor.clone(),
+            at: at3,
+        });
+
+        assert_eq!(log.len(), 3);
+        assert!(!log.is_empty());
+        assert!(at1 < at2 && at2 < at3);
+        assert_eq!(log.events_for_record(RecordId(1)).len(), 2);
+        assert_eq!(log.events_for_record(RecordId(2)).len(), 1);
+        assert_eq!(log.disclosures_to(&doctor), 1);
+        assert_eq!(log.disclosures_to(&alice), 0);
+        assert_eq!(log.events()[0].at(), at1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for the PHR application layer.
+
+use core::fmt;
+use tibpre_core::PreError;
+
+/// Errors produced by the PHR disclosure application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhrError {
+    /// An error bubbled up from the proxy re-encryption layer.
+    Pre(PreError),
+    /// The requested record does not exist.
+    RecordNotFound,
+    /// The requester has not been granted access to the record's category.
+    AccessDenied {
+        /// The category that was requested.
+        category: String,
+        /// The requesting identity.
+        requester: String,
+    },
+    /// The patient tried to grant access for a category that has no proxy.
+    NoProxyForCategory(String),
+    /// A policy entry already exists / does not exist as required.
+    PolicyConflict(&'static str),
+    /// A stored blob failed to decode.
+    CorruptedRecord(&'static str),
+}
+
+impl fmt::Display for PhrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhrError::Pre(e) => write!(f, "re-encryption error: {e}"),
+            PhrError::RecordNotFound => write!(f, "record not found"),
+            PhrError::AccessDenied {
+                category,
+                requester,
+            } => write!(f, "access to category '{category}' denied for '{requester}'"),
+            PhrError::NoProxyForCategory(c) => {
+                write!(f, "no proxy is responsible for category '{c}'")
+            }
+            PhrError::PolicyConflict(why) => write!(f, "policy conflict: {why}"),
+            PhrError::CorruptedRecord(why) => write!(f, "corrupted record: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PhrError {}
+
+impl From<PreError> for PhrError {
+    fn from(e: PreError) -> Self {
+        PhrError::Pre(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: PhrError = PreError::NoMatchingKey.into();
+        assert!(e.to_string().contains("re-encryption"));
+        let denied = PhrError::AccessDenied {
+            category: "illness-history".into(),
+            requester: "employer@example.com".into(),
+        };
+        assert!(denied.to_string().contains("illness-history"));
+        assert!(denied.to_string().contains("employer"));
+        assert_eq!(PhrError::RecordNotFound, PhrError::RecordNotFound);
+    }
+}

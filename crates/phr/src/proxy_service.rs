@@ -1,0 +1,227 @@
+//! Per-category proxy services: they hold re-encryption keys, transform
+//! ciphertexts on request, and log every disclosure.
+//!
+//! In the paper's design the patient "finds a proxy" per category and installs
+//! the corresponding re-encryption key there.  A proxy is semi-trusted: it is
+//! expected to convert ciphertexts honestly, but even a fully compromised
+//! proxy only exposes the categories whose keys it holds (Theorem 1), which is
+//! exactly what experiment E6 measures.
+
+use crate::audit::{AuditEvent, AuditLog};
+use crate::category::Category;
+use crate::record::RecordId;
+use crate::store::EncryptedPhrStore;
+use crate::{PhrError, Result};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use tibpre_core::{hybrid, Proxy, ReEncryptedHybridCiphertext, ReEncryptionKey};
+use tibpre_ibe::Identity;
+
+/// A re-encrypted record on its way to a healthcare provider.
+#[derive(Debug, Clone)]
+pub struct DisclosureBundle {
+    /// The record identifier.
+    pub id: RecordId,
+    /// The owning patient.
+    pub patient: Identity,
+    /// The record category.
+    pub category: Category,
+    /// The non-secret title (needed to reconstruct the AEAD associated data).
+    pub title: String,
+    /// The re-encrypted hybrid ciphertext.
+    pub ciphertext: ReEncryptedHybridCiphertext,
+}
+
+/// A proxy service bound to one encrypted store.
+pub struct ProxyService {
+    name: String,
+    store: Arc<EncryptedPhrStore>,
+    proxy: Proxy,
+    audit: Mutex<AuditLog>,
+}
+
+impl ProxyService {
+    /// Creates a proxy service with no keys installed.
+    pub fn new(name: impl AsRef<str>, store: Arc<EncryptedPhrStore>) -> Self {
+        ProxyService {
+            name: name.as_ref().to_string(),
+            store,
+            proxy: Proxy::new(name.as_ref()),
+            audit: Mutex::new(AuditLog::new()),
+        }
+    }
+
+    /// The proxy's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Installs a re-encryption key (called by the patient when granting access).
+    pub fn install_key(&mut self, key: ReEncryptionKey) {
+        let patient = key.delegator().clone();
+        let grantee = key.delegatee().clone();
+        let category = Category::from_label(&key.type_tag().display());
+        self.proxy.install_key(key);
+        let mut audit = self.audit.lock();
+        let at = audit.tick();
+        audit.append(AuditEvent::AccessGranted {
+            patient: patient.clone(),
+            category: category.clone(),
+            grantee: grantee.clone(),
+            at,
+        });
+        self.store.log_policy_change(&patient, &category, &grantee, true);
+    }
+
+    /// Removes a re-encryption key (revocation).
+    pub fn revoke_key(
+        &mut self,
+        patient: &Identity,
+        category: &Category,
+        grantee: &Identity,
+    ) -> bool {
+        let removed = self
+            .proxy
+            .revoke_key(patient, &category.type_tag(), grantee)
+            .is_some();
+        if removed {
+            let mut audit = self.audit.lock();
+            let at = audit.tick();
+            audit.append(AuditEvent::AccessRevoked {
+                patient: patient.clone(),
+                category: category.clone(),
+                grantee: grantee.clone(),
+                at,
+            });
+            self.store.log_policy_change(patient, category, grantee, false);
+        }
+        removed
+    }
+
+    /// Number of re-encryption keys currently installed.
+    pub fn key_count(&self) -> usize {
+        self.proxy.key_count()
+    }
+
+    /// Whether a grant is active for the given triple.
+    pub fn has_grant(&self, patient: &Identity, category: &Category, grantee: &Identity) -> bool {
+        self.proxy.has_key(patient, &category.type_tag(), grantee)
+    }
+
+    /// The keys a compromise of this proxy would expose (used by experiment E6).
+    pub fn leaked_keys_on_compromise(&self) -> Vec<ReEncryptionKey> {
+        self.proxy.installed_keys().cloned().collect()
+    }
+
+    /// Handles a disclosure request: looks up the record, re-encrypts its KEM
+    /// header with the matching key, and logs the outcome.
+    pub fn disclose(
+        &self,
+        patient: &Identity,
+        record_id: RecordId,
+        requester: &Identity,
+    ) -> Result<DisclosureBundle> {
+        let stored = self.store.get(record_id)?;
+        if &stored.patient != patient {
+            self.store.log_disclosure(record_id, requester, false);
+            return Err(PhrError::RecordNotFound);
+        }
+        let key = match self
+            .proxy
+            .key_for(patient, &stored.category.type_tag(), requester)
+        {
+            Some(key) => key,
+            None => {
+                self.record_denial(record_id, requester);
+                return Err(PhrError::AccessDenied {
+                    category: stored.category.label(),
+                    requester: requester.display(),
+                });
+            }
+        };
+        let ciphertext = hybrid::re_encrypt_hybrid(&stored.ciphertext, key).map_err(|e| {
+            self.record_denial(record_id, requester);
+            PhrError::Pre(e)
+        })?;
+        {
+            let mut audit = self.audit.lock();
+            let at = audit.tick();
+            audit.append(AuditEvent::DisclosurePerformed {
+                id: record_id,
+                requester: requester.clone(),
+                at,
+            });
+        }
+        self.store.log_disclosure(record_id, requester, true);
+        Ok(DisclosureBundle {
+            id: stored.id,
+            patient: stored.patient,
+            category: stored.category,
+            title: stored.title,
+            ciphertext,
+        })
+    }
+
+    /// Discloses every record of one category the requester is entitled to.
+    pub fn disclose_category(
+        &self,
+        patient: &Identity,
+        category: &Category,
+        requester: &Identity,
+    ) -> Result<Vec<DisclosureBundle>> {
+        let ids = self.store.list_for_patient_category(patient, category);
+        let mut bundles = Vec::with_capacity(ids.len());
+        for id in ids {
+            bundles.push(self.disclose(patient, id, requester)?);
+        }
+        Ok(bundles)
+    }
+
+    /// What a *corrupted* proxy could do: try to convert every record of the
+    /// patient with every key it holds, ignoring the type checks.  Returns the
+    /// record identifiers whose conversion succeeded — i.e. the extent of the
+    /// breach.  Used by the proxy-compromise experiment (E6) and example.
+    pub fn simulate_compromise(&self, patient: &Identity, attacker: &Identity) -> Vec<RecordId> {
+        let mut exposed = Vec::new();
+        for id in self.store.list_for_patient(patient) {
+            if let Ok(stored) = self.store.get(id) {
+                let converted = self.proxy.installed_keys().any(|key| {
+                    key.delegatee() == attacker
+                        && hybrid::re_encrypt_hybrid(&stored.ciphertext, key).is_ok()
+                });
+                if converted {
+                    exposed.push(id);
+                }
+            }
+        }
+        exposed
+    }
+
+    /// A snapshot of the proxy's own audit trail.
+    pub fn audit_snapshot(&self) -> Vec<AuditEvent> {
+        self.audit.lock().events().to_vec()
+    }
+
+    fn record_denial(&self, record_id: RecordId, requester: &Identity) {
+        let mut audit = self.audit.lock();
+        let at = audit.tick();
+        audit.append(AuditEvent::DisclosureDenied {
+            id: record_id,
+            requester: requester.clone(),
+            at,
+        });
+        drop(audit);
+        self.store.log_disclosure(record_id, requester, false);
+    }
+}
+
+impl core::fmt::Debug for ProxyService {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "ProxyService(name={}, keys={})",
+            self.name,
+            self.proxy.key_count()
+        )
+    }
+}

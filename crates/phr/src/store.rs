@@ -1,0 +1,351 @@
+//! The encrypted PHR store — the "database" the patient outsources storage to.
+//!
+//! The store only ever sees ciphertexts (hybrid ciphertexts of `tibpre-core`);
+//! the paper's point is that the patient needs to trust it *only* to keep the
+//! blobs available, not to keep them confidential.  It is safe to share one
+//! store between the patient, several proxies and many providers, so the type
+//! is `Sync` and uses an internal `RwLock`.
+
+use crate::audit::{AuditEvent, AuditLog};
+use crate::category::Category;
+use crate::record::RecordId;
+use crate::{PhrError, Result};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use tibpre_core::HybridCiphertext;
+use tibpre_ibe::Identity;
+
+/// One encrypted record at rest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredRecord {
+    /// Identifier assigned by the store.
+    pub id: RecordId,
+    /// The owning patient (non-secret metadata; it is also bound into the AEAD
+    /// associated data, so the store cannot re-attribute blobs undetected).
+    pub patient: Identity,
+    /// The record category (non-secret; equals the scheme's type tag).
+    pub category: Category,
+    /// The non-secret title.
+    pub title: String,
+    /// The hybrid ciphertext (typed KEM header + AEAD body).
+    pub ciphertext: HybridCiphertext,
+}
+
+#[derive(Default)]
+struct StoreInner {
+    next_id: u64,
+    records: BTreeMap<RecordId, StoredRecord>,
+    by_patient: HashMap<Vec<u8>, BTreeSet<RecordId>>,
+    audit: AuditLog,
+}
+
+/// A concurrent, indexed, append-audited store of encrypted PHR records.
+pub struct EncryptedPhrStore {
+    name: String,
+    inner: RwLock<StoreInner>,
+}
+
+impl EncryptedPhrStore {
+    /// Creates an empty store.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        EncryptedPhrStore {
+            name: name.as_ref().to_string(),
+            inner: RwLock::new(StoreInner::default()),
+        }
+    }
+
+    /// The store's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Inserts an encrypted record and returns its identifier.
+    pub fn put(
+        &self,
+        patient: &Identity,
+        category: &Category,
+        title: &str,
+        ciphertext: HybridCiphertext,
+    ) -> RecordId {
+        let mut inner = self.inner.write();
+        inner.next_id += 1;
+        let id = RecordId(inner.next_id);
+        let record = StoredRecord {
+            id,
+            patient: patient.clone(),
+            category: category.clone(),
+            title: title.to_string(),
+            ciphertext,
+        };
+        inner.records.insert(id, record);
+        inner
+            .by_patient
+            .entry(patient.as_bytes().to_vec())
+            .or_default()
+            .insert(id);
+        let at = inner.audit.tick();
+        inner.audit.append(AuditEvent::RecordStored {
+            id,
+            patient: patient.clone(),
+            category: category.clone(),
+            at,
+        });
+        id
+    }
+
+    /// Fetches one record by identifier.
+    pub fn get(&self, id: RecordId) -> Result<StoredRecord> {
+        self.inner
+            .read()
+            .records
+            .get(&id)
+            .cloned()
+            .ok_or(PhrError::RecordNotFound)
+    }
+
+    /// Deletes a record.  Only the owning patient may delete.
+    pub fn delete(&self, id: RecordId, requester: &Identity) -> Result<()> {
+        let mut inner = self.inner.write();
+        let record = inner.records.get(&id).ok_or(PhrError::RecordNotFound)?;
+        if &record.patient != requester {
+            return Err(PhrError::AccessDenied {
+                category: record.category.label(),
+                requester: requester.display(),
+            });
+        }
+        let patient_key = record.patient.as_bytes().to_vec();
+        inner.records.remove(&id);
+        if let Some(set) = inner.by_patient.get_mut(&patient_key) {
+            set.remove(&id);
+        }
+        let at = inner.audit.tick();
+        inner.audit.append(AuditEvent::RecordDeleted { id, at });
+        Ok(())
+    }
+
+    /// Lists the identifiers of all records owned by a patient.
+    pub fn list_for_patient(&self, patient: &Identity) -> Vec<RecordId> {
+        self.inner
+            .read()
+            .by_patient
+            .get(patient.as_bytes())
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Lists the identifiers of a patient's records in one category.
+    pub fn list_for_patient_category(
+        &self,
+        patient: &Identity,
+        category: &Category,
+    ) -> Vec<RecordId> {
+        let inner = self.inner.read();
+        inner
+            .by_patient
+            .get(patient.as_bytes())
+            .map(|set| {
+                set.iter()
+                    .filter(|id| {
+                        inner
+                            .records
+                            .get(id)
+                            .map(|r| &r.category == category)
+                            .unwrap_or(false)
+                    })
+                    .copied()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Total number of stored records.
+    pub fn record_count(&self) -> usize {
+        self.inner.read().records.len()
+    }
+
+    /// Number of records owned by one patient.
+    pub fn count_for_patient(&self, patient: &Identity) -> usize {
+        self.inner
+            .read()
+            .by_patient
+            .get(patient.as_bytes())
+            .map(|s| s.len())
+            .unwrap_or(0)
+    }
+
+    /// Records a disclosure event in the store's audit trail (called by proxies).
+    pub fn log_disclosure(&self, id: RecordId, requester: &Identity, granted: bool) {
+        let mut inner = self.inner.write();
+        let at = inner.audit.tick();
+        let event = if granted {
+            AuditEvent::DisclosurePerformed {
+                id,
+                requester: requester.clone(),
+                at,
+            }
+        } else {
+            AuditEvent::DisclosureDenied {
+                id,
+                requester: requester.clone(),
+                at,
+            }
+        };
+        inner.audit.append(event);
+    }
+
+    /// Records a grant / revoke event in the store's audit trail.
+    pub fn log_policy_change(
+        &self,
+        patient: &Identity,
+        category: &Category,
+        grantee: &Identity,
+        granted: bool,
+    ) {
+        let mut inner = self.inner.write();
+        let at = inner.audit.tick();
+        let event = if granted {
+            AuditEvent::AccessGranted {
+                patient: patient.clone(),
+                category: category.clone(),
+                grantee: grantee.clone(),
+                at,
+            }
+        } else {
+            AuditEvent::AccessRevoked {
+                patient: patient.clone(),
+                category: category.clone(),
+                grantee: grantee.clone(),
+                at,
+            }
+        };
+        inner.audit.append(event);
+    }
+
+    /// A snapshot of the audit trail.
+    pub fn audit_snapshot(&self) -> Vec<AuditEvent> {
+        self.inner.read().audit.events().to_vec()
+    }
+}
+
+impl core::fmt::Debug for EncryptedPhrStore {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "EncryptedPhrStore(name={}, records={})",
+            self.name,
+            self.record_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tibpre_core::{Delegator, TypeTag};
+    use tibpre_ibe::Kgc;
+    use tibpre_pairing::PairingParams;
+
+    fn sample_ciphertext(rng: &mut StdRng) -> HybridCiphertext {
+        let params = PairingParams::insecure_toy();
+        let kgc = Kgc::setup(params, "kgc", rng);
+        let delegator = Delegator::new(
+            kgc.public_params().clone(),
+            kgc.extract(&Identity::new("alice")),
+        );
+        delegator.encrypt_bytes(b"payload", b"", &TypeTag::new("t"), rng)
+    }
+
+    #[test]
+    fn put_get_list_delete() {
+        let mut rng = StdRng::seed_from_u64(131);
+        let store = EncryptedPhrStore::new("db");
+        let alice = Identity::new("alice");
+        let bob = Identity::new("bob");
+        let ct = sample_ciphertext(&mut rng);
+
+        let id1 = store.put(&alice, &Category::Emergency, "r1", ct.clone());
+        let id2 = store.put(&alice, &Category::LabResults, "r2", ct.clone());
+        let id3 = store.put(&bob, &Category::Emergency, "r3", ct.clone());
+        assert_ne!(id1, id2);
+        assert_eq!(store.record_count(), 3);
+        assert_eq!(store.count_for_patient(&alice), 2);
+        assert_eq!(store.count_for_patient(&bob), 1);
+
+        assert_eq!(store.get(id1).unwrap().title, "r1");
+        assert_eq!(store.list_for_patient(&alice), vec![id1, id2]);
+        assert_eq!(
+            store.list_for_patient_category(&alice, &Category::Emergency),
+            vec![id1]
+        );
+        assert!(store
+            .list_for_patient_category(&bob, &Category::LabResults)
+            .is_empty());
+
+        // Only the owner can delete.
+        assert!(matches!(
+            store.delete(id1, &bob),
+            Err(PhrError::AccessDenied { .. })
+        ));
+        store.delete(id1, &alice).unwrap();
+        assert!(matches!(store.get(id1), Err(PhrError::RecordNotFound)));
+        assert_eq!(store.count_for_patient(&alice), 1);
+        assert!(matches!(
+            store.delete(id1, &alice),
+            Err(PhrError::RecordNotFound)
+        ));
+        let _ = id3;
+    }
+
+    #[test]
+    fn audit_trail_records_everything() {
+        let mut rng = StdRng::seed_from_u64(132);
+        let store = EncryptedPhrStore::new("db");
+        let alice = Identity::new("alice");
+        let doctor = Identity::new("doctor");
+        let ct = sample_ciphertext(&mut rng);
+        let id = store.put(&alice, &Category::Emergency, "r", ct);
+        store.log_policy_change(&alice, &Category::Emergency, &doctor, true);
+        store.log_disclosure(id, &doctor, true);
+        store.log_disclosure(id, &Identity::new("employer"), false);
+        store.log_policy_change(&alice, &Category::Emergency, &doctor, false);
+        store.delete(id, &alice).unwrap();
+
+        let audit = store.audit_snapshot();
+        assert_eq!(audit.len(), 6);
+        assert!(matches!(audit[0], AuditEvent::RecordStored { .. }));
+        assert!(matches!(audit[1], AuditEvent::AccessGranted { .. }));
+        assert!(matches!(audit[2], AuditEvent::DisclosurePerformed { .. }));
+        assert!(matches!(audit[3], AuditEvent::DisclosureDenied { .. }));
+        assert!(matches!(audit[4], AuditEvent::AccessRevoked { .. }));
+        assert!(matches!(audit[5], AuditEvent::RecordDeleted { .. }));
+        // Timestamps are strictly increasing.
+        for pair in audit.windows(2) {
+            assert!(pair[0].at() < pair[1].at());
+        }
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let mut rng = StdRng::seed_from_u64(133);
+        let store = std::sync::Arc::new(EncryptedPhrStore::new("db"));
+        let ct = sample_ciphertext(&mut rng);
+        let mut handles = Vec::new();
+        for thread_id in 0..4u64 {
+            let store = store.clone();
+            let ct = ct.clone();
+            handles.push(std::thread::spawn(move || {
+                let patient = Identity::new(format!("patient-{thread_id}"));
+                for i in 0..25 {
+                    store.put(&patient, &Category::LabResults, &format!("r{i}"), ct.clone());
+                }
+                store.count_for_patient(&patient)
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 25);
+        }
+        assert_eq!(store.record_count(), 100);
+    }
+}

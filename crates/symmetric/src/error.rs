@@ -1,0 +1,60 @@
+//! Error type for the symmetric layer.
+
+use core::fmt;
+
+/// Errors produced by the symmetric (DEM) layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymmetricError {
+    /// The authentication tag did not verify; the ciphertext was rejected.
+    AuthenticationFailed,
+    /// A key, nonce or tag had the wrong length.
+    InvalidLength {
+        /// What was being decoded.
+        what: &'static str,
+        /// Expected length in bytes.
+        expected: usize,
+        /// Actual length in bytes.
+        actual: usize,
+    },
+    /// A serialized ciphertext was malformed.
+    MalformedCiphertext(&'static str),
+}
+
+impl fmt::Display for SymmetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymmetricError::AuthenticationFailed => {
+                write!(f, "authentication tag mismatch: ciphertext rejected")
+            }
+            SymmetricError::InvalidLength {
+                what,
+                expected,
+                actual,
+            } => write!(f, "invalid {what} length: expected {expected}, got {actual}"),
+            SymmetricError::MalformedCiphertext(why) => {
+                write!(f, "malformed ciphertext: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SymmetricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SymmetricError::AuthenticationFailed
+            .to_string()
+            .contains("rejected"));
+        let err = SymmetricError::InvalidLength {
+            what: "key",
+            expected: 32,
+            actual: 16,
+        };
+        assert!(err.to_string().contains("32"));
+        assert!(err.to_string().contains("16"));
+    }
+}

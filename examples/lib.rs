@@ -1,0 +1,34 @@
+//! Shared helpers for the TIB-PRE examples.
+//!
+//! Each example binary (`quickstart`, `phr_disclosure`, `proxy_compromise`,
+//! `travel_emergency`) is a standalone walk-through of the public API; this
+//! library target only hosts small shared formatting utilities.
+
+/// Prints a section banner so the example output is easy to follow.
+pub fn banner(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}
+
+/// Formats a byte length in a human-friendly way.
+pub fn human_bytes(len: usize) -> String {
+    if len < 1024 {
+        format!("{len} B")
+    } else if len < 1024 * 1024 {
+        format!("{:.1} KiB", len as f64 / 1024.0)
+    } else {
+        format!("{:.1} MiB", len as f64 / (1024.0 * 1024.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_bytes_formats() {
+        assert_eq!(human_bytes(10), "10 B");
+        assert_eq!(human_bytes(2048), "2.0 KiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.0 MiB");
+    }
+}

@@ -1,0 +1,6 @@
+//! Integration-test package for the TIB-PRE workspace.
+//!
+//! The actual tests live in the sibling `tests/` directory of this package and
+//! exercise scenarios that span several crates (multi-domain delegation,
+//! healthcare workflows, serialization, failure injection, security games).
+//! This library target is intentionally empty.

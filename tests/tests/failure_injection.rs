@@ -1,0 +1,264 @@
+//! Failure-injection tests: corrupted ciphertexts, truncated serializations,
+//! wrong keys, cross-patient confusion, revoked grants.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use tibpre_core::{proxy, Delegatee, Delegator, PreError, ReEncryptionKey, TypeTag, TypedCiphertext};
+use tibpre_ibe::{bf::IbeCiphertext, Identity, Kgc};
+use tibpre_pairing::{G1Affine, Gt, PairingParams};
+use tibpre_phr::{
+    category::Category, patient::Patient, provider::HealthcareProvider,
+    proxy_service::ProxyService, record::HealthRecord, store::EncryptedPhrStore, PhrError,
+};
+
+fn setup() -> (Arc<PairingParams>, Kgc, Kgc, StdRng) {
+    let mut rng = StdRng::seed_from_u64(0xFA11);
+    let params = PairingParams::insecure_toy();
+    let kgc1 = Kgc::setup(params.clone(), "kgc1", &mut rng);
+    let kgc2 = Kgc::setup(params.clone(), "kgc2", &mut rng);
+    (params, kgc1, kgc2, rng)
+}
+
+#[test]
+fn truncated_and_garbled_wire_formats_are_rejected() {
+    let (params, kgc1, kgc2, mut rng) = setup();
+    let alice = Identity::new("alice");
+    let delegator = Delegator::new(kgc1.public_params().clone(), kgc1.extract(&alice));
+    let t = TypeTag::new("t");
+    let m = params.random_gt(&mut rng);
+    let ct = delegator.encrypt_typed(&m, &t, &mut rng);
+    let rk = delegator
+        .make_reencryption_key(&Identity::new("bob"), kgc2.public_params(), &t, &mut rng)
+        .unwrap();
+    let transformed = proxy::re_encrypt(&ct, &rk).unwrap();
+
+    let ct_bytes = ct.to_bytes();
+    let rk_bytes = rk.to_bytes();
+    let re_bytes = transformed.to_bytes();
+    let ibe_bytes = rk.encrypted_x().to_bytes();
+
+    for cut in [0usize, 1, 5, 10] {
+        if cut < ct_bytes.len() {
+            assert!(TypedCiphertext::from_bytes(&params, &ct_bytes[..cut]).is_err());
+        }
+        if cut < rk_bytes.len() {
+            assert!(ReEncryptionKey::from_bytes(&params, &rk_bytes[..cut]).is_err());
+        }
+        if cut < re_bytes.len() {
+            assert!(
+                tibpre_core::ReEncryptedCiphertext::from_bytes(&params, &re_bytes[..cut])
+                    .is_err()
+            );
+        }
+        if cut < ibe_bytes.len() {
+            assert!(IbeCiphertext::from_bytes(&params, &ibe_bytes[..cut]).is_err());
+        }
+    }
+
+    // Flipping bytes inside the point encodings is caught by the curve check
+    // (probability of landing on another valid point is negligible).
+    let mut bad_point = ct_bytes.clone();
+    bad_point[5] ^= 0xFF;
+    bad_point[6] ^= 0xA5;
+    assert!(TypedCiphertext::from_bytes(&params, &bad_point).is_err());
+}
+
+#[test]
+fn ciphertexts_with_out_of_subgroup_points_are_rejected() {
+    let (params, kgc1, _kgc2, mut rng) = setup();
+    let alice = Identity::new("alice");
+    let delegator = Delegator::new(kgc1.public_params().clone(), kgc1.extract(&alice));
+    let t = TypeTag::new("t");
+    let m = params.random_gt(&mut rng);
+    let ct = delegator.encrypt_typed(&m, &t, &mut rng);
+
+    // Swap c1 for a curve point of the wrong order (a random point on the full
+    // curve, which almost surely is not in the order-q subgroup).
+    let rogue = loop {
+        let candidate = tibpre_pairing::curve::random_curve_point(params.fp_ctx(), &mut rng);
+        if !candidate.is_in_subgroup(params.q()) {
+            break candidate;
+        }
+    };
+    let mut bytes = ct.to_bytes();
+    bytes[..rogue.to_bytes().len()].copy_from_slice(&rogue.to_bytes());
+    assert!(matches!(
+        TypedCiphertext::from_bytes(&params, &bytes),
+        Err(PreError::InvalidEncoding(_)) | Err(PreError::Pairing(_))
+    ));
+}
+
+#[test]
+fn wrong_private_keys_never_recover_the_message() {
+    let (params, kgc1, kgc2, mut rng) = setup();
+    let alice = Identity::new("alice");
+    let bob = Identity::new("bob");
+    let eve = Identity::new("eve");
+    let delegator = Delegator::new(kgc1.public_params().clone(), kgc1.extract(&alice));
+    let t = TypeTag::new("t");
+    let m = params.random_gt(&mut rng);
+    let ct = delegator.encrypt_typed(&m, &t, &mut rng);
+    let rk = delegator
+        .make_reencryption_key(&bob, kgc2.public_params(), &t, &mut rng)
+        .unwrap();
+    let transformed = proxy::re_encrypt(&ct, &rk).unwrap();
+
+    // Eve with a key from the delegatee domain (wrong identity).
+    let eve_delegatee = Delegatee::new(kgc2.extract(&eve));
+    assert_ne!(eve_delegatee.decrypt_reencrypted(&transformed).unwrap(), m);
+    // Eve with a key for the right identity from the *wrong* domain.
+    let eve_wrong_domain = Delegatee::new(kgc1.extract(&bob));
+    assert_ne!(
+        eve_wrong_domain.decrypt_reencrypted(&transformed).unwrap(),
+        m
+    );
+    // Another delegator in the same domain cannot decrypt the typed ciphertext.
+    let mallory = Delegator::new(kgc1.public_params().clone(), kgc1.extract(&eve));
+    assert_ne!(mallory.decrypt_typed(&ct).unwrap(), m);
+}
+
+#[test]
+fn tampering_with_reencrypted_components_breaks_decryption() {
+    let (params, kgc1, kgc2, mut rng) = setup();
+    let alice = Identity::new("alice");
+    let bob = Identity::new("bob");
+    let delegator = Delegator::new(kgc1.public_params().clone(), kgc1.extract(&alice));
+    let delegatee = Delegatee::new(kgc2.extract(&bob));
+    let t = TypeTag::new("t");
+    let m = params.random_gt(&mut rng);
+    let ct = delegator.encrypt_typed(&m, &t, &mut rng);
+    let rk = delegator
+        .make_reencryption_key(&bob, kgc2.public_params(), &t, &mut rng)
+        .unwrap();
+    let good = proxy::re_encrypt(&ct, &rk).unwrap();
+    assert_eq!(delegatee.decrypt_reencrypted(&good).unwrap(), m);
+
+    // Tamper with c1 (replace with the generator).
+    let mut bad = good.clone();
+    bad.c1 = params.generator().clone();
+    assert_ne!(delegatee.decrypt_reencrypted(&bad).unwrap(), m);
+
+    // Tamper with c2.
+    let mut bad = good.clone();
+    bad.c2 = bad.c2.mul(params.gt_generator());
+    assert_ne!(delegatee.decrypt_reencrypted(&bad).unwrap(), m);
+
+    // Tamper with the encapsulated X (swap c1/c2 of the inner IBE ciphertext).
+    let mut bad = good.clone();
+    bad.encrypted_x = IbeCiphertext {
+        c1: params.generator().clone(),
+        c2: bad.encrypted_x.c2.clone(),
+    };
+    assert_ne!(delegatee.decrypt_reencrypted(&bad).unwrap(), m);
+}
+
+#[test]
+fn gt_deserialization_validates_subgroup_membership() {
+    let (params, _kgc1, _kgc2, mut rng) = setup();
+    // A random Fp2 element is essentially never in the order-q subgroup.
+    let random_fp2 = tibpre_pairing::Fp2::random(params.fp_ctx(), &mut rng);
+    let fake_gt = Gt::from_fp2_unchecked(random_fp2);
+    let bytes = fake_gt.to_bytes();
+    assert!(Gt::from_bytes(params.fp_ctx(), params.q(), &bytes).is_err());
+    // A genuine pairing output passes.
+    let genuine = params.random_gt(&mut rng);
+    assert!(Gt::from_bytes(params.fp_ctx(), params.q(), &genuine.to_bytes()).is_ok());
+}
+
+#[test]
+fn g1_deserialization_validates_the_curve_equation() {
+    let (params, _kgc1, _kgc2, mut rng) = setup();
+    let p = params.random_g1(&mut rng);
+    let mut bytes = p.to_bytes();
+    // Corrupt the y-coordinate: almost surely off the curve.
+    let len = bytes.len();
+    bytes[len - 1] ^= 0x01;
+    bytes[len - 2] ^= 0x80;
+    assert!(G1Affine::from_bytes(params.fp_ctx(), &bytes).is_err());
+}
+
+#[test]
+fn phr_store_cross_patient_and_revocation_failures() {
+    let mut rng = StdRng::seed_from_u64(0xFA12);
+    let params = PairingParams::insecure_toy();
+    let patient_kgc = Kgc::setup(params.clone(), "patients", &mut rng);
+    let provider_kgc = Kgc::setup(params.clone(), "providers", &mut rng);
+    let store = Arc::new(EncryptedPhrStore::new("db"));
+    let mut proxy_service = ProxyService::new("proxy", store.clone());
+
+    let mut alice = Patient::new("alice", &patient_kgc);
+    let mut mallory = Patient::new("mallory", &patient_kgc);
+    let doctor = Identity::new("doctor");
+    let doctor_provider = HealthcareProvider::new(provider_kgc.extract(&doctor));
+
+    let record = HealthRecord::new(
+        alice.identity().clone(),
+        Category::LabResults,
+        "cholesterol",
+        b"LDL 95 mg/dL".to_vec(),
+    );
+    let id = alice.store_record(&store, &record, &mut rng).unwrap();
+
+    // Mallory cannot store records in Alice's name.
+    let fake = HealthRecord::new(
+        alice.identity().clone(),
+        Category::LabResults,
+        "forged",
+        b"bogus".to_vec(),
+    );
+    assert!(matches!(
+        mallory.store_record(&store, &fake, &mut rng),
+        Err(PhrError::PolicyConflict(_))
+    ));
+    // Mallory cannot read Alice's record directly either.
+    assert!(mallory.read_own_record(&store, id).is_err());
+
+    // The doctor is denied before any grant exists.
+    assert!(matches!(
+        proxy_service.disclose(alice.identity(), id, &doctor),
+        Err(PhrError::AccessDenied { .. })
+    ));
+
+    // Grant, disclose, revoke, and observe the denial again.
+    alice
+        .grant_access(
+            Category::LabResults,
+            &doctor,
+            provider_kgc.public_params(),
+            &mut proxy_service,
+            &mut rng,
+        )
+        .unwrap();
+    let bundle = proxy_service
+        .disclose(alice.identity(), id, &doctor)
+        .unwrap();
+    assert_eq!(doctor_provider.open(&bundle).unwrap().body, b"LDL 95 mg/dL");
+    // Granting the same thing twice is reported as a conflict.
+    assert!(matches!(
+        alice.grant_access(
+            Category::LabResults,
+            &doctor,
+            provider_kgc.public_params(),
+            &mut proxy_service,
+            &mut rng,
+        ),
+        Err(PhrError::PolicyConflict(_))
+    ));
+    alice
+        .revoke_access(&Category::LabResults, &doctor, &mut proxy_service)
+        .unwrap();
+    assert!(matches!(
+        proxy_service.disclose(alice.identity(), id, &doctor),
+        Err(PhrError::AccessDenied { .. })
+    ));
+    // Revoking a non-existent grant is an error.
+    assert!(alice
+        .revoke_access(&Category::Emergency, &doctor, &mut proxy_service)
+        .is_err());
+    // Requests for non-existent records are reported as such.
+    assert!(matches!(
+        proxy_service.disclose(alice.identity(), tibpre_phr::RecordId(999), &doctor),
+        Err(PhrError::RecordNotFound)
+    ));
+}

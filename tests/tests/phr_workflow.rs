@@ -1,0 +1,269 @@
+//! Healthcare-workflow integration tests spanning `tibpre-phr`, `tibpre-core`
+//! and the substrates: multiple patients, several proxies and providers,
+//! auditability, and the proxy-compromise containment claim.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use tibpre_ibe::{Identity, Kgc};
+use tibpre_pairing::PairingParams;
+use tibpre_phr::{
+    audit::AuditEvent, category::Category, patient::Patient, provider::HealthcareProvider,
+    proxy_service::ProxyService, record::HealthRecord, store::EncryptedPhrStore, PhrError,
+};
+
+struct Clinic {
+    params: Arc<PairingParams>,
+    patient_kgc: Kgc,
+    provider_kgc: Kgc,
+    store: Arc<EncryptedPhrStore>,
+    rng: StdRng,
+}
+
+fn clinic(seed: u64) -> Clinic {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let params = PairingParams::insecure_toy();
+    let patient_kgc = Kgc::setup(params.clone(), "patients", &mut rng);
+    let provider_kgc = Kgc::setup(params.clone(), "providers", &mut rng);
+    Clinic {
+        params,
+        patient_kgc,
+        provider_kgc,
+        store: Arc::new(EncryptedPhrStore::new("regional-phr-store")),
+        rng,
+    }
+}
+
+fn add_record(
+    clinic: &mut Clinic,
+    patient: &Patient,
+    category: Category,
+    title: &str,
+    body: &str,
+) -> tibpre_phr::RecordId {
+    let record = HealthRecord::new(
+        patient.identity().clone(),
+        category,
+        title,
+        body.as_bytes().to_vec(),
+    );
+    patient
+        .store_record(&clinic.store, &record, &mut clinic.rng)
+        .unwrap()
+}
+
+#[test]
+fn multi_patient_multi_provider_workflow() {
+    let mut c = clinic(1);
+    let mut alice = Patient::new("alice@phr.example", &c.patient_kgc);
+    let mut bob = Patient::new("bob@phr.example", &c.patient_kgc);
+
+    let cardiologist = Identity::new("cardiologist@clinic");
+    let dietician = Identity::new("dietician@wellness");
+    let cardiologist_provider = HealthcareProvider::new(c.provider_kgc.extract(&cardiologist));
+    let dietician_provider = HealthcareProvider::new(c.provider_kgc.extract(&dietician));
+
+    let mut hospital_proxy = ProxyService::new("hospital-proxy", c.store.clone());
+    let mut wellness_proxy = ProxyService::new("wellness-proxy", c.store.clone());
+
+    // Records for both patients across categories.
+    let alice_illness = add_record(&mut c, &alice, Category::IllnessHistory, "angina", "stable");
+    let alice_diet = add_record(&mut c, &alice, Category::FoodStatistics, "diary", "2100 kcal");
+    let bob_illness = add_record(&mut c, &bob, Category::IllnessHistory, "asthma", "mild");
+
+    // Alice shares illness history with the cardiologist, diet with the dietician.
+    let pp = c.provider_kgc.public_params().clone();
+    alice
+        .grant_access(Category::IllnessHistory, &cardiologist, &pp, &mut hospital_proxy, &mut c.rng)
+        .unwrap();
+    alice
+        .grant_access(Category::FoodStatistics, &dietician, &pp, &mut wellness_proxy, &mut c.rng)
+        .unwrap();
+    // Bob shares nothing.
+
+    // Entitled requests succeed.
+    let bundle = hospital_proxy
+        .disclose(alice.identity(), alice_illness, &cardiologist)
+        .unwrap();
+    assert_eq!(cardiologist_provider.open(&bundle).unwrap().body, b"stable");
+    let bundle = wellness_proxy
+        .disclose(alice.identity(), alice_diet, &dietician)
+        .unwrap();
+    assert_eq!(dietician_provider.open(&bundle).unwrap().body, b"2100 kcal");
+
+    // Cross-category and cross-patient requests fail.
+    assert!(matches!(
+        hospital_proxy.disclose(alice.identity(), alice_diet, &cardiologist),
+        Err(PhrError::AccessDenied { .. })
+    ));
+    assert!(matches!(
+        hospital_proxy.disclose(bob.identity(), bob_illness, &cardiologist),
+        Err(PhrError::AccessDenied { .. })
+    ));
+    // Asking the wrong proxy for an otherwise-entitled record also fails
+    // (the wellness proxy never received the illness-history key).
+    assert!(matches!(
+        wellness_proxy.disclose(alice.identity(), alice_illness, &cardiologist),
+        Err(PhrError::AccessDenied { .. })
+    ));
+
+    // Each patient reads their own data directly.
+    assert_eq!(
+        alice.read_own_record(&c.store, alice_diet).unwrap().body,
+        b"2100 kcal"
+    );
+    assert_eq!(
+        bob.read_own_record(&c.store, bob_illness).unwrap().body,
+        b"mild"
+    );
+    // But not each other's.
+    assert!(bob.read_own_record(&c.store, alice_illness).is_err());
+
+    // Bob later decides to share his illness history with the cardiologist too.
+    bob.grant_access(Category::IllnessHistory, &cardiologist, &pp, &mut hospital_proxy, &mut c.rng)
+        .unwrap();
+    let bundle = hospital_proxy
+        .disclose(bob.identity(), bob_illness, &cardiologist)
+        .unwrap();
+    assert_eq!(cardiologist_provider.open(&bundle).unwrap().body, b"mild");
+
+    // Policy bookkeeping matches.
+    assert_eq!(alice.policy().grant_count(), 2);
+    assert_eq!(bob.policy().grant_count(), 1);
+    assert_eq!(hospital_proxy.key_count(), 2);
+    assert_eq!(wellness_proxy.key_count(), 1);
+}
+
+#[test]
+fn audit_trail_is_complete_and_ordered() {
+    let mut c = clinic(2);
+    let mut alice = Patient::new("alice", &c.patient_kgc);
+    let doctor = Identity::new("doctor");
+    let provider = HealthcareProvider::new(c.provider_kgc.extract(&doctor));
+    let mut proxy = ProxyService::new("proxy", c.store.clone());
+    let pp = c.provider_kgc.public_params().clone();
+
+    let id = add_record(&mut c, &alice, Category::Medication, "rx", "aspirin");
+    // Denied request (before grant), then grant, disclose, revoke.
+    assert!(proxy.disclose(alice.identity(), id, &doctor).is_err());
+    alice
+        .grant_access(Category::Medication, &doctor, &pp, &mut proxy, &mut c.rng)
+        .unwrap();
+    let bundle = proxy.disclose(alice.identity(), id, &doctor).unwrap();
+    assert_eq!(provider.open(&bundle).unwrap().body, b"aspirin");
+    alice
+        .revoke_access(&Category::Medication, &doctor, &mut proxy)
+        .unwrap();
+
+    let audit = c.store.audit_snapshot();
+    // Stored, denied, granted, disclosed, revoked — in that order.
+    let kinds: Vec<&'static str> = audit
+        .iter()
+        .map(|e| match e {
+            AuditEvent::RecordStored { .. } => "stored",
+            AuditEvent::RecordDeleted { .. } => "deleted",
+            AuditEvent::AccessGranted { .. } => "granted",
+            AuditEvent::AccessRevoked { .. } => "revoked",
+            AuditEvent::DisclosurePerformed { .. } => "disclosed",
+            AuditEvent::DisclosureDenied { .. } => "denied",
+        })
+        .collect();
+    assert_eq!(kinds, vec!["stored", "denied", "granted", "disclosed", "revoked"]);
+    for pair in audit.windows(2) {
+        assert!(pair[0].at() < pair[1].at());
+    }
+    // The proxy kept its own trail of the disclosure decisions.
+    let proxy_audit = proxy.audit_snapshot();
+    assert!(proxy_audit
+        .iter()
+        .any(|e| matches!(e, AuditEvent::DisclosurePerformed { .. })));
+    assert!(proxy_audit
+        .iter()
+        .any(|e| matches!(e, AuditEvent::DisclosureDenied { .. })));
+}
+
+#[test]
+fn proxy_compromise_is_contained_to_delegated_categories() {
+    // Quantified version of the paper's Section 5 argument, mirroring
+    // experiment E6: corrupting one per-category proxy exposes only that
+    // category's records.
+    let mut c = clinic(3);
+    let mut alice = Patient::new("alice", &c.patient_kgc);
+    let categories = [
+        Category::IllnessHistory,
+        Category::FoodStatistics,
+        Category::Emergency,
+        Category::LabResults,
+    ];
+    let records_per_category = 3usize;
+    for category in &categories {
+        for i in 0..records_per_category {
+            add_record(
+                &mut c,
+                &alice,
+                category.clone(),
+                &format!("{category} #{i}"),
+                "secret",
+            );
+        }
+    }
+
+    // One proxy and one grantee per category.
+    let pp = c.provider_kgc.public_params().clone();
+    let mut proxies = Vec::new();
+    let mut grantees = Vec::new();
+    for category in &categories {
+        let grantee = Identity::new(format!("provider-{category}"));
+        let mut proxy = ProxyService::new(format!("proxy-{category}"), c.store.clone());
+        alice
+            .grant_access(category.clone(), &grantee, &pp, &mut proxy, &mut c.rng)
+            .unwrap();
+        proxies.push(proxy);
+        grantees.push(grantee);
+    }
+
+    let total = c.store.count_for_patient(alice.identity());
+    assert_eq!(total, categories.len() * records_per_category);
+
+    // Compromise each proxy in turn: the breach is always exactly one category.
+    for (proxy, grantee) in proxies.iter().zip(&grantees) {
+        let exposed = proxy.simulate_compromise(alice.identity(), grantee);
+        assert_eq!(exposed.len(), records_per_category);
+    }
+    // A compromised proxy plus a grantee it does NOT serve exposes nothing.
+    let exposed = proxies[0].simulate_compromise(alice.identity(), &grantees[1]);
+    assert!(exposed.is_empty());
+}
+
+#[test]
+fn large_record_bodies_survive_the_full_path() {
+    let mut c = clinic(4);
+    let mut alice = Patient::new("alice", &c.patient_kgc);
+    let radiologist = Identity::new("radiologist");
+    let provider = HealthcareProvider::new(c.provider_kgc.extract(&radiologist));
+    let mut proxy = ProxyService::new("imaging-proxy", c.store.clone());
+    let pp = c.provider_kgc.public_params().clone();
+
+    // A 256 KiB "imaging" payload.
+    let body: Vec<u8> = (0..256 * 1024).map(|i| (i * 31 % 251) as u8).collect();
+    let record = HealthRecord::new(
+        alice.identity().clone(),
+        Category::Custom("imaging".into()),
+        "chest x-ray 2008-02",
+        body.clone(),
+    );
+    let id = alice.store_record(&c.store, &record, &mut c.rng).unwrap();
+    alice
+        .grant_access(
+            Category::Custom("imaging".into()),
+            &radiologist,
+            &pp,
+            &mut proxy,
+            &mut c.rng,
+        )
+        .unwrap();
+    let bundle = proxy.disclose(alice.identity(), id, &radiologist).unwrap();
+    let disclosed = provider.open(&bundle).unwrap();
+    assert_eq!(disclosed.body, body);
+    assert_eq!(disclosed.title, "chest x-ray 2008-02");
+}
