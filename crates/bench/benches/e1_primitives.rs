@@ -13,7 +13,9 @@ use tibpre_pairing::PairingParams;
 
 fn primitives(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_primitives");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for level in sweep_levels() {
         let params = PairingParams::cached(level);

@@ -17,7 +17,9 @@ use tibpre_pairing::SecurityLevel;
 
 fn scheme_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_scheme_ops");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     let fixture = Fixture::new(SecurityLevel::Low80);
     let mut rng = bench_rng();

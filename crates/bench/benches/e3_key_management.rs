@@ -21,14 +21,19 @@ use tibpre_pairing::SecurityLevel;
 
 fn key_management(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_key_management");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     let fixture = Fixture::new(SecurityLevel::Toy);
     let mut rng = bench_rng();
     let report = SizeReport::for_params(&fixture.params);
 
     println!("\nE3 stored key material (bytes) — one delegator, T categories");
-    println!("{:>6} {:>16} {:>22}", "T", "TIB-PRE (ours)", "multi-key baseline");
+    println!(
+        "{:>6} {:>16} {:>22}",
+        "T", "TIB-PRE (ours)", "multi-key baseline"
+    );
     for t_count in [1usize, 2, 4, 8, 16, 32] {
         println!(
             "{:>6} {:>16} {:>22}",

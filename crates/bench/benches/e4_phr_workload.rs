@@ -85,7 +85,9 @@ fn populate(
 
 fn phr_workload(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_phr_workload");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
     for n in [10usize, 100, 1000] {
         group.throughput(Throughput::Elements(n as u64));
@@ -111,28 +113,24 @@ fn phr_workload(c: &mut Criterion) {
 
         // (b) Disclose one full category (≈ N/3 records) through the proxy and
         //     decrypt everything at the provider.
-        group.bench_with_input(
-            BenchmarkId::new("disclose_one_category", n),
-            &n,
-            |b, &n| {
-                let mut w = world();
-                let (_store, patient, proxy, provider) = populate(&mut w, n);
-                b.iter(|| {
-                    let bundles = proxy
-                        .disclose_category(
-                            patient.identity(),
-                            &Category::IllnessHistory,
-                            provider.identity(),
-                        )
-                        .unwrap();
-                    let mut total = 0usize;
-                    for bundle in &bundles {
-                        total += provider.open(bundle).unwrap().body.len();
-                    }
-                    total
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("disclose_one_category", n), &n, |b, &n| {
+            let mut w = world();
+            let (_store, patient, proxy, provider) = populate(&mut w, n);
+            b.iter(|| {
+                let bundles = proxy
+                    .disclose_category(
+                        patient.identity(),
+                        &Category::IllnessHistory,
+                        provider.identity(),
+                    )
+                    .unwrap();
+                let mut total = 0usize;
+                for bundle in &bundles {
+                    total += provider.open(bundle).unwrap().body.len();
+                }
+                total
+            })
+        });
     }
 
     // (c) The emergency path: disclose the (small) emergency category on demand.

@@ -36,7 +36,9 @@ fn sizes(c: &mut Criterion) {
 
     // ---- Serialization / deserialization timing ----
     let mut group = c.benchmark_group("e5_serialization");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for level in sweep_levels() {
         let fixture = Fixture::new(level);

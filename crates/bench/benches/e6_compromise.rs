@@ -27,15 +27,22 @@ const TOTAL_RECORDS: usize = 1000;
 
 fn compromise(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_compromise");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
     let mut rng = bench_rng();
     let params = PairingParams::insecure_toy();
     let patient_kgc = Kgc::setup(params.clone(), "patients", &mut rng);
     let provider_kgc = Kgc::setup(params.clone(), "providers", &mut rng);
 
-    println!("\nE6 fraction of records exposed when one proxy is compromised ({TOTAL_RECORDS} records)");
-    println!("{:>6} {:>18} {:>26}", "T", "TIB-PRE (ours)", "identity-only baseline");
+    println!(
+        "\nE6 fraction of records exposed when one proxy is compromised ({TOTAL_RECORDS} records)"
+    );
+    println!(
+        "{:>6} {:>18} {:>26}",
+        "T", "TIB-PRE (ours)", "identity-only baseline"
+    );
 
     for t_count in [2usize, 4, 8, 16] {
         // --- Build the patient's store with T categories and one proxy per category ---
@@ -111,7 +118,11 @@ fn compromise(c: &mut Criterion) {
             BenchmarkId::new("attacker_work_tibpre", t_count),
             &t_count,
             |b, _| {
-                b.iter(|| proxies[0].simulate_compromise(patient.identity(), &grantees[0]).len())
+                b.iter(|| {
+                    proxies[0]
+                        .simulate_compromise(patient.identity(), &grantees[0])
+                        .len()
+                })
             },
         );
     }

@@ -13,7 +13,9 @@ use tibpre_pairing::SecurityLevel;
 
 fn hybrid_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_hybrid_throughput");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     let fixture = Fixture::new(SecurityLevel::Low80);
     let mut rng = bench_rng();
@@ -31,11 +33,17 @@ fn hybrid_throughput(c: &mut Criterion) {
             BenchmarkId::new("hybrid_encrypt", size),
             &payload,
             |b, payload| {
-                b.iter(|| fixture.delegator.encrypt_bytes(payload, b"aad", &t, &mut rng))
+                b.iter(|| {
+                    fixture
+                        .delegator
+                        .encrypt_bytes(payload, b"aad", &t, &mut rng)
+                })
             },
         );
 
-        let ct = fixture.delegator.encrypt_bytes(&payload, b"aad", &t, &mut rng);
+        let ct = fixture
+            .delegator
+            .encrypt_bytes(&payload, b"aad", &t, &mut rng);
         group.bench_with_input(
             BenchmarkId::new("proxy_reencrypt_header_only", size),
             &ct,
@@ -47,7 +55,12 @@ fn hybrid_throughput(c: &mut Criterion) {
             BenchmarkId::new("delegatee_hybrid_decrypt", size),
             &transformed,
             |b, transformed| {
-                b.iter(|| fixture.delegatee.decrypt_bytes(transformed, b"aad").unwrap())
+                b.iter(|| {
+                    fixture
+                        .delegatee
+                        .decrypt_bytes(transformed, b"aad")
+                        .unwrap()
+                })
             },
         );
     }

@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use tibpre_core::{Delegatee, Delegator, TypeTag};
-use tibpre_ibe::{Identity, IbePublicParams, Kgc};
+use tibpre_ibe::{IbePublicParams, Identity, Kgc};
 use tibpre_pairing::{PairingParams, SecurityLevel};
 
 /// Deterministic RNG so benchmark inputs are identical across runs.
@@ -23,12 +23,38 @@ pub fn bench_rng() -> StdRng {
 /// `Toy` is included because the workload-scaling experiments (E4, E6) use it
 /// to keep wall-clock time reasonable; the op-level experiments focus on the
 /// realistic levels.
+///
+/// The sweep honours `TIBPRE_BENCH_LEVELS` (comma-separated subset of
+/// `toy,80,112,128`) so a quick run can skip the expensive parameter
+/// generation of the larger levels, which happens during fixture setup and is
+/// therefore not avoided by criterion's name filter alone.
 pub fn sweep_levels() -> Vec<SecurityLevel> {
-    vec![
+    let default = vec![
         SecurityLevel::Toy,
         SecurityLevel::Low80,
         SecurityLevel::Medium112,
-    ]
+    ];
+    match std::env::var("TIBPRE_BENCH_LEVELS") {
+        Err(_) => default,
+        Ok(spec) => {
+            let picked: Vec<SecurityLevel> = spec
+                .split(',')
+                .filter_map(|tag| match tag.trim() {
+                    "toy" => Some(SecurityLevel::Toy),
+                    "80" => Some(SecurityLevel::Low80),
+                    "112" => Some(SecurityLevel::Medium112),
+                    "128" => Some(SecurityLevel::High128),
+                    "" => None,
+                    other => panic!("unknown TIBPRE_BENCH_LEVELS entry: {other:?}"),
+                })
+                .collect();
+            if picked.is_empty() {
+                default
+            } else {
+                picked
+            }
+        }
+    }
 }
 
 /// A ready-made two-domain world: shared parameters, `KGC1`/`KGC2`, a

@@ -28,7 +28,10 @@ impl Uint {
 
     /// Parses a hexadecimal string (with or without a `0x` prefix).
     pub fn from_hex(s: &str) -> Result<Self> {
-        let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        let s = s
+            .strip_prefix("0x")
+            .or_else(|| s.strip_prefix("0X"))
+            .unwrap_or(s);
         if s.is_empty() {
             return Err(BigIntError::InvalidHex);
         }

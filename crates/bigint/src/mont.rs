@@ -119,9 +119,8 @@ impl MontCtx {
         // t has n + 2 significant slots during the loop.
         let mut t = [0u64; MAX_LIMBS + 2];
 
-        for i in 0..n {
+        for &bi in bl.iter().take(n) {
             // t += a * b[i]
-            let bi = bl[i];
             let mut carry = 0u64;
             for j in 0..n {
                 let (lo, hi) = mac(t[j], al[j], bi, carry);
@@ -302,10 +301,7 @@ impl MontCtx {
                 "sqrt_3mod4 requires modulus ≡ 3 (mod 4)",
             ));
         }
-        let exp = self
-            .modulus
-            .wrapping_add(&Uint::ONE)
-            .shr(2);
+        let exp = self.modulus.wrapping_add(&Uint::ONE).shr(2);
         Ok(self.pow(a, &exp))
     }
 }

@@ -40,9 +40,7 @@ fn small_primes() -> &'static [u64] {
             }
             i += 1;
         }
-        (2..=limit as u64)
-            .filter(|&n| sieve[n as usize])
-            .collect()
+        (2..=limit as u64).filter(|&n| sieve[n as usize]).collect()
     })
 }
 

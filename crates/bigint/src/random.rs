@@ -69,7 +69,11 @@ mod tests {
         for bits in [0usize, 1, 7, 63, 64, 65, 127, 500, MAX_BITS] {
             for _ in 0..20 {
                 let v = random_bits(&mut r, bits);
-                assert!(v.bits() <= bits, "{} bits exceeded request {bits}", v.bits());
+                assert!(
+                    v.bits() <= bits,
+                    "{} bits exceeded request {bits}",
+                    v.bits()
+                );
             }
         }
     }

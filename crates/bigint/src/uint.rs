@@ -307,7 +307,7 @@ impl Uint {
         let mut quotient = Uint::ZERO;
         let mut shifted = divisor.shl(shift);
         for i in (0..=shift).rev() {
-            if &remainder >= &shifted {
+            if remainder >= shifted {
                 remainder = remainder.wrapping_sub(&shifted);
                 quotient.set_bit(i);
             }

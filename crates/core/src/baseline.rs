@@ -23,7 +23,7 @@ use crate::{PreError, Result};
 use rand::{CryptoRng, RngCore};
 use std::collections::HashMap;
 use std::sync::Arc;
-use tibpre_ibe::{bf, Identity, IbePrivateKey, IbePublicParams, Kgc, H1_DOMAIN};
+use tibpre_ibe::{bf, IbePrivateKey, IbePublicParams, Identity, Kgc, H1_DOMAIN};
 use tibpre_pairing::{Gt, PairingParams};
 
 /// Identity-based proxy re-encryption **without** types (Green–Ateniese style).
@@ -203,11 +203,7 @@ pub mod multikey {
         }
 
         /// Direct decryption (requires the per-type key to be registered).
-        pub fn decrypt(
-            &self,
-            ciphertext: &bf::IbeCiphertext,
-            type_tag: &TypeTag,
-        ) -> Result<Gt> {
+        pub fn decrypt(&self, ciphertext: &bf::IbeCiphertext, type_tag: &TypeTag) -> Result<Gt> {
             let key = self
                 .per_type_keys
                 .get(type_tag.as_bytes())
@@ -228,8 +224,7 @@ pub mod multikey {
                 .per_type_keys
                 .get(type_tag.as_bytes())
                 .ok_or(PreError::NoMatchingKey)?;
-            let inner =
-                identity_pre::IdentityPreDelegator::new(self.domain.clone(), key.clone());
+            let inner = identity_pre::IdentityPreDelegator::new(self.domain.clone(), key.clone());
             inner.make_reencryption_key(delegatee, delegatee_domain, rng)
         }
     }
@@ -328,20 +323,17 @@ mod tests {
     fn multikey_requires_registration() {
         let (kgc1, kgc2, params, mut rng) = domains();
         let alice = Identity::new("alice");
-        let mut delegator =
-            multikey::MultiKeyDelegator::new(kgc1.public_params().clone(), alice);
+        let mut delegator = multikey::MultiKeyDelegator::new(kgc1.public_params().clone(), alice);
         let t = TypeTag::new("unregistered");
         let m = params.random_gt(&mut rng);
         let ct = delegator.encrypt(&m, &t, &mut rng);
-        assert_eq!(delegator.decrypt(&ct, &t).unwrap_err(), PreError::NoMatchingKey);
+        assert_eq!(
+            delegator.decrypt(&ct, &t).unwrap_err(),
+            PreError::NoMatchingKey
+        );
         assert_eq!(
             delegator
-                .make_reencryption_key(
-                    &Identity::new("bob"),
-                    kgc2.public_params(),
-                    &t,
-                    &mut rng
-                )
+                .make_reencryption_key(&Identity::new("bob"), kgc2.public_params(), &t, &mut rng)
                 .unwrap_err(),
             PreError::NoMatchingKey
         );
@@ -353,13 +345,15 @@ mod tests {
     fn multikey_types_are_isolated_by_virtual_identity() {
         let (kgc1, _kgc2, params, mut rng) = domains();
         let alice = Identity::new("alice");
-        let mut delegator =
-            multikey::MultiKeyDelegator::new(kgc1.public_params().clone(), alice);
+        let mut delegator = multikey::MultiKeyDelegator::new(kgc1.public_params().clone(), alice);
         let t1 = TypeTag::new("t1");
         let t2 = TypeTag::new("t2");
         delegator.register_type(&kgc1, &t1);
         delegator.register_type(&kgc1, &t2);
-        assert_ne!(delegator.virtual_identity(&t1), delegator.virtual_identity(&t2));
+        assert_ne!(
+            delegator.virtual_identity(&t1),
+            delegator.virtual_identity(&t2)
+        );
         let m = params.random_gt(&mut rng);
         let ct = delegator.encrypt(&m, &t1, &mut rng);
         // Decrypting a t1 ciphertext with the t2 key yields garbage.

@@ -3,7 +3,7 @@
 use crate::proxy::ReEncryptedCiphertext;
 use crate::{PreError, Result};
 use std::sync::Arc;
-use tibpre_ibe::{bf, Identity, IbePrivateKey, H1_DOMAIN};
+use tibpre_ibe::{bf, IbePrivateKey, Identity, H1_DOMAIN};
 use tibpre_pairing::{Gt, PairingParams};
 
 /// The delegatee: holds a private key extracted by *their own* KGC (the

@@ -6,7 +6,7 @@ use crate::types::TypeTag;
 use crate::{PreError, Result, H2_DOMAIN};
 use rand::{CryptoRng, RngCore};
 use std::sync::Arc;
-use tibpre_ibe::{bf, Identity, IbePrivateKey, IbePublicParams, H1_DOMAIN};
+use tibpre_ibe::{bf, IbePrivateKey, IbePublicParams, Identity, H1_DOMAIN};
 use tibpre_pairing::{G1Affine, Gt, PairingParams, Scalar};
 
 /// A typed ciphertext `(c1, c2, c3) = (g^r, m · ê(pk_id, pk₁)^{r·H2(sk‖t)}, t)`.
@@ -188,11 +188,7 @@ impl Delegator {
         // rk₂ = sk_idi^{−H2(sk_idi ‖ t)} · H1(X)
         let exponent = self.type_exponent(type_tag).neg();
         let h1_of_x = params.hash_to_g1(H1_DOMAIN, &[&x.to_bytes()])?;
-        let rk_point = self
-            .private_key
-            .key()
-            .mul_scalar(&exponent)
-            .add(&h1_of_x);
+        let rk_point = self.private_key.key().mul_scalar(&exponent).add(&h1_of_x);
         Ok(ReEncryptionKey::new(
             self.identity().clone(),
             delegatee.clone(),
@@ -302,8 +298,7 @@ mod tests {
         let alice = Identity::new("alice");
         let mallory = Identity::new("mallory");
         let alice_delegator = Delegator::new(kgc.public_params().clone(), kgc.extract(&alice));
-        let mallory_delegator =
-            Delegator::new(kgc.public_params().clone(), kgc.extract(&mallory));
+        let mallory_delegator = Delegator::new(kgc.public_params().clone(), kgc.extract(&mallory));
         let m = params.random_gt(&mut rng);
         let forged = mallory_delegator.encrypt_typed(&m, &TypeTag::new("t"), &mut rng);
         // Alice's decryption of Mallory's ciphertext does not yield m.
@@ -315,11 +310,8 @@ mod tests {
         let (delegator, _params, mut rng) = setup();
         // A domain over *different* pairing parameters must be rejected.
         let mut other_rng = StdRng::seed_from_u64(53);
-        let other_params = PairingParams::generate(
-            tibpre_pairing::SecurityLevel::Toy,
-            &mut other_rng,
-        )
-        .unwrap();
+        let other_params =
+            PairingParams::generate(tibpre_pairing::SecurityLevel::Toy, &mut other_rng).unwrap();
         let other_kgc = Kgc::setup(other_params, "foreign", &mut other_rng);
         let result = delegator.make_reencryption_key(
             &Identity::new("bob"),

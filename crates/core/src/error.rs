@@ -47,7 +47,10 @@ impl fmt::Display for PreError {
             ),
             PreError::NoMatchingKey => write!(f, "no matching re-encryption key"),
             PreError::IncompatibleDomains => {
-                write!(f, "the delegator and delegatee domains do not share parameters")
+                write!(
+                    f,
+                    "the delegator and delegatee domains do not share parameters"
+                )
             }
             PreError::InvalidEncoding(why) => write!(f, "invalid encoding: {why}"),
             PreError::GameConstraintViolated(why) => {

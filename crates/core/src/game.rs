@@ -22,7 +22,7 @@ use crate::{PreError, Result};
 use rand::{CryptoRng, RngCore};
 use std::collections::HashSet;
 use std::sync::Arc;
-use tibpre_ibe::{Identity, IbePrivateKey, IbePublicParams, Kgc};
+use tibpre_ibe::{IbePrivateKey, IbePublicParams, Identity, Kgc};
 use tibpre_pairing::{Gt, PairingParams};
 
 /// The challenger of the IND-ID-DR-CPA game.
@@ -147,12 +147,7 @@ impl Challenger {
         );
         // The challenger uses fresh internal randomness for the oracle answer.
         let mut rng = rand::rngs::OsRng;
-        delegator.make_reencryption_key(
-            delegatee_id,
-            self.kgc2.public_params(),
-            type_tag,
-            &mut rng,
-        )
+        delegator.make_reencryption_key(delegatee_id, self.kgc2.public_params(), type_tag, &mut rng)
     }
 
     /// `Preenc†` oracle: encrypts `m` under `(t, id)` and immediately
@@ -258,8 +253,11 @@ impl Challenger {
 /// An adversary strategy for the IND-ID-DR-CPA game.
 pub trait Adversary {
     /// Plays one full game against the challenger and returns its guess.
-    fn play<R: RngCore + CryptoRng>(&mut self, challenger: &mut Challenger, rng: &mut R)
-        -> Result<bool>;
+    fn play<R: RngCore + CryptoRng>(
+        &mut self,
+        challenger: &mut Challenger,
+        rng: &mut R,
+    ) -> Result<bool>;
 }
 
 /// Runs `iterations` independent games and returns the fraction the adversary won.

@@ -181,7 +181,9 @@ mod tests {
         // The body is forwarded untouched.
         assert_eq!(transformed.body, ct.body);
         assert_eq!(
-            f.delegatee.decrypt_bytes(&transformed, b"record-42").unwrap(),
+            f.delegatee
+                .decrypt_bytes(&transformed, b"record-42")
+                .unwrap(),
             record
         );
     }
@@ -247,9 +249,7 @@ mod tests {
         let mut f = fixture();
         let t = TypeTag::new("imaging");
         let big_payload = vec![0x5Au8; 1 << 16];
-        let ct = f
-            .delegator
-            .encrypt_bytes(&big_payload, b"", &t, &mut f.rng);
+        let ct = f.delegator.encrypt_bytes(&big_payload, b"", &t, &mut f.rng);
         let rk = f
             .delegator
             .make_reencryption_key(&f.delegatee_id, &f.kgc2_pp, &t, &mut f.rng)

@@ -51,7 +51,9 @@ impl ReEncryptedCiphertext {
         let ibe_len = IbeCiphertext::serialized_len(params);
         let fixed = g1_len + gt_len + ibe_len;
         if bytes.len() < fixed + 8 {
-            return Err(PreError::InvalidEncoding("re-encrypted ciphertext too short"));
+            return Err(PreError::InvalidEncoding(
+                "re-encrypted ciphertext too short",
+            ));
         }
         let c1 = G1Affine::from_bytes(params.fp_ctx(), &bytes[..g1_len])?;
         let c2 = Gt::from_bytes_unchecked(params.fp_ctx(), &bytes[g1_len..g1_len + gt_len])?;
@@ -61,14 +63,18 @@ impl ReEncryptedCiphertext {
         let mut fields = Vec::new();
         for _ in 0..2 {
             if bytes.len() < offset + 4 {
-                return Err(PreError::InvalidEncoding("re-encrypted ciphertext truncated"));
+                return Err(PreError::InvalidEncoding(
+                    "re-encrypted ciphertext truncated",
+                ));
             }
             let mut len_bytes = [0u8; 4];
             len_bytes.copy_from_slice(&bytes[offset..offset + 4]);
             let len = u32::from_be_bytes(len_bytes) as usize;
             offset += 4;
             if bytes.len() < offset + len {
-                return Err(PreError::InvalidEncoding("re-encrypted ciphertext truncated"));
+                return Err(PreError::InvalidEncoding(
+                    "re-encrypted ciphertext truncated",
+                ));
             }
             fields.push(bytes[offset..offset + len].to_vec());
             offset += len;
@@ -126,8 +132,12 @@ pub fn re_encrypt(
 /// convert types it holds no key for.
 pub struct Proxy {
     name: String,
-    keys: HashMap<(Vec<u8>, Vec<u8>, Vec<u8>), ReEncryptionKey>,
+    keys: HashMap<ProxyKeyIndex, ReEncryptionKey>,
 }
+
+/// The lookup index of an installed re-encryption key:
+/// serialized (delegator identity, type tag, delegatee identity).
+type ProxyKeyIndex = (Vec<u8>, Vec<u8>, Vec<u8>);
 
 impl Proxy {
     /// Creates an empty proxy service.
@@ -188,12 +198,7 @@ impl Proxy {
     }
 
     /// Returns `true` if a key for the triple is installed.
-    pub fn has_key(
-        &self,
-        delegator: &Identity,
-        type_tag: &TypeTag,
-        delegatee: &Identity,
-    ) -> bool {
+    pub fn has_key(&self, delegator: &Identity, type_tag: &TypeTag, delegatee: &Identity) -> bool {
         self.key_for(delegator, type_tag, delegatee).is_some()
     }
 
@@ -224,7 +229,7 @@ impl Proxy {
         re_encrypt(ciphertext, key)
     }
 
-    fn index_of(key: &ReEncryptionKey) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+    fn index_of(key: &ReEncryptionKey) -> ProxyKeyIndex {
         (
             key.delegator().as_bytes().to_vec(),
             key.type_tag().as_bytes().to_vec(),

@@ -80,15 +80,27 @@ impl core::fmt::Display for SizeReport {
         writeln!(f, "  G_1 (target) element     {:>6} B", self.gt_element)?;
         writeln!(f, "  scalar                   {:>6} B", self.scalar)?;
         writeln!(f, "  private key              {:>6} B", self.private_key)?;
-        writeln!(f, "  typed ciphertext         {:>6} B", self.typed_ciphertext)?;
+        writeln!(
+            f,
+            "  typed ciphertext         {:>6} B",
+            self.typed_ciphertext
+        )?;
         writeln!(f, "  IBE ciphertext           {:>6} B", self.ibe_ciphertext)?;
-        writeln!(f, "  re-encryption key        {:>6} B", self.reencryption_key)?;
+        writeln!(
+            f,
+            "  re-encryption key        {:>6} B",
+            self.reencryption_key
+        )?;
         writeln!(
             f,
             "  re-encrypted ciphertext  {:>6} B",
             self.reencrypted_ciphertext
         )?;
-        write!(f, "  hybrid overhead          {:>6} B", self.hybrid_overhead)
+        write!(
+            f,
+            "  hybrid overhead          {:>6} B",
+            self.hybrid_overhead
+        )
     }
 }
 
@@ -124,7 +136,10 @@ mod tests {
             report.typed_ciphertext,
             TypedCiphertext::serialized_len(&params, 0)
         );
-        assert_eq!(report.ibe_ciphertext, IbeCiphertext::serialized_len(&params));
+        assert_eq!(
+            report.ibe_ciphertext,
+            IbeCiphertext::serialized_len(&params)
+        );
 
         let rk = delegator
             .make_reencryption_key(&bob, kgc2.public_params(), &t, &mut rng)

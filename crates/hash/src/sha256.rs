@@ -28,7 +28,7 @@ fn first_primes(n: usize) -> Vec<u64> {
     let mut primes = Vec::with_capacity(n);
     let mut candidate = 2u64;
     while primes.len() < n {
-        if primes.iter().all(|&p| candidate % p != 0) {
+        if primes.iter().all(|&p| !candidate.is_multiple_of(p)) {
             primes.push(candidate);
         }
         candidate += 1;
@@ -155,8 +155,12 @@ impl Sha256 {
         let mut padding = Vec::with_capacity(BLOCK_LEN * 2);
         padding.push(0x80u8);
         let after = (self.buffer_len + 1) % BLOCK_LEN;
-        let zeros = if after <= 56 { 56 - after } else { 56 + BLOCK_LEN - after };
-        padding.extend(std::iter::repeat(0u8).take(zeros));
+        let zeros = if after <= 56 {
+            56 - after
+        } else {
+            56 + BLOCK_LEN - after
+        };
+        padding.extend(std::iter::repeat_n(0u8, zeros));
         padding.extend_from_slice(&bit_len.to_be_bytes());
         // Do not let the padding bytes count towards the message length.
         let saved_len = self.total_len;

@@ -29,7 +29,7 @@ fn round_constants() -> &'static [u64; KECCAK_ROUNDS] {
     RC.get_or_init(|| {
         // rc(t): the degree-8 LFSR of FIPS 202 Algorithm 5, with R[0] as the LSB.
         fn rc_bit(t: usize) -> u64 {
-            if t % 255 == 0 {
+            if t.is_multiple_of(255) {
                 return 1;
             }
             let mut r: u32 = 1;
@@ -77,7 +77,7 @@ fn rho_offsets() -> &'static [u32; STATE_LANES] {
 pub fn keccak_f1600(state: &mut [u64; STATE_LANES]) {
     let rc = round_constants();
     let rho = rho_offsets();
-    for round in 0..KECCAK_ROUNDS {
+    for &round_constant in rc.iter() {
         // θ
         let mut c = [0u64; 5];
         for (x, cx) in c.iter_mut().enumerate() {
@@ -106,7 +106,7 @@ pub fn keccak_f1600(state: &mut [u64; STATE_LANES]) {
             }
         }
         // ι
-        state[0] ^= rc[round];
+        state[0] ^= round_constant;
     }
 }
 
@@ -305,11 +305,11 @@ mod tests {
         // Published offset table (x + 5y indexing).
         assert_eq!(rho[0], 0); // (0,0)
         assert_eq!(rho[1], 1); // (1,0)
-        assert_eq!(rho[2 + 5 * 0], 62); // (2,0)
-        assert_eq!(rho[1 + 5 * 1], 44); // (1,1)
+        assert_eq!(rho[2], 62); // (2,0)
+        assert_eq!(rho[1 + 5], 44); // (1,1)
         assert_eq!(rho[2 + 5 * 2], 43); // (2,2)
         assert_eq!(rho[4 + 5 * 4], 14); // (4,4)
-        // Every offset is in range and the 24 non-origin lanes are all assigned.
+                                        // Every offset is in range and the 24 non-origin lanes are all assigned.
         let nonzero = rho.iter().filter(|&&r| r != 0).count();
         assert!(nonzero >= 23);
     }
@@ -415,6 +415,9 @@ mod tests {
             .zip(b.iter())
             .map(|(x, y)| (x ^ y).count_ones())
             .sum();
-        assert!(differing > 80 && differing < 176, "differing bits: {differing}");
+        assert!(
+            differing > 80 && differing < 176,
+            "differing bits: {differing}"
+        );
     }
 }

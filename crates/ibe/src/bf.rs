@@ -43,8 +43,8 @@ impl IbeCiphertext {
         if bytes.len() != g1_len + gt_len {
             return Err(IbeError::InvalidCiphertext("wrong ciphertext length"));
         }
-        let c1 = G1Affine::from_bytes(params.fp_ctx(), &bytes[..g1_len])
-            .map_err(IbeError::Pairing)?;
+        let c1 =
+            G1Affine::from_bytes(params.fp_ctx(), &bytes[..g1_len]).map_err(IbeError::Pairing)?;
         if !c1.is_in_subgroup(params.q()) {
             return Err(IbeError::InvalidCiphertext(
                 "c1 is not in the prime-order subgroup",

@@ -79,8 +79,8 @@ impl IbeXorCiphertext {
         if bytes.len() < g1_len + 8 {
             return Err(IbeError::InvalidCiphertext("too short"));
         }
-        let c1 = G1Affine::from_bytes(params.fp_ctx(), &bytes[..g1_len])
-            .map_err(IbeError::Pairing)?;
+        let c1 =
+            G1Affine::from_bytes(params.fp_ctx(), &bytes[..g1_len]).map_err(IbeError::Pairing)?;
         let mut len_bytes = [0u8; 8];
         len_bytes.copy_from_slice(&bytes[g1_len..g1_len + 8]);
         let body_len = u64::from_be_bytes(len_bytes) as usize;

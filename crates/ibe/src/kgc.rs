@@ -272,8 +272,7 @@ mod tests {
         let sk = kgc.extract(&id);
         let bytes = sk.to_bytes();
         let params = kgc.public_params().pairing();
-        let restored =
-            IbePrivateKey::from_bytes(params, id.clone(), "test-kgc", &bytes).unwrap();
+        let restored = IbePrivateKey::from_bytes(params, id.clone(), "test-kgc", &bytes).unwrap();
         assert_eq!(restored.key(), sk.key());
         assert!(IbePrivateKey::from_bytes(params, id, "test-kgc", &bytes[1..]).is_err());
     }

@@ -123,8 +123,7 @@ impl G1Affine {
             return self.double();
         }
         // λ = (y2 − y1) / (x2 − x1)
-        let lambda = (&other.y - &self.y)
-            .mul(&(&other.x - &self.x).invert().expect("x1 != x2"));
+        let lambda = (&other.y - &self.y).mul(&(&other.x - &self.x).invert().expect("x1 != x2"));
         let x3 = &(&lambda.square() - &self.x) - &other.x;
         let y3 = &lambda.mul(&(&self.x - &x3)) - &self.y;
         G1Affine {
@@ -348,14 +347,57 @@ impl G1Projective {
         self.add(&G1Projective::from_affine(other))
     }
 
-    /// Scalar multiplication by double-and-add over the bits of `k`.
+    /// Scalar multiplication by a fixed 4-bit window over the bits of `k`:
+    /// one table of the odd-and-even multiples `1·P … 15·P` up front, then
+    /// four doublings plus at most one table addition per window — roughly
+    /// half the additions of plain double-and-add for the scalar sizes the
+    /// scheme uses.
     pub fn mul_uint(&self, k: &Uint) -> G1Projective {
+        const WINDOW: usize = 4;
+        const TABLE_LEN: usize = (1 << WINDOW) - 1;
+
         let bits = k.bits();
+        if bits == 0 || self.is_identity() {
+            return Self::identity(self.ctx());
+        }
+        if bits <= WINDOW {
+            // Tiny scalars: the table would cost more than it saves.
+            let mut acc = Self::identity(self.ctx());
+            for i in (0..bits).rev() {
+                acc = acc.double();
+                if k.bit(i) {
+                    acc = acc.add(self);
+                }
+            }
+            return acc;
+        }
+
+        // table[j] = (j + 1)·P; even multiples come from a doubling, odd ones
+        // from one addition.
+        let mut table: Vec<G1Projective> = Vec::with_capacity(TABLE_LEN);
+        table.push(self.clone());
+        for j in 1..TABLE_LEN {
+            let next = if (j + 1) % 2 == 0 {
+                table[j.div_ceil(2) - 1].double()
+            } else {
+                table[j - 1].add(self)
+            };
+            table.push(next);
+        }
+
+        let windows = bits.div_ceil(WINDOW);
         let mut acc = Self::identity(self.ctx());
-        for i in (0..bits).rev() {
-            acc = acc.double();
-            if k.bit(i) {
-                acc = acc.add(self);
+        for w in (0..windows).rev() {
+            for _ in 0..WINDOW {
+                acc = acc.double();
+            }
+            let mut idx = 0usize;
+            for b in (0..WINDOW).rev() {
+                let i = w * WINDOW + b;
+                idx = (idx << 1) | usize::from(i < bits && k.bit(i));
+            }
+            if idx != 0 {
+                acc = acc.add(&table[idx - 1]);
             }
         }
         acc
@@ -472,10 +514,7 @@ mod tests {
             assert_eq!(pp.add(&qq).to_affine(), p.add(&q));
             assert_eq!(pp.double().to_affine(), p.double());
             assert_eq!(pp.add(&pp).to_affine(), p.double());
-            assert_eq!(
-                pp.add(&G1Projective::identity(&c)).to_affine(),
-                p
-            );
+            assert_eq!(pp.add(&G1Projective::identity(&c)).to_affine(), p);
             // Adding the negation gives the identity.
             let neg = G1Projective::from_affine(&p.neg());
             assert!(pp.add(&neg).is_identity());
@@ -502,10 +541,7 @@ mod tests {
         let a = Uint::from_u64(123456789);
         let b = Uint::from_u64(987654321);
         let sum = a.checked_add(&b).unwrap();
-        assert_eq!(
-            p.mul_uint(&a).add(&p.mul_uint(&b)),
-            p.mul_uint(&sum)
-        );
+        assert_eq!(p.mul_uint(&a).add(&p.mul_uint(&b)), p.mul_uint(&sum));
         // (a*b)P == a(bP)
         let prod = a.checked_mul(&b).unwrap();
         assert_eq!(p.mul_uint(&b).mul_uint(&a), p.mul_uint(&prod));

@@ -45,7 +45,6 @@ impl FpCtx {
     pub fn byte_len(&self) -> usize {
         self.byte_len
     }
-
 }
 
 /// An element of `F_p` (Montgomery form internally).
@@ -324,15 +323,9 @@ mod tests {
         let c = ctx();
         let a = Fp::from_u64(&c, 1234567);
         let b = Fp::from_u64(&c, 7654321);
-        assert_eq!(
-            (&a + &b).to_uint(),
-            Uint::from_u64(1234567 + 7654321)
-        );
+        assert_eq!((&a + &b).to_uint(), Uint::from_u64(1234567 + 7654321));
         assert_eq!((&b - &a).to_uint(), Uint::from_u64(7654321 - 1234567));
-        assert_eq!(
-            (&a * &b).to_uint(),
-            Uint::from_u128(1234567u128 * 7654321)
-        );
+        assert_eq!((&a * &b).to_uint(), Uint::from_u128(1234567u128 * 7654321));
         assert_eq!(a.double(), &a + &a);
         assert_eq!(a.square(), &a * &a);
         assert_eq!(&a + &a.neg(), Fp::zero(&c));
@@ -355,7 +348,7 @@ mod tests {
         let c = ctx();
         let a = Fp::from_u64(&c, 987654321);
         let inv = a.invert().unwrap();
-        assert!( (&a * &inv).is_one());
+        assert!((&a * &inv).is_one());
         assert!(Fp::zero(&c).invert().is_err());
     }
 

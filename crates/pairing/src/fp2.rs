@@ -301,10 +301,7 @@ mod tests {
         // conj(conj(z)) == z and conj is multiplicative.
         assert_eq!(a.conjugate().conjugate(), a);
         let b = Fp2::random(&c, &mut r);
-        assert_eq!(
-            a.mul(&b).conjugate(),
-            a.conjugate().mul(&b.conjugate())
-        );
+        assert_eq!(a.mul(&b).conjugate(), a.conjugate().mul(&b.conjugate()));
     }
 
     #[test]

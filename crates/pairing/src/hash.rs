@@ -60,11 +60,7 @@ pub fn hash_to_scalar(ctx: &Arc<ScalarCtx>, domain: &str, fields: &[&[u8]]) -> S
 /// Hashes the given fields onto the order-`q` subgroup of the curve.
 ///
 /// This is the paper's `H1` when invoked with the `"TIBPRE-H1"` domain.
-pub fn hash_to_curve(
-    params: &PairingParams,
-    domain: &str,
-    fields: &[&[u8]],
-) -> Result<G1Affine> {
+pub fn hash_to_curve(params: &PairingParams, domain: &str, fields: &[&[u8]]) -> Result<G1Affine> {
     let ctx = params.fp_ctx();
     for counter in 0..HASH_TO_CURVE_BUDGET {
         let mut hasher = DomainSeparatedHasher::new(domain);

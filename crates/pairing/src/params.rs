@@ -385,8 +385,7 @@ mod tests {
     }
 
     #[test]
-    fn random_elements_have_the_right_order()
-    {
+    fn random_elements_have_the_right_order() {
         let pp = params();
         let mut r = rng();
         let g1 = pp.random_g1(&mut r);

@@ -198,8 +198,8 @@ mod tests {
     fn arithmetic_matches_u128_reference() {
         let q = (1u128 << 61) - 1;
         let c = ctx();
-        let a = 0x1234_5678_9ABC_DEFu64;
-        let b = 0x0FED_CBA9_8765_432u64;
+        let a = 0x0123_4567_89AB_CDEF_u64;
+        let b = 0x00FE_DCBA_9876_5432_u64;
         let sa = Scalar::from_u64(&c, a);
         let sb = Scalar::from_u64(&c, b);
         assert_eq!(

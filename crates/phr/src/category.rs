@@ -59,12 +59,7 @@ impl Category {
             "lab-results" => Category::LabResults,
             "vaccinations" => Category::Vaccinations,
             "mental-health" => Category::MentalHealth,
-            other => Category::Custom(
-                other
-                    .strip_prefix("custom:")
-                    .unwrap_or(other)
-                    .to_string(),
-            ),
+            other => Category::Custom(other.strip_prefix("custom:").unwrap_or(other).to_string()),
         }
     }
 
@@ -119,9 +114,6 @@ mod tests {
     #[test]
     fn display_matches_label() {
         assert_eq!(Category::Emergency.to_string(), "emergency");
-        assert_eq!(
-            Category::Custom("sleep".into()).to_string(),
-            "custom:sleep"
-        );
+        assert_eq!(Category::Custom("sleep".into()).to_string(), "custom:sleep");
     }
 }

@@ -13,7 +13,7 @@ use crate::proxy_service::ProxyService;
 use crate::record::DisclosedRecord;
 use crate::{PhrError, Result};
 use rand::{CryptoRng, RngCore};
-use tibpre_ibe::{Identity, IbePublicParams};
+use tibpre_ibe::{IbePublicParams, Identity};
 
 /// The standing emergency data set the paper suggests keeping available:
 /// blood group, allergies, current medication, emergency contact.

@@ -33,7 +33,10 @@ impl fmt::Display for PhrError {
             PhrError::AccessDenied {
                 category,
                 requester,
-            } => write!(f, "access to category '{category}' denied for '{requester}'"),
+            } => write!(
+                f,
+                "access to category '{category}' denied for '{requester}'"
+            ),
             PhrError::NoProxyForCategory(c) => {
                 write!(f, "no proxy is responsible for category '{c}'")
             }

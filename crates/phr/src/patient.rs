@@ -9,7 +9,7 @@ use crate::store::EncryptedPhrStore;
 use crate::{PhrError, Result};
 use rand::{CryptoRng, RngCore};
 use tibpre_core::Delegator;
-use tibpre_ibe::{Identity, IbePublicParams, Kgc};
+use tibpre_ibe::{IbePublicParams, Identity, Kgc};
 
 /// A patient: the owner (and delegator) of a personal health record.
 pub struct Patient {
@@ -88,8 +88,7 @@ impl Patient {
                 requester: self.identity().display(),
             });
         }
-        let aad =
-            HealthRecord::associated_data(&stored.patient, &stored.category, &stored.title);
+        let aad = HealthRecord::associated_data(&stored.patient, &stored.category, &stored.title);
         let body = self
             .delegator
             .decrypt_bytes(&stored.ciphertext, &aad)

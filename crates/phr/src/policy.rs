@@ -108,7 +108,11 @@ mod tests {
 
         assert!(policy.add_grant(Category::IllnessHistory, doctor.clone(), "hospital-proxy"));
         assert!(!policy.add_grant(Category::IllnessHistory, doctor.clone(), "hospital-proxy"));
-        assert!(policy.add_grant(Category::FoodStatistics, dietician.clone(), "wellness-proxy"));
+        assert!(policy.add_grant(
+            Category::FoodStatistics,
+            dietician.clone(),
+            "wellness-proxy"
+        ));
 
         assert!(policy.is_granted(&Category::IllnessHistory, &doctor));
         assert!(!policy.is_granted(&Category::IllnessHistory, &dietician));

@@ -1,10 +1,10 @@
 //! Healthcare providers — the delegatees of the PHR scenario.
 
-use crate::record::{DisclosedRecord, HealthRecord};
 use crate::proxy_service::DisclosureBundle;
+use crate::record::{DisclosedRecord, HealthRecord};
 use crate::{PhrError, Result};
 use tibpre_core::Delegatee;
-use tibpre_ibe::{Identity, IbePrivateKey};
+use tibpre_ibe::{IbePrivateKey, Identity};
 
 /// A healthcare provider (doctor, dietician, emergency team, …) holding a key
 /// extracted by *their own* KGC (the paper's `KGC2`).
@@ -32,8 +32,7 @@ impl HealthcareProvider {
 
     /// Opens a disclosure bundle received from a proxy.
     pub fn open(&self, bundle: &DisclosureBundle) -> Result<DisclosedRecord> {
-        let aad =
-            HealthRecord::associated_data(&bundle.patient, &bundle.category, &bundle.title);
+        let aad = HealthRecord::associated_data(&bundle.patient, &bundle.category, &bundle.title);
         let body = self
             .delegatee
             .decrypt_bytes(&bundle.ciphertext, &aad)

@@ -70,7 +70,8 @@ impl ProxyService {
             grantee: grantee.clone(),
             at,
         });
-        self.store.log_policy_change(&patient, &category, &grantee, true);
+        self.store
+            .log_policy_change(&patient, &category, &grantee, true);
     }
 
     /// Removes a re-encryption key (revocation).
@@ -93,7 +94,8 @@ impl ProxyService {
                 grantee: grantee.clone(),
                 at,
             });
-            self.store.log_policy_change(patient, category, grantee, false);
+            self.store
+                .log_policy_change(patient, category, grantee, false);
         }
         removed
     }

@@ -52,7 +52,11 @@ impl HealthRecord {
     /// decryption failing.
     pub fn associated_data(patient: &Identity, category: &Category, title: &str) -> Vec<u8> {
         let mut aad = Vec::new();
-        for field in [patient.as_bytes(), category.label().as_bytes(), title.as_bytes()] {
+        for field in [
+            patient.as_bytes(),
+            category.label().as_bytes(),
+            title.as_bytes(),
+        ] {
             aad.extend((field.len() as u32).to_be_bytes());
             aad.extend(field);
         }

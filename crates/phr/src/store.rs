@@ -338,7 +338,12 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let patient = Identity::new(format!("patient-{thread_id}"));
                 for i in 0..25 {
-                    store.put(&patient, &Category::LabResults, &format!("r{i}"), ct.clone());
+                    store.put(
+                        &patient,
+                        &Category::LabResults,
+                        &format!("r{i}"),
+                        ct.clone(),
+                    );
                 }
                 store.count_for_patient(&patient)
             }));

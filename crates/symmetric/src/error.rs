@@ -30,7 +30,10 @@ impl fmt::Display for SymmetricError {
                 what,
                 expected,
                 actual,
-            } => write!(f, "invalid {what} length: expected {expected}, got {actual}"),
+            } => write!(
+                f,
+                "invalid {what} length: expected {expected}, got {actual}"
+            ),
             SymmetricError::MalformedCiphertext(why) => {
                 write!(f, "malformed ciphertext: {why}")
             }

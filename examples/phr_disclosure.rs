@@ -34,13 +34,33 @@ fn main() {
     banner("Alice fills her PHR");
     let mut alice = Patient::new("alice@phr.example", &patient_kgc);
     let records = vec![
-        (Category::IllnessHistory, "2007 angioplasty", "stent placed in LAD, no complications"),
-        (Category::IllnessHistory, "hypertension", "diagnosed 2005, on lisinopril"),
-        (Category::Medication, "current prescriptions", "lisinopril 10mg, aspirin 80mg"),
-        (Category::FoodStatistics, "2008-W14 food diary", "2100 kcal/day average, low sodium"),
+        (
+            Category::IllnessHistory,
+            "2007 angioplasty",
+            "stent placed in LAD, no complications",
+        ),
+        (
+            Category::IllnessHistory,
+            "hypertension",
+            "diagnosed 2005, on lisinopril",
+        ),
+        (
+            Category::Medication,
+            "current prescriptions",
+            "lisinopril 10mg, aspirin 80mg",
+        ),
+        (
+            Category::FoodStatistics,
+            "2008-W14 food diary",
+            "2100 kcal/day average, low sodium",
+        ),
         (Category::Emergency, "blood group", "O negative"),
         (Category::Emergency, "allergies", "penicillin"),
-        (Category::MentalHealth, "therapy notes", "…strictly private…"),
+        (
+            Category::MentalHealth,
+            "therapy notes",
+            "…strictly private…",
+        ),
     ];
     let mut stored = Vec::new();
     for (category, title, body) in &records {
@@ -52,9 +72,15 @@ fn main() {
         );
         let id = alice.store_record(&store, &record, &mut rng).unwrap();
         stored.push((id, category.clone(), title.to_string()));
-        println!("  stored {id} [{category}] '{title}' ({})", human_bytes(body.len()));
+        println!(
+            "  stored {id} [{category}] '{title}' ({})",
+            human_bytes(body.len())
+        );
     }
-    println!("the store only ever sees ciphertexts: {} records", store.record_count());
+    println!(
+        "the store only ever sees ciphertexts: {} records",
+        store.record_count()
+    );
 
     banner("Care team");
     let cardiologist = Identity::new("dr.smith@heart-clinic.example");
@@ -66,16 +92,37 @@ fn main() {
 
     banner("Alice's disclosure policy (one key pair, per-category grants)");
     alice
-        .grant_access(Category::IllnessHistory, &cardiologist, provider_kgc.public_params(), &mut hospital_proxy, &mut rng)
+        .grant_access(
+            Category::IllnessHistory,
+            &cardiologist,
+            provider_kgc.public_params(),
+            &mut hospital_proxy,
+            &mut rng,
+        )
         .unwrap();
     alice
-        .grant_access(Category::Medication, &cardiologist, provider_kgc.public_params(), &mut hospital_proxy, &mut rng)
+        .grant_access(
+            Category::Medication,
+            &cardiologist,
+            provider_kgc.public_params(),
+            &mut hospital_proxy,
+            &mut rng,
+        )
         .unwrap();
     alice
-        .grant_access(Category::FoodStatistics, &dietician, provider_kgc.public_params(), &mut wellness_proxy, &mut rng)
+        .grant_access(
+            Category::FoodStatistics,
+            &dietician,
+            provider_kgc.public_params(),
+            &mut wellness_proxy,
+            &mut rng,
+        )
         .unwrap();
     for grant in alice.policy().grants() {
-        println!("  grant: {} → {} via {}", grant.category, grant.grantee, grant.proxy);
+        println!(
+            "  grant: {} → {} via {}",
+            grant.category, grant.grantee, grant.proxy
+        );
     }
 
     banner("Disclosures");
@@ -110,7 +157,11 @@ fn main() {
     banner("Alice reads her own mental-health notes directly");
     let mental_ids = store.list_for_patient_category(alice.identity(), &Category::MentalHealth);
     let own = alice.read_own_record(&store, mental_ids[0]).unwrap();
-    println!("  '{}' -> \"{}\"", own.title, String::from_utf8_lossy(&own.body));
+    println!(
+        "  '{}' -> \"{}\"",
+        own.title,
+        String::from_utf8_lossy(&own.body)
+    );
 
     banner("Revocation");
     alice

@@ -49,7 +49,10 @@ fn main() {
         "typed ciphertext size: {} bytes",
         ct_illness.to_bytes().len()
     );
-    assert_eq!(delegator.decrypt_typed(&ct_illness).unwrap(), secret_illness);
+    assert_eq!(
+        delegator.decrypt_typed(&ct_illness).unwrap(),
+        secret_illness
+    );
     println!("Decrypt1 by the delegator round-trips ✓");
 
     banner("Pextract: delegate ONLY the illness history to the doctor");

@@ -73,11 +73,17 @@ fn main() {
         &mut rng,
     )
     .unwrap();
-    println!("  emergency access provisioned for {er_team} via {}", us_proxy.name());
+    println!(
+        "  emergency access provisioned for {er_team} via {}",
+        us_proxy.name()
+    );
 
     banner("Emergency in the US");
     let disclosed = emergency_disclosure(&us_proxy, alice.identity(), &er_provider).unwrap();
-    println!("the emergency team obtained {} records on demand:", disclosed.len());
+    println!(
+        "the emergency team obtained {} records on demand:",
+        disclosed.len()
+    );
     for record in &disclosed {
         println!(
             "  [{}] {} -> \"{}\"",

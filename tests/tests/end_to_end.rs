@@ -105,7 +105,10 @@ fn type_isolation_between_two_delegatees() {
 
     // The intended flows work.
     let for_bob = proxy::re_encrypt(&ct_illness, &rk_bob).unwrap();
-    assert_eq!(bob_delegatee.decrypt_reencrypted(&for_bob).unwrap(), m_illness);
+    assert_eq!(
+        bob_delegatee.decrypt_reencrypted(&for_bob).unwrap(),
+        m_illness
+    );
     let for_charlie = proxy::re_encrypt(&ct_diet, &rk_charlie).unwrap();
     assert_eq!(
         charlie_delegatee.decrypt_reencrypted(&for_charlie).unwrap(),
@@ -180,8 +183,7 @@ fn hybrid_mode_end_to_end_with_serialization() {
 
     // Exercise the wire formats of the header on the way.
     let header_bytes = ct.header.to_bytes();
-    let parsed_header =
-        tibpre_core::TypedCiphertext::from_bytes(&w.params, &header_bytes).unwrap();
+    let parsed_header = tibpre_core::TypedCiphertext::from_bytes(&w.params, &header_bytes).unwrap();
     assert_eq!(parsed_header, ct.header);
     let rk_bytes = rk.to_bytes();
     let parsed_rk = tibpre_core::ReEncryptionKey::from_bytes(&w.params, &rk_bytes).unwrap();
@@ -218,8 +220,7 @@ fn delegation_chains_do_not_exist() {
     assert_eq!(recovered, m);
     // Bob can of course re-encrypt the *plaintext* under his own identity in
     // his own domain — but that is a fresh encryption, not a further hop.
-    let bob_as_delegator =
-        Delegator::new(w.kgc2.public_params().clone(), w.kgc2.extract(&bob));
+    let bob_as_delegator = Delegator::new(w.kgc2.public_params().clone(), w.kgc2.extract(&bob));
     let fresh = bob_as_delegator.encrypt_typed(&recovered, &t, &mut w.rng);
     assert_eq!(bob_as_delegator.decrypt_typed(&fresh).unwrap(), m);
 }
@@ -229,8 +230,7 @@ fn works_with_freshly_generated_parameters_too() {
     // Everything above uses the cached toy parameters; make sure nothing
     // secretly depends on the cache by generating a fresh set.
     let mut rng = StdRng::seed_from_u64(7);
-    let params =
-        PairingParams::generate(tibpre_pairing::SecurityLevel::Toy, &mut rng).unwrap();
+    let params = PairingParams::generate(tibpre_pairing::SecurityLevel::Toy, &mut rng).unwrap();
     let kgc1 = Kgc::setup(params.clone(), "fresh-1", &mut rng);
     let kgc2 = Kgc::setup(params.clone(), "fresh-2", &mut rng);
     let delegator = Delegator::new(
@@ -242,12 +242,7 @@ fn works_with_freshly_generated_parameters_too() {
     let m = params.random_gt(&mut rng);
     let ct = delegator.encrypt_typed(&m, &t, &mut rng);
     let rk = delegator
-        .make_reencryption_key(
-            &Identity::new("bob"),
-            kgc2.public_params(),
-            &t,
-            &mut rng,
-        )
+        .make_reencryption_key(&Identity::new("bob"), kgc2.public_params(), &t, &mut rng)
         .unwrap();
     let transformed = proxy::re_encrypt(&ct, &rk).unwrap();
     assert_eq!(delegatee.decrypt_reencrypted(&transformed).unwrap(), m);

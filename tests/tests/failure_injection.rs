@@ -4,7 +4,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
-use tibpre_core::{proxy, Delegatee, Delegator, PreError, ReEncryptionKey, TypeTag, TypedCiphertext};
+use tibpre_core::{
+    proxy, Delegatee, Delegator, PreError, ReEncryptionKey, TypeTag, TypedCiphertext,
+};
 use tibpre_ibe::{bf::IbeCiphertext, Identity, Kgc};
 use tibpre_pairing::{G1Affine, Gt, PairingParams};
 use tibpre_phr::{
@@ -47,8 +49,7 @@ fn truncated_and_garbled_wire_formats_are_rejected() {
         }
         if cut < re_bytes.len() {
             assert!(
-                tibpre_core::ReEncryptedCiphertext::from_bytes(&params, &re_bytes[..cut])
-                    .is_err()
+                tibpre_core::ReEncryptedCiphertext::from_bytes(&params, &re_bytes[..cut]).is_err()
             );
         }
         if cut < ibe_bytes.len() {
@@ -188,7 +189,7 @@ fn phr_store_cross_patient_and_revocation_failures() {
     let mut proxy_service = ProxyService::new("proxy", store.clone());
 
     let mut alice = Patient::new("alice", &patient_kgc);
-    let mut mallory = Patient::new("mallory", &patient_kgc);
+    let mallory = Patient::new("mallory", &patient_kgc);
     let doctor = Identity::new("doctor");
     let doctor_provider = HealthcareProvider::new(provider_kgc.extract(&doctor));
 

@@ -13,7 +13,6 @@ use tibpre_phr::{
 };
 
 struct Clinic {
-    params: Arc<PairingParams>,
     patient_kgc: Kgc,
     provider_kgc: Kgc,
     store: Arc<EncryptedPhrStore>,
@@ -26,7 +25,6 @@ fn clinic(seed: u64) -> Clinic {
     let patient_kgc = Kgc::setup(params.clone(), "patients", &mut rng);
     let provider_kgc = Kgc::setup(params.clone(), "providers", &mut rng);
     Clinic {
-        params,
         patient_kgc,
         provider_kgc,
         store: Arc::new(EncryptedPhrStore::new("regional-phr-store")),
@@ -68,16 +66,34 @@ fn multi_patient_multi_provider_workflow() {
 
     // Records for both patients across categories.
     let alice_illness = add_record(&mut c, &alice, Category::IllnessHistory, "angina", "stable");
-    let alice_diet = add_record(&mut c, &alice, Category::FoodStatistics, "diary", "2100 kcal");
+    let alice_diet = add_record(
+        &mut c,
+        &alice,
+        Category::FoodStatistics,
+        "diary",
+        "2100 kcal",
+    );
     let bob_illness = add_record(&mut c, &bob, Category::IllnessHistory, "asthma", "mild");
 
     // Alice shares illness history with the cardiologist, diet with the dietician.
     let pp = c.provider_kgc.public_params().clone();
     alice
-        .grant_access(Category::IllnessHistory, &cardiologist, &pp, &mut hospital_proxy, &mut c.rng)
+        .grant_access(
+            Category::IllnessHistory,
+            &cardiologist,
+            &pp,
+            &mut hospital_proxy,
+            &mut c.rng,
+        )
         .unwrap();
     alice
-        .grant_access(Category::FoodStatistics, &dietician, &pp, &mut wellness_proxy, &mut c.rng)
+        .grant_access(
+            Category::FoodStatistics,
+            &dietician,
+            &pp,
+            &mut wellness_proxy,
+            &mut c.rng,
+        )
         .unwrap();
     // Bob shares nothing.
 
@@ -120,8 +136,14 @@ fn multi_patient_multi_provider_workflow() {
     assert!(bob.read_own_record(&c.store, alice_illness).is_err());
 
     // Bob later decides to share his illness history with the cardiologist too.
-    bob.grant_access(Category::IllnessHistory, &cardiologist, &pp, &mut hospital_proxy, &mut c.rng)
-        .unwrap();
+    bob.grant_access(
+        Category::IllnessHistory,
+        &cardiologist,
+        &pp,
+        &mut hospital_proxy,
+        &mut c.rng,
+    )
+    .unwrap();
     let bundle = hospital_proxy
         .disclose(bob.identity(), bob_illness, &cardiologist)
         .unwrap();
@@ -168,7 +190,10 @@ fn audit_trail_is_complete_and_ordered() {
             AuditEvent::DisclosureDenied { .. } => "denied",
         })
         .collect();
-    assert_eq!(kinds, vec!["stored", "denied", "granted", "disclosed", "revoked"]);
+    assert_eq!(
+        kinds,
+        vec!["stored", "denied", "granted", "disclosed", "revoked"]
+    );
     for pair in audit.windows(2) {
         assert!(pair[0].at() < pair[1].at());
     }

@@ -135,7 +135,9 @@ fn reencryption_keys_leak_nothing_to_the_proxy_alone() {
 
     // A "proxy" that guesses X at random gets nowhere.
     let guessed_x = params.random_gt(&mut rng);
-    let h1_guess = params.hash_to_g1(H1_DOMAIN, &[&guessed_x.to_bytes()]).unwrap();
+    let h1_guess = params
+        .hash_to_g1(H1_DOMAIN, &[&guessed_x.to_bytes()])
+        .unwrap();
     let mask_guess = params.pairing(&transformed.c1, &h1_guess);
     assert_ne!(transformed.c2.div(&mask_guess).unwrap(), m);
 }
@@ -195,5 +197,8 @@ fn game_rejects_trivially_winning_query_patterns() {
     let params = PairingParams::insecure_toy();
     let mut rng = StdRng::seed_from_u64(0x6A3F);
     let rate = win_rate(|| CheatingAdversary, &params, 20, &mut rng);
-    assert!(rate > 0.1 && rate < 0.9, "cheater reduced to guessing: {rate}");
+    assert!(
+        rate > 0.1 && rate < 0.9,
+        "cheater reduced to guessing: {rate}"
+    );
 }

@@ -1,0 +1,526 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io access, so this crate reimplements
+//! the slice of proptest's API that the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (including `#![proptest_config(..)]` headers),
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`,
+//! * [`strategy::Strategy`] with `prop_map`, [`arbitrary::any`] for the
+//!   primitive integers and `bool`, integer-range strategies,
+//! * [`collection::vec`] with the usual size-range arguments,
+//! * string strategies from the regex subset `[class]{m,n}` / `.{m,n}`.
+//!
+//! Shrinking is intentionally not implemented — a failing case panics with the
+//! generating inputs printed, which is enough to reproduce and debug.
+
+pub mod test_runner {
+    //! Case execution plumbing used by the [`crate::proptest!`] expansion.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// A `prop_assert*` failed: the property is violated.
+        Fail(String),
+        /// A `prop_assume!` filtered the inputs out; the case is not counted.
+        Reject,
+    }
+
+    /// The result type each generated case body returns.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration; only `cases` is consulted.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of (non-rejected) cases to execute per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic per-case RNG: the sequence depends only on the fully
+    /// qualified test name and the attempt index, so failures reproduce.
+    pub fn case_rng(test_name: &str, attempt: u32) -> StdRng {
+        let mut h = DefaultHasher::new();
+        test_name.hash(&mut h);
+        attempt.hash(&mut h);
+        StdRng::seed_from_u64(h.finish())
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transforms every generated value with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) source: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.source.new_value(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u128;
+                    self.start + (crate::arbitrary::uniform_u128(rng) % span) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u128 + 1;
+                    lo + (crate::arbitrary::uniform_u128(rng) % span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    /// Strings drawn from the regex subset `[class]{m,n}`, `.{m,n}`,
+    /// `[class]*`, `[class]+` or a bare class / dot (one char).
+    impl Strategy for &str {
+        type Value = String;
+
+        fn new_value(&self, rng: &mut StdRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for the primitive types the workspace tests use.
+
+    use crate::strategy::Strategy;
+    use core::marker::PhantomData;
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+
+    /// Types with a canonical generation strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub(crate) fn uniform_u128(rng: &mut StdRng) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    // Bias one draw in eight toward the edge values, like
+                    // upstream proptest biases toward "special" integers.
+                    if rng.next_u32() % 8 == 0 {
+                        *[0 as $t, 1 as $t, <$t>::MAX]
+                            .get(rng.next_u32() as usize % 3)
+                            .expect("index < 3")
+                    } else {
+                        uniform_u128(rng) as $t
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, u128, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    /// A [min, max] element-count range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose length lies in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let span = self.size.max - self.size.min + 1;
+            let len = self.size.min + (crate::arbitrary::uniform_u128(rng) % span as u128) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub(crate) mod string {
+    //! A generator for the tiny regex subset the workspace's patterns use.
+
+    use rand::rngs::StdRng;
+
+    enum Atom {
+        /// Any printable ASCII character.
+        Dot,
+        /// An explicit character class.
+        Class(Vec<char>),
+    }
+
+    fn parse_class(pattern: &mut core::str::Chars<'_>) -> Vec<char> {
+        let mut out = Vec::new();
+        let mut chars = Vec::new();
+        for c in pattern.by_ref() {
+            if c == ']' {
+                break;
+            }
+            chars.push(c);
+        }
+        let mut i = 0;
+        while i < chars.len() {
+            // `a-z` style range (a lone leading/trailing `-` is a literal).
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                let (lo, hi) = (chars[i], chars[i + 2]);
+                assert!(lo <= hi, "invalid class range");
+                out.extend((lo..=hi).filter(|c| c.is_ascii()));
+                i += 3;
+            } else {
+                out.push(chars[i]);
+                i += 1;
+            }
+        }
+        assert!(!out.is_empty(), "empty character class");
+        out
+    }
+
+    fn parse_quantifier(rest: &str) -> (usize, usize) {
+        match rest {
+            "" => (1, 1),
+            "*" => (0, 8),
+            "+" => (1, 8),
+            _ => {
+                let inner = rest
+                    .strip_prefix('{')
+                    .and_then(|r| r.strip_suffix('}'))
+                    .unwrap_or_else(|| panic!("unsupported regex quantifier: {rest:?}"));
+                match inner.split_once(',') {
+                    Some((m, n)) => (
+                        m.parse().expect("min repeat"),
+                        n.parse().expect("max repeat"),
+                    ),
+                    None => {
+                        let n = inner.parse().expect("exact repeat");
+                        (n, n)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Generates a string matching `pattern`, which must be one atom
+    /// (`[class]` or `.`) followed by an optional quantifier.
+    pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+        use rand::RngCore;
+
+        let mut chars = pattern.chars();
+        let atom = match chars.next() {
+            Some('.') => Atom::Dot,
+            Some('[') => Atom::Class(parse_class(&mut chars)),
+            _ => panic!("unsupported regex pattern for the proptest stub: {pattern:?}"),
+        };
+        let (min, max) = parse_quantifier(chars.as_str());
+        let len = min + (rng.next_u64() % (max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| match &atom {
+                // Printable ASCII, space through tilde.
+                Atom::Dot => char::from(32 + (rng.next_u32() % 95) as u8),
+                Atom::Class(set) => set[rng.next_u64() as usize % set.len()],
+            })
+            .collect()
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` imports.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests.  Mirrors upstream `proptest!`'s item form.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config = $cfg;
+            let mut successes = 0u32;
+            let mut attempts = 0u32;
+            // Leave head-room for prop_assume! rejections.
+            let max_attempts = config.cases.saturating_mul(16).max(64);
+            while successes < config.cases && attempts < max_attempts {
+                let mut rng = $crate::test_runner::case_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    attempts,
+                );
+                attempts += 1;
+                $(let $arg = ($strat).new_value(&mut rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let case = move || -> $crate::test_runner::TestCaseResult {
+                    $body
+                    Ok(())
+                };
+                match case() {
+                    Ok(()) => successes += 1,
+                    Err($crate::test_runner::TestCaseError::Reject) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(message)) => {
+                        panic!(
+                            "property '{}' failed on attempt {}: {}\n  inputs: {}",
+                            stringify!($name),
+                            attempts - 1,
+                            message,
+                            inputs,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// `assert!` that reports failure through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports failure through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&($lhs), &($rhs));
+        if !(lhs == rhs) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n    left: {:?}\n   right: {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                lhs,
+                rhs,
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports failure through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&($lhs), &($rhs));
+        if !(lhs != rhs) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n    both: {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                lhs,
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (uncounted) when the precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, y in 5usize..=7) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((5..=7).contains(&y));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in any::<u8>()) {
+            prop_assume!(x.is_multiple_of(2));
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn vec_and_map_compose(v in crate::collection::vec(any::<u8>(), 2..=5)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 5);
+        }
+
+        #[test]
+        fn string_patterns_match_shape(s in "[a-c]{2,4}", t in ".{0,3}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assert!(t.len() <= 3);
+            prop_assert_ne!(s.len(), 0);
+        }
+    }
+
+    #[test]
+    fn class_parser_handles_mixed_literals_and_ranges() {
+        let mut rng = crate::test_runner::case_rng("class", 0);
+        for _ in 0..50 {
+            let s = crate::string::generate("[a-z0-9@.-]{1,40}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 40);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "@.-".contains(c)));
+        }
+    }
+}

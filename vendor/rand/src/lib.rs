@@ -1,0 +1,257 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so the
+//! small slice of `rand` 0.8 that the workspace actually uses is reimplemented
+//! here with compatible names and semantics:
+//!
+//! * the [`RngCore`], [`CryptoRng`] and [`SeedableRng`] traits,
+//! * [`rngs::StdRng`] — a seedable, deterministic generator (xoshiro256++
+//!   seeded through SplitMix64; **not** the upstream ChaCha12 stream, so seeds
+//!   produce different sequences than real `rand`, which only matters for
+//!   fixtures, never for correctness),
+//! * [`rngs::OsRng`] — reads the operating system entropy pool,
+//! * [`rngs::mock::StepRng`] — the arithmetic-sequence mock used in tests.
+//!
+//! Everything is implemented on top of `std` only.
+
+/// The core of a random number generator, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// Marker trait for generators suitable for cryptographic use.
+pub trait CryptoRng {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: CryptoRng + ?Sized> CryptoRng for &mut R {}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type, a byte array for every implementation here.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64 exactly
+    /// like upstream `rand` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 (public-domain constants), as used by rand_core.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Creates a generator seeded from the operating system entropy pool.
+    fn from_entropy() -> Self {
+        let mut seed = Self::Seed::default();
+        rngs::fill_from_os(seed.as_mut());
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    //! The concrete generators.
+
+    use super::{CryptoRng, RngCore, SeedableRng};
+    use std::fs::File;
+    use std::io::Read;
+
+    /// Fills `dest` from the OS entropy pool (`/dev/urandom`).
+    pub(crate) fn fill_from_os(dest: &mut [u8]) {
+        let mut f = File::open("/dev/urandom").expect("open /dev/urandom");
+        f.read_exact(dest).expect("read OS entropy");
+    }
+
+    /// A deterministic seedable generator (xoshiro256++).
+    ///
+    /// Statistically strong and fine for fixtures and parameter caching; the
+    /// `CryptoRng` bound matches upstream `StdRng`'s contract so generic code
+    /// accepts it, with the same caveat that deterministic seeding is for
+    /// tests only.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            // xoshiro must not start from the all-zero state.
+            if s.iter().all(|&w| w == 0) {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+
+    impl CryptoRng for StdRng {}
+
+    /// A generator that pulls every output directly from the OS entropy pool.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct OsRng;
+
+    impl RngCore for OsRng {
+        fn next_u32(&mut self) -> u32 {
+            let mut b = [0u8; 4];
+            fill_from_os(&mut b);
+            u32::from_le_bytes(b)
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut b = [0u8; 8];
+            fill_from_os(&mut b);
+            u64::from_le_bytes(b)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            fill_from_os(dest)
+        }
+    }
+
+    impl CryptoRng for OsRng {}
+
+    pub mod mock {
+        //! Mock generators for tests.
+
+        use super::RngCore;
+
+        /// Returns an arithmetic sequence: `start`, `start + step`, ...
+        /// Deliberately **not** `CryptoRng`.
+        #[derive(Clone, Debug)]
+        pub struct StepRng {
+            value: u64,
+            step: u64,
+        }
+
+        impl StepRng {
+            /// Creates the mock with the given starting value and increment.
+            pub fn new(start: u64, step: u64) -> Self {
+                StepRng { value: start, step }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u32(&mut self) -> u32 {
+                self.next_u64() as u32
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let out = self.value;
+                self.value = self.value.wrapping_add(self.step);
+                out
+            }
+
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                for chunk in dest.chunks_mut(8) {
+                    let bytes = self.next_u64().to_le_bytes();
+                    let n = chunk.len();
+                    chunk.copy_from_slice(&bytes[..n]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::mock::StepRng;
+    use super::rngs::{OsRng, StdRng};
+    use super::{RngCore, SeedableRng};
+
+    #[test]
+    fn std_rng_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn step_rng_steps() {
+        let mut r = StepRng::new(10, 3);
+        assert_eq!(r.next_u64(), 10);
+        assert_eq!(r.next_u64(), 13);
+    }
+
+    #[test]
+    fn os_rng_produces_output() {
+        let mut r = OsRng;
+        let mut buf = [0u8; 16];
+        r.fill_bytes(&mut buf);
+        // Not all-zero with overwhelming probability.
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
