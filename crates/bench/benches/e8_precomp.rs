@@ -1,0 +1,107 @@
+//! E8: effect of the precomputation subsystem — prepared (fixed-argument)
+//! pairings, fixed-base multiplication tables, and batched re-encryption —
+//! against the naive paths they replace.
+//!
+//! The series to check: `pairing_prepared` must beat `pairing_naive` and
+//! `g1_mul_fixed_base` must beat `g1_mul_naive` by ≥ 2x at every level (the
+//! gap widens with the field size, because the avoided Miller-loop work grows
+//! faster than the shared final exponentiation).  The one-time table build
+//! costs (`prepare_pairing`, `build_g1_table`) are reported so the
+//! amortisation break-even point can be read off directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tibpre_bench::{bench_rng, sweep_levels, Fixture};
+use tibpre_core::{proxy, TypeTag};
+use tibpre_pairing::{G1Precomp, PairingParams, SecurityLevel};
+
+fn fixed_argument_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_precomp");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    for level in sweep_levels() {
+        let params = PairingParams::cached(level);
+        let mut rng = bench_rng();
+        let fixed = params.random_g1(&mut rng);
+        let other = params.random_g1(&mut rng);
+        let scalar = params.random_nonzero_scalar(&mut rng);
+        let label = level.label();
+
+        // Pairing against a fixed argument: naive Miller loop per call vs.
+        // stored line coefficients.
+        group.bench_function(BenchmarkId::new("pairing_naive", label), |b| {
+            b.iter(|| params.pairing(&other, &fixed))
+        });
+        let prepared = params.prepare(&fixed);
+        group.bench_function(BenchmarkId::new("pairing_prepared", label), |b| {
+            b.iter(|| prepared.pairing(&other))
+        });
+        group.bench_function(BenchmarkId::new("prepare_pairing", label), |b| {
+            b.iter(|| params.prepare(&fixed))
+        });
+
+        // Fixed-base scalar multiplication: generic windowed ladder vs. the
+        // doubling-free window table.
+        group.bench_function(BenchmarkId::new("g1_mul_naive", label), |b| {
+            b.iter(|| params.generator().mul_scalar(&scalar))
+        });
+        let table = params.generator_precomp();
+        group.bench_function(BenchmarkId::new("g1_mul_fixed_base", label), |b| {
+            b.iter(|| table.mul_scalar(&scalar))
+        });
+        group.bench_function(BenchmarkId::new("build_g1_table", label), |b| {
+            b.iter(|| G1Precomp::new(params.generator(), params.q().bits()))
+        });
+    }
+    group.finish();
+}
+
+/// Proxy-side batching: converting a burst of same-type ciphertexts with one
+/// re-encryption key, naive pairing per ciphertext vs. `re_encrypt_batch`.
+fn batched_reencryption(c: &mut Criterion) {
+    const BATCH: usize = 32;
+    let mut group = c.benchmark_group("e8_precomp_batch");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    let f = Fixture::new(SecurityLevel::Toy);
+    let mut rng = bench_rng();
+    let t = TypeTag::new("illness-history");
+    let rekey = f
+        .delegator
+        .make_reencryption_key(&f.delegatee_id, f.kgc2_public(), &t, &mut rng)
+        .expect("shared parameters");
+    let ciphertexts: Vec<_> = (0..BATCH)
+        .map(|_| {
+            let m = f.params.random_gt(&mut rng);
+            f.delegator.encrypt_typed(&m, &t, &mut rng)
+        })
+        .collect();
+
+    group.bench_function(
+        BenchmarkId::new("reencrypt_naive_pairing", format!("batch{BATCH}")),
+        |b| {
+            b.iter(|| {
+                // The pre-PR per-ciphertext cost: one full Miller loop each.
+                ciphertexts
+                    .iter()
+                    .map(|ct| {
+                        let adjustment = f.params.pairing(&ct.c1, rekey.rk_point());
+                        ct.c2.mul(&adjustment)
+                    })
+                    .collect::<Vec<_>>()
+            })
+        },
+    );
+    group.bench_function(
+        BenchmarkId::new("reencrypt_batch", format!("batch{BATCH}")),
+        |b| b.iter(|| proxy::re_encrypt_batch(&ciphertexts, &rekey).expect("types match")),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, fixed_argument_primitives, batched_reencryption);
+criterion_main!(benches);

@@ -220,50 +220,114 @@ impl MontCtx {
     /// Inversion of a *plain* residue using the binary extended-GCD algorithm
     /// (HAC 14.61 specialised to odd moduli).  Works for any odd modulus as
     /// long as `gcd(a, m) = 1`.
+    ///
+    /// Every intermediate value is bounded by `2m`, so the whole computation
+    /// runs on `nlimbs + 1` limbs instead of the full [`MAX_LIMBS`] capacity
+    /// of [`Uint`] — for a 3-limb field prime that is roughly an order of
+    /// magnitude less limb traffic per GCD iteration, and inversion sits on
+    /// the pairing's final-exponentiation path.
     pub fn inv_plain(&self, a: &Uint) -> Result<Uint> {
+        // Limb-bounded helpers over the first `n` limbs of a Uint buffer.
+        #[inline]
+        fn is_zero_n(x: &[u64], n: usize) -> bool {
+            x[..n].iter().all(|&l| l == 0)
+        }
+        #[inline]
+        fn shr1_n(x: &mut [u64], n: usize) {
+            for i in 0..n - 1 {
+                x[i] = (x[i] >> 1) | (x[i + 1] << 63);
+            }
+            x[n - 1] >>= 1;
+        }
+        /// `x += y` over `n` limbs; the caller guarantees no carry out.
+        #[inline]
+        fn add_assign_n(x: &mut [u64], y: &[u64], n: usize) {
+            let mut carry = 0u64;
+            for i in 0..n {
+                let (lo, hi) = adc(x[i], y[i], carry);
+                x[i] = lo;
+                carry = hi;
+            }
+            debug_assert_eq!(carry, 0);
+        }
+        /// `x -= y` over `n` limbs; the caller guarantees `x >= y`.
+        #[inline]
+        fn sub_assign_n(x: &mut [u64], y: &[u64], n: usize) {
+            let mut borrow = 0u64;
+            for i in 0..n {
+                let (diff, b1) = x[i].overflowing_sub(y[i]);
+                let (diff, b2) = diff.overflowing_sub(borrow);
+                x[i] = diff;
+                borrow = u64::from(b1) | u64::from(b2);
+            }
+            debug_assert_eq!(borrow, 0);
+        }
+        #[inline]
+        fn lt_n(x: &[u64], y: &[u64], n: usize) -> bool {
+            for i in (0..n).rev() {
+                if x[i] != y[i] {
+                    return x[i] < y[i];
+                }
+            }
+            false
+        }
+        /// Halves `x`, adding the odd modulus first when `x` is odd.
+        #[inline]
+        fn halve_mod_n(x: &mut [u64], m: &[u64], n: usize) {
+            if x[0] & 1 == 1 {
+                add_assign_n(x, m, n);
+            }
+            shr1_n(x, n);
+        }
+
         let m = &self.modulus;
         let a = self.reduce(a);
         if a.is_zero() {
             return Err(BigIntError::NotInvertible);
         }
-        let mut u = a;
-        let mut v = *m;
-        let mut x1 = Uint::ONE; // satisfies x1 * a ≡ u (mod m)
-        let mut x2 = Uint::ZERO; // satisfies x2 * a ≡ v (mod m)
-        while !u.is_zero() {
-            while u.is_even() {
-                u = u.shr1();
-                x1 = if x1.is_even() {
-                    x1.shr1()
-                } else {
-                    // (x1 + m) is even because m is odd and x1 is odd.
-                    let (sum, carry) = x1.overflowing_add(m);
-                    debug_assert!(!carry);
-                    sum.shr1()
-                };
+        // One spare limb absorbs the `x + m` carry before halving; the
+        // MontCtx constructor guarantees it exists.
+        let n = self.nlimbs + 1;
+        let ml = m.limbs();
+        let mut u = *a.limbs(); // invariant: x1 · a ≡ u (mod m)
+        let mut v = *ml; // invariant: x2 · a ≡ v (mod m)
+        let mut x1 = *Uint::ONE.limbs();
+        let mut x2 = [0u64; MAX_LIMBS];
+        while !is_zero_n(&u, n) {
+            while u[0] & 1 == 0 {
+                shr1_n(&mut u, n);
+                halve_mod_n(&mut x1, ml, n);
             }
-            while v.is_even() {
-                v = v.shr1();
-                x2 = if x2.is_even() {
-                    x2.shr1()
-                } else {
-                    let (sum, carry) = x2.overflowing_add(m);
-                    debug_assert!(!carry);
-                    sum.shr1()
-                };
+            while v[0] & 1 == 0 {
+                shr1_n(&mut v, n);
+                halve_mod_n(&mut x2, ml, n);
             }
-            if u >= v {
-                u = u.wrapping_sub(&v);
-                x1 = x1.mod_sub(&x2, m);
+            if lt_n(&u, &v, n) {
+                sub_assign_n(&mut v, &u, n);
+                // x2 <- x2 - x1 (mod m)
+                if lt_n(&x2, &x1, n) {
+                    add_assign_n(&mut x2, ml, n);
+                }
+                sub_assign_n(&mut x2, &x1, n);
             } else {
-                v = v.wrapping_sub(&u);
-                x2 = x2.mod_sub(&x1, m);
+                sub_assign_n(&mut u, &v, n);
+                if lt_n(&x1, &x2, n) {
+                    add_assign_n(&mut x1, ml, n);
+                }
+                sub_assign_n(&mut x1, &x2, n);
             }
         }
+        let v = Uint::from_limbs_le(&v[..n]).expect("n <= MAX_LIMBS");
         if !v.is_one() {
             return Err(BigIntError::NotInvertible);
         }
-        Ok(x2)
+        let mut out = Uint::from_limbs_le(&x2[..n]).expect("n <= MAX_LIMBS");
+        // x2 stays < 2m through the loop; one conditional subtraction
+        // canonicalises it.
+        if &out >= m {
+            out = out.wrapping_sub(m);
+        }
+        Ok(out)
     }
 
     /// Inversion of a Montgomery-form value using the binary extended GCD.

@@ -5,9 +5,9 @@ use crate::rekey::ReEncryptionKey;
 use crate::types::TypeTag;
 use crate::{PreError, Result, H2_DOMAIN};
 use rand::{CryptoRng, RngCore};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use tibpre_ibe::{bf, IbePrivateKey, IbePublicParams, Identity, H1_DOMAIN};
-use tibpre_pairing::{G1Affine, Gt, PairingParams, Scalar};
+use tibpre_pairing::{G1Affine, G1Precomp, Gt, PairingParams, Scalar};
 
 /// A typed ciphertext `(c1, c2, c3) = (g^r, m · ê(pk_id, pk₁)^{r·H2(sk‖t)}, t)`.
 ///
@@ -70,11 +70,25 @@ impl TypedCiphertext {
     }
 }
 
+/// Per-delegator precomputation, built lazily because most delegators only
+/// ever exercise one or two of the three hot paths.
+#[derive(Default)]
+struct DelegatorCache {
+    /// `ê(pk_id, pk)` — the delegator's own identity and the KGC key are both
+    /// fixed, so the whole encryption pairing is one constant `G_1` element;
+    /// `Encrypt1` reduces to `g^r` plus one `G_1` exponentiation.
+    encryption_base: OnceLock<Gt>,
+    /// Fixed-base table for `sk_id`, used by `Pextract`'s
+    /// `sk_id^{−H2(sk_id ‖ t)}`.
+    sk_table: OnceLock<Arc<G1Precomp>>,
+}
+
 /// The delegator: owns a private key in the `KGC1` domain and categorises his
 /// messages into types.
 pub struct Delegator {
     domain: IbePublicParams,
     private_key: IbePrivateKey,
+    cache: DelegatorCache,
 }
 
 impl Delegator {
@@ -83,6 +97,7 @@ impl Delegator {
         Delegator {
             domain,
             private_key,
+            cache: DelegatorCache::default(),
         }
     }
 
@@ -138,12 +153,17 @@ impl Delegator {
         r: &Scalar,
     ) -> TypedCiphertext {
         let params = self.params();
-        let c1 = params.generator().mul_scalar(r);
-        let pk_id = self.domain.identity_public_key(self.identity());
+        // g^r through the cached fixed-base table for g.
+        let c1 = params.mul_generator(r);
+        // Both pairing arguments are fixed for this delegator, so the base
+        // mask ê(pk_id, pk) is computed once and cached; each encryption
+        // then costs a single G_1 exponentiation.
+        let base = self.cache.encryption_base.get_or_init(|| {
+            let pk_id = self.domain.identity_public_key(self.identity());
+            self.domain.prepared_kgc_key().pairing(&pk_id)
+        });
         let exponent = r.mul(&self.type_exponent(type_tag));
-        let mask = params
-            .pairing(&pk_id, self.domain.kgc_public_key())
-            .pow_scalar(&exponent);
+        let mask = base.pow_scalar(&exponent);
         TypedCiphertext {
             c1,
             c2: message.mul(&mask),
@@ -152,12 +172,14 @@ impl Delegator {
     }
 
     /// `Decrypt1(c, sk_id)`: direct decryption by the delegator,
-    /// `m = c2 / ê(sk_id, c1)^{H2(sk_id ‖ c3)}`.
+    /// `m = c2 / ê(sk_id, c1)^{H2(sk_id ‖ c3)}` — the pairing runs over the
+    /// Miller loop prepared for the fixed `sk_id`.
     pub fn decrypt_typed(&self, ciphertext: &TypedCiphertext) -> Result<Gt> {
-        let params = self.params();
         let exponent = self.type_exponent(&ciphertext.type_tag);
-        let mask = params
-            .pairing(self.private_key.key(), &ciphertext.c1)
+        let mask = self
+            .private_key
+            .prepared_key()
+            .pairing(&ciphertext.c1)
             .pow_scalar(&exponent);
         ciphertext
             .c2
@@ -185,10 +207,15 @@ impl Delegator {
         // X ∈R G_1 (the target group), encrypted to the delegatee under KGC2.
         let x = params.random_gt(rng);
         let encrypted_x = bf::encrypt_gt(delegatee_domain, delegatee, &x, rng);
-        // rk₂ = sk_idi^{−H2(sk_idi ‖ t)} · H1(X)
+        // rk₂ = sk_idi^{−H2(sk_idi ‖ t)} · H1(X), with the sk_idi power taken
+        // through a fixed-base table cached across Pextract calls.
         let exponent = self.type_exponent(type_tag).neg();
         let h1_of_x = params.hash_to_g1(H1_DOMAIN, &[&x.to_bytes()])?;
-        let rk_point = self.private_key.key().mul_scalar(&exponent).add(&h1_of_x);
+        let sk_table = self
+            .cache
+            .sk_table
+            .get_or_init(|| Arc::new(G1Precomp::new(self.private_key.key(), params.q().bits())));
+        let rk_point = sk_table.mul_scalar(&exponent).add(&h1_of_x);
         Ok(ReEncryptionKey::new(
             self.identity().clone(),
             delegatee.clone(),

@@ -102,6 +102,36 @@ pub fn re_encrypt_hybrid(
     })
 }
 
+/// Re-encrypts the KEM headers of many hybrid ciphertexts with one key — the
+/// hybrid counterpart of [`crate::proxy::re_encrypt_batch`].
+///
+/// Every header's type is validated against the key before any conversion
+/// happens (a mixed batch fails atomically), and the key's one-time pairing
+/// precomputation is shared across the batch.  Bodies are forwarded
+/// untouched, so the proxy's per-record work stays independent of payload
+/// size.
+pub fn re_encrypt_hybrid_batch<'a, I>(
+    ciphertexts: I,
+    rekey: &ReEncryptionKey,
+) -> Result<Vec<ReEncryptedHybridCiphertext>>
+where
+    I: IntoIterator<Item = &'a HybridCiphertext>,
+{
+    let ciphertexts: Vec<&HybridCiphertext> = ciphertexts.into_iter().collect();
+    for ciphertext in &ciphertexts {
+        if ciphertext.header.type_tag != *rekey.type_tag() {
+            return Err(crate::PreError::TypeMismatch {
+                ciphertext_type: ciphertext.header.type_tag.display(),
+                key_type: rekey.type_tag().display(),
+            });
+        }
+    }
+    ciphertexts
+        .into_iter()
+        .map(|ciphertext| re_encrypt_hybrid(ciphertext, rekey))
+        .collect()
+}
+
 impl Delegatee {
     /// Hybrid decryption of a re-encrypted ciphertext by the delegatee.
     pub fn decrypt_bytes(

@@ -111,8 +111,9 @@ pub fn re_encrypt(
             key_type: rekey.type_tag().display(),
         });
     }
-    // c'2 = c2 · ê(c1, rk₂)
-    let adjustment = rekey.params().pairing(&ciphertext.c1, rekey.rk_point());
+    // c'2 = c2 · ê(c1, rk₂), through the Miller loop prepared for the fixed
+    // rk₂ (tabulated on the key's first use, then shared).
+    let adjustment = rekey.prepared_rk_point().pairing(&ciphertext.c1);
     let c2 = ciphertext.c2.mul(&adjustment);
     Ok(ReEncryptedCiphertext {
         c1: ciphertext.c1.clone(),
@@ -121,6 +122,36 @@ pub fn re_encrypt(
         type_tag: ciphertext.type_tag.clone(),
         delegatee: rekey.delegatee().clone(),
     })
+}
+
+/// `Preenc` over a whole batch of same-type ciphertexts with one key.
+///
+/// The conversion is atomic with respect to validation: every ciphertext's
+/// type is checked against the key *before* any pairing work happens, so a
+/// mixed batch fails without partial output.  The key's Miller-loop
+/// tabulation (and the one-time pairing preparation it implies) is shared by
+/// the whole batch — per ciphertext only the stored lines are evaluated,
+/// which is what makes proxy-scale bursts cheap.  Results are bit-identical
+/// to calling [`re_encrypt`] one ciphertext at a time.
+pub fn re_encrypt_batch(
+    ciphertexts: &[TypedCiphertext],
+    rekey: &ReEncryptionKey,
+) -> Result<Vec<ReEncryptedCiphertext>> {
+    for ciphertext in ciphertexts {
+        if ciphertext.type_tag != *rekey.type_tag() {
+            return Err(PreError::TypeMismatch {
+                ciphertext_type: ciphertext.type_tag.display(),
+                key_type: rekey.type_tag().display(),
+            });
+        }
+    }
+    // The per-ciphertext conversion *is* `re_encrypt`: the key's prepared
+    // Miller loop is cached on first use, so the whole batch shares one
+    // tabulation.
+    ciphertexts
+        .iter()
+        .map(|ciphertext| re_encrypt(ciphertext, rekey))
+        .collect()
 }
 
 /// A stateful proxy service holding re-encryption keys for many
@@ -209,6 +240,26 @@ impl Proxy {
         rekey: &ReEncryptionKey,
     ) -> Result<ReEncryptedCiphertext> {
         re_encrypt(ciphertext, rekey)
+    }
+
+    /// Converts a whole batch of same-type ciphertexts for the given
+    /// delegatee using one installed key (looked up from the first
+    /// ciphertext's type), amortising the key's pairing precomputation across
+    /// the batch.  An empty batch yields an empty result; a batch whose types
+    /// disagree fails atomically with no partial output.
+    pub fn reencrypt_batch(
+        &self,
+        ciphertexts: &[TypedCiphertext],
+        delegator: &Identity,
+        delegatee: &Identity,
+    ) -> Result<Vec<ReEncryptedCiphertext>> {
+        let Some(first) = ciphertexts.first() else {
+            return Ok(Vec::new());
+        };
+        let key = self
+            .key_for(delegator, &first.type_tag, delegatee)
+            .ok_or(PreError::NoMatchingKey)?;
+        re_encrypt_batch(ciphertexts, key)
     }
 
     /// Converts a ciphertext for the given delegatee using an installed key.

@@ -2,9 +2,17 @@
 
 use crate::types::TypeTag;
 use crate::{PreError, Result};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use tibpre_ibe::{bf::IbeCiphertext, Identity};
-use tibpre_pairing::{G1Affine, PairingParams};
+use tibpre_pairing::{G1Affine, PairingParams, PreparedPairing};
+
+/// Lazily-built pairing precomputation for one re-encryption key, shared
+/// across clones (a proxy clones keys freely; the Miller-loop table must not
+/// be rebuilt per copy).
+#[derive(Debug, Default)]
+struct RekeyCache {
+    prepared_rk: OnceLock<Arc<PreparedPairing>>,
+}
 
 /// A re-encryption key `rk_{i→j} = (t, sk_i^{−H2(sk_i‖t)}·H1(X), Encrypt2(X, id_j))`.
 ///
@@ -24,6 +32,9 @@ pub struct ReEncryptionKey {
     /// The shared pairing parameters, carried so the proxy can re-encrypt
     /// without a separate parameter handle.
     params: Arc<PairingParams>,
+    /// Pairing precomputation for `rk₂` (not part of the key material; never
+    /// serialized or compared).
+    cache: Arc<RekeyCache>,
 }
 
 impl PartialEq for ReEncryptionKey {
@@ -56,6 +67,7 @@ impl ReEncryptionKey {
             rk_point,
             encrypted_x,
             params,
+            cache: Arc::default(),
         }
     }
 
@@ -82,6 +94,18 @@ impl ReEncryptionKey {
     /// The group element `rk₂` used by the proxy's pairing.
     pub fn rk_point(&self) -> &G1Affine {
         &self.rk_point
+    }
+
+    /// The Miller loop prepared for `rk₂`, built on the first conversion and
+    /// shared by every clone of this key.  `Preenc`'s `ê(c1, rk₂)` goes
+    /// through this table, so converting many ciphertexts with one key pays
+    /// the Miller-loop tabulation once.
+    pub fn prepared_rk_point(&self) -> Arc<PreparedPairing> {
+        Arc::clone(
+            self.cache
+                .prepared_rk
+                .get_or_init(|| Arc::new(self.params.prepare(&self.rk_point))),
+        )
     }
 
     /// The encrypted random element `rk₃ = Encrypt2(X, id_j)`.
@@ -149,6 +173,7 @@ impl ReEncryptionKey {
             rk_point,
             encrypted_x,
             params: Arc::clone(params),
+            cache: Arc::default(),
         })
     }
 

@@ -84,18 +84,20 @@ pub fn encrypt_gt_with_randomness(
     r: &tibpre_pairing::Scalar,
 ) -> IbeCiphertext {
     let params = pp.pairing();
-    let c1 = params.generator().mul_scalar(r);
-    // ê(pk_id, pk)^r
+    // g^r through the cached fixed-base table for g.
+    let c1 = params.mul_generator(r);
+    // ê(pk_id, pk)^r through the Miller loop prepared for the fixed pk.
     let pk_id = pp.identity_public_key(id);
-    let shared = params.pairing(&pk_id, pp.kgc_public_key()).pow_scalar(r);
+    let shared = pp.prepared_kgc_key().pairing(&pk_id).pow_scalar(r);
     let c2 = message.mul(&shared);
     IbeCiphertext { c1, c2 }
 }
 
 /// Decrypts a ciphertext with the private key of the recipient identity:
-/// `m = c2 / ê(sk_id, c1)`.
+/// `m = c2 / ê(sk_id, c1)` — the pairing runs over the Miller loop prepared
+/// for the fixed `sk_id`.
 pub fn decrypt_gt(sk: &IbePrivateKey, ciphertext: &IbeCiphertext) -> Result<Gt> {
-    let shared = sk.params().pairing(sk.key(), &ciphertext.c1);
+    let shared = sk.prepared_key().pairing(&ciphertext.c1);
     ciphertext
         .c2
         .div(&shared)

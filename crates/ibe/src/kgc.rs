@@ -8,8 +8,18 @@
 use crate::identity::Identity;
 use crate::{IbeError, Result, H1_DOMAIN};
 use rand::{CryptoRng, RngCore};
-use std::sync::Arc;
-use tibpre_pairing::{G1Affine, PairingParams, Scalar};
+use std::sync::{Arc, OnceLock};
+use tibpre_pairing::{G1Affine, PairingParams, PreparedPairing, Scalar};
+
+/// Lazily-built pairing precomputation for one KGC domain, shared by every
+/// clone of the public parameters (the `Arc` makes the cache survive the
+/// pervasive `IbePublicParams::clone` calls in the scheme layers).
+#[derive(Debug, Default)]
+struct DomainCache {
+    /// Prepared Miller loop for `pk = g^α` — the fixed argument of every
+    /// `ê(pk_id, pk)` encryption pairing in this domain.
+    prepared_pk: OnceLock<Arc<PreparedPairing>>,
+}
 
 /// Public parameters of one KGC domain: the shared pairing parameters plus the
 /// KGC public key `pk = g^α`.
@@ -18,6 +28,7 @@ pub struct IbePublicParams {
     pairing: Arc<PairingParams>,
     kgc_public_key: G1Affine,
     label: String,
+    cache: Arc<DomainCache>,
 }
 
 impl IbePublicParams {
@@ -51,6 +62,25 @@ impl IbePublicParams {
     pub fn shares_parameters_with(&self, other: &IbePublicParams) -> bool {
         Arc::ptr_eq(&self.pairing, &other.pairing) || self.pairing.p() == other.pairing.p()
     }
+
+    /// The Miller loop prepared for `pk = g^α`, built on first use and shared
+    /// by every clone of these parameters.  Encryption pairings
+    /// `ê(pk_id, pk)` against the fixed KGC key go through this table.
+    pub fn prepared_kgc_key(&self) -> Arc<PreparedPairing> {
+        Arc::clone(
+            self.cache
+                .prepared_pk
+                .get_or_init(|| Arc::new(self.pairing.prepare(&self.kgc_public_key))),
+        )
+    }
+}
+
+/// Lazily-built precomputation for one private key, shared across clones.
+#[derive(Debug, Default)]
+struct KeyCache {
+    /// Prepared Miller loop for `sk_id` — the fixed argument of the
+    /// decryption pairing `ê(sk_id, c1)`.
+    prepared: OnceLock<Arc<PreparedPairing>>,
 }
 
 /// The private key extracted for an identity: `sk_id = pk_id^α = H1(id)^α`.
@@ -63,6 +93,7 @@ pub struct IbePrivateKey {
     /// The shared pairing parameters, kept so decryption does not need a
     /// separate parameter handle.
     params: Arc<PairingParams>,
+    cache: Arc<KeyCache>,
 }
 
 impl IbePrivateKey {
@@ -84,6 +115,17 @@ impl IbePrivateKey {
     /// The shared pairing parameters.
     pub fn params(&self) -> &Arc<PairingParams> {
         &self.params
+    }
+
+    /// The Miller loop prepared for `sk_id`, built on first use and shared by
+    /// every clone of this key.  The decryption pairing `ê(sk_id, c1)` goes
+    /// through this table.
+    pub fn prepared_key(&self) -> Arc<PreparedPairing> {
+        Arc::clone(
+            self.cache
+                .prepared
+                .get_or_init(|| Arc::new(self.params.prepare(&self.key))),
+        )
     }
 
     /// Canonical serialization of the key material (used by the paper's
@@ -110,6 +152,7 @@ impl IbePrivateKey {
             key,
             kgc_label: kgc_label.to_string(),
             params: Arc::clone(params),
+            cache: Arc::default(),
         })
     }
 }
@@ -128,13 +171,14 @@ impl Kgc {
         rng: &mut R,
     ) -> Self {
         let master_key = pairing.random_nonzero_scalar(rng);
-        let kgc_public_key = pairing.generator().mul_scalar(&master_key);
+        let kgc_public_key = pairing.mul_generator(&master_key);
         Kgc {
             master_key,
             public: IbePublicParams {
                 pairing,
                 kgc_public_key,
                 label: label.to_string(),
+                cache: Arc::default(),
             },
         }
     }
@@ -142,13 +186,14 @@ impl Kgc {
     /// Reconstructs a KGC from an existing master key (e.g. loaded from secure
     /// storage).  The public key is re-derived.
     pub fn from_master_key(pairing: Arc<PairingParams>, label: &str, master_key: Scalar) -> Self {
-        let kgc_public_key = pairing.generator().mul_scalar(&master_key);
+        let kgc_public_key = pairing.mul_generator(&master_key);
         Kgc {
             master_key,
             public: IbePublicParams {
                 pairing,
                 kgc_public_key,
                 label: label.to_string(),
+                cache: Arc::default(),
             },
         }
     }
@@ -172,6 +217,7 @@ impl Kgc {
             key: pk_id.mul_scalar(&self.master_key),
             kgc_label: self.public.label.clone(),
             params: Arc::clone(&self.public.pairing),
+            cache: Arc::default(),
         }
     }
 }

@@ -342,9 +342,42 @@ impl G1Projective {
         }
     }
 
-    /// Mixed addition with an affine point.
+    /// Mixed addition with an affine point (`Z₂ = 1`), which saves the general
+    /// formula's four `Z₂` multiplications: `U₂ = x₂Z₁²`, `S₂ = y₂Z₁³`,
+    /// `H = U₂ − X₁`, `r = S₂ − Y₁`, `X₃ = r² − H³ − 2X₁H²`,
+    /// `Y₃ = r(X₁H² − X₃) − Y₁H³`, `Z₃ = Z₁H`.
+    ///
+    /// This is the inner loop of the fixed-base tables in [`crate::precomp`],
+    /// where every table entry is affine.
     pub fn add_affine(&self, other: &G1Affine) -> G1Projective {
-        self.add(&G1Projective::from_affine(other))
+        if self.is_identity() {
+            return G1Projective::from_affine(other);
+        }
+        if other.is_identity() {
+            return self.clone();
+        }
+        let z1_sq = self.z.square();
+        let u2 = other.x().mul(&z1_sq);
+        let s2 = other.y().mul(&z1_sq.mul(&self.z));
+        if u2 == self.x {
+            if s2 == self.y {
+                return self.double();
+            }
+            return Self::identity(self.ctx());
+        }
+        let h = &u2 - &self.x;
+        let r = &s2 - &self.y;
+        let h_sq = h.square();
+        let h_cu = h_sq.mul(&h);
+        let v = self.x.mul(&h_sq);
+        let x3 = &(&r.square() - &h_cu) - &v.double();
+        let y3 = &r.mul(&(&v - &x3)) - &self.y.mul(&h_cu);
+        let z3 = self.z.mul(&h);
+        G1Projective {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Scalar multiplication by a fixed 4-bit window over the bits of `k`:
@@ -422,6 +455,37 @@ impl core::fmt::Debug for G1Projective {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(f, "G1Projective({:?})", self.to_affine())
     }
+}
+
+/// Normalises a slice of Jacobian points to affine coordinates with a
+/// *single* field inversion (Montgomery's simultaneous-inversion trick on the
+/// `Z` coordinates), instead of one inversion per point.
+///
+/// Used by the fixed-base table builder in [`crate::precomp`], where hundreds
+/// of table entries are normalised at once.
+pub fn batch_to_affine(points: &[G1Projective]) -> Vec<G1Affine> {
+    let Some(first) = points.first() else {
+        return Vec::new();
+    };
+    let ctx = first.ctx();
+    let zs: Vec<Fp> = points
+        .iter()
+        .filter(|p| !p.is_identity())
+        .map(|p| p.z.clone())
+        .collect();
+    let z_invs = Fp::batch_invert(&zs).expect("non-identity points have Z ≠ 0");
+    let mut inv_iter = z_invs.into_iter();
+    points
+        .iter()
+        .map(|p| {
+            if p.is_identity() {
+                return G1Affine::identity(ctx);
+            }
+            let z_inv = inv_iter.next().expect("one inverse per non-identity point");
+            let z_inv_sq = z_inv.square();
+            G1Affine::new_unchecked(p.x.mul(&z_inv_sq), p.y.mul(&z_inv_sq.mul(&z_inv)))
+        })
+        .collect()
 }
 
 /// Samples a uniformly random point of the full curve `E(F_p)` (not yet in the
@@ -519,6 +583,55 @@ mod tests {
             let neg = G1Projective::from_affine(&p.neg());
             assert!(pp.add(&neg).is_identity());
         }
+    }
+
+    #[test]
+    fn mixed_addition_matches_general_addition() {
+        let c = ctx();
+        let mut r = rng();
+        for _ in 0..10 {
+            let p = random_curve_point(&c, &mut r);
+            let q = random_curve_point(&c, &mut r);
+            let pp = G1Projective::from_affine(&p);
+            assert_eq!(pp.add_affine(&q), pp.add(&G1Projective::from_affine(&q)));
+            // Degenerate cases: doubling, inverse, and identities.
+            assert_eq!(pp.add_affine(&p), pp.double());
+            assert!(pp.add_affine(&p.neg()).is_identity());
+            assert_eq!(pp.add_affine(&G1Affine::identity(&c)), pp);
+            assert_eq!(
+                G1Projective::identity(&c).add_affine(&p).to_affine(),
+                p.clone()
+            );
+            // A non-trivial Z₁ (from a prior addition) exercises the real
+            // mixed formula rather than the Z₁ = 1 shortcut.
+            let shifted = pp.add(&G1Projective::from_affine(&q));
+            assert_eq!(
+                shifted.add_affine(&p),
+                shifted.add(&G1Projective::from_affine(&p))
+            );
+        }
+    }
+
+    #[test]
+    fn batch_normalisation_matches_individual() {
+        let c = ctx();
+        let mut r = rng();
+        let mut points: Vec<G1Projective> = (0..7)
+            .map(|_| {
+                let a = random_curve_point(&c, &mut r);
+                let b = random_curve_point(&c, &mut r);
+                // Additions give Z ≠ 1, exercising the real normalisation.
+                G1Projective::from_affine(&a).add(&G1Projective::from_affine(&b))
+            })
+            .collect();
+        points.insert(3, G1Projective::identity(&c));
+        let affine = batch_to_affine(&points);
+        assert_eq!(affine.len(), points.len());
+        for (p, a) in points.iter().zip(&affine) {
+            assert_eq!(&p.to_affine(), a);
+        }
+        assert!(affine[3].is_identity());
+        assert!(batch_to_affine(&[]).is_empty());
     }
 
     #[test]

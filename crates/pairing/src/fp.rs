@@ -187,6 +187,35 @@ impl Fp {
         })
     }
 
+    /// Inverts every element of a slice at the cost of a *single* field
+    /// inversion plus `3(n − 1)` multiplications (Montgomery's
+    /// simultaneous-inversion trick: prefix products, one inversion,
+    /// back-substitution).  Fails if any element is zero.
+    ///
+    /// The precomputation layer uses this to normalise whole tables of
+    /// Miller-loop line coefficients and Jacobian points in one shot.
+    pub fn batch_invert(values: &[Fp]) -> Result<Vec<Fp>> {
+        let Some(first) = values.first() else {
+            return Ok(Vec::new());
+        };
+        let mut prefix = Vec::with_capacity(values.len());
+        let mut acc = Fp::one(first.ctx());
+        for v in values {
+            if v.is_zero() {
+                return Err(PairingError::NotInvertible);
+            }
+            prefix.push(acc.clone());
+            acc = acc.mul(v);
+        }
+        let mut suffix_inv = acc.invert()?;
+        let mut out = vec![Fp::zero(first.ctx()); values.len()];
+        for i in (0..values.len()).rev() {
+            out[i] = suffix_inv.mul(&prefix[i]);
+            suffix_inv = suffix_inv.mul(&values[i]);
+        }
+        Ok(out)
+    }
+
     /// Exponentiation by an arbitrary integer exponent.
     pub fn pow(&self, exp: &Uint) -> Fp {
         Fp {
@@ -350,6 +379,24 @@ mod tests {
         let inv = a.invert().unwrap();
         assert!((&a * &inv).is_one());
         assert!(Fp::zero(&c).invert().is_err());
+    }
+
+    #[test]
+    fn batch_inversion_matches_individual() {
+        let c = ctx();
+        let values: Vec<Fp> = (1u64..=17).map(|v| Fp::from_u64(&c, v * 7919)).collect();
+        let inverses = Fp::batch_invert(&values).unwrap();
+        assert_eq!(inverses.len(), values.len());
+        for (v, inv) in values.iter().zip(&inverses) {
+            assert_eq!(inv, &v.invert().unwrap());
+            assert!((v * inv).is_one());
+        }
+        // Empty input, single element, and zero rejection.
+        assert!(Fp::batch_invert(&[]).unwrap().is_empty());
+        let one = vec![Fp::from_u64(&c, 42)];
+        assert_eq!(Fp::batch_invert(&one).unwrap()[0], one[0].invert().unwrap());
+        let with_zero = vec![Fp::from_u64(&c, 1), Fp::zero(&c)];
+        assert!(Fp::batch_invert(&with_zero).is_err());
     }
 
     #[test]

@@ -133,6 +133,22 @@ impl Fp2 {
         }
     }
 
+    /// Multiplication by a Miller-loop line value `real + y·i` given as its
+    /// two coefficients, without materialising a temporary `Fp2` (the
+    /// prepared-pairing evaluation calls this once per stored line).  Same
+    /// Karatsuba multiplication count as [`Self::mul`].
+    pub fn mul_by_line(&self, real: &Fp, y: &Fp) -> Fp2 {
+        let a0b0 = &self.c0 * real;
+        let a1b1 = &self.c1 * y;
+        let sum_a = &self.c0 + &self.c1;
+        let sum_b = real + y;
+        let cross = &(&sum_a * &sum_b) - &(&a0b0 + &a1b1);
+        Fp2 {
+            c0: &a0b0 - &a1b1,
+            c1: cross,
+        }
+    }
+
     /// Complex conjugation `a0 − a1 i`, which equals the Frobenius map `z ↦ z^p`.
     pub fn conjugate(&self) -> Fp2 {
         Fp2 {
@@ -341,6 +357,21 @@ mod tests {
         assert_eq!(bytes.len(), 2 * c.byte_len());
         assert_eq!(Fp2::from_bytes(&c, &bytes).unwrap(), a);
         assert!(Fp2::from_bytes(&c, &bytes[1..]).is_err());
+    }
+
+    #[test]
+    fn mul_by_line_matches_general_mul() {
+        let c = ctx();
+        let mut r = rng();
+        for _ in 0..5 {
+            let f = Fp2::random(&c, &mut r);
+            let real = Fp::random(&c, &mut r);
+            let y = Fp::random(&c, &mut r);
+            assert_eq!(
+                f.mul_by_line(&real, &y),
+                f.mul(&Fp2::new(real.clone(), y.clone()))
+            );
+        }
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //!   in [`hash`], used by the IBE and PRE layers for `H1` and `H2`.
 //! * **Parameters** — [`PairingParams`] generation for several security
 //!   levels, with process-wide cached instances for tests and benches.
+//! * **Precomputation** — [`precomp`] provides fixed-base multiplication
+//!   tables ([`G1Precomp`]) and fixed-argument prepared pairings
+//!   ([`PreparedPairing`]); the parameter set caches both for `g`, and the
+//!   scheme layers cache them for `pk`, private keys, and re-encryption keys.
 //!
 //! The scheme layers treat this crate the way they would treat `arkworks` or
 //! `pbc`: as the group-and-pairing provider.  See `DESIGN.md` for why this
@@ -41,6 +45,7 @@ pub mod gt;
 pub mod hash;
 pub mod pairing;
 pub mod params;
+pub mod precomp;
 pub mod scalar;
 
 pub use curve::{G1Affine, G1Projective};
@@ -50,6 +55,7 @@ pub use fp2::Fp2;
 pub use gt::Gt;
 pub use pairing::{pairing, pairing_unreduced};
 pub use params::{PairingParams, SecurityLevel};
+pub use precomp::{G1Precomp, PreparedPairing};
 pub use scalar::{Scalar, ScalarCtx};
 
 /// Crate-wide result alias.

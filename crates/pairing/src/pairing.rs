@@ -33,14 +33,18 @@ use tibpre_bigint::Uint;
 
 /// The running Miller-loop point `T` in Jacobian coordinates: the affine point
 /// is `(X/Z², Y/Z³)`, and `Z = 0` encodes the group identity.
-struct MillerPoint {
+///
+/// Crate-visible so [`crate::precomp::PreparedPairing`] can replay the exact
+/// same step sequence while collecting line *coefficients* instead of
+/// evaluated line values.
+pub(crate) struct MillerPoint {
     x: Fp,
     y: Fp,
     z: Fp,
 }
 
 impl MillerPoint {
-    fn from_affine(p: &G1Affine) -> Self {
+    pub(crate) fn from_affine(p: &G1Affine) -> Self {
         MillerPoint {
             x: p.x().clone(),
             y: p.y().clone(),
@@ -48,7 +52,7 @@ impl MillerPoint {
         }
     }
 
-    fn identity(template: &G1Affine) -> Self {
+    pub(crate) fn identity(template: &G1Affine) -> Self {
         let ctx = template.ctx();
         MillerPoint {
             x: Fp::one(ctx),
@@ -57,8 +61,13 @@ impl MillerPoint {
         }
     }
 
-    fn is_identity(&self) -> bool {
+    pub(crate) fn is_identity(&self) -> bool {
         self.z.is_zero()
+    }
+
+    /// `true` when the running point is 2-torsion (vertical tangent).
+    pub(crate) fn y_is_zero(&self) -> bool {
+        self.y.is_zero()
     }
 
     /// Fused Jacobian doubling and tangent-line evaluation at
@@ -137,6 +146,93 @@ impl MillerPoint {
         self.z = z3;
         AddStep::Line(Box::new(Fp2::new(line_real, line_imag)))
     }
+
+    /// Doubling step that returns the tangent line as *coefficients* in the
+    /// second argument instead of an evaluated value:
+    /// `ℓ(φ(Q)) = (c0 + cx·x_Q) + (cy·y_Q)·i` with
+    /// `c0 = M·X − 2Y²`, `cx = M·Z²`, `cy = Z'·Z²`.
+    ///
+    /// The point update is identical to [`Self::double_with_line`] (the two
+    /// must stay in sync; the oracle-equivalence tests enforce it) — the
+    /// evaluated form is kept separate because it needs one multiplication
+    /// fewer, which matters on the non-precomputed hot path.
+    pub(crate) fn double_step_coeffs(&mut self) -> RawLine {
+        debug_assert!(!self.is_identity() && !self.y.is_zero());
+        let yy = self.y.square();
+        let zz = self.z.square();
+        let s = self.x.mul(&yy).double().double();
+        let m = &self.x.square().mul_u64(3) + &zz.square();
+        let x3 = &m.square() - &s.double();
+        let y3 = &m.mul(&(&s - &x3)) - &yy.square().double().double().double();
+        let z3 = self.y.double().mul(&self.z);
+
+        let c0 = &m.mul(&self.x) - &yy.double();
+        let cx = m.mul(&zz);
+        let cy = z3.mul(&zz);
+
+        self.x = x3;
+        self.y = y3;
+        self.z = z3;
+        RawLine { c0, cx, cy }
+    }
+
+    /// Mixed-addition step returning the chord line as coefficients:
+    /// `c0 = r·x_P − Z'·y_P`, `cx = r`, `cy = Z'` (same degenerate cases as
+    /// [`Self::add_with_line`], reported instead of a line).
+    pub(crate) fn add_step_coeffs(&mut self, p: &G1Affine) -> RawAddStep {
+        debug_assert!(!self.is_identity());
+        let zz = self.z.square();
+        let u2 = p.x().mul(&zz);
+        let s2 = p.y().mul(&zz.mul(&self.z));
+        let h = &u2 - &self.x;
+        let r = &s2 - &self.y;
+        if h.is_zero() {
+            return if r.is_zero() {
+                RawAddStep::Tangent
+            } else {
+                RawAddStep::Vertical
+            };
+        }
+        let hh = h.square();
+        let hhh = hh.mul(&h);
+        let v = self.x.mul(&hh);
+        let x3 = &(&r.square() - &hhh) - &v.double();
+        let y3 = &r.mul(&(&v - &x3)) - &self.y.mul(&hhh);
+        let z3 = self.z.mul(&h);
+
+        let c0 = &r.mul(p.x()) - &z3.mul(p.y());
+        let cy = z3.clone();
+
+        self.x = x3;
+        self.y = y3;
+        self.z = z3;
+        RawAddStep::Line(Box::new(RawLine { c0, cx: r, cy }))
+    }
+}
+
+/// A Miller-loop line with the second argument left symbolic:
+/// `ℓ(φ(Q)) = (c0 + cx·x_Q) + (cy·y_Q)·i`.
+///
+/// All three coefficients depend only on the first pairing argument, which is
+/// what makes fixed-argument precomputation possible.  On the non-degenerate
+/// path `cy = Z'·Z²` (doubling) or `cy = Z'` (addition) is never zero, so the
+/// precomputation layer can normalise the line to `cy = 1` — a division by an
+/// `F_p^*` constant that the final exponentiation annihilates.
+pub(crate) struct RawLine {
+    pub(crate) c0: Fp,
+    pub(crate) cx: Fp,
+    pub(crate) cy: Fp,
+}
+
+/// Outcome of [`MillerPoint::add_step_coeffs`], mirroring [`AddStep`].
+pub(crate) enum RawAddStep {
+    /// Generic case: `T` was updated and the chord coefficients are returned.
+    /// (Boxed like [`AddStep::Line`] — clippy's `large_enum_variant`.)
+    Line(Box<RawLine>),
+    /// `T = P` (caller doubles instead).  Unreachable for prime-order inputs.
+    Tangent,
+    /// `T = −P`: vertical chord, eliminated by the final exponentiation.
+    Vertical,
 }
 
 /// Outcome of [`MillerPoint::add_with_line`].
@@ -220,12 +316,96 @@ pub fn pairing_unreduced(p: &G1Affine, q_point: &G1Affine, order: &Uint) -> Fp2 
 /// Decomposed as `f^{p−1} = conj(f)·f^{−1}` (the "easy" part, using that the
 /// Frobenius on `F_{p²}` is conjugation) followed by exponentiation by the
 /// cofactor `h = (p + 1)/q`.
+///
+/// After the easy part the value lies in the norm-1 ("cyclotomic") subgroup,
+/// where conjugation *is* inversion; the cofactor exponentiation therefore
+/// uses a signed-digit window (wNAF), whose negative digits cost only a
+/// conjugation — about a third fewer multiplications than plain
+/// square-and-multiply.  This sits on every pairing's critical path, naive
+/// and prepared alike.
 pub fn final_exponentiation(f: &Fp2, cofactor: &Uint) -> Result<Fp2> {
+    final_exponentiation_with_digits(f, &wnaf_digits(cofactor, WNAF_WINDOW))
+}
+
+/// [`final_exponentiation`] with the cofactor already recoded into wNAF
+/// digits (`wnaf_digits(cofactor, WNAF_WINDOW)`).
+///
+/// The digits are a pure function of the (fixed) cofactor, so
+/// [`crate::params::PairingParams`] recodes once and every pairing —
+/// naive and prepared — reuses the cached digits.
+pub(crate) fn final_exponentiation_with_digits(f: &Fp2, cofactor_digits: &[i8]) -> Result<Fp2> {
     if f.is_zero() {
         return Err(PairingError::NotInvertible);
     }
     let easy = f.conjugate().mul(&f.invert()?);
-    Ok(easy.pow(cofactor))
+    debug_assert!(easy.norm().is_one(), "f^(p-1) must have norm 1");
+    Ok(cyclotomic_pow_wnaf(&easy, cofactor_digits))
+}
+
+/// Width of the signed-digit window used for the cofactor exponentiation.
+pub(crate) const WNAF_WINDOW: u32 = 4;
+
+/// Exponentiation of a *norm-1* element by the exponent recoded as
+/// width-[`WNAF_WINDOW`] wNAF digits.  Negative digits multiply by the
+/// conjugate of a table entry, which is the inverse for norm-1 inputs — so
+/// the whole exponentiation needs no field inversion and roughly `bits/5`
+/// multiplies on top of the unavoidable squarings.
+///
+/// Produces exactly `base^exp` (the algorithm only re-associates the
+/// product), so callers may treat it as a drop-in for [`Fp2::pow`].
+fn cyclotomic_pow_wnaf(base: &Fp2, digits: &[i8]) -> Fp2 {
+    // Odd powers base^1, base^3, …, base^(2^{w−1} − 1): the full wNAF digit
+    // range.
+    let base_sq = base.square();
+    let mut odd_powers = Vec::with_capacity(1 << (WNAF_WINDOW - 2));
+    odd_powers.push(base.clone());
+    for i in 1..(1usize << (WNAF_WINDOW - 2)) {
+        odd_powers.push(odd_powers[i - 1].mul(&base_sq));
+    }
+    let mut acc = Fp2::one(base.ctx());
+    for &digit in digits.iter().rev() {
+        acc = acc.square();
+        if digit > 0 {
+            acc = acc.mul(&odd_powers[digit.unsigned_abs() as usize / 2]);
+        } else if digit < 0 {
+            acc = acc.mul(&odd_powers[digit.unsigned_abs() as usize / 2].conjugate());
+        }
+    }
+    acc
+}
+
+/// Width-`window` non-adjacent-form recoding: returns digits (least
+/// significant first) in `{0, ±1, ±3, …, ±(2^{window−1} − 1)}` such that
+/// `exp = Σ digits[i]·2^i`, with every non-zero digit odd and non-zero
+/// digits at least `window − 1` positions apart.
+///
+/// `window = 2` gives the plain NAF (digits `±1`) used by the prepared
+/// Miller loop's addition-subtraction chain; `window = 4` serves the
+/// cofactor exponentiation.
+pub(crate) fn wnaf_digits(exp: &Uint, window: u32) -> Vec<i8> {
+    debug_assert!((2..=7).contains(&window));
+    let mut digits = Vec::with_capacity(exp.bits() + 1);
+    let mut e = *exp;
+    let full = 1i16 << window;
+    while !e.is_zero() {
+        if e.is_odd() {
+            // Centred remainder mod 2^window in (−2^{window−1}, 2^{window−1}].
+            let rem = (e.limbs()[0] & ((1 << window) - 1)) as i16;
+            let digit = if rem > full / 2 { rem - full } else { rem };
+            digits.push(digit as i8);
+            if digit < 0 {
+                // e -= digit  (digit negative: add its magnitude).
+                let (sum, _) = e.overflowing_add_u64(digit.unsigned_abs() as u64);
+                e = sum;
+            } else {
+                e = e.wrapping_sub(&Uint::from_u64(digit as u64));
+            }
+        } else {
+            digits.push(0);
+        }
+        e = e.shr1();
+    }
+    digits
 }
 
 /// Full reduced pairing `ê(P, Q) = f_{q,P}(φ(Q))^{(p²−1)/q}` as a raw `F_{p²}` value.
@@ -348,6 +528,56 @@ mod tests {
         let one = Fp2::one(&c);
         let out = final_exponentiation(&one, &Uint::from_u64(123456)).unwrap();
         assert!(out.is_one());
+    }
+
+    /// The signed-digit cyclotomic exponentiation must agree with plain
+    /// square-and-multiply on norm-1 bases for arbitrary exponents.
+    #[test]
+    fn cyclotomic_wnaf_pow_matches_plain_pow() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(0x77AF);
+        for _ in 0..5 {
+            let f = Fp2::random(&c, &mut rng);
+            if f.is_zero() {
+                continue;
+            }
+            // conj(f)/f always has norm 1.
+            let base = f.conjugate().mul(&f.invert().unwrap());
+            assert!(base.norm().is_one());
+            for exp in [
+                Uint::ZERO,
+                Uint::ONE,
+                Uint::from_u64(2),
+                Uint::from_u64(0xDEAD_BEEF),
+                Uint::from_u128(0x0123_4567_89AB_CDEF_0123_4567_89AB_CDEFu128),
+            ] {
+                assert_eq!(
+                    cyclotomic_pow_wnaf(&base, &wnaf_digits(&exp, WNAF_WINDOW)),
+                    base.pow(&exp)
+                );
+            }
+        }
+    }
+
+    /// Every wNAF digit sequence must re-encode the original exponent with
+    /// odd digits bounded by the window.
+    #[test]
+    fn wnaf_recoding_is_faithful() {
+        for window in [2u32, 4] {
+            for exp in [0u64, 1, 2, 15, 16, 0xF0F0, 0xDEAD_BEEF_CAFE_F00D] {
+                let digits = wnaf_digits(&Uint::from_u64(exp), window);
+                let mut acc: i128 = 0;
+                for (i, &d) in digits.iter().enumerate() {
+                    assert!(d == 0 || (d % 2 != 0 && d.unsigned_abs() < 1 << (window - 1)));
+                    acc += i128::from(d) << i;
+                }
+                assert_eq!(
+                    acc,
+                    i128::from(exp),
+                    "digits must re-encode {exp} (w={window})"
+                );
+            }
+        }
     }
 
     /// Regression oracle: the inversion-free projective Miller loop and the

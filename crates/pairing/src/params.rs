@@ -12,7 +12,10 @@ use crate::error::PairingError;
 use crate::fp::FpCtx;
 use crate::gt::Gt;
 use crate::hash::{hash_to_curve, hash_to_scalar};
-use crate::pairing::{final_exponentiation, miller_loop};
+use crate::pairing::{
+    final_exponentiation, final_exponentiation_with_digits, miller_loop, wnaf_digits, WNAF_WINDOW,
+};
+use crate::precomp::{G1Precomp, PreparedPairing};
 use crate::scalar::{Scalar, ScalarCtx};
 use crate::Result;
 use rand::rngs::StdRng;
@@ -91,6 +94,14 @@ pub struct PairingParams {
     scalar_ctx: Arc<ScalarCtx>,
     generator: G1Affine,
     gt_generator: Gt,
+    /// Fixed-base table for `g`, built lazily on first use and shared by
+    /// every holder of these parameters.
+    generator_precomp: OnceLock<Arc<G1Precomp>>,
+    /// Prepared Miller loop for `g`, built lazily on first use.
+    prepared_generator: OnceLock<Arc<PreparedPairing>>,
+    /// The cofactor recoded into wNAF digits for the final exponentiation —
+    /// fixed per parameter set, recoded once.
+    cofactor_digits: OnceLock<Arc<Vec<i8>>>,
 }
 
 impl PairingParams {
@@ -146,6 +157,9 @@ impl PairingParams {
             scalar_ctx,
             generator,
             gt_generator,
+            generator_precomp: OnceLock::new(),
+            prepared_generator: OnceLock::new(),
+            cofactor_digits: OnceLock::new(),
         }))
     }
 
@@ -233,11 +247,58 @@ impl PairingParams {
     }
 
     /// Computes the symmetric pairing `ê(a, b) = e(a, φ(b))`.
+    ///
+    /// This is the *naive* path — a full Miller loop per call — retained both
+    /// for arbitrary argument pairs and as the oracle the precomputed path is
+    /// tested against.  When one argument is fixed across many calls, prepare
+    /// it once with [`Self::prepare`] (or use the cached
+    /// [`Self::prepared_generator`]) instead.
     pub fn pairing(&self, a: &G1Affine, b: &G1Affine) -> Gt {
         let unreduced = miller_loop(a, b, &self.q);
-        let reduced = final_exponentiation(&unreduced, &self.cofactor)
+        let reduced = final_exponentiation_with_digits(&unreduced, &self.cofactor_wnaf())
             .expect("Miller values are never zero for points on the curve");
         Gt::from_fp2_unchecked(reduced)
+    }
+
+    /// The cofactor's cached wNAF recoding (shared by the naive and prepared
+    /// final exponentiations).
+    pub(crate) fn cofactor_wnaf(&self) -> Arc<Vec<i8>> {
+        Arc::clone(
+            self.cofactor_digits
+                .get_or_init(|| Arc::new(wnaf_digits(&self.cofactor, WNAF_WINDOW))),
+        )
+    }
+
+    /// Tabulates the Miller loop for a fixed pairing argument; subsequent
+    /// pairings against `point` (in either position, by symmetry) only
+    /// evaluate the stored lines.  See [`PreparedPairing`].
+    pub fn prepare(&self, point: &G1Affine) -> PreparedPairing {
+        PreparedPairing::new(self, point)
+    }
+
+    /// The prepared Miller loop for the generator `g`, built on first use and
+    /// cached for the lifetime of the parameter set.
+    pub fn prepared_generator(&self) -> Arc<PreparedPairing> {
+        Arc::clone(
+            self.prepared_generator
+                .get_or_init(|| Arc::new(PreparedPairing::new(self, &self.generator))),
+        )
+    }
+
+    /// The fixed-base multiplication table for the generator `g`, built on
+    /// first use and cached for the lifetime of the parameter set.
+    pub fn generator_precomp(&self) -> Arc<G1Precomp> {
+        Arc::clone(
+            self.generator_precomp
+                .get_or_init(|| Arc::new(G1Precomp::new(&self.generator, self.q.bits()))),
+        )
+    }
+
+    /// `g^k` through the cached fixed-base table — the hot path behind every
+    /// `c1 = g^r` and `pk = g^α` in the scheme layers.  Produces the exact
+    /// same point as `self.generator().mul_scalar(k)`.
+    pub fn mul_generator(&self, k: &Scalar) -> G1Affine {
+        self.generator_precomp().mul_scalar(k)
     }
 
     /// Samples a uniformly random scalar in `Z_q`.
@@ -252,8 +313,7 @@ impl PairingParams {
 
     /// Samples a uniformly random point of the order-`q` subgroup.
     pub fn random_g1<R: RngCore + CryptoRng>(&self, rng: &mut R) -> G1Affine {
-        self.generator
-            .mul_scalar(&Scalar::random_nonzero(&self.scalar_ctx, rng))
+        self.mul_generator(&Scalar::random_nonzero(&self.scalar_ctx, rng))
     }
 
     /// Samples a uniformly random element of the target group (the paper's

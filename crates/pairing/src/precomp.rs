@@ -1,0 +1,422 @@
+//! Precomputation for fixed bases and fixed pairing arguments.
+//!
+//! The TIB-PRE scheme fixes `g` and `pk = g^α` at `Setup` and re-uses the
+//! same pairing arguments (`H1(id)`, private keys, re-encryption keys) across
+//! every `Encrypt` / `Preenc` call, yet the generic code paths recompute
+//! windowed ladders and full Miller loops from scratch each time.  This module
+//! provides the two classic amortisations:
+//!
+//! * [`G1Precomp`] — a fixed-base table holding every window multiple
+//!   `(j · 2^{4w}) · P`, so a scalar multiplication by the fixed base needs
+//!   only mixed *additions* (one per non-zero window digit) and no doublings
+//!   at all.  In the paper's symmetric ("Type 1") setting there is a single
+//!   source group, so the same type serves both `g` and `g^α` — the role a
+//!   `G2Precomp` would play in an asymmetric pairing.
+//! * [`PreparedPairing`] — BKLS-style fixed-argument pairing precomputation:
+//!   the Miller loop for a fixed first argument `P` is executed once and the
+//!   per-step *line coefficients* are stored, so each subsequent pairing
+//!   `ê(P, Q)` only evaluates the stored lines at `φ(Q)` and runs the final
+//!   exponentiation.  Because the pairing is symmetric (`ê(P, Q) = ê(Q, P)`,
+//!   exercised by the test-suite), preparing `P` accelerates pairings with
+//!   `P` in *either* position.
+//!
+//! Every stored line is normalised to `ℓ(φ(Q)) = (a + b·x_Q) + y_Q·i` by
+//! dividing out the `y_Q` coefficient (a batch inversion at preparation
+//! time); the dropped `F_p^*` factor is annihilated by the final
+//! exponentiation, so the *reduced* pairing value is bit-identical to the
+//! naive path.  The naive paths ([`G1Affine::mul_scalar`],
+//! [`crate::params::PairingParams::pairing`]) stay alive as test oracles.
+
+use crate::curve::{batch_to_affine, G1Affine, G1Projective};
+use crate::fp::Fp;
+use crate::fp2::Fp2;
+use crate::gt::Gt;
+use crate::pairing::{final_exponentiation_with_digits, wnaf_digits, MillerPoint, RawAddStep};
+use crate::params::PairingParams;
+use crate::scalar::Scalar;
+use std::sync::Arc;
+use tibpre_bigint::Uint;
+
+/// Window width (bits) of the fixed-base tables.
+const WINDOW: usize = 4;
+/// Non-zero digits per window: `2^WINDOW − 1`.
+const TABLE_LEN: usize = (1 << WINDOW) - 1;
+
+/// A fixed-base multiplication table for one point `P`.
+///
+/// `table[w][j] = (j + 1) · 2^{4w} · P` in affine coordinates, for every
+/// 4-bit window `w` of a scalar up to [`Self::max_bits`] bits.  A scalar
+/// multiplication then reduces to at most one mixed addition per window —
+/// no doublings — which is several times faster than the generic windowed
+/// ladder for the scalar sizes the scheme uses.
+///
+/// Building the table costs one doubling/addition per entry plus a single
+/// batched inversion to normalise everything to affine; it pays for itself
+/// after a handful of multiplications by the same base.
+#[derive(Clone, Debug)]
+pub struct G1Precomp {
+    point: G1Affine,
+    table: Vec<Vec<G1Affine>>,
+    max_bits: usize,
+}
+
+impl G1Precomp {
+    /// Tabulates the window multiples of `point` for scalars up to `max_bits`
+    /// bits (rounded up to a whole number of windows).
+    pub fn new(point: &G1Affine, max_bits: usize) -> Self {
+        let windows = max_bits.div_ceil(WINDOW).max(1);
+        let mut entries: Vec<G1Projective> = Vec::with_capacity(windows * TABLE_LEN);
+        let mut base = G1Projective::from_affine(point);
+        for _ in 0..windows {
+            let start = entries.len();
+            entries.push(base.clone());
+            for j in 1..TABLE_LEN {
+                // (j + 1)·base: even multiples from a doubling, odd ones from
+                // one addition — the same chain the generic ladder uses.
+                let next = if (j + 1) % 2 == 0 {
+                    entries[start + j.div_ceil(2) - 1].double()
+                } else {
+                    entries[start + j - 1].add(&base)
+                };
+                entries.push(next);
+            }
+            // Next window's base is 2^WINDOW·base = 2 · (8·base).
+            base = entries[start + 7].double();
+        }
+        let affine = batch_to_affine(&entries);
+        let table = affine.chunks(TABLE_LEN).map(<[G1Affine]>::to_vec).collect();
+        G1Precomp {
+            point: point.clone(),
+            table,
+            max_bits: windows * WINDOW,
+        }
+    }
+
+    /// The fixed base point this table belongs to.
+    pub fn point(&self) -> &G1Affine {
+        &self.point
+    }
+
+    /// Largest scalar bit-length the table covers; bigger scalars fall back
+    /// to the generic ladder.
+    pub fn max_bits(&self) -> usize {
+        self.max_bits
+    }
+
+    /// Fixed-base scalar multiplication `k·P` via the table.
+    ///
+    /// Produces the exact same group element as the naive
+    /// [`G1Affine::mul_uint`] (the oracle-equivalence suite asserts
+    /// bit-identical encodings).
+    pub fn mul_uint(&self, k: &Uint) -> G1Affine {
+        if k.bits() > self.max_bits {
+            // Out-of-range scalar (never produced by Z_q arithmetic): take
+            // the generic ladder rather than mis-computing.
+            return self.point.mul_uint(k);
+        }
+        let mut acc = G1Projective::identity(self.point.ctx());
+        for (w, entries) in self.table.iter().enumerate() {
+            let mut digit = 0usize;
+            for b in (0..WINDOW).rev() {
+                digit = (digit << 1) | usize::from(k.bit(w * WINDOW + b));
+            }
+            if digit != 0 {
+                acc = acc.add_affine(&entries[digit - 1]);
+            }
+        }
+        acc.to_affine()
+    }
+
+    /// Fixed-base scalar multiplication by an element of `Z_q`.
+    pub fn mul_scalar(&self, k: &Scalar) -> G1Affine {
+        self.mul_uint(&k.to_uint())
+    }
+}
+
+/// A Miller-loop line with the fixed argument baked in, normalised so the
+/// `y_Q` coefficient is one: `ℓ(φ(Q)) = (a + b·x_Q) + y_Q·i`.
+#[derive(Clone, Debug)]
+struct PreparedLine {
+    a: Fp,
+    b: Fp,
+}
+
+impl PreparedLine {
+    /// Folds `f · ℓ(φ(Q))` in one sparse multiplication: evaluating the line
+    /// costs a single base-field multiplication (`b·x_Q`), and the product
+    /// avoids materialising the line as a temporary `Fp2`.
+    fn mul_into(&self, f: &Fp2, xq: &Fp, yq: &Fp) -> Fp2 {
+        f.mul_by_line(&(&self.a + &self.b.mul(xq)), yq)
+    }
+}
+
+/// One digit of the prepared Miller loop: the tangent line of the doubling
+/// step, plus the chord line of the addition step when the NAF digit is
+/// non-zero (`+1` adds `P`, `−1` adds `−P`; the `f_{−1}` factor a
+/// subtraction formally contributes is a vertical, which denominator
+/// elimination drops).
+///
+/// Either line may be absent — exactly where the loop multiplies no line:
+/// zero digits, vertical tangents/chords (eliminated by the final
+/// exponentiation), and steps where the running point has reached the
+/// identity.  In particular the *last* addition step of any prime-order input
+/// lands on `±P` and produces a vertical chord, so `add = None` there is the
+/// normal case, not an anomaly.
+#[derive(Clone, Debug)]
+struct PreparedStep {
+    dbl: Option<PreparedLine>,
+    add: Option<PreparedLine>,
+}
+
+/// A pairing with one argument fixed and its Miller loop pre-tabulated.
+///
+/// Preparation runs one Jacobian Miller loop over the *NAF*
+/// addition-subtraction chain of the group order (about a third fewer
+/// addition steps than the binary chain; a `−1` digit adds `−P`, whose
+/// formal `f_{−1}` factor is a vertical annihilated by the final
+/// exponentiation), plus one batched inversion to normalise the line
+/// coefficients.  Every subsequent [`Self::pairing`] call against the fixed
+/// argument only squares the accumulator, evaluates the stored lines at
+/// `φ(Q)` (two base-field multiplications per line), and applies the final
+/// exponentiation.
+///
+/// The *reduced* result is bit-identical to
+/// [`crate::params::PairingParams::pairing`] for every input: different
+/// addition chains (and the degenerate vertical/identity cases, stored here
+/// as line-less steps) change the unreduced Miller value only by `F_p^*`
+/// factors, which the final exponentiation kills.
+#[derive(Clone, Debug)]
+pub struct PreparedPairing {
+    point: G1Affine,
+    steps: Vec<PreparedStep>,
+    /// The cofactor's wNAF recoding, shared with the parameter set.
+    cofactor_digits: Arc<Vec<i8>>,
+}
+
+impl PreparedPairing {
+    /// Runs the Miller loop for `point` (as the fixed argument) once and
+    /// stores the per-step line coefficients.
+    pub fn new(params: &PairingParams, point: &G1Affine) -> Self {
+        let cofactor_digits = params.cofactor_wnaf();
+        if point.is_identity() {
+            // The generic loop returns 1 immediately; an empty step table
+            // evaluates to the same thing.
+            return PreparedPairing {
+                point: point.clone(),
+                steps: Vec::new(),
+                cofactor_digits,
+            };
+        }
+
+        // Replay the Miller loop over the NAF digits of the order, collecting
+        // raw line coefficients.  The degenerate-case handling mirrors
+        // `crate::pairing::miller_loop` (the regression tests cross-check the
+        // reduced outputs of the two loops).
+        let digits = wnaf_digits(params.q(), 2);
+        debug_assert_eq!(
+            digits.last(),
+            Some(&1),
+            "NAF of a positive order starts with +1"
+        );
+        let neg_point = point.neg();
+        let mut t = MillerPoint::from_affine(point);
+        let mut raw: Vec<(Option<_>, Option<_>)> = Vec::with_capacity(digits.len());
+        for &digit in digits.iter().rev().skip(1) {
+            let mut dbl = None;
+            let mut add = None;
+            if !t.is_identity() {
+                if t.y_is_zero() {
+                    // Vertical tangent (2-torsion): no line to store.
+                    t = MillerPoint::identity(point);
+                } else {
+                    dbl = Some(t.double_step_coeffs());
+                }
+            }
+            if digit != 0 && !t.is_identity() {
+                let addend = if digit > 0 { point } else { &neg_point };
+                match t.add_step_coeffs(addend) {
+                    RawAddStep::Line(line) => add = Some(*line),
+                    RawAddStep::Tangent if t.y_is_zero() => {
+                        t = MillerPoint::identity(point);
+                    }
+                    RawAddStep::Tangent => add = Some(t.double_step_coeffs()),
+                    RawAddStep::Vertical => t = MillerPoint::identity(point),
+                }
+            }
+            raw.push((dbl, add));
+        }
+
+        // Normalise every stored line so its y_Q coefficient is 1, with one
+        // batched inversion for the whole loop.  Whenever a line *is* stored,
+        // its denominator `cy` (`Z'·Z²` for tangents, `Z'` for chords) is
+        // non-zero, because the producing step left a non-identity point.
+        let cys: Vec<Fp> = raw
+            .iter()
+            .flat_map(|(d, a)| d.iter().chain(a.iter()).map(|l| l.cy.clone()))
+            .collect();
+        let cy_invs =
+            Fp::batch_invert(&cys).expect("stored Miller lines have non-zero denominators");
+        let mut inv_iter = cy_invs.into_iter();
+        let mut normalise = |line: &crate::pairing::RawLine| {
+            let inv = inv_iter.next().expect("one inverse per stored line");
+            PreparedLine {
+                a: line.c0.mul(&inv),
+                b: line.cx.mul(&inv),
+            }
+        };
+        let steps = raw
+            .iter()
+            .map(|(d, a)| PreparedStep {
+                dbl: d.as_ref().map(&mut normalise),
+                add: a.as_ref().map(&mut normalise),
+            })
+            .collect();
+
+        PreparedPairing {
+            point: point.clone(),
+            steps,
+            cofactor_digits,
+        }
+    }
+
+    /// The fixed pairing argument.
+    pub fn point(&self) -> &G1Affine {
+        &self.point
+    }
+
+    /// The unreduced Miller value `f_{q,P}(φ(Q))`, up to `F_p^*` factors
+    /// (exactly like [`crate::pairing::miller_loop`], whose output differs by
+    /// the normalisation scaling; the two agree after the final
+    /// exponentiation).
+    pub fn miller_loop(&self, q: &G1Affine) -> Fp2 {
+        let ctx = self.point.ctx();
+        if q.is_identity() {
+            return Fp2::one(ctx);
+        }
+        let xq = q.x();
+        let yq = q.y();
+        let mut f = Fp2::one(ctx);
+        for step in &self.steps {
+            f = f.square();
+            if let Some(dbl) = &step.dbl {
+                f = dbl.mul_into(&f, xq, yq);
+            }
+            if let Some(add) = &step.add {
+                f = add.mul_into(&f, xq, yq);
+            }
+        }
+        f
+    }
+
+    /// The reduced pairing `ê(P, Q)` against the fixed argument —
+    /// bit-identical to [`crate::params::PairingParams::pairing`] on the same
+    /// inputs (in either argument order, by symmetry).
+    pub fn pairing(&self, q: &G1Affine) -> Gt {
+        let unreduced = self.miller_loop(q);
+        let reduced = final_exponentiation_with_digits(&unreduced, &self.cofactor_digits)
+            .expect("Miller values are never zero for points on the curve");
+        Gt::from_fp2_unchecked(reduced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x9E11)
+    }
+
+    #[test]
+    fn fixed_base_table_matches_naive_ladder() {
+        let pp = PairingParams::insecure_toy();
+        let mut r = rng();
+        let table = G1Precomp::new(pp.generator(), pp.q().bits());
+        assert_eq!(table.point(), pp.generator());
+        for _ in 0..8 {
+            let k = pp.random_scalar(&mut r);
+            let fast = table.mul_scalar(&k);
+            let naive = pp.generator().mul_scalar(&k);
+            assert_eq!(fast, naive);
+            assert_eq!(fast.to_bytes(), naive.to_bytes());
+        }
+        // Edge scalars.
+        assert!(table.mul_uint(&Uint::ZERO).is_identity());
+        assert_eq!(&table.mul_uint(&Uint::ONE), pp.generator());
+        let q_minus_1 = pp.q().wrapping_sub(&Uint::ONE);
+        assert_eq!(
+            table.mul_uint(&q_minus_1),
+            pp.generator().mul_uint(&q_minus_1)
+        );
+        // Out-of-range scalars take the generic fallback.
+        let huge = pp.q().shl(7);
+        assert!(huge.bits() > table.max_bits());
+        assert_eq!(table.mul_uint(&huge), pp.generator().mul_uint(&huge));
+    }
+
+    #[test]
+    fn fixed_base_table_for_the_identity() {
+        let pp = PairingParams::insecure_toy();
+        let id = pp.g1_identity();
+        let table = G1Precomp::new(&id, pp.q().bits());
+        assert!(table.mul_uint(&Uint::from_u64(12345)).is_identity());
+    }
+
+    #[test]
+    fn prepared_pairing_matches_naive_pairing() {
+        let pp = PairingParams::insecure_toy();
+        let mut r = rng();
+        for _ in 0..4 {
+            let fixed = pp.random_g1(&mut r);
+            let prepared = PreparedPairing::new(&pp, &fixed);
+            assert_eq!(prepared.point(), &fixed);
+            for _ in 0..3 {
+                let q = pp.random_g1(&mut r);
+                let fast = prepared.pairing(&q);
+                assert_eq!(fast, pp.pairing(&fixed, &q));
+                // Symmetry: preparing the "second" argument is the same thing.
+                assert_eq!(fast, pp.pairing(&q, &fixed));
+                assert_eq!(fast.to_bytes(), pp.pairing(&fixed, &q).to_bytes());
+            }
+            assert!(prepared.pairing(&pp.g1_identity()).is_one());
+        }
+    }
+
+    #[test]
+    fn prepared_generator_reproduces_gt_generator() {
+        let pp = PairingParams::insecure_toy();
+        let prepared = PreparedPairing::new(&pp, pp.generator());
+        assert_eq!(&prepared.pairing(pp.generator()), pp.gt_generator());
+    }
+
+    #[test]
+    fn degenerate_fixed_arguments_match_the_generic_loop() {
+        let pp = PairingParams::insecure_toy();
+        // Identity: empty step table, pairing is 1.
+        let prepared = PreparedPairing::new(&pp, &pp.g1_identity());
+        assert!(prepared.pairing(pp.generator()).is_one());
+        // 2-torsion point (0, 0): the vertical tangent becomes a line-less
+        // step, exactly as the generic loop drops it.
+        let two_torsion = G1Affine::new(Fp::zero(pp.fp_ctx()), Fp::zero(pp.fp_ctx())).unwrap();
+        let prepared = PreparedPairing::new(&pp, &two_torsion);
+        assert_eq!(
+            prepared.pairing(pp.generator()),
+            pp.pairing(&two_torsion, pp.generator())
+        );
+    }
+
+    #[test]
+    fn non_subgroup_fixed_arguments_match_the_generic_loop() {
+        use crate::curve::random_curve_point;
+        let pp = PairingParams::insecure_toy();
+        let mut r = rng();
+        for _ in 0..3 {
+            let fixed = random_curve_point(pp.fp_ctx(), &mut r);
+            let q = pp.random_g1(&mut r);
+            let prepared = PreparedPairing::new(&pp, &fixed);
+            assert_eq!(prepared.pairing(&q), pp.pairing(&fixed, &q));
+        }
+    }
+}

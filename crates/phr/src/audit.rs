@@ -187,4 +187,47 @@ mod tests {
         assert_eq!(log.disclosures_to(&alice), 0);
         assert_eq!(log.events()[0].at(), at1);
     }
+
+    #[test]
+    fn disclosures_to_counts_only_performed_disclosures_per_requester() {
+        let mut log = AuditLog::new();
+        let doctor = Identity::new("doctor");
+        let nurse = Identity::new("nurse");
+        // Empty log: everyone is at zero.
+        assert_eq!(log.disclosures_to(&doctor), 0);
+
+        for id in 1..=3 {
+            let at = log.tick();
+            log.append(AuditEvent::DisclosurePerformed {
+                id: RecordId(id),
+                requester: doctor.clone(),
+                at,
+            });
+        }
+        let at = log.tick();
+        log.append(AuditEvent::DisclosurePerformed {
+            id: RecordId(9),
+            requester: nurse.clone(),
+            at,
+        });
+        // Denials and grants mentioning the doctor must NOT count.
+        let at = log.tick();
+        log.append(AuditEvent::DisclosureDenied {
+            id: RecordId(4),
+            requester: doctor.clone(),
+            at,
+        });
+        let at = log.tick();
+        log.append(AuditEvent::AccessGranted {
+            patient: Identity::new("alice"),
+            category: Category::Emergency,
+            grantee: doctor.clone(),
+            at,
+        });
+
+        assert_eq!(log.disclosures_to(&doctor), 3);
+        assert_eq!(log.disclosures_to(&nurse), 1);
+        assert_eq!(log.disclosures_to(&Identity::new("stranger")), 0);
+        assert_eq!(log.len(), 6);
+    }
 }

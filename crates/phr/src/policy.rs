@@ -132,6 +132,64 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_grants_do_not_double_count() {
+        let mut policy = DisclosurePolicy::new();
+        let doctor = Identity::new("doctor");
+        assert!(policy.add_grant(Category::IllnessHistory, doctor.clone(), "proxy"));
+        // The identical grant is reported as a no-op and counts stay stable.
+        assert!(!policy.add_grant(Category::IllnessHistory, doctor.clone(), "proxy"));
+        assert!(!policy.add_grant(Category::IllnessHistory, doctor.clone(), "proxy"));
+        assert_eq!(policy.grant_count(), 1);
+        assert_eq!(
+            policy.grantees_of(&Category::IllnessHistory),
+            vec![doctor.clone()]
+        );
+        // One revoke removes it entirely — the duplicates were never stored.
+        assert!(policy.remove_grant(&Category::IllnessHistory, &doctor, "proxy"));
+        assert_eq!(policy.grant_count(), 0);
+        assert!(!policy.is_granted(&Category::IllnessHistory, &doctor));
+    }
+
+    #[test]
+    fn revoking_nonexistent_grants_is_a_safe_no_op() {
+        let mut policy = DisclosurePolicy::new();
+        let doctor = Identity::new("doctor");
+        // Empty policy: nothing to remove, for any category.
+        assert!(!policy.remove_grant(&Category::Emergency, &doctor, "proxy"));
+        // Populated category, wrong grantee / wrong proxy / wrong category.
+        policy.add_grant(Category::Emergency, doctor.clone(), "proxy");
+        assert!(!policy.remove_grant(&Category::Emergency, &Identity::new("stranger"), "proxy"));
+        assert!(!policy.remove_grant(&Category::Emergency, &doctor, "other-proxy"));
+        assert!(!policy.remove_grant(&Category::FoodStatistics, &doctor, "proxy"));
+        // The real grant survived every failed revocation.
+        assert!(policy.is_granted(&Category::Emergency, &doctor));
+        assert_eq!(policy.grant_count(), 1);
+    }
+
+    #[test]
+    fn grantees_of_reflects_revocations() {
+        let mut policy = DisclosurePolicy::new();
+        let doctor = Identity::new("doctor");
+        let nurse = Identity::new("nurse");
+        policy.add_grant(Category::IllnessHistory, doctor.clone(), "proxy");
+        policy.add_grant(Category::IllnessHistory, nurse.clone(), "proxy");
+        assert_eq!(policy.grantees_of(&Category::IllnessHistory).len(), 2);
+
+        assert!(policy.remove_grant(&Category::IllnessHistory, &doctor, "proxy"));
+        assert_eq!(
+            policy.grantees_of(&Category::IllnessHistory),
+            vec![nurse.clone()]
+        );
+
+        // Removing the last grantee empties the category completely…
+        assert!(policy.remove_grant(&Category::IllnessHistory, &nurse, "proxy"));
+        assert!(policy.grantees_of(&Category::IllnessHistory).is_empty());
+        assert!(policy.shared_categories().is_empty());
+        // …and a category that never had grants reads the same way.
+        assert!(policy.grantees_of(&Category::Emergency).is_empty());
+    }
+
+    #[test]
     fn grants_are_scoped_to_proxies() {
         let mut policy = DisclosurePolicy::new();
         let doctor = Identity::new("doctor");

@@ -165,6 +165,12 @@ impl ProxyService {
     }
 
     /// Discloses every record of one category the requester is entitled to.
+    ///
+    /// Multi-record disclosure goes through the batched re-encryption path:
+    /// the re-encryption key is looked up once and its one-time pairing
+    /// precomputation is shared across every record's KEM header, so a
+    /// category dump costs far less than the same number of single-record
+    /// [`Self::disclose`] calls used to.
     pub fn disclose_category(
         &self,
         patient: &Identity,
@@ -172,9 +178,49 @@ impl ProxyService {
         requester: &Identity,
     ) -> Result<Vec<DisclosureBundle>> {
         let ids = self.store.list_for_patient_category(patient, category);
-        let mut bundles = Vec::with_capacity(ids.len());
+        if ids.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut records = Vec::with_capacity(ids.len());
         for id in ids {
-            bundles.push(self.disclose(patient, id, requester)?);
+            let stored = self.store.get(id)?;
+            if &stored.patient != patient {
+                self.store.log_disclosure(id, requester, false);
+                return Err(PhrError::RecordNotFound);
+            }
+            records.push(stored);
+        }
+        let Some(key) = self.proxy.key_for(patient, &category.type_tag(), requester) else {
+            self.record_denial(records[0].id, requester);
+            return Err(PhrError::AccessDenied {
+                category: category.label(),
+                requester: requester.display(),
+            });
+        };
+        let converted = hybrid::re_encrypt_hybrid_batch(records.iter().map(|r| &r.ciphertext), key)
+            .map_err(|e| {
+                self.record_denial(records[0].id, requester);
+                PhrError::Pre(e)
+            })?;
+        let mut bundles = Vec::with_capacity(records.len());
+        for (stored, ciphertext) in records.into_iter().zip(converted) {
+            {
+                let mut audit = self.audit.lock();
+                let at = audit.tick();
+                audit.append(AuditEvent::DisclosurePerformed {
+                    id: stored.id,
+                    requester: requester.clone(),
+                    at,
+                });
+            }
+            self.store.log_disclosure(stored.id, requester, true);
+            bundles.push(DisclosureBundle {
+                id: stored.id,
+                patient: stored.patient,
+                category: stored.category,
+                title: stored.title,
+                ciphertext,
+            });
         }
         Ok(bundles)
     }
