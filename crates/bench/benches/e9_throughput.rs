@@ -1,0 +1,102 @@
+//! E9: proxy re-encryption throughput vs. worker count.
+//!
+//! The multi-core scenario the engine opens: one re-encryption key, a burst
+//! of 64 same-type hybrid ciphertexts (a category dump at a busy proxy), fanned
+//! out over 1, 2, 4 and 8 workers.  The `thrpt:` column is records/sec —
+//! the series to check is `engine/<level>/<workers>` against
+//! `sequential/<level>`: on a machine with ≥ 4 cores the 4-worker row should
+//! clear 2.5× the sequential rate, because the per-record work (one prepared
+//! pairing evaluation + one `Gt` multiplication) is embarrassingly parallel
+//! and the key's Miller-loop table is built once, before the fan-out.
+//!
+//! On a single-core host the engine rows collapse to the sequential rate
+//! (modulo scheduling noise) — the fan-out adds microseconds of thread spawn
+//! against milliseconds of pairing work, which is also worth seeing measured.
+//!
+//! Every engine output is asserted byte-identical to the sequential batch
+//! before timing starts, so the numbers can never come from a short-cut.
+//!
+//! Levels: toy and 80-bit (the paper-era level), honouring
+//! `TIBPRE_BENCH_LEVELS`; worker counts honour nothing — the sweep is the
+//! point.  `TIBPRE_WORKERS` sizes the *default* engine row, showing what
+//! `ReEncryptEngine::from_env()` would pick on this host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use tibpre_bench::{bench_rng, sweep_levels, Fixture};
+use tibpre_core::{hybrid, TypeTag};
+use tibpre_engine::ReEncryptEngine;
+use tibpre_pairing::SecurityLevel;
+
+/// The burst size: one busy category dump.
+const BATCH: usize = 64;
+
+/// The worker-count sweep.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn throughput_vs_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .throughput(Throughput::Elements(BATCH as u64));
+
+    let levels: Vec<SecurityLevel> = sweep_levels()
+        .into_iter()
+        .filter(|level| matches!(level, SecurityLevel::Toy | SecurityLevel::Low80))
+        .collect();
+
+    for level in levels {
+        let f = Fixture::new(level);
+        let mut rng = bench_rng();
+        let t = TypeTag::new("illness-history");
+        let rekey = f
+            .delegator
+            .make_reencryption_key(&f.delegatee_id, f.kgc2_public(), &t, &mut rng)
+            .expect("shared parameters");
+        let batch: Vec<_> = (0..BATCH)
+            .map(|i| {
+                f.delegator
+                    .encrypt_bytes(&[i as u8; 256], b"e9", &t, &mut rng)
+            })
+            .collect();
+        let label = level.label();
+
+        // Correctness gate: the engine must be a pure speedup, never a
+        // different computation.
+        let expected = hybrid::re_encrypt_hybrid_batch(&batch, &rekey).expect("same type");
+        for workers in WORKER_COUNTS {
+            let engine = ReEncryptEngine::new(workers);
+            let got = engine
+                .re_encrypt_hybrid_batch(&batch, &rekey)
+                .expect("same type");
+            assert_eq!(
+                got, expected,
+                "engine output diverged from sequential at {workers} workers"
+            );
+        }
+
+        group.bench_function(BenchmarkId::new("sequential", label), |b| {
+            b.iter(|| hybrid::re_encrypt_hybrid_batch(&batch, &rekey).unwrap())
+        });
+        for workers in WORKER_COUNTS {
+            let engine = ReEncryptEngine::new(workers);
+            group.bench_function(
+                BenchmarkId::new("engine", format!("{label}/workers={workers}")),
+                |b| b.iter(|| engine.re_encrypt_hybrid_batch(&batch, &rekey).unwrap()),
+            );
+        }
+        let env_engine = ReEncryptEngine::from_env();
+        group.bench_function(
+            BenchmarkId::new(
+                "engine",
+                format!("{label}/workers=env({})", env_engine.workers()),
+            ),
+            |b| b.iter(|| env_engine.re_encrypt_hybrid_batch(&batch, &rekey).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, throughput_vs_workers);
+criterion_main!(benches);

@@ -118,14 +118,7 @@ where
     I: IntoIterator<Item = &'a HybridCiphertext>,
 {
     let ciphertexts: Vec<&HybridCiphertext> = ciphertexts.into_iter().collect();
-    for ciphertext in &ciphertexts {
-        if ciphertext.header.type_tag != *rekey.type_tag() {
-            return Err(crate::PreError::TypeMismatch {
-                ciphertext_type: ciphertext.header.type_tag.display(),
-                key_type: rekey.type_tag().display(),
-            });
-        }
-    }
+    crate::proxy::validate_batch_types(ciphertexts.iter().map(|ct| &ct.header.type_tag), rekey)?;
     ciphertexts
         .into_iter()
         .map(|ciphertext| re_encrypt_hybrid(ciphertext, rekey))

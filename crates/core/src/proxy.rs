@@ -96,6 +96,28 @@ impl ReEncryptedCiphertext {
     }
 }
 
+/// Validates a batch's type tags against a re-encryption key *before* any
+/// pairing work, so a mixed batch fails atomically with no partial output.
+///
+/// This is the single validation the sequential batch APIs
+/// ([`re_encrypt_batch`], [`crate::hybrid::re_encrypt_hybrid_batch`]) and the
+/// parallel engine (`tibpre-engine`) all share; the returned error is the one
+/// for the lowest offending index, matching a sequential scan.
+pub fn validate_batch_types<'a, I>(type_tags: I, rekey: &ReEncryptionKey) -> Result<()>
+where
+    I: IntoIterator<Item = &'a TypeTag>,
+{
+    for tag in type_tags {
+        if tag != rekey.type_tag() {
+            return Err(PreError::TypeMismatch {
+                ciphertext_type: tag.display(),
+                key_type: rekey.type_tag().display(),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// `Preenc(c, rk)`: converts one typed ciphertext with one re-encryption key.
 ///
 /// The proxy refuses to convert a ciphertext whose type does not match the
@@ -133,18 +155,15 @@ pub fn re_encrypt(
 /// the whole batch — per ciphertext only the stored lines are evaluated,
 /// which is what makes proxy-scale bursts cheap.  Results are bit-identical
 /// to calling [`re_encrypt`] one ciphertext at a time.
+///
+/// This function is single-threaded by design (it is the oracle the parallel
+/// paths are tested against); `tibpre-engine`'s `ReEncryptEngine` provides
+/// the drop-in multi-core variant with identical semantics and output.
 pub fn re_encrypt_batch(
     ciphertexts: &[TypedCiphertext],
     rekey: &ReEncryptionKey,
 ) -> Result<Vec<ReEncryptedCiphertext>> {
-    for ciphertext in ciphertexts {
-        if ciphertext.type_tag != *rekey.type_tag() {
-            return Err(PreError::TypeMismatch {
-                ciphertext_type: ciphertext.type_tag.display(),
-                key_type: rekey.type_tag().display(),
-            });
-        }
-    }
+    validate_batch_types(ciphertexts.iter().map(|ct| &ct.type_tag), rekey)?;
     // The per-ciphertext conversion *is* `re_encrypt`: the key's prepared
     // Miller loop is cached on first use, so the whole batch shares one
     // tabulation.

@@ -100,6 +100,11 @@ impl ReEncryptionKey {
     /// shared by every clone of this key.  `Preenc`'s `ê(c1, rk₂)` goes
     /// through this table, so converting many ciphertexts with one key pays
     /// the Miller-loop tabulation once.
+    ///
+    /// The table is immutable once built and safe to read from any number of
+    /// threads; a parallel batch converter should call this once *before*
+    /// fanning out, so the one-time build happens on the dispatching thread
+    /// instead of being raced (and its cost unevenly borne) by the workers.
     pub fn prepared_rk_point(&self) -> Arc<PreparedPairing> {
         Arc::clone(
             self.cache

@@ -1,0 +1,200 @@
+//! # tibpre-engine — the multi-threaded proxy re-encryption engine
+//!
+//! The paper's deployment story is a semi-trusted proxy serving many patients
+//! and delegatees at once.  Independent `Preenc` conversions share no mutable
+//! state — after a re-encryption key's one-time pairing preparation, each
+//! ciphertext conversion only *reads* the key's stored line coefficients — so
+//! a burst of conversions is embarrassingly parallel.  This crate exploits
+//! that: [`ReEncryptEngine`] fans the batch conversion APIs of `tibpre-core`
+//! out over a pool of `std::thread` workers fed by a work-stealing job queue.
+//!
+//! Three properties are preserved exactly from the sequential APIs, and the
+//! oracle tests assert them:
+//!
+//! * **Ordering** — output `i` is the conversion of input `i`, always.
+//! * **First-error semantics** — a failing batch returns the error the
+//!   sequential loop would have returned (the one at the lowest input index),
+//!   with no partial output.
+//! * **Bit-identical output** — the parallel path calls the *same* per-item
+//!   conversion functions, so results are byte-for-byte equal to
+//!   [`tibpre_core::proxy::re_encrypt_batch`] /
+//!   [`tibpre_core::hybrid::re_encrypt_hybrid_batch`].
+//!
+//! An engine with one worker (the [`ReEncryptEngine::sequential`]
+//! constructor, or `TIBPRE_WORKERS=1`) never spawns a thread and simply runs
+//! the sequential batch path, so single-core deployments pay no
+//! synchronisation cost.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod pool;
+mod queue;
+
+pub use pool::ReEncryptEngine;
+
+use tibpre_core::hybrid::{self, HybridCiphertext, ReEncryptedHybridCiphertext};
+use tibpre_core::proxy::{self, validate_batch_types, ReEncryptedCiphertext};
+use tibpre_core::{ReEncryptionKey, Result, TypedCiphertext};
+
+impl ReEncryptEngine {
+    /// `Preenc` over a batch of same-type ciphertexts with one key, fanned
+    /// out across the engine's workers.
+    ///
+    /// Semantics are identical to [`tibpre_core::proxy::re_encrypt_batch`]:
+    /// the whole batch is type-checked before any conversion happens, results
+    /// keep the input order, and the output is bit-identical to the
+    /// sequential path.  The key's Miller-loop tabulation is forced *before*
+    /// the fan-out, so the workers only ever read the shared table
+    /// (`ReEncryptionKey`'s cache is an `Arc<OnceLock>` — read-only once
+    /// initialised).
+    pub fn re_encrypt_batch(
+        &self,
+        ciphertexts: &[TypedCiphertext],
+        rekey: &ReEncryptionKey,
+    ) -> Result<Vec<ReEncryptedCiphertext>> {
+        if self.workers() <= 1 || ciphertexts.len() <= 1 {
+            return proxy::re_encrypt_batch(ciphertexts, rekey);
+        }
+        validate_batch_types(ciphertexts.iter().map(|ct| &ct.type_tag), rekey)?;
+        // One-time table build, done once on this thread rather than raced by
+        // every worker on first use.
+        let _ = rekey.prepared_rk_point();
+        self.try_par_map(ciphertexts, |_, ct| proxy::re_encrypt(ct, rekey))
+    }
+
+    /// The hybrid counterpart of [`Self::re_encrypt_batch`]: converts the KEM
+    /// headers of many hybrid ciphertexts in parallel, forwarding the AEAD
+    /// bodies untouched.
+    ///
+    /// Semantics are identical to
+    /// [`tibpre_core::hybrid::re_encrypt_hybrid_batch`] (atomic up-front
+    /// validation, input ordering, bit-identical output).
+    pub fn re_encrypt_hybrid_batch<'a, I>(
+        &self,
+        ciphertexts: I,
+        rekey: &ReEncryptionKey,
+    ) -> Result<Vec<ReEncryptedHybridCiphertext>>
+    where
+        I: IntoIterator<Item = &'a HybridCiphertext>,
+    {
+        let ciphertexts: Vec<&HybridCiphertext> = ciphertexts.into_iter().collect();
+        if self.workers() <= 1 || ciphertexts.len() <= 1 {
+            return hybrid::re_encrypt_hybrid_batch(ciphertexts, rekey);
+        }
+        validate_batch_types(ciphertexts.iter().map(|ct| &ct.header.type_tag), rekey)?;
+        let _ = rekey.prepared_rk_point();
+        self.try_par_map(&ciphertexts, |_, ct| hybrid::re_encrypt_hybrid(ct, rekey))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+    use tibpre_core::{Delegatee, Delegator, TypeTag};
+    use tibpre_ibe::{Identity, Kgc};
+    use tibpre_pairing::PairingParams;
+
+    struct Fixture {
+        params: Arc<PairingParams>,
+        delegator: Delegator,
+        delegatee: Delegatee,
+        rekey: ReEncryptionKey,
+        rng: StdRng,
+    }
+
+    fn fixture(type_tag: &TypeTag) -> Fixture {
+        let mut rng = StdRng::seed_from_u64(0xE9);
+        let params = PairingParams::insecure_toy();
+        let kgc1 = Kgc::setup(params.clone(), "kgc1", &mut rng);
+        let kgc2 = Kgc::setup(params.clone(), "kgc2", &mut rng);
+        let alice = Identity::new("alice");
+        let bob = Identity::new("bob");
+        let delegator = Delegator::new(kgc1.public_params().clone(), kgc1.extract(&alice));
+        let rekey = delegator
+            .make_reencryption_key(&bob, kgc2.public_params(), type_tag, &mut rng)
+            .unwrap();
+        Fixture {
+            params,
+            delegator,
+            delegatee: Delegatee::new(kgc2.extract(&bob)),
+            rekey,
+            rng,
+        }
+    }
+
+    #[test]
+    fn engine_matches_sequential_batch_bitwise() {
+        let t = TypeTag::new("illness-history");
+        let mut f = fixture(&t);
+        let messages: Vec<_> = (0..13).map(|_| f.params.random_gt(&mut f.rng)).collect();
+        let cts: Vec<_> = messages
+            .iter()
+            .map(|m| f.delegator.encrypt_typed(m, &t, &mut f.rng))
+            .collect();
+
+        let sequential = proxy::re_encrypt_batch(&cts, &f.rekey).unwrap();
+        for workers in [1, 2, 3, 4] {
+            let engine = ReEncryptEngine::new(workers);
+            let parallel = engine.re_encrypt_batch(&cts, &f.rekey).unwrap();
+            assert_eq!(parallel.len(), sequential.len());
+            for (p, s) in parallel.iter().zip(&sequential) {
+                assert_eq!(p.to_bytes(), s.to_bytes(), "workers={workers}");
+            }
+        }
+        // And the outputs actually decrypt.
+        for (m, ct) in messages.iter().zip(&sequential) {
+            assert_eq!(&f.delegatee.decrypt_reencrypted(ct).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn engine_hybrid_matches_sequential_and_decrypts() {
+        let t = TypeTag::new("emergency");
+        let mut f = fixture(&t);
+        let payloads: Vec<Vec<u8>> = (0..9u8).map(|i| vec![i; 64 + i as usize]).collect();
+        let cts: Vec<_> = payloads
+            .iter()
+            .map(|p| f.delegator.encrypt_bytes(p, b"aad", &t, &mut f.rng))
+            .collect();
+
+        let sequential = hybrid::re_encrypt_hybrid_batch(&cts, &f.rekey).unwrap();
+        let engine = ReEncryptEngine::new(4);
+        let parallel = engine.re_encrypt_hybrid_batch(&cts, &f.rekey).unwrap();
+        assert_eq!(parallel, sequential);
+        for (payload, ct) in payloads.iter().zip(&parallel) {
+            assert_eq!(&f.delegatee.decrypt_bytes(ct, b"aad").unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn mixed_batch_fails_atomically_with_first_error() {
+        let t = TypeTag::new("diet");
+        let mut f = fixture(&t);
+        let m = f.params.random_gt(&mut f.rng);
+        let good = f.delegator.encrypt_typed(&m, &t, &mut f.rng);
+        let bad = f
+            .delegator
+            .encrypt_typed(&m, &TypeTag::new("imaging"), &mut f.rng);
+        let batch = vec![good.clone(), bad, good];
+        let engine = ReEncryptEngine::new(4);
+        let sequential_err = proxy::re_encrypt_batch(&batch, &f.rekey).unwrap_err();
+        let parallel_err = engine.re_encrypt_batch(&batch, &f.rekey).unwrap_err();
+        assert_eq!(parallel_err, sequential_err);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let t = TypeTag::new("t");
+        let f = fixture(&t);
+        let engine = ReEncryptEngine::new(4);
+        assert!(engine.re_encrypt_batch(&[], &f.rekey).unwrap().is_empty());
+        assert!(engine
+            .re_encrypt_hybrid_batch(std::iter::empty(), &f.rekey)
+            .unwrap()
+            .is_empty());
+    }
+}

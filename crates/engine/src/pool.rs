@@ -1,0 +1,249 @@
+//! The worker pool: scoped `std::thread` workers over the work-stealing
+//! queue, with a generic ordered fallible map as the execution primitive.
+
+use crate::queue::StealQueue;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Maximum worker count accepted from [`ReEncryptEngine::new`] and
+/// `TIBPRE_WORKERS` (a guard against typos, not a tuning parameter).
+const MAX_WORKERS: usize = 256;
+
+/// A multi-threaded re-encryption engine.
+///
+/// The engine is a *configuration* (worker count); the threads themselves are
+/// scoped to each batch call via [`std::thread::scope`], which is what lets
+/// the workers borrow the batch and the key directly — no cloning, no
+/// `'static` bounds, no `unsafe`.  Spawning a thread costs a few tens of
+/// microseconds while one toy-level pairing costs hundreds, so per-batch
+/// spawning is lost in the noise for every batch size worth parallelising;
+/// batches below [`Self::parallel_threshold`] run sequentially anyway.
+///
+/// An engine is cheap to construct and freely shareable (`Sync`); a proxy
+/// typically holds one in an `Arc` and uses it for every request.
+#[derive(Clone, Debug)]
+pub struct ReEncryptEngine {
+    workers: usize,
+}
+
+impl ReEncryptEngine {
+    /// An engine with `workers` threads per batch.  `0` and `1` both mean
+    /// sequential execution (no threads are ever spawned); values above 256
+    /// are clamped.
+    pub fn new(workers: usize) -> Self {
+        ReEncryptEngine {
+            workers: workers.clamp(1, MAX_WORKERS),
+        }
+    }
+
+    /// The sequential engine: behaves exactly like calling the
+    /// `tibpre-core` batch APIs directly.
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// An engine sized from the environment: the `TIBPRE_WORKERS` variable
+    /// if set (parse failures fall back to sequential, so a typo degrades
+    /// performance, not correctness), else the machine's available
+    /// parallelism.
+    pub fn from_env() -> Self {
+        match std::env::var("TIBPRE_WORKERS") {
+            Ok(spec) => Self::new(spec.trim().parse::<usize>().unwrap_or(1)),
+            Err(_) => Self::new(thread::available_parallelism().map_or(1, |n| n.get())),
+        }
+    }
+
+    /// The configured worker count (≥ 1).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Batches smaller than this run on the calling thread even on a
+    /// multi-worker engine: below two items per worker the fan-out cannot
+    /// win.
+    pub fn parallel_threshold(&self) -> usize {
+        self.workers * 2
+    }
+
+    /// Applies `f` to every item, in parallel across the engine's workers,
+    /// returning the results in input order.
+    ///
+    /// `f` receives `(index, &item)`.  If any application fails, the whole
+    /// map fails with the error of the **lowest failing input index** — the
+    /// error a sequential `for` loop would have surfaced — and every
+    /// already-computed result is discarded, so callers observe the same
+    /// all-or-nothing behaviour as the sequential batch APIs.
+    ///
+    /// A panic in `f` propagates to the caller after all workers have
+    /// stopped.
+    pub fn try_par_map<T, U, E, F>(&self, items: &[T], f: F) -> Result<Vec<U>, E>
+    where
+        T: Sync,
+        U: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<U, E> + Sync,
+    {
+        if self.workers <= 1 || items.len() < self.parallel_threshold() {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        // Chunks are a few items each: large enough that queue traffic stays
+        // negligible next to the pairing work, small enough that stealing can
+        // even out any load imbalance.
+        let chunk_size = (items.len() / (self.workers * 4)).max(1);
+        let queue = StealQueue::seed(self.workers, items.len(), chunk_size);
+        // The lowest failing index seen so far, and its error.  `floor` is a
+        // monotonically decreasing copy of the index that workers poll to
+        // skip work that a sequential run would never have reached.
+        let floor = AtomicUsize::new(usize::MAX);
+        let first_error: Mutex<Option<(usize, E)>> = Mutex::new(None);
+
+        let per_worker: Vec<Vec<(usize, U)>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.workers)
+                .map(|me| {
+                    let queue = &queue;
+                    let floor = &floor;
+                    let first_error = &first_error;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut produced = Vec::new();
+                        while let Some(job) = queue.next_job(me) {
+                            // Work entirely above a known failure can be
+                            // dropped: the sequential loop would have stopped
+                            // before it.  Work below the floor must still run
+                            // (it may contain an even earlier error).
+                            if job.start > floor.load(Ordering::Relaxed) {
+                                continue;
+                            }
+                            for i in job {
+                                match f(i, &items[i]) {
+                                    Ok(value) => produced.push((i, value)),
+                                    Err(e) => {
+                                        let mut slot =
+                                            first_error.lock().unwrap_or_else(|p| p.into_inner());
+                                        if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                                            *slot = Some((i, e));
+                                            floor.fetch_min(i, Ordering::Relaxed);
+                                        }
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        produced
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        });
+
+        if let Some((_, e)) = first_error.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            return Err(e);
+        }
+        let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+        for (i, value) in per_worker.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "index {i} produced twice");
+            slots[i] = Some(value);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every index was either produced or an error was returned"))
+            .collect())
+    }
+
+    /// Infallible variant of [`Self::try_par_map`].
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        let result: Result<Vec<U>, std::convert::Infallible> =
+            self.try_par_map(items, |i, t| Ok(f(i, t)));
+        match result {
+            Ok(values) => values,
+            Err(never) => match never {},
+        }
+    }
+}
+
+impl Default for ReEncryptEngine {
+    /// Defaults to [`Self::from_env`].
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(ReEncryptEngine::new(0).workers(), 1);
+        assert_eq!(ReEncryptEngine::new(1).workers(), 1);
+        assert_eq!(ReEncryptEngine::new(8).workers(), 8);
+        assert_eq!(ReEncryptEngine::new(100_000).workers(), MAX_WORKERS);
+        assert_eq!(ReEncryptEngine::sequential().workers(), 1);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for workers in [1, 2, 4, 7] {
+            let engine = ReEncryptEngine::new(workers);
+            let out = engine.par_map(&items, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn try_par_map_returns_the_lowest_index_error() {
+        let items: Vec<u64> = (0..512).collect();
+        let engine = ReEncryptEngine::new(4);
+        // Fail on every multiple of 97; the sequential loop would report 0...
+        // so make 0 succeed and the real first failure be 97.
+        let result: Result<Vec<u64>, u64> =
+            engine.try_par_map(
+                &items,
+                |_, &x| {
+                    if x != 0 && x % 97 == 0 {
+                        Err(x)
+                    } else {
+                        Ok(x)
+                    }
+                },
+            );
+        assert_eq!(result.unwrap_err(), 97);
+    }
+
+    #[test]
+    fn try_par_map_empty_and_tiny_inputs() {
+        let engine = ReEncryptEngine::new(4);
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(engine.par_map(&empty, |_, &x| x), empty);
+        assert_eq!(engine.par_map(&[41u32], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..256).collect();
+        let engine = ReEncryptEngine::new(4);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.par_map(&items, |_, &x| {
+                if x == 128 {
+                    panic!("boom");
+                }
+                x
+            })
+        }));
+        assert!(caught.is_err());
+    }
+}

@@ -35,7 +35,7 @@
 //! substitution is faithful to the paper.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod curve;
 pub mod error;

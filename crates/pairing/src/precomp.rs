@@ -26,6 +26,15 @@
 //! exponentiation, so the *reduced* pairing value is bit-identical to the
 //! naive path.  The naive paths ([`G1Affine::mul_scalar`],
 //! [`crate::params::PairingParams::pairing`]) stay alive as test oracles.
+//!
+//! # Thread safety
+//!
+//! Both table types are **immutable after construction** — evaluation only
+//! reads the stored windows / line coefficients — so a table behind an `Arc`
+//! can be shared by any number of threads without locking.  This is the
+//! contract the multi-threaded re-encryption engine (`tibpre-engine`) relies
+//! on: it forces a key's lazy preparation *once*, on the dispatching thread,
+//! then lets every worker evaluate the shared table concurrently.
 
 use crate::curve::{batch_to_affine, G1Affine, G1Projective};
 use crate::fp::Fp;

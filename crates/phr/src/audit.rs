@@ -3,6 +3,16 @@
 //! Regulations such as HIPAA (which the paper cites as the motivation for
 //! patient-controlled disclosure) require an account of disclosures; every
 //! store and proxy operation therefore appends an event here.
+//!
+//! Two holders use these types differently: each [`ProxyService`] keeps its
+//! own [`AuditLog`] (one writer, its private logical clock), while the
+//! sharded [`EncryptedPhrStore`] keeps a plain event segment *per shard*
+//! under a store-global atomic clock and merges the segments by timestamp in
+//! `audit_snapshot` — so one store-wide, strictly ordered trail survives the
+//! lock striping.
+//!
+//! [`ProxyService`]: crate::proxy_service::ProxyService
+//! [`EncryptedPhrStore`]: crate::store::EncryptedPhrStore
 
 use crate::category::Category;
 use crate::record::RecordId;

@@ -5,6 +5,68 @@
 //! a re-encryption key for the local emergency service.  If something happens,
 //! the emergency team obtains exactly that category on demand — and nothing
 //! else, even if the foreign proxy is later found to be corrupt.
+//!
+//! The whole trip, end to end (the `travel_emergency` example binary walks
+//! the same flow with narration):
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use std::sync::Arc;
+//! use tibpre_ibe::{Identity, Kgc};
+//! use tibpre_pairing::PairingParams;
+//! use tibpre_phr::category::Category;
+//! use tibpre_phr::emergency::{emergency_disclosure, provision_travel_access};
+//! use tibpre_phr::patient::Patient;
+//! use tibpre_phr::provider::HealthcareProvider;
+//! use tibpre_phr::proxy_service::ProxyService;
+//! use tibpre_phr::record::HealthRecord;
+//! use tibpre_phr::store::EncryptedPhrStore;
+//! use tibpre_phr::PhrError;
+//!
+//! let mut rng = StdRng::seed_from_u64(1492);
+//! let params = PairingParams::insecure_toy();
+//! let dutch_kgc = Kgc::setup(params.clone(), "nl-phr-kgc", &mut rng);
+//! let us_kgc = Kgc::setup(params.clone(), "us-provider-kgc", &mut rng);
+//!
+//! // Before the trip: Alice mirrors her emergency data to a US store and
+//! // provisions access for the US emergency service through a local proxy.
+//! let us_store = Arc::new(EncryptedPhrStore::new("us-mirror"));
+//! let mut us_proxy = ProxyService::new("us-proxy", us_store.clone());
+//! let mut alice = Patient::new("alice@phr.example", &dutch_kgc);
+//! let record = HealthRecord::new(
+//!     alice.identity().clone(),
+//!     Category::Emergency,
+//!     "blood group",
+//!     b"O negative".to_vec(),
+//! );
+//! alice.store_record(&us_store, &record, &mut rng).unwrap();
+//!
+//! let team_id = Identity::new("er@us-hospital.example");
+//! let team = HealthcareProvider::new(us_kgc.extract(&team_id));
+//! provision_travel_access(
+//!     &mut alice,
+//!     &team_id,
+//!     us_kgc.public_params(),
+//!     &mut us_proxy,
+//!     &mut rng,
+//! )
+//! .unwrap();
+//!
+//! // The emergency: the team pulls exactly the emergency category.
+//! let disclosed = emergency_disclosure(&us_proxy, alice.identity(), &team).unwrap();
+//! assert_eq!(disclosed.len(), 1);
+//! assert_eq!(disclosed[0].body, b"O negative");
+//!
+//! // After the trip: revocation closes the capability again.
+//! alice
+//!     .revoke_access(&Category::Emergency, &team_id, &mut us_proxy)
+//!     .unwrap();
+//! assert!(matches!(
+//!     emergency_disclosure(&us_proxy, alice.identity(), &team),
+//!     Err(PhrError::AccessDenied { .. })
+//! ));
+//! ```
 
 use crate::category::Category;
 use crate::patient::Patient;

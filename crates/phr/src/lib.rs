@@ -12,8 +12,8 @@
 //! * [`category`] — the record categories, mapped to the scheme's type tags,
 //! * [`record`] — plaintext health records and their metadata,
 //! * [`store`] — an encrypted record store (the "database" the patient
-//!   outsources storage to): concurrent, indexed by patient and category, with
-//!   an append-only audit log,
+//!   outsources storage to): sharded for concurrency, indexed by patient and
+//!   category, with an append-only audit log,
 //! * [`patient`] — the patient agent: encrypts records, manages her disclosure
 //!   policy, issues and revokes re-encryption keys,
 //! * [`policy`] — the disclosure policy (category → grantees → proxy),

@@ -6,6 +6,11 @@
 //! expected to convert ciphertexts honestly, but even a fully compromised
 //! proxy only exposes the categories whose keys it holds (Theorem 1), which is
 //! exactly what experiment E6 measures.
+//!
+//! A proxy can optionally be given a [`ReEncryptEngine`] (see
+//! [`ProxyService::with_engine`]); multi-record disclosures then fan out
+//! across the engine's workers, with output bit-identical to the sequential
+//! path.
 
 use crate::audit::{AuditEvent, AuditLog};
 use crate::category::Category;
@@ -15,6 +20,7 @@ use crate::{PhrError, Result};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use tibpre_core::{hybrid, Proxy, ReEncryptedHybridCiphertext, ReEncryptionKey};
+use tibpre_engine::ReEncryptEngine;
 use tibpre_ibe::Identity;
 
 /// A re-encrypted record on its way to a healthcare provider.
@@ -37,18 +43,43 @@ pub struct ProxyService {
     name: String,
     store: Arc<EncryptedPhrStore>,
     proxy: Proxy,
+    engine: ReEncryptEngine,
     audit: Mutex<AuditLog>,
 }
 
 impl ProxyService {
-    /// Creates a proxy service with no keys installed.
+    /// Creates a proxy service with no keys installed.  Conversions run
+    /// sequentially; use [`Self::with_engine`] (or [`Self::set_engine`]) for
+    /// a multi-threaded proxy.
     pub fn new(name: impl AsRef<str>, store: Arc<EncryptedPhrStore>) -> Self {
+        Self::with_engine(name, store, ReEncryptEngine::sequential())
+    }
+
+    /// Creates a proxy service whose multi-record disclosures fan out over
+    /// the given engine's workers.  An engine with one worker behaves exactly
+    /// like [`Self::new`].
+    pub fn with_engine(
+        name: impl AsRef<str>,
+        store: Arc<EncryptedPhrStore>,
+        engine: ReEncryptEngine,
+    ) -> Self {
         ProxyService {
             name: name.as_ref().to_string(),
             store,
             proxy: Proxy::new(name.as_ref()),
+            engine,
             audit: Mutex::new(AuditLog::new()),
         }
+    }
+
+    /// Replaces the re-encryption engine (e.g. to resize the worker pool).
+    pub fn set_engine(&mut self, engine: ReEncryptEngine) {
+        self.engine = engine;
+    }
+
+    /// The engine multi-record disclosures run on.
+    pub fn engine(&self) -> &ReEncryptEngine {
+        &self.engine
     }
 
     /// The proxy's display name.
@@ -145,16 +176,7 @@ impl ProxyService {
             self.record_denial(record_id, requester);
             PhrError::Pre(e)
         })?;
-        {
-            let mut audit = self.audit.lock();
-            let at = audit.tick();
-            audit.append(AuditEvent::DisclosurePerformed {
-                id: record_id,
-                requester: requester.clone(),
-                at,
-            });
-        }
-        self.store.log_disclosure(record_id, requester, true);
+        self.record_success(record_id, requester);
         Ok(DisclosureBundle {
             id: stored.id,
             patient: stored.patient,
@@ -170,7 +192,9 @@ impl ProxyService {
     /// the re-encryption key is looked up once and its one-time pairing
     /// precomputation is shared across every record's KEM header, so a
     /// category dump costs far less than the same number of single-record
-    /// [`Self::disclose`] calls used to.
+    /// [`Self::disclose`] calls used to.  On a proxy built with
+    /// [`Self::with_engine`], the batch additionally fans out across the
+    /// engine's workers (the result is bit-identical either way).
     pub fn disclose_category(
         &self,
         patient: &Identity,
@@ -197,23 +221,23 @@ impl ProxyService {
                 requester: requester.display(),
             });
         };
-        let converted = hybrid::re_encrypt_hybrid_batch(records.iter().map(|r| &r.ciphertext), key)
+        let converted = self
+            .engine
+            .re_encrypt_hybrid_batch(records.iter().map(|r| &r.ciphertext), key)
             .map_err(|e| {
-                self.record_denial(records[0].id, requester);
+                // Attribute the denial to the record that made the batch
+                // fail: the batch APIs fail atomically on the first (lowest
+                // index) header whose type does not match the key.
+                let failed = records
+                    .iter()
+                    .find(|r| r.ciphertext.type_tag() != key.type_tag())
+                    .unwrap_or(&records[0]);
+                self.record_denial(failed.id, requester);
                 PhrError::Pre(e)
             })?;
         let mut bundles = Vec::with_capacity(records.len());
         for (stored, ciphertext) in records.into_iter().zip(converted) {
-            {
-                let mut audit = self.audit.lock();
-                let at = audit.tick();
-                audit.append(AuditEvent::DisclosurePerformed {
-                    id: stored.id,
-                    requester: requester.clone(),
-                    at,
-                });
-            }
-            self.store.log_disclosure(stored.id, requester, true);
+            self.record_success(stored.id, requester);
             bundles.push(DisclosureBundle {
                 id: stored.id,
                 patient: stored.patient,
@@ -228,7 +252,67 @@ impl ProxyService {
     /// What a *corrupted* proxy could do: try to convert every record of the
     /// patient with every key it holds, ignoring the type checks.  Returns the
     /// record identifiers whose conversion succeeded — i.e. the extent of the
-    /// breach.  Used by the proxy-compromise experiment (E6) and example.
+    /// breach.  Used by the proxy-compromise experiment (E6) and the
+    /// `proxy_compromise` example binary, which contrasts this with the
+    /// identity-only baseline where one key converts *everything*.
+    ///
+    /// The paper's containment claim (Theorem 1), executable:
+    ///
+    /// ```
+    /// use rand::rngs::StdRng;
+    /// use rand::SeedableRng;
+    /// use std::sync::Arc;
+    /// use tibpre_ibe::{Identity, Kgc};
+    /// use tibpre_pairing::PairingParams;
+    /// use tibpre_phr::category::Category;
+    /// use tibpre_phr::patient::Patient;
+    /// use tibpre_phr::proxy_service::ProxyService;
+    /// use tibpre_phr::record::HealthRecord;
+    /// use tibpre_phr::store::EncryptedPhrStore;
+    ///
+    /// let mut rng = StdRng::seed_from_u64(13);
+    /// let params = PairingParams::insecure_toy();
+    /// let patient_kgc = Kgc::setup(params.clone(), "patients", &mut rng);
+    /// let provider_kgc = Kgc::setup(params.clone(), "providers", &mut rng);
+    ///
+    /// let store = Arc::new(EncryptedPhrStore::new("db"));
+    /// let mut alice = Patient::new("alice@phr.example", &patient_kgc);
+    /// let mut diet_proxy = ProxyService::new("diet-proxy", store.clone());
+    ///
+    /// // One record per category; only the diet category is delegated
+    /// // through this proxy.
+    /// for (category, body) in [
+    ///     (Category::FoodStatistics, "low sodium"),
+    ///     (Category::IllnessHistory, "2007 angioplasty"),
+    /// ] {
+    ///     let record = HealthRecord::new(
+    ///         alice.identity().clone(),
+    ///         category,
+    ///         "entry",
+    ///         body.as_bytes().to_vec(),
+    ///     );
+    ///     alice.store_record(&store, &record, &mut rng).unwrap();
+    /// }
+    /// let dietician = Identity::new("dietician@wellness.example");
+    /// alice
+    ///     .grant_access(
+    ///         Category::FoodStatistics,
+    ///         &dietician,
+    ///         provider_kgc.public_params(),
+    ///         &mut diet_proxy,
+    ///         &mut rng,
+    ///     )
+    ///     .unwrap();
+    ///
+    /// // The proxy is compromised by a colluding dietician: the breach is
+    /// // exactly the one delegated category — one record, not two.
+    /// let exposed = diet_proxy.simulate_compromise(alice.identity(), &dietician);
+    /// assert_eq!(exposed.len(), 1);
+    /// assert_eq!(
+    ///     store.get(exposed[0]).unwrap().category,
+    ///     Category::FoodStatistics
+    /// );
+    /// ```
     pub fn simulate_compromise(&self, patient: &Identity, attacker: &Identity) -> Vec<RecordId> {
         let mut exposed = Vec::new();
         for id in self.store.list_for_patient(patient) {
@@ -248,6 +332,18 @@ impl ProxyService {
     /// A snapshot of the proxy's own audit trail.
     pub fn audit_snapshot(&self) -> Vec<AuditEvent> {
         self.audit.lock().events().to_vec()
+    }
+
+    fn record_success(&self, record_id: RecordId, requester: &Identity) {
+        let mut audit = self.audit.lock();
+        let at = audit.tick();
+        audit.append(AuditEvent::DisclosurePerformed {
+            id: record_id,
+            requester: requester.clone(),
+            at,
+        });
+        drop(audit);
+        self.store.log_disclosure(record_id, requester, true);
     }
 
     fn record_denial(&self, record_id: RecordId, requester: &Identity) {

@@ -3,17 +3,40 @@
 //! The store only ever sees ciphertexts (hybrid ciphertexts of `tibpre-core`);
 //! the paper's point is that the patient needs to trust it *only* to keep the
 //! blobs available, not to keep them confidential.  It is safe to share one
-//! store between the patient, several proxies and many providers, so the type
-//! is `Sync` and uses an internal `RwLock`.
+//! store between the patient, several proxies and many providers.
+//!
+//! # Sharding
+//!
+//! The store is **lock-striped**: records are distributed over `N` shards by
+//! a hash of their [`RecordId`], each shard behind its own `parking_lot`
+//! `RwLock`.  Every operation on a single record (`put`, `get`, `delete`,
+//! `log_disclosure`) touches exactly one shard, so writers to different
+//! records never contend and readers of the same record proceed in parallel;
+//! per-record operations are linearizable because that one shard lock orders
+//! them.  Cross-record reads (`list_for_patient*`, `record_count`,
+//! `audit_snapshot`) take the shard *read* locks one at a time — they never
+//! hold more than one lock and never block writers on other shards.
+//!
+//! Identifiers and audit timestamps come from store-global atomic counters,
+//! so ids stay unique and the audit trail keeps one strictly increasing
+//! logical clock across all shards; each shard appends to its own audit
+//! segment and [`EncryptedPhrStore::audit_snapshot`] merges the segments by
+//! timestamp.
 
-use crate::audit::{AuditEvent, AuditLog};
+use crate::audit::AuditEvent;
 use crate::category::Category;
 use crate::record::RecordId;
 use crate::{PhrError, Result};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use tibpre_core::HybridCiphertext;
 use tibpre_ibe::Identity;
+
+/// Default shard count.  Sixteen stripes keep the per-shard contention
+/// negligible for any worker count this workspace's engine will realistically
+/// run, while the merge-style reads stay cheap.
+pub const DEFAULT_SHARDS: usize = 16;
 
 /// One encrypted record at rest.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,32 +54,77 @@ pub struct StoredRecord {
     pub ciphertext: HybridCiphertext,
 }
 
+/// One lock stripe: the records whose id hashes here, the per-patient index
+/// restricted to those records, and this stripe's audit segment.
 #[derive(Default)]
-struct StoreInner {
-    next_id: u64,
+struct Shard {
     records: BTreeMap<RecordId, StoredRecord>,
     by_patient: HashMap<Vec<u8>, BTreeSet<RecordId>>,
-    audit: AuditLog,
+    audit: Vec<AuditEvent>,
 }
 
-/// A concurrent, indexed, append-audited store of encrypted PHR records.
+/// A concurrent, sharded, indexed, append-audited store of encrypted PHR
+/// records.
 pub struct EncryptedPhrStore {
     name: String,
-    inner: RwLock<StoreInner>,
+    shards: Box<[RwLock<Shard>]>,
+    next_id: AtomicU64,
+    clock: AtomicU64,
 }
 
 impl EncryptedPhrStore {
-    /// Creates an empty store.
+    /// Creates an empty store with [`DEFAULT_SHARDS`] lock stripes.
     pub fn new(name: impl AsRef<str>) -> Self {
+        Self::with_shards(name, DEFAULT_SHARDS)
+    }
+
+    /// Creates an empty store with an explicit shard count (clamped to ≥ 1).
+    /// `with_shards(name, 1)` degenerates to the single-lock store this type
+    /// used to be.
+    pub fn with_shards(name: impl AsRef<str>, shards: usize) -> Self {
         EncryptedPhrStore {
             name: name.as_ref().to_string(),
-            inner: RwLock::new(StoreInner::default()),
+            shards: (0..shards.max(1)).map(|_| RwLock::default()).collect(),
+            next_id: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
         }
     }
 
     /// The store's display name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a record id lives on.  Sequential ids are spread with a
+    /// Fibonacci multiplicative hash so bursts of fresh records do not all
+    /// land on neighbouring stripes.
+    fn shard_for_id(&self, id: RecordId) -> &RwLock<Shard> {
+        let hashed = id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(hashed >> 32) as usize % self.shards.len()]
+    }
+
+    /// The shard that hosts audit events not tied to any record (policy
+    /// changes), chosen by patient so one patient's policy history stays on
+    /// one stripe.
+    fn shard_for_patient(&self, patient: &Identity) -> &RwLock<Shard> {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for &byte in patient.as_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        &self.shards[(hash >> 32) as usize % self.shards.len()]
+    }
+
+    /// Advances the store-global logical clock.  Called while holding the
+    /// destination shard's write lock, so events within a shard are appended
+    /// in timestamp order and timestamps are unique across the store.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Inserts an encrypted record and returns its identifier.
@@ -67,9 +135,7 @@ impl EncryptedPhrStore {
         title: &str,
         ciphertext: HybridCiphertext,
     ) -> RecordId {
-        let mut inner = self.inner.write();
-        inner.next_id += 1;
-        let id = RecordId(inner.next_id);
+        let id = RecordId(self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
         let record = StoredRecord {
             id,
             patient: patient.clone(),
@@ -77,14 +143,15 @@ impl EncryptedPhrStore {
             title: title.to_string(),
             ciphertext,
         };
-        inner.records.insert(id, record);
-        inner
+        let mut shard = self.shard_for_id(id).write();
+        shard.records.insert(id, record);
+        shard
             .by_patient
             .entry(patient.as_bytes().to_vec())
             .or_default()
             .insert(id);
-        let at = inner.audit.tick();
-        inner.audit.append(AuditEvent::RecordStored {
+        let at = self.tick();
+        shard.audit.push(AuditEvent::RecordStored {
             id,
             patient: patient.clone(),
             category: category.clone(),
@@ -93,9 +160,10 @@ impl EncryptedPhrStore {
         id
     }
 
-    /// Fetches one record by identifier.
+    /// Fetches one record by identifier.  Takes only the owning shard's read
+    /// lock, so lookups on different shards run fully in parallel.
     pub fn get(&self, id: RecordId) -> Result<StoredRecord> {
-        self.inner
+        self.shard_for_id(id)
             .read()
             .records
             .get(&id)
@@ -105,8 +173,8 @@ impl EncryptedPhrStore {
 
     /// Deletes a record.  Only the owning patient may delete.
     pub fn delete(&self, id: RecordId, requester: &Identity) -> Result<()> {
-        let mut inner = self.inner.write();
-        let record = inner.records.get(&id).ok_or(PhrError::RecordNotFound)?;
+        let mut shard = self.shard_for_id(id).write();
+        let record = shard.records.get(&id).ok_or(PhrError::RecordNotFound)?;
         if &record.patient != requester {
             return Err(PhrError::AccessDenied {
                 category: record.category.label(),
@@ -114,69 +182,96 @@ impl EncryptedPhrStore {
             });
         }
         let patient_key = record.patient.as_bytes().to_vec();
-        inner.records.remove(&id);
-        if let Some(set) = inner.by_patient.get_mut(&patient_key) {
+        shard.records.remove(&id);
+        if let Some(set) = shard.by_patient.get_mut(&patient_key) {
             set.remove(&id);
         }
-        let at = inner.audit.tick();
-        inner.audit.append(AuditEvent::RecordDeleted { id, at });
+        let at = self.tick();
+        shard.audit.push(AuditEvent::RecordDeleted { id, at });
         Ok(())
     }
 
-    /// Lists the identifiers of all records owned by a patient.
+    /// Lists the identifiers of all records owned by a patient, in ascending
+    /// id order, merged from every shard's per-patient index.
     pub fn list_for_patient(&self, patient: &Identity) -> Vec<RecordId> {
-        self.inner
-            .read()
-            .by_patient
-            .get(patient.as_bytes())
-            .map(|set| set.iter().copied().collect())
-            .unwrap_or_default()
+        let mut ids: Vec<RecordId> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .read()
+                    .by_patient
+                    .get(patient.as_bytes())
+                    .map(|set| set.iter().copied().collect::<Vec<_>>())
+                    .unwrap_or_default()
+            })
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 
-    /// Lists the identifiers of a patient's records in one category.
+    /// Lists the identifiers of a patient's records in one category, in
+    /// ascending id order.
     pub fn list_for_patient_category(
         &self,
         patient: &Identity,
         category: &Category,
     ) -> Vec<RecordId> {
-        let inner = self.inner.read();
-        inner
-            .by_patient
-            .get(patient.as_bytes())
-            .map(|set| {
-                set.iter()
-                    .filter(|id| {
-                        inner
-                            .records
-                            .get(id)
-                            .map(|r| &r.category == category)
-                            .unwrap_or(false)
+        let mut ids: Vec<RecordId> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                let shard = shard.read();
+                shard
+                    .by_patient
+                    .get(patient.as_bytes())
+                    .map(|set| {
+                        set.iter()
+                            .filter(|id| {
+                                shard
+                                    .records
+                                    .get(id)
+                                    .map(|r| &r.category == category)
+                                    .unwrap_or(false)
+                            })
+                            .copied()
+                            .collect::<Vec<_>>()
                     })
-                    .copied()
-                    .collect()
+                    .unwrap_or_default()
             })
-            .unwrap_or_default()
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Total number of stored records.
     pub fn record_count(&self) -> usize {
-        self.inner.read().records.len()
+        self.shards
+            .iter()
+            .map(|shard| shard.read().records.len())
+            .sum()
     }
 
     /// Number of records owned by one patient.
     pub fn count_for_patient(&self, patient: &Identity) -> usize {
-        self.inner
-            .read()
-            .by_patient
-            .get(patient.as_bytes())
-            .map(|s| s.len())
-            .unwrap_or(0)
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .read()
+                    .by_patient
+                    .get(patient.as_bytes())
+                    .map(|s| s.len())
+                    .unwrap_or(0)
+            })
+            .sum()
     }
 
-    /// Records a disclosure event in the store's audit trail (called by proxies).
+    /// Records a disclosure event in the store's audit trail (called by
+    /// proxies).  The event lands on the record's shard.
     pub fn log_disclosure(&self, id: RecordId, requester: &Identity, granted: bool) {
-        let mut inner = self.inner.write();
-        let at = inner.audit.tick();
+        let mut shard = self.shard_for_id(id).write();
+        let at = self.tick();
         let event = if granted {
             AuditEvent::DisclosurePerformed {
                 id,
@@ -190,10 +285,11 @@ impl EncryptedPhrStore {
                 at,
             }
         };
-        inner.audit.append(event);
+        shard.audit.push(event);
     }
 
-    /// Records a grant / revoke event in the store's audit trail.
+    /// Records a grant / revoke event in the store's audit trail.  The event
+    /// lands on the patient's policy shard.
     pub fn log_policy_change(
         &self,
         patient: &Identity,
@@ -201,8 +297,8 @@ impl EncryptedPhrStore {
         grantee: &Identity,
         granted: bool,
     ) {
-        let mut inner = self.inner.write();
-        let at = inner.audit.tick();
+        let mut shard = self.shard_for_patient(patient).write();
+        let at = self.tick();
         let event = if granted {
             AuditEvent::AccessGranted {
                 patient: patient.clone(),
@@ -218,12 +314,19 @@ impl EncryptedPhrStore {
                 at,
             }
         };
-        inner.audit.append(event);
+        shard.audit.push(event);
     }
 
-    /// A snapshot of the audit trail.
+    /// A snapshot of the audit trail: every shard's segment, merged into one
+    /// sequence ordered by the store-global logical clock.
     pub fn audit_snapshot(&self) -> Vec<AuditEvent> {
-        self.inner.read().audit.events().to_vec()
+        let mut events: Vec<AuditEvent> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.read().audit.clone())
+            .collect();
+        events.sort_by_key(AuditEvent::at);
+        events
     }
 }
 
@@ -231,9 +334,10 @@ impl core::fmt::Debug for EncryptedPhrStore {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "EncryptedPhrStore(name={}, records={})",
+            "EncryptedPhrStore(name={}, records={}, shards={})",
             self.name,
-            self.record_count()
+            self.record_count(),
+            self.shards.len()
         )
     }
 }
@@ -323,6 +427,47 @@ mod tests {
         // Timestamps are strictly increasing.
         for pair in audit.windows(2) {
             assert!(pair[0].at() < pair[1].at());
+        }
+    }
+
+    #[test]
+    fn single_shard_store_still_works() {
+        let mut rng = StdRng::seed_from_u64(134);
+        let store = EncryptedPhrStore::with_shards("db", 1);
+        assert_eq!(store.shard_count(), 1);
+        let alice = Identity::new("alice");
+        let ct = sample_ciphertext(&mut rng);
+        let ids: Vec<_> = (0..5)
+            .map(|i| store.put(&alice, &Category::Medication, &format!("r{i}"), ct.clone()))
+            .collect();
+        assert_eq!(store.list_for_patient(&alice), ids);
+        store.delete(ids[2], &alice).unwrap();
+        assert_eq!(store.count_for_patient(&alice), 4);
+        assert_eq!(store.audit_snapshot().len(), 6);
+    }
+
+    #[test]
+    fn records_spread_across_shards() {
+        let mut rng = StdRng::seed_from_u64(135);
+        let store = EncryptedPhrStore::new("db");
+        let alice = Identity::new("alice");
+        let ct = sample_ciphertext(&mut rng);
+        let ids: Vec<_> = (0..64)
+            .map(|i| store.put(&alice, &Category::LabResults, &format!("r{i}"), ct.clone()))
+            .collect();
+        // The Fibonacci hash must not funnel a sequential id burst onto one
+        // stripe: with 64 records over 16 shards, several shards must be hit.
+        let hit: std::collections::BTreeSet<usize> = ids
+            .iter()
+            .map(|id| {
+                (id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % store.shard_count()
+            })
+            .collect();
+        assert!(hit.len() >= store.shard_count() / 2, "hit {hit:?}");
+        // And every record is still found.
+        assert_eq!(store.list_for_patient(&alice), ids);
+        for id in ids {
+            assert!(store.get(id).is_ok());
         }
     }
 

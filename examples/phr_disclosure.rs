@@ -6,6 +6,9 @@
 //! who can read what, and shows the audit trail at the end.
 //!
 //! Run with: `cargo run --bin phr_disclosure`
+//!
+//! The same flow, assertion-checked on every `cargo test`, lives as the
+//! crate-root doctest of `tibpre_phr`.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -11,6 +11,9 @@
 //! and counting how many of the patient's records each attacker can recover.
 //!
 //! Run with: `cargo run --bin proxy_compromise`
+//!
+//! The same containment claim, assertion-checked on every `cargo test`,
+//! lives as the doctest on `tibpre_phr::ProxyService::simulate_compromise`.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

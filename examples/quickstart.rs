@@ -6,6 +6,9 @@
 //! fine-grainedness check (a key for one type refuses to convert another).
 //!
 //! Run with: `cargo run --bin quickstart`
+//!
+//! The same flow, assertion-checked on every `cargo test`, lives as the
+//! "Quick start" doctest on the `tibpre_core` crate root.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

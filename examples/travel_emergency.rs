@@ -10,6 +10,9 @@
 //! Alice revoke the access after the trip.
 //!
 //! Run with: `cargo run --bin travel_emergency`
+//!
+//! The same flow, assertion-checked on every `cargo test`, lives as the
+//! module doctest of `tibpre_phr::emergency`.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
