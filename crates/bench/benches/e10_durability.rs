@@ -1,0 +1,212 @@
+//! E10: durable-store throughput and recovery time.
+//!
+//! Two questions the WAL + snapshot subsystem must answer with numbers:
+//!
+//! 1. **What does durability cost per record?**  `put` into an in-memory
+//!    store vs. a durable store with `fsync=never` (group commit reaches the
+//!    OS, the kernel flushes) vs. `fsync=always` (every commit hits stable
+//!    storage).  The `thrpt:` column is records/sec.  Expect the `never` row
+//!    within a small factor of in-memory (the frame encode + `write` is
+//!    cheap next to the ciphertext clone) and the `always` row dominated by
+//!    device sync latency — that gap *is* the durability price, and
+//!    `TIBPRE_FSYNC=every=N` buys it back N-fold at N commits of power-loss
+//!    exposure.
+//!
+//! 2. **How long does recovery take, and how does it scale with log
+//!    length?**  `open` replays a WAL of 128 / 512 / 2048 puts (no
+//!    snapshots) — recovery must be linear in the log.  Then a put/delete
+//!    *churn* history (live set stays small while the log grows) is
+//!    recovered twice, without and with snapshots: the snapshot row must sit
+//!    far below its WAL-only twin, because replay starts at the newest
+//!    snapshot's offset and the dead prefix — records long deleted — is
+//!    never decoded again.  (On an append-only history a snapshot is the
+//!    same bytes as the log and buys nothing; churn is where it pays.)
+//!
+//! Levels honour `TIBPRE_BENCH_LEVELS` (toy by default; 80 adds the
+//! paper-era parameter size, which grows every logged ciphertext).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use tibpre_bench::{bench_rng, sweep_levels, Fixture};
+use tibpre_core::{HybridCiphertext, TypeTag};
+use tibpre_ibe::Identity;
+use tibpre_pairing::SecurityLevel;
+use tibpre_phr::category::Category;
+use tibpre_phr::durable::Durability;
+use tibpre_phr::store::EncryptedPhrStore;
+use tibpre_phr::FsyncPolicy;
+use tibpre_storage::TempDir;
+
+/// Ops-per-shard between snapshots in the snapshot-enabled recovery row.
+const SNAPSHOT_EVERY: u64 = 256;
+
+/// The WAL lengths of the recovery sweep.
+const RECOVERY_OPS: [usize; 3] = [128, 512, 2048];
+
+fn fixture_ciphertext(f: &Fixture) -> HybridCiphertext {
+    let mut rng = bench_rng();
+    f.delegator.encrypt_bytes(
+        &[0x42u8; 256],
+        b"e10",
+        &TypeTag::new("lab-results"),
+        &mut rng,
+    )
+}
+
+fn durability(f: &Fixture, fsync: FsyncPolicy, snapshot_every: u64) -> Durability {
+    Durability::new(f.params.clone())
+        .shards(4)
+        .fsync(fsync)
+        .snapshot_every(snapshot_every)
+}
+
+/// Fills a fresh durable store under `dir` with `ops` logged operations:
+/// pure puts, or — with `churn` — alternating put/delete so the live set
+/// stays tiny while the log keeps growing.
+fn populate(f: &Fixture, dir: &std::path::Path, ops: usize, snapshot_every: u64, churn: bool) {
+    let ciphertext = fixture_ciphertext(f);
+    let store =
+        EncryptedPhrStore::open(dir, durability(f, FsyncPolicy::Never, snapshot_every)).unwrap();
+    let alice = Identity::new("alice");
+    let mut live = std::collections::VecDeque::new();
+    for i in 0..ops {
+        if churn && i % 2 == 1 {
+            let id = live.pop_front().expect("a put precedes every delete");
+            store.delete(id, &alice).unwrap();
+        } else {
+            live.push_back(store.put(
+                &alice,
+                &Category::LabResults,
+                &format!("r{i}"),
+                ciphertext.clone(),
+            ));
+        }
+    }
+    store.sync().unwrap();
+}
+
+fn put_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_durability");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .throughput(Throughput::Elements(1));
+
+    let levels: Vec<SecurityLevel> = sweep_levels()
+        .into_iter()
+        .filter(|level| matches!(level, SecurityLevel::Toy | SecurityLevel::Low80))
+        .collect();
+
+    for level in levels {
+        let f = Fixture::new(level);
+        let label = level.label();
+        let ciphertext = fixture_ciphertext(&f);
+        let alice = Identity::new("alice");
+
+        let memory_store = EncryptedPhrStore::in_memory("bench");
+        group.bench_function(BenchmarkId::new("put/in-memory", label), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                memory_store.put(
+                    &alice,
+                    &Category::LabResults,
+                    &format!("r{i}"),
+                    ciphertext.clone(),
+                )
+            })
+        });
+
+        for (policy, policy_label) in [
+            (FsyncPolicy::Never, "fsync=never"),
+            (FsyncPolicy::Always, "fsync=always"),
+        ] {
+            let tmp = TempDir::new("e10-put").unwrap();
+            let store =
+                EncryptedPhrStore::open(tmp.path().join("db"), durability(&f, policy, 0)).unwrap();
+            group.bench_function(
+                BenchmarkId::new(format!("put/{policy_label}"), label),
+                |b| {
+                    let mut i = 0u64;
+                    b.iter(|| {
+                        i += 1;
+                        store.put(
+                            &alice,
+                            &Category::LabResults,
+                            &format!("r{i}"),
+                            ciphertext.clone(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn recovery_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_durability");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    let levels: Vec<SecurityLevel> = sweep_levels()
+        .into_iter()
+        .filter(|level| matches!(level, SecurityLevel::Toy | SecurityLevel::Low80))
+        .collect();
+
+    for level in levels {
+        let f = Fixture::new(level);
+        let label = level.label();
+
+        // WAL-only recovery of an append-only history: cost grows linearly
+        // with the log length.
+        for ops in RECOVERY_OPS {
+            let tmp = TempDir::new("e10-recovery").unwrap();
+            let dir = tmp.path().join("db");
+            populate(&f, &dir, ops, 0, false);
+            group.throughput(Throughput::Elements(ops as u64));
+            group.bench_function(
+                BenchmarkId::new(format!("recovery/wal-only/ops={ops}"), label),
+                |b| {
+                    b.iter(|| {
+                        let store =
+                            EncryptedPhrStore::open(&dir, durability(&f, FsyncPolicy::Never, 0))
+                                .unwrap();
+                        assert_eq!(store.record_count(), ops);
+                        store
+                    })
+                },
+            );
+        }
+
+        // Churn history (half the ops are deletes), recovered without and
+        // with snapshots: the snapshot run skips the dead prefix entirely
+        // and must beat its WAL-only twin.
+        let ops = *RECOVERY_OPS.last().unwrap();
+        for (snapshot_every, mode) in [(0u64, "wal-only"), (SNAPSHOT_EVERY, "snapshot")] {
+            let tmp = TempDir::new("e10-recovery-churn").unwrap();
+            let dir = tmp.path().join("db");
+            populate(&f, &dir, ops, snapshot_every, true);
+            group.throughput(Throughput::Elements(ops as u64));
+            group.bench_function(
+                BenchmarkId::new(format!("recovery/churn-{mode}/ops={ops}"), label),
+                |b| {
+                    b.iter(|| {
+                        let store = EncryptedPhrStore::open(
+                            &dir,
+                            durability(&f, FsyncPolicy::Never, snapshot_every),
+                        )
+                        .unwrap();
+                        assert!(store.record_count() <= ops);
+                        store
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, put_throughput, recovery_time);
+criterion_main!(benches);

@@ -18,9 +18,10 @@ use crate::delegator::{Delegator, TypedCiphertext};
 use crate::proxy::{re_encrypt, ReEncryptedCiphertext};
 use crate::rekey::ReEncryptionKey;
 use crate::types::TypeTag;
-use crate::Result;
+use crate::{PreError, Result};
 use rand::{CryptoRng, RngCore};
-use tibpre_pairing::Gt;
+use std::sync::Arc;
+use tibpre_pairing::{Gt, PairingParams};
 use tibpre_symmetric::{AeadCiphertext, AeadKey};
 
 /// Context string binding derived AEAD keys to this construction.
@@ -61,6 +62,39 @@ impl HybridCiphertext {
     /// Total ciphertext size in bytes (header + body) for the size experiments.
     pub fn serialized_len(&self) -> usize {
         self.header.to_bytes().len() + self.body.serialized_len()
+    }
+
+    /// Serializes as `header_len(u32 BE) ‖ header ‖ body`.
+    ///
+    /// The header's own encoding is only self-delimiting given the pairing
+    /// parameters, so an explicit length prefix keeps the hybrid wire format
+    /// parseable field by field; the AEAD body carries its own length field
+    /// and must consume the remainder exactly.  This is the encoding the
+    /// durable PHR store logs and snapshots records with.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let header = self.header.to_bytes();
+        let mut out = Vec::with_capacity(4 + header.len() + self.body.serialized_len());
+        out.extend((header.len() as u32).to_be_bytes());
+        out.extend(header);
+        out.extend(self.body.to_bytes());
+        out
+    }
+
+    /// Parses the serialization produced by [`Self::to_bytes`].
+    pub fn from_bytes(params: &Arc<PairingParams>, bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 4 {
+            return Err(PreError::InvalidEncoding("hybrid ciphertext too short"));
+        }
+        let header_len = u32::from_be_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+        let rest = &bytes[4..];
+        if rest.len() < header_len {
+            return Err(PreError::InvalidEncoding(
+                "hybrid header length exceeds input",
+            ));
+        }
+        let header = TypedCiphertext::from_bytes(params, &rest[..header_len])?;
+        let body = AeadCiphertext::from_bytes(&rest[header_len..])?;
+        Ok(HybridCiphertext { header, body })
     }
 }
 
@@ -262,6 +296,45 @@ mod tests {
             re_encrypt_hybrid(&ct, &rk),
             Err(PreError::TypeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn hybrid_serialization_round_trips_and_rejects_corruption() {
+        let mut f = fixture();
+        let params = f.delegator.params().clone();
+        let t = TypeTag::new("lab-results");
+        for len in [0usize, 1, 257, 4096] {
+            let payload: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let ct = f.delegator.encrypt_bytes(&payload, b"aad", &t, &mut f.rng);
+            let bytes = ct.to_bytes();
+            assert_eq!(bytes.len(), ct.serialized_len() + 4, "len {len}");
+            let parsed = HybridCiphertext::from_bytes(&params, &bytes).unwrap();
+            assert_eq!(parsed, ct, "len {len}");
+            assert_eq!(parsed.to_bytes(), bytes, "len {len}");
+            // The parsed copy still decrypts.
+            assert_eq!(f.delegator.decrypt_bytes(&parsed, b"aad").unwrap(), payload);
+        }
+
+        let ct = f.delegator.encrypt_bytes(b"payload", b"", &t, &mut f.rng);
+        let bytes = ct.to_bytes();
+        // Every strict prefix is rejected: the header is length-prefixed and
+        // the AEAD body's internal length field must consume the rest exactly.
+        for cut in 0..bytes.len() {
+            assert!(
+                HybridCiphertext::from_bytes(&params, &bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+        // Extension is rejected too.
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(HybridCiphertext::from_bytes(&params, &longer).is_err());
+        // A corrupted header-length field never panics, whatever it claims.
+        for claimed in [0u32, 1, (bytes.len() as u32) - 4, u32::MAX] {
+            let mut corrupted = bytes.clone();
+            corrupted[..4].copy_from_slice(&claimed.to_be_bytes());
+            assert!(HybridCiphertext::from_bytes(&params, &corrupted).is_err());
+        }
     }
 
     #[test]

@@ -16,7 +16,19 @@
 
 use crate::category::Category;
 use crate::record::RecordId;
+use crate::{PhrError, Result};
 use tibpre_ibe::Identity;
+use tibpre_storage::codec::{self, Reader};
+
+/// Wire tags of the [`AuditEvent`] variants (stable on-disk format).
+mod tag {
+    pub const RECORD_STORED: u8 = 1;
+    pub const RECORD_DELETED: u8 = 2;
+    pub const ACCESS_GRANTED: u8 = 3;
+    pub const ACCESS_REVOKED: u8 = 4;
+    pub const DISCLOSURE_PERFORMED: u8 = 5;
+    pub const DISCLOSURE_DENIED: u8 = 6;
+}
 
 /// One entry of the audit trail.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,6 +105,119 @@ impl AuditEvent {
             | AuditEvent::DisclosureDenied { at, .. } => *at,
         }
     }
+
+    /// Serializes the event for the durable audit trail (a tag byte followed
+    /// by length-prefixed fields; the format every WAL audit frame and shard
+    /// snapshot uses).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            AuditEvent::RecordStored {
+                id,
+                patient,
+                category,
+                at,
+            } => {
+                out.push(tag::RECORD_STORED);
+                codec::put_u64(&mut out, id.0);
+                codec::put_bytes(&mut out, patient.as_bytes());
+                codec::put_bytes(&mut out, category.label().as_bytes());
+                codec::put_u64(&mut out, *at);
+            }
+            AuditEvent::RecordDeleted { id, at } => {
+                out.push(tag::RECORD_DELETED);
+                codec::put_u64(&mut out, id.0);
+                codec::put_u64(&mut out, *at);
+            }
+            AuditEvent::AccessGranted {
+                patient,
+                category,
+                grantee,
+                at,
+            }
+            | AuditEvent::AccessRevoked {
+                patient,
+                category,
+                grantee,
+                at,
+            } => {
+                out.push(if matches!(self, AuditEvent::AccessGranted { .. }) {
+                    tag::ACCESS_GRANTED
+                } else {
+                    tag::ACCESS_REVOKED
+                });
+                codec::put_bytes(&mut out, patient.as_bytes());
+                codec::put_bytes(&mut out, category.label().as_bytes());
+                codec::put_bytes(&mut out, grantee.as_bytes());
+                codec::put_u64(&mut out, *at);
+            }
+            AuditEvent::DisclosurePerformed { id, requester, at }
+            | AuditEvent::DisclosureDenied { id, requester, at } => {
+                out.push(if matches!(self, AuditEvent::DisclosurePerformed { .. }) {
+                    tag::DISCLOSURE_PERFORMED
+                } else {
+                    tag::DISCLOSURE_DENIED
+                });
+                codec::put_u64(&mut out, id.0);
+                codec::put_bytes(&mut out, requester.as_bytes());
+                codec::put_u64(&mut out, *at);
+            }
+        }
+        out
+    }
+
+    /// Parses the serialization produced by [`Self::to_bytes`].  Every error
+    /// is a value ([`PhrError::CorruptedRecord`]), never a panic — recovery
+    /// treats an undecodable event like a checksum failure.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let event = match r.u8()? {
+            tag::RECORD_STORED => AuditEvent::RecordStored {
+                id: RecordId(r.u64()?),
+                patient: Identity::from_bytes(r.bytes()?.to_vec()),
+                category: Category::from_label(&r.string()?),
+                at: r.u64()?,
+            },
+            tag::RECORD_DELETED => AuditEvent::RecordDeleted {
+                id: RecordId(r.u64()?),
+                at: r.u64()?,
+            },
+            t @ (tag::ACCESS_GRANTED | tag::ACCESS_REVOKED) => {
+                let patient = Identity::from_bytes(r.bytes()?.to_vec());
+                let category = Category::from_label(&r.string()?);
+                let grantee = Identity::from_bytes(r.bytes()?.to_vec());
+                let at = r.u64()?;
+                if t == tag::ACCESS_GRANTED {
+                    AuditEvent::AccessGranted {
+                        patient,
+                        category,
+                        grantee,
+                        at,
+                    }
+                } else {
+                    AuditEvent::AccessRevoked {
+                        patient,
+                        category,
+                        grantee,
+                        at,
+                    }
+                }
+            }
+            t @ (tag::DISCLOSURE_PERFORMED | tag::DISCLOSURE_DENIED) => {
+                let id = RecordId(r.u64()?);
+                let requester = Identity::from_bytes(r.bytes()?.to_vec());
+                let at = r.u64()?;
+                if t == tag::DISCLOSURE_PERFORMED {
+                    AuditEvent::DisclosurePerformed { id, requester, at }
+                } else {
+                    AuditEvent::DisclosureDenied { id, requester, at }
+                }
+            }
+            _ => return Err(PhrError::CorruptedRecord("unknown audit event tag")),
+        };
+        r.finish()?;
+        Ok(event)
+    }
 }
 
 /// An append-only audit log with a logical clock.
@@ -116,6 +241,14 @@ impl AuditLog {
 
     /// Appends an event.
     pub fn append(&mut self, event: AuditEvent) {
+        self.events.push(event);
+    }
+
+    /// Re-appends an event recovered from a durable log, advancing the clock
+    /// to at least the event's timestamp so post-recovery ticks stay strictly
+    /// increasing.
+    pub fn replay(&mut self, event: AuditEvent) {
+        self.clock = self.clock.max(event.at());
         self.events.push(event);
     }
 

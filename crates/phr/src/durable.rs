@@ -1,0 +1,597 @@
+//! The durable backend of the PHR store: operation framing, shard snapshots,
+//! and the [`Durability`] configuration.
+//!
+//! The paper's storage server keeps encrypted records and audit trails
+//! *long-term*; this module makes a restart a supported scenario.  Every
+//! mutation of a durable [`EncryptedPhrStore`](crate::store::EncryptedPhrStore)
+//! is first appended to the
+//! owning shard's write-ahead log as one self-contained frame (see
+//! [`tibpre_storage::frame`] for the envelope), then applied in memory —
+//! both under the shard's existing write lock, so durability adds no new
+//! synchronization.  Periodically a shard serializes its full state into a
+//! generational snapshot so recovery replays `snapshot + WAL tail` instead
+//! of the whole history.
+//!
+//! Three frame kinds exist, mirroring the store's mutations one-to-one:
+//!
+//! * `Put` — a full [`StoredRecord`] plus the audit timestamp of its
+//!   `RecordStored` event,
+//! * `Delete` — a record id plus the audit timestamp of `RecordDeleted`,
+//! * `Audit` — a bare [`AuditEvent`] (disclosure and policy-change entries).
+//!
+//! Each frame replays to exactly the state transition the original call
+//! made, so a store recovered from a prefix of the log equals the store that
+//! would have existed had the process stopped cleanly after that prefix —
+//! the invariant `tests/tests/recovery_props.rs` checks at every byte
+//! boundary.
+//!
+//! Record ciphertexts reuse the workspace's existing wire formats
+//! ([`HybridCiphertext::to_bytes`]); no second serialization of any
+//! cryptographic object is introduced here.
+
+use crate::audit::AuditEvent;
+use crate::category::Category;
+use crate::record::RecordId;
+use crate::store::StoredRecord;
+use crate::{PhrError, Result};
+use std::path::Path;
+use std::sync::Arc;
+use tibpre_core::{HybridCiphertext, ReEncryptionKey};
+use tibpre_ibe::Identity;
+use tibpre_pairing::PairingParams;
+use tibpre_storage::codec::{self, Reader};
+use tibpre_storage::{FsyncPolicy, WalWriter};
+
+/// Default number of logged operations between two snapshots of one shard.
+pub const DEFAULT_SNAPSHOT_EVERY: u64 = 256;
+
+/// Snapshot generations kept per shard: the newest plus one fallback, so a
+/// corrupt newest snapshot degrades to a longer log replay, never to data
+/// loss.
+pub const SNAPSHOT_GENERATIONS_KEPT: usize = 2;
+
+/// Configuration of the durable backend, passed to
+/// [`EncryptedPhrStore::open`](crate::store::EncryptedPhrStore::open).
+///
+/// The pairing parameters are needed to deserialize the stored ciphertexts
+/// during recovery; everything else tunes the durability/throughput
+/// trade-off.
+#[derive(Debug, Clone)]
+pub struct Durability {
+    params: Arc<PairingParams>,
+    shards: usize,
+    fsync: FsyncPolicy,
+    snapshot_every: u64,
+}
+
+impl Durability {
+    /// A durable configuration with the store's default shard count, the
+    /// fsync policy from the `TIBPRE_FSYNC` environment variable (default:
+    /// fsync on every commit) and the default snapshot cadence.
+    pub fn new(params: Arc<PairingParams>) -> Self {
+        Durability {
+            params,
+            shards: crate::store::DEFAULT_SHARDS,
+            fsync: FsyncPolicy::from_env(),
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+        }
+    }
+
+    /// Sets the shard count used when *creating* a store (an existing store
+    /// keeps the count persisted in its meta file).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Overrides the fsync policy.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Sets the per-shard operation count between snapshots (`0` disables
+    /// periodic snapshots; recovery then always replays the full log).
+    pub fn snapshot_every(mut self, ops: u64) -> Self {
+        self.snapshot_every = ops;
+        self
+    }
+
+    /// The pairing parameters used to decode stored ciphertexts.
+    pub fn params(&self) -> &Arc<PairingParams> {
+        &self.params
+    }
+
+    /// The configured shard count for fresh stores.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The configured fsync policy.
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        self.fsync
+    }
+
+    /// The configured snapshot cadence.
+    pub fn snapshot_cadence(&self) -> u64 {
+        self.snapshot_every
+    }
+}
+
+/// Wire tags of the WAL operation frames (stable on-disk format).
+mod op_tag {
+    pub const PUT: u8 = 1;
+    pub const DELETE: u8 = 2;
+    pub const AUDIT: u8 = 3;
+}
+
+/// One logged store mutation — the unit of atomicity of the WAL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// A record was stored (carries the `RecordStored` audit timestamp).
+    Put {
+        /// The record exactly as it entered the store (boxed: a full record
+        /// dwarfs the other variants).
+        record: Box<StoredRecord>,
+        /// The logical timestamp of the accompanying audit event.
+        at: u64,
+    },
+    /// A record was deleted (carries the `RecordDeleted` audit timestamp).
+    Delete {
+        /// The deleted record's id.
+        id: RecordId,
+        /// The logical timestamp of the accompanying audit event.
+        at: u64,
+    },
+    /// A bare audit append (disclosures, policy changes).
+    Audit {
+        /// The appended event.
+        event: AuditEvent,
+    },
+}
+
+/// Encodes a stored record (length-prefixed fields; the ciphertext reuses
+/// [`HybridCiphertext::to_bytes`]).
+fn put_record(out: &mut Vec<u8>, record: &StoredRecord) {
+    codec::put_u64(out, record.id.0);
+    codec::put_bytes(out, record.patient.as_bytes());
+    codec::put_bytes(out, record.category.label().as_bytes());
+    codec::put_bytes(out, record.title.as_bytes());
+    codec::put_bytes(out, &record.ciphertext.to_bytes());
+}
+
+/// Decodes a stored record.
+fn read_record(params: &Arc<PairingParams>, r: &mut Reader<'_>) -> Result<StoredRecord> {
+    let id = RecordId(r.u64()?);
+    let patient = Identity::from_bytes(r.bytes()?.to_vec());
+    let category = Category::from_label(&r.string()?);
+    let title = r.string()?;
+    let ciphertext = HybridCiphertext::from_bytes(params, r.bytes()?)
+        .map_err(|_| PhrError::CorruptedRecord("undecodable record ciphertext"))?;
+    Ok(StoredRecord {
+        id,
+        patient,
+        category,
+        title,
+        ciphertext,
+    })
+}
+
+impl WalOp {
+    /// Encodes a `Put` frame payload directly from a borrowed record — the
+    /// hot-path twin of `WalOp::Put { .. }.to_bytes()` that skips cloning
+    /// the record (and its whole ciphertext body) just to serialize it.
+    pub fn encode_put(record: &StoredRecord, at: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(op_tag::PUT);
+        codec::put_u64(&mut out, at);
+        put_record(&mut out, record);
+        out
+    }
+
+    /// Serializes the operation into one frame payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WalOp::Put { record, at } => {
+                out.push(op_tag::PUT);
+                codec::put_u64(&mut out, *at);
+                put_record(&mut out, record);
+            }
+            WalOp::Delete { id, at } => {
+                out.push(op_tag::DELETE);
+                codec::put_u64(&mut out, *at);
+                codec::put_u64(&mut out, id.0);
+            }
+            WalOp::Audit { event } => {
+                out.push(op_tag::AUDIT);
+                codec::put_bytes(&mut out, &event.to_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a frame payload.  All errors are values, never panics.
+    pub fn from_bytes(params: &Arc<PairingParams>, bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let op = match r.u8()? {
+            op_tag::PUT => {
+                let at = r.u64()?;
+                let record = Box::new(read_record(params, &mut r)?);
+                WalOp::Put { record, at }
+            }
+            op_tag::DELETE => {
+                let at = r.u64()?;
+                WalOp::Delete {
+                    id: RecordId(r.u64()?),
+                    at,
+                }
+            }
+            op_tag::AUDIT => WalOp::Audit {
+                event: AuditEvent::from_bytes(r.bytes()?)?,
+            },
+            _ => return Err(PhrError::CorruptedRecord("unknown WAL op tag")),
+        };
+        r.finish()?;
+        Ok(op)
+    }
+}
+
+/// Serializes one shard's full state (records in id order, then the audit
+/// segment) into a snapshot payload.
+pub(crate) fn encode_shard_state<'a>(
+    records: impl ExactSizeIterator<Item = &'a StoredRecord>,
+    audit: &[AuditEvent],
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    codec::put_u64(&mut out, records.len() as u64);
+    for record in records {
+        let mut buf = Vec::new();
+        put_record(&mut buf, record);
+        codec::put_bytes(&mut out, &buf);
+    }
+    codec::put_u64(&mut out, audit.len() as u64);
+    for event in audit {
+        codec::put_bytes(&mut out, &event.to_bytes());
+    }
+    out
+}
+
+/// Parses a snapshot payload back into `(records, audit)`.
+pub(crate) fn decode_shard_state(
+    params: &Arc<PairingParams>,
+    payload: &[u8],
+) -> Result<(Vec<StoredRecord>, Vec<AuditEvent>)> {
+    let mut r = Reader::new(payload);
+    let record_count = r.u64()? as usize;
+    // Guard the pre-allocation against a corrupt count; the loop below
+    // naturally fails on a short buffer either way.
+    let mut records = Vec::with_capacity(record_count.min(1024));
+    for _ in 0..record_count {
+        let mut field = Reader::new(r.bytes()?);
+        let record = read_record(params, &mut field)?;
+        field.finish()?;
+        records.push(record);
+    }
+    let event_count = r.u64()? as usize;
+    let mut audit = Vec::with_capacity(event_count.min(1024));
+    for _ in 0..event_count {
+        audit.push(AuditEvent::from_bytes(r.bytes()?)?);
+    }
+    r.finish()?;
+    Ok((records, audit))
+}
+
+/// Wire tags of the proxy WAL frames (stable on-disk format).
+mod proxy_tag {
+    pub const AUDIT: u8 = 1;
+    pub const INSTALL_KEY: u8 = 2;
+    pub const REVOKE_KEY: u8 = 3;
+}
+
+/// One logged proxy mutation: audit appends plus the re-encryption-key
+/// install/revoke history, so a restarted proxy still holds exactly the
+/// grants the patients installed (the paper's proxy is the long-lived party
+/// *entrusted* with those keys — losing them on restart would force every
+/// patient to re-delegate).
+#[derive(Debug, Clone)]
+pub enum ProxyWalOp {
+    /// An entry of the proxy's own audit log.
+    Audit {
+        /// The appended event.
+        event: AuditEvent,
+    },
+    /// A re-encryption key was installed.
+    InstallKey {
+        /// The installed key (serialized with the existing
+        /// [`ReEncryptionKey::to_bytes`] wire format; boxed because a key
+        /// dwarfs the other variants).
+        key: Box<ReEncryptionKey>,
+    },
+    /// A re-encryption key was revoked.
+    RevokeKey {
+        /// The delegating patient.
+        patient: Identity,
+        /// The revoked category.
+        category: Category,
+        /// The grantee whose key is removed.
+        grantee: Identity,
+    },
+}
+
+impl ProxyWalOp {
+    /// Encodes an `InstallKey` frame payload directly from a borrowed key —
+    /// skips cloning the key (pairing tables included) just to serialize it.
+    pub fn encode_install(key: &ReEncryptionKey) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(proxy_tag::INSTALL_KEY);
+        codec::put_bytes(&mut out, &key.to_bytes());
+        out
+    }
+
+    /// Serializes the operation into one frame payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            ProxyWalOp::Audit { event } => {
+                out.push(proxy_tag::AUDIT);
+                codec::put_bytes(&mut out, &event.to_bytes());
+            }
+            ProxyWalOp::InstallKey { key } => {
+                out.push(proxy_tag::INSTALL_KEY);
+                codec::put_bytes(&mut out, &key.to_bytes());
+            }
+            ProxyWalOp::RevokeKey {
+                patient,
+                category,
+                grantee,
+            } => {
+                out.push(proxy_tag::REVOKE_KEY);
+                codec::put_bytes(&mut out, patient.as_bytes());
+                codec::put_bytes(&mut out, category.label().as_bytes());
+                codec::put_bytes(&mut out, grantee.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a frame payload.  All errors are values, never panics.
+    pub fn from_bytes(params: &Arc<PairingParams>, bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let op = match r.u8()? {
+            proxy_tag::AUDIT => ProxyWalOp::Audit {
+                event: AuditEvent::from_bytes(r.bytes()?)?,
+            },
+            proxy_tag::INSTALL_KEY => ProxyWalOp::InstallKey {
+                key: Box::new(
+                    ReEncryptionKey::from_bytes(params, r.bytes()?)
+                        .map_err(|_| PhrError::CorruptedRecord("undecodable re-encryption key"))?,
+                ),
+            },
+            proxy_tag::REVOKE_KEY => ProxyWalOp::RevokeKey {
+                patient: Identity::from_bytes(r.bytes()?.to_vec()),
+                category: Category::from_label(&r.string()?),
+                grantee: Identity::from_bytes(r.bytes()?.to_vec()),
+            },
+            _ => return Err(PhrError::CorruptedRecord("unknown proxy WAL op tag")),
+        };
+        r.finish()?;
+        Ok(op)
+    }
+}
+
+/// The WAL path of the proxy named `name` under `dir`.  The name is escaped
+/// to a filesystem-safe alphabet *injectively* (every unsafe byte, and the
+/// escape character itself, becomes `_XX` hex), so two distinct proxy names
+/// can never collide on one log file and silently share keys.
+pub fn proxy_wal_path(dir: &Path, name: &str) -> std::path::PathBuf {
+    let mut safe = String::with_capacity(name.len());
+    for &byte in name.as_bytes() {
+        match byte {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' => safe.push(byte as char),
+            other => safe.push_str(&format!("_{other:02x}")),
+        }
+    }
+    dir.join(format!("proxy-{safe}.wal"))
+}
+
+/// The per-shard durable state, owned by the shard and mutated only under
+/// its write lock.
+#[derive(Debug)]
+pub(crate) struct ShardLog {
+    pub wal: WalWriter,
+    /// Snapshot series base name (`shard-NN`).
+    pub base: String,
+    /// Latest snapshot generation written or recovered.
+    pub gen: u64,
+    /// Operations logged since the last snapshot.
+    pub ops_since_snapshot: u64,
+}
+
+/// The store-wide durable context.
+#[derive(Debug)]
+pub(crate) struct StoreDurability {
+    pub dir: std::path::PathBuf,
+    pub fsync: FsyncPolicy,
+    pub snapshot_every: u64,
+    /// Advisory lock excluding concurrent opens of the same directory; held
+    /// for the store's lifetime, released by the OS on exit or crash.
+    #[allow(dead_code)] // held for its Drop side effect
+    pub lock: tibpre_storage::DirLock,
+}
+
+/// The WAL segment path of shard `index` under `dir`.
+pub fn shard_wal_path(dir: &Path, index: usize) -> std::path::PathBuf {
+    dir.join(format!("{}.wal", shard_base(index)))
+}
+
+/// The snapshot series base name of shard `index`.
+pub(crate) fn shard_base(index: usize) -> String {
+    format!("shard-{index:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tibpre_core::{Delegator, TypeTag};
+    use tibpre_ibe::Kgc;
+
+    fn sample_record(seed: u64, id: u64) -> (Arc<PairingParams>, StoredRecord) {
+        let params = PairingParams::insecure_toy();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kgc = Kgc::setup(params.clone(), "kgc", &mut rng);
+        let delegator = Delegator::new(
+            kgc.public_params().clone(),
+            kgc.extract(&Identity::new("alice")),
+        );
+        let ciphertext = delegator.encrypt_bytes(b"payload", b"", &TypeTag::new("t"), &mut rng);
+        (
+            params,
+            StoredRecord {
+                id: RecordId(id),
+                patient: Identity::new("alice"),
+                category: Category::Custom("genomics".into()),
+                title: "exome".into(),
+                ciphertext,
+            },
+        )
+    }
+
+    #[test]
+    fn wal_ops_round_trip() {
+        let (params, record) = sample_record(7, 3);
+        let ops = vec![
+            WalOp::Put {
+                record: Box::new(record.clone()),
+                at: 11,
+            },
+            WalOp::Delete {
+                id: RecordId(3),
+                at: 12,
+            },
+            WalOp::Audit {
+                event: AuditEvent::DisclosureDenied {
+                    id: RecordId(3),
+                    requester: Identity::new("eve"),
+                    at: 13,
+                },
+            },
+        ];
+        for op in ops {
+            let bytes = op.to_bytes();
+            assert_eq!(WalOp::from_bytes(&params, &bytes).unwrap(), op);
+            // Every strict prefix fails cleanly.
+            for cut in 0..bytes.len() {
+                assert!(
+                    WalOp::from_bytes(&params, &bytes[..cut]).is_err(),
+                    "cut {cut}"
+                );
+            }
+            // Trailing garbage fails cleanly.
+            let mut longer = bytes.clone();
+            longer.push(0);
+            assert!(WalOp::from_bytes(&params, &longer).is_err());
+        }
+        assert!(WalOp::from_bytes(&params, &[99]).is_err());
+    }
+
+    #[test]
+    fn shard_state_round_trips() {
+        let (params, record) = sample_record(8, 1);
+        let (_, record2) = sample_record(8, 2);
+        let audit = vec![
+            AuditEvent::RecordStored {
+                id: RecordId(1),
+                patient: Identity::new("alice"),
+                category: record.category.clone(),
+                at: 1,
+            },
+            AuditEvent::AccessGranted {
+                patient: Identity::new("alice"),
+                category: Category::Emergency,
+                grantee: Identity::new("doctor"),
+                at: 2,
+            },
+        ];
+        let records = vec![record, record2];
+        let payload = encode_shard_state(records.iter(), &audit);
+        let (decoded_records, decoded_audit) = decode_shard_state(&params, &payload).unwrap();
+        assert_eq!(decoded_records, records);
+        assert_eq!(decoded_audit, audit);
+        // Truncations are rejected, never panic.
+        for cut in [0, 1, 7, payload.len() / 2, payload.len() - 1] {
+            assert!(
+                decode_shard_state(&params, &payload[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn borrowed_encoders_match_the_owned_ops() {
+        let params = PairingParams::insecure_toy();
+        let mut rng = StdRng::seed_from_u64(21);
+        let kgc1 = Kgc::setup(params.clone(), "kgc1", &mut rng);
+        let kgc2 = Kgc::setup(params.clone(), "kgc2", &mut rng);
+        let delegator = Delegator::new(
+            kgc1.public_params().clone(),
+            kgc1.extract(&Identity::new("alice")),
+        );
+        let (_, record) = sample_record(21, 4);
+        assert_eq!(
+            WalOp::encode_put(&record, 9),
+            WalOp::Put {
+                record: Box::new(record),
+                at: 9
+            }
+            .to_bytes()
+        );
+        let key = delegator
+            .make_reencryption_key(
+                &Identity::new("bob"),
+                kgc2.public_params(),
+                &TypeTag::new("t"),
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(
+            ProxyWalOp::encode_install(&key),
+            ProxyWalOp::InstallKey { key: Box::new(key) }.to_bytes()
+        );
+    }
+
+    #[test]
+    fn proxy_wal_paths_never_collide_for_distinct_names() {
+        let dir = Path::new("/store");
+        // The historic failure shape: '.' and '-' both mapping to '-'.
+        assert_ne!(
+            proxy_wal_path(dir, "dr.alice"),
+            proxy_wal_path(dir, "dr-alice")
+        );
+        // The escape character itself is escaped, so 'a_b' cannot forge the
+        // escape sequence of 'a.b' etc.
+        let names = ["a_b", "a.b", "a_2eb", "a/b", "a b", "ab", "a-b"];
+        let paths: std::collections::HashSet<_> =
+            names.iter().map(|n| proxy_wal_path(dir, n)).collect();
+        assert_eq!(paths.len(), names.len());
+        // Safe names stay readable.
+        assert_eq!(
+            proxy_wal_path(dir, "hospital-proxy"),
+            dir.join("proxy-hospital-proxy.wal")
+        );
+    }
+
+    #[test]
+    fn durability_builder() {
+        let params = PairingParams::insecure_toy();
+        let d = Durability::new(params)
+            .shards(0)
+            .fsync(FsyncPolicy::Never)
+            .snapshot_every(9);
+        assert_eq!(d.shard_count(), 1);
+        assert_eq!(d.fsync_policy(), FsyncPolicy::Never);
+        assert_eq!(d.snapshot_cadence(), 9);
+    }
+}

@@ -23,6 +23,9 @@ pub enum PhrError {
     PolicyConflict(&'static str),
     /// A stored blob failed to decode.
     CorruptedRecord(&'static str),
+    /// The durable storage backend failed (I/O error while opening or
+    /// recovering a store).
+    Storage(String),
 }
 
 impl fmt::Display for PhrError {
@@ -42,6 +45,7 @@ impl fmt::Display for PhrError {
             }
             PhrError::PolicyConflict(why) => write!(f, "policy conflict: {why}"),
             PhrError::CorruptedRecord(why) => write!(f, "corrupted record: {why}"),
+            PhrError::Storage(why) => write!(f, "storage backend error: {why}"),
         }
     }
 }
@@ -51,6 +55,21 @@ impl std::error::Error for PhrError {}
 impl From<PreError> for PhrError {
     fn from(e: PreError) -> Self {
         PhrError::Pre(e)
+    }
+}
+
+impl From<tibpre_storage::StorageError> for PhrError {
+    fn from(e: tibpre_storage::StorageError) -> Self {
+        match e {
+            tibpre_storage::StorageError::Corrupt(why) => PhrError::CorruptedRecord(why),
+            other => PhrError::Storage(other.to_string()),
+        }
+    }
+}
+
+impl From<std::io::Error> for PhrError {
+    fn from(e: std::io::Error) -> Self {
+        PhrError::Storage(e.to_string())
     }
 }
 

@@ -22,7 +22,10 @@
 //! * [`provider`] — healthcare providers (delegatees) who receive and decrypt
 //!   re-encrypted records,
 //! * [`audit`] — the audit-trail types shared by the store and the proxies,
-//! * [`emergency`] — the paper's travelling / emergency-access scenario.
+//! * [`emergency`] — the paper's travelling / emergency-access scenario,
+//! * [`durable`] — the optional write-ahead-log + snapshot backend that
+//!   makes stores and proxies survive restarts and crashes
+//!   ([`EncryptedPhrStore::open`], [`ProxyService::open`]).
 //!
 //! # Example
 //!
@@ -84,6 +87,7 @@
 
 pub mod audit;
 pub mod category;
+pub mod durable;
 pub mod emergency;
 pub mod error;
 pub mod patient;
@@ -95,6 +99,7 @@ pub mod store;
 
 pub use audit::{AuditEvent, AuditLog};
 pub use category::Category;
+pub use durable::Durability;
 pub use error::PhrError;
 pub use patient::Patient;
 pub use policy::DisclosurePolicy;
@@ -102,6 +107,7 @@ pub use provider::HealthcareProvider;
 pub use proxy_service::ProxyService;
 pub use record::{HealthRecord, RecordId};
 pub use store::EncryptedPhrStore;
+pub use tibpre_storage::FsyncPolicy;
 
 /// Crate-wide result alias.
 pub type Result<T> = core::result::Result<T, PhrError>;

@@ -11,17 +11,25 @@
 //! [`ProxyService::with_engine`]); multi-record disclosures then fan out
 //! across the engine's workers, with output bit-identical to the sequential
 //! path.
+//!
+//! A proxy can also be opened *durably* ([`ProxyService::open`]): installed
+//! re-encryption keys and the proxy's own audit log are then written to a
+//! CRC-framed WAL and replayed on the next open, so a restart loses neither
+//! the grants nor the disclosure history.
 
 use crate::audit::{AuditEvent, AuditLog};
 use crate::category::Category;
+use crate::durable::{self, Durability, ProxyWalOp};
 use crate::record::RecordId;
 use crate::store::EncryptedPhrStore;
 use crate::{PhrError, Result};
 use parking_lot::Mutex;
+use std::path::Path;
 use std::sync::Arc;
 use tibpre_core::{hybrid, Proxy, ReEncryptedHybridCiphertext, ReEncryptionKey};
 use tibpre_engine::ReEncryptEngine;
 use tibpre_ibe::Identity;
+use tibpre_storage::WalWriter;
 
 /// A re-encrypted record on its way to a healthcare provider.
 #[derive(Debug, Clone)]
@@ -45,6 +53,12 @@ pub struct ProxyService {
     proxy: Proxy,
     engine: ReEncryptEngine,
     audit: Mutex<AuditLog>,
+    /// The durable proxy log (`None` for in-memory proxies).  Lock order:
+    /// `audit` before `wal`, everywhere.
+    wal: Option<Mutex<WalWriter>>,
+    /// Advisory lock excluding concurrent opens of the same proxy log; held
+    /// for the proxy's lifetime, released by the OS on exit or crash.
+    _wal_lock: Option<tibpre_storage::DirLock>,
 }
 
 impl ProxyService {
@@ -69,7 +83,93 @@ impl ProxyService {
             proxy: Proxy::new(name.as_ref()),
             engine,
             audit: Mutex::new(AuditLog::new()),
+            wal: None,
+            _wal_lock: None,
         }
+    }
+
+    /// Opens (or creates) a *durable* proxy service: installed re-encryption
+    /// keys and the proxy's own audit trail are logged to
+    /// `dir/proxy-<name>.wal` and replayed here, so a restarted proxy still
+    /// holds exactly the grants the patients installed.  The log is
+    /// truncated at the first torn or corrupt frame, like every WAL in this
+    /// workspace.
+    ///
+    /// Store-side audit entries are *not* replayed from this log — the store
+    /// has its own durable trail ([`EncryptedPhrStore::open`]); replaying
+    /// them here would double-log every disclosure.
+    pub fn open(
+        name: impl AsRef<str>,
+        store: Arc<EncryptedPhrStore>,
+        dir: impl AsRef<Path>,
+        durability: &Durability,
+    ) -> Result<Self> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = durable::proxy_wal_path(dir, name.as_ref());
+        // Same guard as the store: a second concurrent holder would truncate
+        // frames this one is appending and interleave writes.
+        let lock = tibpre_storage::DirLock::acquire(&path.with_extension("wal.lock"))?;
+        let scan = WalWriter::recover(&path, 0)?;
+
+        let mut proxy = Proxy::new(name.as_ref());
+        let mut audit = AuditLog::new();
+        for payload in &scan.frames {
+            // A checksummed frame that fails to decode is not storage
+            // corruption — it means wrong pairing parameters or an unknown
+            // format tag.  Fail the open rather than truncate intact data
+            // (same policy as the store's recovery path).
+            let op = ProxyWalOp::from_bytes(durability.params(), payload).map_err(|_| {
+                PhrError::CorruptedRecord(
+                    "CRC-valid proxy WAL frame failed to decode; check pairing \
+                     parameters and binary version — refusing to truncate intact data",
+                )
+            })?;
+            match op {
+                ProxyWalOp::Audit { event } => audit.replay(event),
+                ProxyWalOp::InstallKey { key } => {
+                    proxy.install_key(*key);
+                }
+                ProxyWalOp::RevokeKey {
+                    patient,
+                    category,
+                    grantee,
+                } => {
+                    proxy.revoke_key(&patient, &category.type_tag(), &grantee);
+                }
+            }
+        }
+        // Every frame decoded (a failure returned above), so the valid
+        // prefix ends where the scanner stopped.
+        let wal = WalWriter::open(&path, scan.valid_len, durability.fsync_policy())?;
+
+        Ok(ProxyService {
+            name: name.as_ref().to_string(),
+            store,
+            proxy,
+            engine: ReEncryptEngine::sequential(),
+            audit: Mutex::new(audit),
+            wal: Some(Mutex::new(wal)),
+            _wal_lock: Some(lock),
+        })
+    }
+
+    /// Whether this proxy persists its keys and audit log.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Appends already-encoded frame payloads to the proxy log as one group
+    /// commit.  Fail-stop on I/O errors, like the store's WAL (see
+    /// [`crate::store`]'s module docs).
+    fn persist(&self, payloads: &[Vec<u8>]) {
+        let Some(wal) = &self.wal else { return };
+        let mut wal = wal.lock();
+        for payload in payloads {
+            wal.append(payload);
+        }
+        wal.commit()
+            .expect("proxy WAL append failed; cannot continue without durability (fail-stop)");
     }
 
     /// Replaces the re-encryption engine (e.g. to resize the worker pool).
@@ -92,15 +192,27 @@ impl ProxyService {
         let patient = key.delegator().clone();
         let grantee = key.delegatee().clone();
         let category = Category::from_label(&key.type_tag().display());
+        // Encoded from the borrowed key: no clone of the key (or its pairing
+        // tables) on the grant path.
+        let persisted_key = self.wal.is_some().then(|| ProxyWalOp::encode_install(&key));
         self.proxy.install_key(key);
         let mut audit = self.audit.lock();
         let at = audit.tick();
-        audit.append(AuditEvent::AccessGranted {
+        let event = AuditEvent::AccessGranted {
             patient: patient.clone(),
             category: category.clone(),
             grantee: grantee.clone(),
             at,
-        });
+        };
+        if let Some(install) = persisted_key {
+            // One group commit covers the key and its audit entry.
+            let audit_frame = ProxyWalOp::Audit {
+                event: event.clone(),
+            }
+            .to_bytes();
+            self.persist(&[install, audit_frame]);
+        }
+        audit.append(event);
         self.store
             .log_policy_change(&patient, &category, &grantee, true);
     }
@@ -112,23 +224,41 @@ impl ProxyService {
         category: &Category,
         grantee: &Identity,
     ) -> bool {
-        let removed = self
-            .proxy
-            .revoke_key(patient, &category.type_tag(), grantee)
-            .is_some();
-        if removed {
-            let mut audit = self.audit.lock();
-            let at = audit.tick();
-            audit.append(AuditEvent::AccessRevoked {
-                patient: patient.clone(),
-                category: category.clone(),
-                grantee: grantee.clone(),
-                at,
-            });
-            self.store
-                .log_policy_change(patient, category, grantee, false);
+        // Check first, mutate after the log write: a crash must never leave
+        // a revocation that took effect in memory but is absent from the
+        // log (the revoked grantee would regain access on restart).
+        if !self.proxy.has_key(patient, &category.type_tag(), grantee) {
+            return false;
         }
-        removed
+        let mut audit = self.audit.lock();
+        let at = audit.tick();
+        let event = AuditEvent::AccessRevoked {
+            patient: patient.clone(),
+            category: category.clone(),
+            grantee: grantee.clone(),
+            at,
+        };
+        if self.wal.is_some() {
+            self.persist(&[
+                ProxyWalOp::RevokeKey {
+                    patient: patient.clone(),
+                    category: category.clone(),
+                    grantee: grantee.clone(),
+                }
+                .to_bytes(),
+                ProxyWalOp::Audit {
+                    event: event.clone(),
+                }
+                .to_bytes(),
+            ]);
+        }
+        audit.append(event);
+        drop(audit);
+        self.proxy
+            .revoke_key(patient, &category.type_tag(), grantee);
+        self.store
+            .log_policy_change(patient, category, grantee, false);
+        true
     }
 
     /// Number of re-encryption keys currently installed.
@@ -337,11 +467,18 @@ impl ProxyService {
     fn record_success(&self, record_id: RecordId, requester: &Identity) {
         let mut audit = self.audit.lock();
         let at = audit.tick();
-        audit.append(AuditEvent::DisclosurePerformed {
+        let event = AuditEvent::DisclosurePerformed {
             id: record_id,
             requester: requester.clone(),
             at,
-        });
+        };
+        if self.wal.is_some() {
+            self.persist(&[ProxyWalOp::Audit {
+                event: event.clone(),
+            }
+            .to_bytes()]);
+        }
+        audit.append(event);
         drop(audit);
         self.store.log_disclosure(record_id, requester, true);
     }
@@ -349,11 +486,18 @@ impl ProxyService {
     fn record_denial(&self, record_id: RecordId, requester: &Identity) {
         let mut audit = self.audit.lock();
         let at = audit.tick();
-        audit.append(AuditEvent::DisclosureDenied {
+        let event = AuditEvent::DisclosureDenied {
             id: record_id,
             requester: requester.clone(),
             at,
-        });
+        };
+        if self.wal.is_some() {
+            self.persist(&[ProxyWalOp::Audit {
+                event: event.clone(),
+            }
+            .to_bytes()]);
+        }
+        audit.append(event);
         drop(audit);
         self.store.log_disclosure(record_id, requester, false);
     }

@@ -22,16 +22,42 @@
 //! logical clock across all shards; each shard appends to its own audit
 //! segment and [`EncryptedPhrStore::audit_snapshot`] merges the segments by
 //! timestamp.
+//!
+//! # Durability
+//!
+//! A store is either **in-memory** ([`EncryptedPhrStore::new`] /
+//! [`EncryptedPhrStore::in_memory`]) — exactly the pre-durability store, no
+//! hidden I/O — or **durable** ([`EncryptedPhrStore::open`]): each shard
+//! additionally owns a write-ahead log segment and a generational snapshot
+//! series in the store directory (see [`crate::durable`] for the frame
+//! contents and [`tibpre_storage`] for the envelope).  Every mutation is
+//! appended to the owning shard's WAL *before* it is applied in memory, both
+//! under the same shard write lock the in-memory path already takes, so
+//! durability introduces no extra synchronization and no cross-shard locks.
+//! `open` replays `newest valid snapshot + WAL tail` per shard — in parallel
+//! across shards on a [`ReEncryptEngine`] — truncating each log at the first
+//! torn or corrupt frame.
+//!
+//! Durable writes are **fail-stop**: an I/O error while appending to a WAL
+//! panics rather than silently continuing with a log that no longer matches
+//! memory.  That is the standard correctness posture for write-ahead
+//! logging; a process that cannot log can no longer promise recoverability.
 
 use crate::audit::AuditEvent;
 use crate::category::Category;
+use crate::durable::{
+    self, Durability, ShardLog, StoreDurability, WalOp, SNAPSHOT_GENERATIONS_KEPT,
+};
 use crate::record::RecordId;
 use crate::{PhrError, Result};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use tibpre_core::HybridCiphertext;
+use tibpre_engine::ReEncryptEngine;
 use tibpre_ibe::Identity;
+use tibpre_storage::{codec, frame, snapshot, FsyncPolicy, WalWriter};
 
 /// Default shard count.  Sixteen stripes keep the per-shard contention
 /// negligible for any worker count this workspace's engine will realistically
@@ -55,39 +81,390 @@ pub struct StoredRecord {
 }
 
 /// One lock stripe: the records whose id hashes here, the per-patient index
-/// restricted to those records, and this stripe's audit segment.
+/// restricted to those records, this stripe's audit segment, and — on a
+/// durable store — its write-ahead log handle.
 #[derive(Default)]
 struct Shard {
     records: BTreeMap<RecordId, StoredRecord>,
     by_patient: HashMap<Vec<u8>, BTreeSet<RecordId>>,
     audit: Vec<AuditEvent>,
+    log: Option<ShardLog>,
+}
+
+impl Shard {
+    /// Rebuilds the per-patient index from the record map (used after
+    /// recovery; the index is derived state and is not persisted).
+    fn rebuild_index(&mut self) {
+        self.by_patient.clear();
+        for (&id, record) in &self.records {
+            self.by_patient
+                .entry(record.patient.as_bytes().to_vec())
+                .or_default()
+                .insert(id);
+        }
+    }
 }
 
 /// A concurrent, sharded, indexed, append-audited store of encrypted PHR
-/// records.
+/// records, optionally durable (see the [module docs](self)).
 pub struct EncryptedPhrStore {
     name: String,
     shards: Box<[RwLock<Shard>]>,
     next_id: AtomicU64,
     clock: AtomicU64,
+    durability: Option<StoreDurability>,
 }
 
+/// Name of the store metadata file inside a durable store's directory.
+const META_FILE: &str = "store.meta";
+
+/// Version number of the store metadata format.
+const META_VERSION: u32 = 1;
+
 impl EncryptedPhrStore {
-    /// Creates an empty store with [`DEFAULT_SHARDS`] lock stripes.
+    /// Creates an empty in-memory store with [`DEFAULT_SHARDS`] lock stripes.
     pub fn new(name: impl AsRef<str>) -> Self {
         Self::with_shards(name, DEFAULT_SHARDS)
     }
 
-    /// Creates an empty store with an explicit shard count (clamped to ≥ 1).
-    /// `with_shards(name, 1)` degenerates to the single-lock store this type
-    /// used to be.
+    /// Creates an empty in-memory store — an explicit alias of [`Self::new`]
+    /// for symmetry with [`Self::open`].
+    pub fn in_memory(name: impl AsRef<str>) -> Self {
+        Self::new(name)
+    }
+
+    /// Creates an empty in-memory store with an explicit shard count
+    /// (clamped to ≥ 1).  `with_shards(name, 1)` degenerates to the
+    /// single-lock store this type used to be.
     pub fn with_shards(name: impl AsRef<str>, shards: usize) -> Self {
         EncryptedPhrStore {
             name: name.as_ref().to_string(),
             shards: (0..shards.max(1)).map(|_| RwLock::default()).collect(),
             next_id: AtomicU64::new(0),
             clock: AtomicU64::new(0),
+            durability: None,
         }
+    }
+
+    /// Opens (or creates) a durable store in directory `dir`, recovering any
+    /// existing state by replaying each shard's `newest valid snapshot + WAL
+    /// tail` and truncating each log at the first torn or corrupt frame.
+    ///
+    /// The store's display name is the directory's final path component.  A
+    /// fresh store uses the shard count from `durability`; an existing store
+    /// keeps the count persisted in its `store.meta` file (the id→shard
+    /// mapping depends on it).  Shards are recovered in parallel on a
+    /// [`ReEncryptEngine::from_env`] worker pool.
+    ///
+    /// Recovery never panics on corrupt input: a damaged snapshot generation
+    /// falls back to the previous generation (or a full log replay), and a
+    /// damaged log frame truncates the log at the last intact boundary.  A
+    /// frame that passes its checksum but does not *decode* (wrong pairing
+    /// parameters, unknown tag from a newer format) fails the open instead —
+    /// that is an operator error, and truncating there would destroy intact
+    /// data.
+    ///
+    /// The directory is guarded by an advisory `LOCK` file: a second
+    /// concurrent open (which would truncate WAL tails the first process is
+    /// appending to) fails with [`PhrError::Storage`].  The lock is released
+    /// by the OS on process exit, crashes included.
+    pub fn open(dir: impl AsRef<Path>, durability: Durability) -> Result<Self> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let lock = tibpre_storage::DirLock::acquire(&dir.join("LOCK"))?;
+        let shards = Self::read_or_create_meta(dir, &durability)?;
+        let name = dir
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "phr-store".to_string());
+
+        let indices: Vec<usize> = (0..shards).collect();
+        let engine = ReEncryptEngine::from_env();
+        let recovered: Vec<Shard> =
+            engine.try_par_map(&indices, |_, &i| Self::recover_shard(dir, i, &durability))?;
+
+        // The id allocator and the logical clock resume above everything the
+        // log has ever seen — including ids of since-deleted records, which
+        // still appear in audit events and must never be reissued.
+        let mut next_id = 0u64;
+        let mut clock = 0u64;
+        for shard in &recovered {
+            if let Some((&id, _)) = shard.records.iter().next_back() {
+                next_id = next_id.max(id.0);
+            }
+            for event in &shard.audit {
+                clock = clock.max(event.at());
+                match event {
+                    AuditEvent::RecordStored { id, .. }
+                    | AuditEvent::RecordDeleted { id, .. }
+                    | AuditEvent::DisclosurePerformed { id, .. }
+                    | AuditEvent::DisclosureDenied { id, .. } => next_id = next_id.max(id.0),
+                    _ => {}
+                }
+            }
+        }
+
+        Ok(EncryptedPhrStore {
+            name,
+            shards: recovered.into_iter().map(RwLock::new).collect(),
+            next_id: AtomicU64::new(next_id),
+            clock: AtomicU64::new(clock),
+            durability: Some(StoreDurability {
+                dir: dir.to_path_buf(),
+                fsync: durability.fsync_policy(),
+                snapshot_every: durability.snapshot_cadence(),
+                lock,
+            }),
+        })
+    }
+
+    /// Reads the persisted shard count, or persists the configured one on
+    /// first open.  The meta file is one CRC frame, so a torn first open is
+    /// detected rather than silently mis-sharding every id.
+    fn read_or_create_meta(dir: &Path, durability: &Durability) -> Result<usize> {
+        let path = dir.join(META_FILE);
+        match std::fs::read(&path) {
+            Ok(bytes) => {
+                let payload = frame::decode_single_frame(&bytes)
+                    .ok_or(PhrError::CorruptedRecord("store meta file torn or corrupt"))?;
+                let mut r = codec::Reader::new(&payload);
+                if r.u32()? != META_VERSION {
+                    return Err(PhrError::CorruptedRecord("unsupported store meta version"));
+                }
+                let shards = r.u32()? as usize;
+                r.finish()?;
+                Ok(shards.max(1))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let shards = durability.shard_count();
+                let mut payload = Vec::new();
+                codec::put_u32(&mut payload, META_VERSION);
+                codec::put_u32(&mut payload, shards as u32);
+                let tmp = dir.join("store.meta.tmp");
+                // Meta determines the id→shard mapping forever, so it is
+                // made durable unconditionally (fsync file, rename, fsync
+                // dir) — losing it to a power cut and silently recreating it
+                // with a different shard count would orphan every record.
+                {
+                    use std::io::Write;
+                    let mut file = std::fs::File::create(&tmp)?;
+                    file.write_all(&frame::encode_frame(&payload))?;
+                    file.sync_data()?;
+                }
+                std::fs::rename(&tmp, &path)?;
+                std::fs::File::open(dir)?.sync_all()?;
+                Ok(shards)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Recovers one shard: newest valid snapshot (falling back through the
+    /// generations, then to empty), then the WAL tail from the snapshot's
+    /// offset, truncated at the first torn or corrupt frame.  Only the tail
+    /// behind the chosen snapshot is read from disk — the superseded prefix
+    /// never enters memory.
+    fn recover_shard(dir: &Path, index: usize, durability: &Durability) -> Result<Shard> {
+        use std::io::{Read, Seek, SeekFrom};
+
+        let base = durable::shard_base(index);
+        let wal_path = durable::shard_wal_path(dir, index);
+        let wal_len = match std::fs::metadata(&wal_path) {
+            Ok(meta) => meta.len(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+            Err(e) => return Err(e.into()),
+        };
+
+        let mut shard = Shard::default();
+        let mut start = 0u64;
+        let mut gen = 0u64;
+        for candidate in snapshot::list_generations(dir, &base)? {
+            let Ok(snap) = snapshot::load_snapshot(dir, &base, candidate) else {
+                continue; // checksum/torn: fall back to an older generation
+            };
+            if snap.wal_offset > wal_len {
+                continue; // references log bytes that no longer exist
+            }
+            let Ok((records, audit)) =
+                durable::decode_shard_state(durability.params(), &snap.payload)
+            else {
+                continue; // CRC-valid but undecodable: same fallback
+            };
+            shard.records = records.into_iter().map(|r| (r.id, r)).collect();
+            shard.audit = audit;
+            start = snap.wal_offset;
+            gen = candidate;
+            break;
+        }
+
+        let tail = if wal_len > start {
+            let mut file = std::fs::File::open(&wal_path)?;
+            file.seek(SeekFrom::Start(start))?;
+            let mut bytes = Vec::with_capacity((wal_len - start) as usize);
+            file.read_to_end(&mut bytes)?;
+            bytes
+        } else {
+            Vec::new()
+        };
+
+        let scan = frame::scan(&tail, 0);
+        for payload in &scan.frames {
+            // A frame that passes its checksum but fails to *decode* is not
+            // storage corruption (the CRC vouches for the bytes) — it means
+            // the wrong pairing parameters or an unknown format tag.
+            // Truncating would destroy intact data, so refuse to open.
+            let op = WalOp::from_bytes(durability.params(), payload).map_err(|_| {
+                PhrError::CorruptedRecord(
+                    "CRC-valid WAL frame failed to decode; check pairing parameters \
+                     and binary version — refusing to truncate intact data",
+                )
+            })?;
+            Self::apply_op(&mut shard, op);
+        }
+        shard.rebuild_index();
+
+        // The truncation boundary is the scanner's: every frame decoded (a
+        // failure returned above), so the valid prefix ends where the scan
+        // stopped.
+        let boundary = start + scan.valid_len;
+        let wal = WalWriter::open(&wal_path, boundary, durability.fsync_policy())?;
+        shard.log = Some(ShardLog {
+            wal,
+            base,
+            gen,
+            ops_since_snapshot: 0,
+        });
+        Ok(shard)
+    }
+
+    /// Replays one logged operation into a shard's state — the exact state
+    /// transition the original call made.
+    fn apply_op(shard: &mut Shard, op: WalOp) {
+        match op {
+            WalOp::Put { record, at } => {
+                shard.audit.push(AuditEvent::RecordStored {
+                    id: record.id,
+                    patient: record.patient.clone(),
+                    category: record.category.clone(),
+                    at,
+                });
+                shard.records.insert(record.id, *record);
+            }
+            WalOp::Delete { id, at } => {
+                shard.records.remove(&id);
+                shard.audit.push(AuditEvent::RecordDeleted { id, at });
+            }
+            WalOp::Audit { event } => shard.audit.push(event),
+        }
+    }
+
+    /// Appends one operation to a shard's WAL (no-op on in-memory stores;
+    /// the caller avoids even constructing the op in that case).  Runs under
+    /// the shard's write lock.
+    fn log_op(&self, shard: &mut Shard, op: &WalOp) {
+        if self.durability.is_some() && shard.log.is_some() {
+            self.log_encoded(shard, &op.to_bytes());
+        }
+    }
+
+    /// Appends one already-encoded frame payload to a shard's WAL — the
+    /// hot-path entry ([`WalOp::encode_put`] feeds it without cloning the
+    /// record).  Fail-stop: an I/O failure here panics, see the
+    /// [module docs](self).
+    fn log_encoded(&self, shard: &mut Shard, payload: &[u8]) {
+        let Some(d) = self.durability.as_ref() else {
+            return;
+        };
+        // Snapshot *before* appending the new frame: logging runs ahead of
+        // the in-memory apply (write-ahead), so right now the shard state is
+        // consistent with exactly `committed_len()` bytes of log — the only
+        // moment a `(state, wal_offset)` pair can be captured without
+        // including a frame the state does not yet reflect.
+        let snapshot_due = shard
+            .log
+            .as_ref()
+            .is_some_and(|log| d.snapshot_every > 0 && log.ops_since_snapshot >= d.snapshot_every);
+        if snapshot_due {
+            Self::snapshot_shard(d, shard)
+                .expect("snapshot write failed; cannot continue without durability (fail-stop)");
+        }
+        let Some(log) = shard.log.as_mut() else {
+            return;
+        };
+        log.wal.append(payload);
+        log.wal
+            .commit()
+            .expect("WAL append failed; cannot continue without durability (fail-stop)");
+        log.ops_since_snapshot += 1;
+    }
+
+    /// Serializes a shard's full state into the next snapshot generation and
+    /// prunes old generations (keeping [`SNAPSHOT_GENERATIONS_KEPT`]).
+    fn snapshot_shard(d: &StoreDurability, shard: &mut Shard) -> std::io::Result<()> {
+        let payload = durable::encode_shard_state(shard.records.values(), &shard.audit);
+        let log = shard.log.as_mut().expect("snapshotting a durable shard");
+        // The snapshot must not reference WAL bytes that are less durable
+        // than itself: under `EveryN` the offset could otherwise point past
+        // what survives a power cut, and recovery would discard the (fully
+        // fsynced!) snapshot via the `wal_offset > wal_len` check.  One
+        // extra fsync per cadence interval buys referential integrity;
+        // `Never` keeps its no-fsync contract (and writes the snapshot
+        // unsynced anyway).
+        let wal_offset = if matches!(d.fsync, FsyncPolicy::Never) {
+            log.wal.committed_len()
+        } else {
+            log.wal.sync()?
+        };
+        log.gen += 1;
+        snapshot::write_snapshot(
+            &d.dir,
+            &log.base,
+            log.gen,
+            wal_offset,
+            &payload,
+            !matches!(d.fsync, FsyncPolicy::Never),
+        )?;
+        snapshot::prune(&d.dir, &log.base, SNAPSHOT_GENERATIONS_KEPT)?;
+        log.ops_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Whether this store persists to disk.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The durable store's directory (`None` for in-memory stores).
+    pub fn storage_dir(&self) -> Option<&Path> {
+        self.durability.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Forces every shard's WAL to stable storage regardless of the fsync
+    /// policy (clean shutdown).  No-op on in-memory stores.
+    pub fn sync(&self) -> Result<()> {
+        for shard in self.shards.iter() {
+            let mut shard = shard.write();
+            if let Some(log) = shard.log.as_mut() {
+                log.wal.sync()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes a fresh snapshot of every shard immediately (e.g. before a
+    /// planned shutdown, to make the next recovery O(1) in the log length).
+    /// No-op on in-memory stores.
+    pub fn force_snapshot(&self) -> Result<()> {
+        let Some(d) = self.durability.as_ref() else {
+            return Ok(());
+        };
+        for shard in self.shards.iter() {
+            let mut shard = shard.write();
+            if shard.log.is_some() {
+                Self::snapshot_shard(d, &mut shard)?;
+            }
+        }
+        Ok(())
     }
 
     /// The store's display name.
@@ -127,7 +504,9 @@ impl EncryptedPhrStore {
         self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    /// Inserts an encrypted record and returns its identifier.
+    /// Inserts an encrypted record and returns its identifier.  On a durable
+    /// store the record is logged to the owning shard's WAL before it becomes
+    /// visible in memory.
     pub fn put(
         &self,
         patient: &Identity,
@@ -144,13 +523,18 @@ impl EncryptedPhrStore {
             ciphertext,
         };
         let mut shard = self.shard_for_id(id).write();
+        let at = self.tick();
+        if self.is_durable() {
+            // Encoded from the borrowed record: no clone of the ciphertext
+            // body on the write path.
+            self.log_encoded(&mut shard, &WalOp::encode_put(&record, at));
+        }
         shard.records.insert(id, record);
         shard
             .by_patient
             .entry(patient.as_bytes().to_vec())
             .or_default()
             .insert(id);
-        let at = self.tick();
         shard.audit.push(AuditEvent::RecordStored {
             id,
             patient: patient.clone(),
@@ -182,11 +566,12 @@ impl EncryptedPhrStore {
             });
         }
         let patient_key = record.patient.as_bytes().to_vec();
+        let at = self.tick();
+        self.log_op(&mut shard, &WalOp::Delete { id, at });
         shard.records.remove(&id);
         if let Some(set) = shard.by_patient.get_mut(&patient_key) {
             set.remove(&id);
         }
-        let at = self.tick();
         shard.audit.push(AuditEvent::RecordDeleted { id, at });
         Ok(())
     }
@@ -285,6 +670,14 @@ impl EncryptedPhrStore {
                 at,
             }
         };
+        if self.is_durable() {
+            self.log_op(
+                &mut shard,
+                &WalOp::Audit {
+                    event: event.clone(),
+                },
+            );
+        }
         shard.audit.push(event);
     }
 
@@ -314,6 +707,14 @@ impl EncryptedPhrStore {
                 at,
             }
         };
+        if self.is_durable() {
+            self.log_op(
+                &mut shard,
+                &WalOp::Audit {
+                    event: event.clone(),
+                },
+            );
+        }
         shard.audit.push(event);
     }
 
@@ -334,10 +735,11 @@ impl core::fmt::Debug for EncryptedPhrStore {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "EncryptedPhrStore(name={}, records={}, shards={})",
+            "EncryptedPhrStore(name={}, records={}, shards={}, durable={})",
             self.name,
             self.record_count(),
-            self.shards.len()
+            self.shards.len(),
+            self.durability.is_some()
         )
     }
 }
@@ -469,6 +871,228 @@ mod tests {
         for id in ids {
             assert!(store.get(id).is_ok());
         }
+    }
+
+    fn toy_params() -> std::sync::Arc<PairingParams> {
+        PairingParams::insecure_toy()
+    }
+
+    /// Compares every observable of two stores: records (byte-identical via
+    /// `PartialEq` on the ciphertexts), per-patient indexes and the merged
+    /// audit trail.
+    fn assert_stores_equal(a: &EncryptedPhrStore, b: &EncryptedPhrStore, patients: &[Identity]) {
+        assert_eq!(a.record_count(), b.record_count());
+        assert_eq!(a.audit_snapshot(), b.audit_snapshot());
+        for patient in patients {
+            assert_eq!(a.list_for_patient(patient), b.list_for_patient(patient));
+            for id in a.list_for_patient(patient) {
+                assert_eq!(a.get(id).unwrap(), b.get(id).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn durable_store_round_trips_across_reopen() {
+        let mut rng = StdRng::seed_from_u64(140);
+        let params = toy_params();
+        let tmp = tibpre_storage::TempDir::new("store-reopen").unwrap();
+        let dir = tmp.path().join("phr-db");
+        let alice = Identity::new("alice");
+        let bob = Identity::new("bob");
+        let doctor = Identity::new("doctor");
+        let ct = sample_ciphertext(&mut rng);
+
+        let durability = || {
+            Durability::new(params.clone())
+                .shards(4)
+                .fsync(FsyncPolicy::Never)
+        };
+        let (id1, id3) = {
+            let store = EncryptedPhrStore::open(&dir, durability()).unwrap();
+            assert!(store.is_durable());
+            assert_eq!(store.name(), "phr-db");
+            assert_eq!(store.shard_count(), 4);
+            let id1 = store.put(&alice, &Category::Emergency, "r1", ct.clone());
+            let id2 = store.put(&alice, &Category::LabResults, "r2", ct.clone());
+            let id3 = store.put(&bob, &Category::Medication, "r3", ct.clone());
+            store.log_policy_change(&alice, &Category::Emergency, &doctor, true);
+            store.log_disclosure(id1, &doctor, true);
+            store.delete(id2, &alice).unwrap();
+            (id1, id3)
+        };
+
+        let reopened = EncryptedPhrStore::open(&dir, durability()).unwrap();
+        // The persisted shard count wins over the configured one.
+        assert_eq!(reopened.shard_count(), 4);
+        assert_eq!(reopened.record_count(), 2);
+        assert_eq!(reopened.get(id1).unwrap().title, "r1");
+        assert_eq!(reopened.get(id3).unwrap().patient, bob);
+        assert_eq!(reopened.list_for_patient(&alice), vec![id1]);
+        let audit = reopened.audit_snapshot();
+        assert_eq!(audit.len(), 6);
+        for pair in audit.windows(2) {
+            assert!(pair[0].at() < pair[1].at());
+        }
+        // Fresh ids and timestamps continue above everything ever logged —
+        // including the deleted record's id.
+        let id4 = reopened.put(&alice, &Category::Emergency, "r4", ct.clone());
+        assert!(id4.0 > id3.0);
+        let audit = reopened.audit_snapshot();
+        assert_eq!(audit.len(), 7);
+        assert!(audit[6].at() > audit[5].at());
+
+        // The recovered store equals an in-memory oracle fed the same ops.
+        let oracle = EncryptedPhrStore::with_shards("oracle", 4);
+        let o1 = oracle.put(&alice, &Category::Emergency, "r1", ct.clone());
+        let o2 = oracle.put(&alice, &Category::LabResults, "r2", ct.clone());
+        oracle.put(&bob, &Category::Medication, "r3", ct.clone());
+        oracle.log_policy_change(&alice, &Category::Emergency, &doctor, true);
+        oracle.log_disclosure(o1, &doctor, true);
+        oracle.delete(o2, &alice).unwrap();
+        oracle.put(&alice, &Category::Emergency, "r4", ct);
+        assert_stores_equal(&reopened, &oracle, &[alice, bob]);
+    }
+
+    #[test]
+    fn torn_wal_tail_is_truncated_on_open() {
+        let mut rng = StdRng::seed_from_u64(141);
+        let params = toy_params();
+        let tmp = tibpre_storage::TempDir::new("store-torn").unwrap();
+        let dir = tmp.path().join("db");
+        let alice = Identity::new("alice");
+        let ct = sample_ciphertext(&mut rng);
+        let durability = || {
+            Durability::new(params.clone())
+                .shards(1)
+                .fsync(FsyncPolicy::Never)
+        };
+        {
+            let store = EncryptedPhrStore::open(&dir, durability()).unwrap();
+            store.put(&alice, &Category::Emergency, "r1", ct.clone());
+            store.put(&alice, &Category::Emergency, "r2", ct.clone());
+        }
+        // Tear the last frame mid-payload.
+        let wal = crate::durable::shard_wal_path(&dir, 0);
+        let bytes = std::fs::read(&wal).unwrap();
+        std::fs::write(&wal, &bytes[..bytes.len() - 3]).unwrap();
+
+        let store = EncryptedPhrStore::open(&dir, durability()).unwrap();
+        assert_eq!(store.record_count(), 1);
+        assert_eq!(store.audit_snapshot().len(), 1);
+        // The torn tail is physically gone and the log accepts new writes.
+        assert!(std::fs::metadata(&wal).unwrap().len() < bytes.len() as u64);
+        let id = store.put(&alice, &Category::Emergency, "r2-again", ct);
+        drop(store);
+        let store = EncryptedPhrStore::open(&dir, durability()).unwrap();
+        assert_eq!(store.record_count(), 2);
+        assert_eq!(store.get(id).unwrap().title, "r2-again");
+    }
+
+    #[test]
+    fn snapshots_bound_recovery_to_the_wal_tail() {
+        let mut rng = StdRng::seed_from_u64(142);
+        let params = toy_params();
+        let tmp = tibpre_storage::TempDir::new("store-snap").unwrap();
+        let dir = tmp.path().join("db");
+        let alice = Identity::new("alice");
+        let ct = sample_ciphertext(&mut rng);
+        let durability = || {
+            Durability::new(params.clone())
+                .shards(1)
+                .fsync(FsyncPolicy::Never)
+                .snapshot_every(4)
+        };
+        {
+            let store = EncryptedPhrStore::open(&dir, durability()).unwrap();
+            for i in 0..10 {
+                store.put(&alice, &Category::LabResults, &format!("r{i}"), ct.clone());
+            }
+        }
+        // Snapshots were written (10 ops, cadence 4 → generations 1 and 2).
+        let gens = tibpre_storage::snapshot::list_generations(&dir, "shard-00").unwrap();
+        assert_eq!(gens, vec![2, 1]);
+
+        let store = EncryptedPhrStore::open(&dir, durability()).unwrap();
+        assert_eq!(store.record_count(), 10);
+        assert_eq!(store.audit_snapshot().len(), 10);
+        assert_eq!(store.list_for_patient(&alice).len(), 10);
+        // force_snapshot writes a fresh generation and prunes to two.
+        store.force_snapshot().unwrap();
+        let gens = tibpre_storage::snapshot::list_generations(&dir, "shard-00").unwrap();
+        assert_eq!(gens, vec![3, 2]);
+        store.sync().unwrap();
+    }
+
+    #[test]
+    fn second_concurrent_open_of_the_same_directory_is_refused() {
+        let params = toy_params();
+        let tmp = tibpre_storage::TempDir::new("store-lock").unwrap();
+        let dir = tmp.path().join("db");
+        let durability = || {
+            Durability::new(params.clone())
+                .shards(1)
+                .fsync(FsyncPolicy::Never)
+        };
+        let store = EncryptedPhrStore::open(&dir, durability()).unwrap();
+        // A second open would truncate WAL tails the first holder is still
+        // appending to — it must fail while the first store lives...
+        assert!(matches!(
+            EncryptedPhrStore::open(&dir, durability()),
+            Err(PhrError::Storage(_))
+        ));
+        // ...and succeed once it is gone (the OS releases the lock).
+        drop(store);
+        EncryptedPhrStore::open(&dir, durability()).unwrap();
+    }
+
+    #[test]
+    fn crc_valid_but_undecodable_frame_fails_open_instead_of_truncating() {
+        let mut rng = StdRng::seed_from_u64(143);
+        let params = toy_params();
+        let tmp = tibpre_storage::TempDir::new("store-undecodable").unwrap();
+        let dir = tmp.path().join("db");
+        let alice = Identity::new("alice");
+        let ct = sample_ciphertext(&mut rng);
+        let durability = || {
+            Durability::new(params.clone())
+                .shards(1)
+                .fsync(FsyncPolicy::Never)
+        };
+        {
+            let store = EncryptedPhrStore::open(&dir, durability()).unwrap();
+            store.put(&alice, &Category::Emergency, "r1", ct);
+        }
+        // Append a frame that passes its checksum but carries an unknown op
+        // tag — e.g. written by a future format version.
+        let wal_path = crate::durable::shard_wal_path(&dir, 0);
+        let before = std::fs::metadata(&wal_path).unwrap().len();
+        let mut wal =
+            tibpre_storage::WalWriter::open(&wal_path, before, tibpre_storage::FsyncPolicy::Never)
+                .unwrap();
+        wal.append(&[0xEE, 1, 2, 3]);
+        wal.sync().unwrap();
+        drop(wal);
+        let after = std::fs::metadata(&wal_path).unwrap().len();
+
+        // The open refuses: this is an operator error, not corruption, and
+        // truncating would destroy intact data.
+        assert!(matches!(
+            EncryptedPhrStore::open(&dir, durability()),
+            Err(PhrError::CorruptedRecord(_))
+        ));
+        // Nothing was truncated by the failed open.
+        assert_eq!(std::fs::metadata(&wal_path).unwrap().len(), after);
+        let _ = before;
+    }
+
+    #[test]
+    fn in_memory_alias_and_accessors() {
+        let store = EncryptedPhrStore::in_memory("ram");
+        assert!(!store.is_durable());
+        assert!(store.storage_dir().is_none());
+        // Durable no-ops on the in-memory store.
+        store.sync().unwrap();
+        store.force_snapshot().unwrap();
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! The on-disk frame format shared by write-ahead logs and metadata files.
+//!
+//! A frame is `len(u32 BE) ‖ crc(u32 BE) ‖ payload`, where `len` is the
+//! payload length and `crc` is the CRC-32 of `len ‖ payload`.  Covering the
+//! length field by the checksum means a bit-flip in `len` is caught even when
+//! the corrupted length still fits inside the file.
+//!
+//! [`scan`] is the single reader: it walks a byte buffer frame by frame and
+//! stops at the first frame that is torn (runs past the end of the buffer) or
+//! corrupt (checksum mismatch).  Everything before the stop point is the
+//! *committed prefix*; everything after it is unreachable by construction —
+//! once one frame is untrustworthy, so are all boundaries behind it, which is
+//! exactly the "truncate, never resurrect" rule the recovery tests pin down.
+
+/// Bytes of frame overhead in front of every payload.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Why a scan stopped before the end of the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameDefect {
+    /// The buffer ends inside a frame header or payload (torn write).
+    Torn,
+    /// The frame's checksum does not match its contents (corruption).
+    CrcMismatch,
+}
+
+/// The result of scanning a buffer for frames.
+#[derive(Debug)]
+pub struct FrameScan {
+    /// The payloads of every intact frame, in order.
+    pub frames: Vec<Vec<u8>>,
+    /// Length of the valid prefix in bytes — the boundary after the last
+    /// intact frame.  Recovery truncates the file here.
+    pub valid_len: u64,
+    /// Why the scan stopped, if it stopped before the end of the buffer.
+    pub defect: Option<FrameDefect>,
+}
+
+/// Appends one frame wrapping `payload` onto `out`.
+pub fn append_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    let len = (payload.len() as u32).to_be_bytes();
+    let mut crc = crate::crc::Crc32::new();
+    crc.update(&len);
+    crc.update(payload);
+    out.extend_from_slice(&len);
+    out.extend_from_slice(&crc.finish().to_be_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Encodes one frame wrapping `payload`.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    append_frame(&mut out, payload);
+    out
+}
+
+/// Walks `bytes` starting at offset `from`, collecting intact frames and
+/// stopping at the first torn or corrupt one.  Never panics, whatever the
+/// input: every length is validated against the remaining buffer before use.
+pub fn scan(bytes: &[u8], from: u64) -> FrameScan {
+    let mut offset = from as usize;
+    let mut frames = Vec::new();
+    if offset > bytes.len() {
+        // The caller's start offset lies beyond the file (e.g. a snapshot
+        // that references WAL bytes which no longer exist): nothing here is
+        // trustworthy.
+        return FrameScan {
+            frames,
+            valid_len: from,
+            defect: Some(FrameDefect::Torn),
+        };
+    }
+    loop {
+        let remaining = &bytes[offset..];
+        if remaining.is_empty() {
+            return FrameScan {
+                frames,
+                valid_len: offset as u64,
+                defect: None,
+            };
+        }
+        if remaining.len() < FRAME_HEADER_LEN {
+            return FrameScan {
+                frames,
+                valid_len: offset as u64,
+                defect: Some(FrameDefect::Torn),
+            };
+        }
+        let len_bytes: [u8; 4] = remaining[..4].try_into().expect("4 bytes");
+        let payload_len = u32::from_be_bytes(len_bytes) as usize;
+        let stored_crc = u32::from_be_bytes(remaining[4..8].try_into().expect("4 bytes"));
+        if remaining.len() - FRAME_HEADER_LEN < payload_len {
+            return FrameScan {
+                frames,
+                valid_len: offset as u64,
+                defect: Some(FrameDefect::Torn),
+            };
+        }
+        let payload = &remaining[FRAME_HEADER_LEN..FRAME_HEADER_LEN + payload_len];
+        let mut crc = crate::crc::Crc32::new();
+        crc.update(&len_bytes);
+        crc.update(payload);
+        if crc.finish() != stored_crc {
+            return FrameScan {
+                frames,
+                valid_len: offset as u64,
+                defect: Some(FrameDefect::CrcMismatch),
+            };
+        }
+        frames.push(payload.to_vec());
+        offset += FRAME_HEADER_LEN + payload_len;
+    }
+}
+
+/// Convenience check used by single-frame metadata files: the buffer must be
+/// exactly one intact frame.
+pub fn decode_single_frame(bytes: &[u8]) -> Option<Vec<u8>> {
+    let mut result = scan(bytes, 0);
+    if result.defect.is_none() && result.frames.len() == 1 {
+        result.frames.pop()
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_multiple_frames() {
+        let mut buf = Vec::new();
+        let payloads: Vec<Vec<u8>> = vec![vec![], vec![1], vec![2; 300], b"hello".to_vec()];
+        for p in &payloads {
+            append_frame(&mut buf, p);
+        }
+        let scanned = scan(&buf, 0);
+        assert_eq!(scanned.frames, payloads);
+        assert_eq!(scanned.valid_len, buf.len() as u64);
+        assert!(scanned.defect.is_none());
+    }
+
+    #[test]
+    fn truncation_at_every_byte_keeps_the_longest_committed_prefix() {
+        let mut buf = Vec::new();
+        let mut boundaries = vec![0u64];
+        for i in 0..5u8 {
+            append_frame(&mut buf, &vec![i; 10 + i as usize]);
+            boundaries.push(buf.len() as u64);
+        }
+        for cut in 0..=buf.len() {
+            let scanned = scan(&buf[..cut], 0);
+            // The valid prefix is the largest frame boundary ≤ cut.
+            let expected = *boundaries
+                .iter()
+                .filter(|&&b| b <= cut as u64)
+                .max()
+                .unwrap();
+            assert_eq!(scanned.valid_len, expected, "cut {cut}");
+            let expected_frames = boundaries
+                .iter()
+                .filter(|&&b| b != 0 && b <= cut as u64)
+                .count();
+            assert_eq!(scanned.frames.len(), expected_frames, "cut {cut}");
+            assert_eq!(
+                scanned.defect.is_some(),
+                (cut as u64) != expected,
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn any_single_bit_flip_stops_the_scan_at_that_frame() {
+        let mut buf = Vec::new();
+        for i in 0..3u8 {
+            append_frame(&mut buf, &[i; 16]);
+        }
+        let frame_len = buf.len() / 3;
+        for byte in 0..buf.len() {
+            let mut corrupted = buf.clone();
+            corrupted[byte] ^= 0x10;
+            let scanned = scan(&corrupted, 0);
+            let hit_frame = byte / frame_len;
+            assert!(
+                scanned.frames.len() <= hit_frame,
+                "byte {byte}: a frame at or after the corruption was resurrected"
+            );
+            assert!(scanned.defect.is_some(), "byte {byte}");
+            // Frames before the corrupted one always survive.
+            assert_eq!(scanned.frames.len(), hit_frame, "byte {byte}");
+            assert_eq!(
+                scanned.valid_len,
+                (hit_frame * frame_len) as u64,
+                "byte {byte}"
+            );
+        }
+    }
+
+    #[test]
+    fn start_offset_beyond_the_buffer_is_torn_not_a_panic() {
+        let scanned = scan(&[1, 2, 3], 100);
+        assert!(scanned.frames.is_empty());
+        assert_eq!(scanned.defect, Some(FrameDefect::Torn));
+    }
+
+    #[test]
+    fn single_frame_decoding() {
+        let frame = encode_frame(b"meta");
+        assert_eq!(decode_single_frame(&frame).unwrap(), b"meta");
+        assert!(decode_single_frame(&frame[..frame.len() - 1]).is_none());
+        let mut two = frame.clone();
+        append_frame(&mut two, b"extra");
+        assert!(decode_single_frame(&two).is_none());
+    }
+}

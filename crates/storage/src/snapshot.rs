@@ -1,0 +1,222 @@
+//! Generational snapshot files: a full copy of one shard's state, written
+//! atomically, so recovery replays `snapshot + WAL tail` instead of the whole
+//! log.
+//!
+//! A snapshot file is `MAGIC ‖ frame(wal_offset(u64 BE) ‖ payload)` — the
+//! same CRC-framed envelope as the WAL, so one checksum covers the offset and
+//! the entire payload, and any truncation or bit-flip makes the whole file
+//! invalid.  `wal_offset` is the WAL frame boundary the snapshot captures:
+//! replay resumes there.
+//!
+//! Writes go to a temporary file which is fsynced and then renamed over the
+//! final name (with a directory fsync), so a crash mid-write leaves either
+//! the old generation set or the new one — never a half-written file under a
+//! live name.  Each write uses a fresh generation number; [`load_newest`]
+//! walks generations newest-first and skips invalid files, which is what
+//! makes "fall back to the previous snapshot + longer log replay" automatic.
+
+use crate::frame;
+use crate::{codec, StorageError};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every snapshot file.
+const MAGIC: &[u8; 4] = b"TBS1";
+
+/// A decoded snapshot.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The generation number (monotonically increasing per shard).
+    pub gen: u64,
+    /// The WAL boundary this snapshot captures; replay resumes here.
+    pub wal_offset: u64,
+    /// The caller's state encoding.
+    pub payload: Vec<u8>,
+}
+
+/// The path of generation `gen` of the snapshot series `base` in `dir`.
+pub fn snapshot_path(dir: &Path, base: &str, gen: u64) -> PathBuf {
+    dir.join(format!("{base}.{gen:016x}.snap"))
+}
+
+/// Writes one snapshot generation atomically (`tmp` + fsync + rename + dir
+/// fsync).  `sync` may be disabled to match a caller's `Never` fsync policy.
+pub fn write_snapshot(
+    dir: &Path,
+    base: &str,
+    gen: u64,
+    wal_offset: u64,
+    payload: &[u8],
+    sync: bool,
+) -> io::Result<()> {
+    let mut body = Vec::with_capacity(8 + payload.len());
+    codec::put_u64(&mut body, wal_offset);
+    body.extend_from_slice(payload);
+    let mut bytes = Vec::with_capacity(4 + frame::FRAME_HEADER_LEN + body.len());
+    bytes.extend_from_slice(MAGIC);
+    frame::append_frame(&mut bytes, &body);
+
+    let tmp = dir.join(format!("{base}.snap.tmp"));
+    {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        file.write_all(&bytes)?;
+        if sync {
+            file.sync_data()?;
+        }
+    }
+    fs::rename(&tmp, snapshot_path(dir, base, gen))?;
+    if sync {
+        // Make the rename itself durable.
+        File::open(dir)?.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Lists the existing generation numbers of a snapshot series, newest first.
+pub fn list_generations(dir: &Path, base: &str) -> io::Result<Vec<u64>> {
+    let mut gens = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix(base).and_then(|r| r.strip_prefix('.')) else {
+            continue;
+        };
+        let Some(hex) = rest.strip_suffix(".snap") else {
+            continue;
+        };
+        if let Ok(gen) = u64::from_str_radix(hex, 16) {
+            gens.push(gen);
+        }
+    }
+    gens.sort_unstable_by(|a, b| b.cmp(a));
+    Ok(gens)
+}
+
+/// Loads and validates one snapshot generation.
+pub fn load_snapshot(dir: &Path, base: &str, gen: u64) -> Result<Snapshot, StorageError> {
+    let mut bytes = Vec::new();
+    File::open(snapshot_path(dir, base, gen))?.read_to_end(&mut bytes)?;
+    if bytes.len() < 4 || &bytes[..4] != MAGIC {
+        return Err(StorageError::Corrupt("snapshot magic mismatch"));
+    }
+    let body = frame::decode_single_frame(&bytes[4..]).ok_or(StorageError::Corrupt(
+        "snapshot frame torn or checksum mismatch",
+    ))?;
+    let mut reader = codec::Reader::new(&body);
+    let wal_offset = reader.u64()?;
+    let payload = body[8..].to_vec();
+    Ok(Snapshot {
+        gen,
+        wal_offset,
+        payload,
+    })
+}
+
+/// Loads the newest *valid* snapshot of a series, skipping corrupt or torn
+/// generations (the fallback path).  Returns `None` when no generation is
+/// loadable — the caller then replays the full WAL.  Also returns how many
+/// newer generations had to be skipped, so callers can surface the fallback.
+pub fn load_newest(dir: &Path, base: &str) -> io::Result<(Option<Snapshot>, usize)> {
+    let mut skipped = 0;
+    for gen in list_generations(dir, base)? {
+        match load_snapshot(dir, base, gen) {
+            Ok(snapshot) => return Ok((Some(snapshot), skipped)),
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok((None, skipped))
+}
+
+/// Removes all but the newest `keep` generations of a series.  Keeping two
+/// generations means the newest can be lost to corruption without losing the
+/// snapshot optimisation entirely, while the WAL (which is never trimmed
+/// below the *oldest kept* snapshot's offset) still covers full replay.
+pub fn prune(dir: &Path, base: &str, keep: usize) -> io::Result<()> {
+    for gen in list_generations(dir, base)?.into_iter().skip(keep) {
+        fs::remove_file(snapshot_path(dir, base, gen))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_dir;
+
+    #[test]
+    fn write_load_round_trip_and_generations() {
+        let dir = test_dir("snap-round-trip");
+        write_snapshot(dir.path(), "shard-00", 1, 100, b"state-1", true).unwrap();
+        write_snapshot(dir.path(), "shard-00", 2, 250, b"state-2", false).unwrap();
+        // A second series in the same directory does not interfere.
+        write_snapshot(dir.path(), "shard-01", 9, 7, b"other", false).unwrap();
+
+        assert_eq!(
+            list_generations(dir.path(), "shard-00").unwrap(),
+            vec![2, 1]
+        );
+        let (newest, skipped) = load_newest(dir.path(), "shard-00").unwrap();
+        let newest = newest.unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!((newest.gen, newest.wal_offset), (2, 250));
+        assert_eq!(newest.payload, b"state-2");
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous() {
+        let dir = test_dir("snap-fallback");
+        write_snapshot(dir.path(), "s", 1, 10, b"old", true).unwrap();
+        write_snapshot(dir.path(), "s", 2, 20, b"new", true).unwrap();
+        // Flip one payload bit of the newest generation.
+        let path = snapshot_path(dir.path(), "s", 2);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert!(load_snapshot(dir.path(), "s", 2).is_err());
+        let (newest, skipped) = load_newest(dir.path(), "s").unwrap();
+        let newest = newest.unwrap();
+        assert_eq!(skipped, 1);
+        assert_eq!((newest.gen, newest.wal_offset), (1, 10));
+        assert_eq!(newest.payload, b"old");
+
+        // Truncating the older one too leaves nothing valid.
+        let path = snapshot_path(dir.path(), "s", 1);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let (none, skipped) = load_newest(dir.path(), "s").unwrap();
+        assert!(none.is_none());
+        assert_eq!(skipped, 2);
+    }
+
+    #[test]
+    fn prune_keeps_the_newest_generations() {
+        let dir = test_dir("snap-prune");
+        for gen in 1..=5 {
+            write_snapshot(dir.path(), "s", gen, gen * 10, b"x", false).unwrap();
+        }
+        prune(dir.path(), "s", 2).unwrap();
+        assert_eq!(list_generations(dir.path(), "s").unwrap(), vec![5, 4]);
+        // Pruning an empty tail is a no-op.
+        prune(dir.path(), "s", 2).unwrap();
+        assert_eq!(list_generations(dir.path(), "s").unwrap(), vec![5, 4]);
+    }
+
+    #[test]
+    fn magic_and_short_files_are_rejected() {
+        let dir = test_dir("snap-magic");
+        std::fs::write(snapshot_path(dir.path(), "s", 1), b"BAD").unwrap();
+        assert!(load_snapshot(dir.path(), "s", 1).is_err());
+        std::fs::write(snapshot_path(dir.path(), "s", 2), b"NOPE-not-a-snapshot").unwrap();
+        assert!(load_snapshot(dir.path(), "s", 2).is_err());
+        let (none, skipped) = load_newest(dir.path(), "s").unwrap();
+        assert!(none.is_none());
+        assert_eq!(skipped, 2);
+    }
+}

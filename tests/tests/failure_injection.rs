@@ -1,5 +1,6 @@
 //! Failure-injection tests: corrupted ciphertexts, truncated serializations,
-//! wrong keys, cross-patient confusion, revoked grants.
+//! wrong keys, cross-patient confusion, revoked grants, and corrupted or
+//! torn snapshot files of the durable store.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -10,9 +11,11 @@ use tibpre_core::{
 use tibpre_ibe::{bf::IbeCiphertext, Identity, Kgc};
 use tibpre_pairing::{G1Affine, Gt, PairingParams};
 use tibpre_phr::{
-    category::Category, patient::Patient, provider::HealthcareProvider,
-    proxy_service::ProxyService, record::HealthRecord, store::EncryptedPhrStore, PhrError,
+    category::Category, durable::Durability, patient::Patient, provider::HealthcareProvider,
+    proxy_service::ProxyService, record::HealthRecord, store::EncryptedPhrStore, FsyncPolicy,
+    PhrError,
 };
+use tibpre_storage::{snapshot, TempDir};
 
 fn setup() -> (Arc<PairingParams>, Kgc, Kgc, StdRng) {
     let mut rng = StdRng::seed_from_u64(0xFA11);
@@ -177,6 +180,124 @@ fn g1_deserialization_validates_the_curve_equation() {
     bytes[len - 1] ^= 0x01;
     bytes[len - 2] ^= 0x80;
     assert!(G1Affine::from_bytes(params.fp_ctx(), &bytes).is_err());
+}
+
+/// A populated single-shard durable store with two snapshot generations on
+/// disk, plus everything needed to reopen and check it.
+struct SnapshotFixture {
+    _tmp: TempDir,
+    dir: std::path::PathBuf,
+    params: Arc<PairingParams>,
+    alice: Identity,
+    titles: Vec<String>,
+}
+
+impl SnapshotFixture {
+    fn new(tag: &str, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = PairingParams::insecure_toy();
+        let kgc = Kgc::setup(params.clone(), "kgc", &mut rng);
+        let delegator = Delegator::new(
+            kgc.public_params().clone(),
+            kgc.extract(&Identity::new("alice")),
+        );
+        let ciphertext = delegator.encrypt_bytes(b"payload", b"", &TypeTag::new("t"), &mut rng);
+        let tmp = TempDir::new(tag).unwrap();
+        let dir = tmp.path().join("db");
+        let alice = Identity::new("alice");
+        let titles: Vec<String> = (0..10).map(|i| format!("r{i}")).collect();
+        {
+            let store = EncryptedPhrStore::open(&dir, Self::durability(&params)).unwrap();
+            for title in &titles {
+                store.put(&alice, &Category::LabResults, title, ciphertext.clone());
+            }
+        }
+        // Cadence 4 over 10 puts leaves generations 1 and 2 on disk.
+        assert_eq!(
+            snapshot::list_generations(&dir, "shard-00").unwrap(),
+            vec![2, 1]
+        );
+        SnapshotFixture {
+            _tmp: tmp,
+            dir,
+            params,
+            alice,
+            titles,
+        }
+    }
+
+    fn durability(params: &Arc<PairingParams>) -> Durability {
+        Durability::new(params.clone())
+            .shards(1)
+            .fsync(FsyncPolicy::Never)
+            .snapshot_every(4)
+    }
+
+    /// Reopens the store and asserts nothing was lost: a damaged snapshot
+    /// must only cost recovery time (longer log replay), never data.
+    fn assert_fully_recovered(&self) -> EncryptedPhrStore {
+        let store = EncryptedPhrStore::open(&self.dir, Self::durability(&self.params)).unwrap();
+        assert_eq!(store.record_count(), self.titles.len());
+        let ids = store.list_for_patient(&self.alice);
+        assert_eq!(ids.len(), self.titles.len());
+        let got: Vec<String> = ids.iter().map(|&id| store.get(id).unwrap().title).collect();
+        assert_eq!(got, self.titles);
+        assert_eq!(store.audit_snapshot().len(), self.titles.len());
+        store
+    }
+}
+
+#[test]
+fn bit_flipped_snapshot_falls_back_to_previous_generation() {
+    let f = SnapshotFixture::new("snap-bitflip", 0xB17);
+    // Flip one bit inside the newest snapshot's payload.
+    let newest = snapshot::snapshot_path(&f.dir, "shard-00", 2);
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let target = bytes.len() / 2;
+    bytes[target] ^= 0x08;
+    std::fs::write(&newest, &bytes).unwrap();
+    assert!(snapshot::load_snapshot(&f.dir, "shard-00", 2).is_err());
+    assert!(snapshot::load_snapshot(&f.dir, "shard-00", 1).is_ok());
+
+    // Recovery silently falls back to generation 1 + the longer WAL tail.
+    let store = f.assert_fully_recovered();
+
+    // The next snapshot supersedes the corrupt generation with valid data.
+    store.force_snapshot().unwrap();
+    drop(store);
+    let snap = snapshot::load_snapshot(&f.dir, "shard-00", 2).unwrap();
+    assert_eq!(snap.gen, 2);
+    f.assert_fully_recovered();
+}
+
+#[test]
+fn mid_frame_truncated_snapshot_falls_back_to_previous_generation() {
+    let f = SnapshotFixture::new("snap-torn", 0x70A);
+    // Tear the newest snapshot mid-frame (half the file is gone).
+    let newest = snapshot::snapshot_path(&f.dir, "shard-00", 2);
+    let bytes = std::fs::read(&newest).unwrap();
+    std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(snapshot::load_snapshot(&f.dir, "shard-00", 2).is_err());
+
+    f.assert_fully_recovered();
+}
+
+#[test]
+fn all_snapshots_corrupt_falls_back_to_full_log_replay() {
+    let f = SnapshotFixture::new("snap-all-bad", 0xA11);
+    // Damage BOTH generations differently: one bit-flip, one truncation.
+    let gen2 = snapshot::snapshot_path(&f.dir, "shard-00", 2);
+    let mut bytes = std::fs::read(&gen2).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&gen2, &bytes).unwrap();
+    let gen1 = snapshot::snapshot_path(&f.dir, "shard-00", 1);
+    let bytes = std::fs::read(&gen1).unwrap();
+    std::fs::write(&gen1, &bytes[..7.min(bytes.len())]).unwrap();
+
+    // The WAL is never trimmed below the oldest kept snapshot, so a full
+    // replay from offset 0 still reconstructs everything.
+    f.assert_fully_recovered();
 }
 
 #[test]

@@ -261,6 +261,112 @@ fn proxy_compromise_is_contained_to_delegated_categories() {
 }
 
 #[test]
+fn simulate_compromise_edge_cases() {
+    // The containment claim's boundary conditions: no keys, an empty
+    // delegated category, an unknown patient, and a revoked grant must all
+    // expose exactly nothing.
+    let mut c = clinic(17);
+    let mut alice = Patient::new("alice", &c.patient_kgc);
+    add_record(&mut c, &alice, Category::IllnessHistory, "angio", "2007");
+    let pp = c.provider_kgc.public_params().clone();
+    let mut proxy = ProxyService::new("proxy", c.store.clone());
+    let dietician = Identity::new("dietician");
+
+    // A key-less proxy exposes nothing, whoever the attacker colludes with.
+    assert!(proxy
+        .simulate_compromise(alice.identity(), &dietician)
+        .is_empty());
+
+    // A grant for a category the patient has NO records in: still nothing.
+    alice
+        .grant_access(
+            Category::FoodStatistics,
+            &dietician,
+            &pp,
+            &mut proxy,
+            &mut c.rng,
+        )
+        .unwrap();
+    assert!(proxy
+        .simulate_compromise(alice.identity(), &dietician)
+        .is_empty());
+
+    // Records arrive in the delegated category: the breach is exactly those.
+    let id = add_record(
+        &mut c,
+        &alice,
+        Category::FoodStatistics,
+        "diary",
+        "low sodium",
+    );
+    assert_eq!(
+        proxy.simulate_compromise(alice.identity(), &dietician),
+        vec![id]
+    );
+    // An unknown patient yields nothing, delegated key or not.
+    assert!(proxy
+        .simulate_compromise(&Identity::new("nobody"), &dietician)
+        .is_empty());
+
+    // After revocation the same collusion exposes nothing again — the
+    // revoked-rekey edge: the key is gone from the proxy, not merely unused.
+    alice
+        .revoke_access(&Category::FoodStatistics, &dietician, &mut proxy)
+        .unwrap();
+    assert_eq!(proxy.key_count(), 0);
+    assert!(proxy
+        .simulate_compromise(alice.identity(), &dietician)
+        .is_empty());
+}
+
+#[test]
+fn emergency_disclosure_edge_cases() {
+    use tibpre_phr::emergency::{emergency_disclosure, provision_travel_access};
+
+    let mut c = clinic(18);
+    let mut alice = Patient::new("alice", &c.patient_kgc);
+    let team_id = Identity::new("er-team");
+    let team = HealthcareProvider::new(c.provider_kgc.extract(&team_id));
+    let pp = c.provider_kgc.public_params().clone();
+    let mut proxy = ProxyService::new("er-proxy", c.store.clone());
+
+    // Empty category: provisioning succeeds, but a disclosure against zero
+    // emergency records reports RecordNotFound (records in *other*
+    // categories must not leak into the answer).
+    add_record(&mut c, &alice, Category::IllnessHistory, "angio", "2007");
+    provision_travel_access(&mut alice, &team_id, &pp, &mut proxy, &mut c.rng).unwrap();
+    assert!(matches!(
+        emergency_disclosure(&proxy, alice.identity(), &team),
+        Err(PhrError::RecordNotFound)
+    ));
+
+    // With emergency records present the disclosure works...
+    add_record(&mut c, &alice, Category::Emergency, "blood group", "O-");
+    let disclosed = emergency_disclosure(&proxy, alice.identity(), &team).unwrap();
+    assert_eq!(disclosed.len(), 1);
+    assert_eq!(disclosed[0].body, b"O-".to_vec());
+
+    // ...and a revoked rekey turns it back into AccessDenied, even though
+    // the records are still in the store.
+    alice
+        .revoke_access(&Category::Emergency, &team_id, &mut proxy)
+        .unwrap();
+    assert!(matches!(
+        emergency_disclosure(&proxy, alice.identity(), &team),
+        Err(PhrError::AccessDenied { .. })
+    ));
+    // Re-provisioning restores access (grant → revoke → grant is a normal
+    // travel pattern, not a conflict).
+    provision_travel_access(&mut alice, &team_id, &pp, &mut proxy, &mut c.rng).unwrap();
+    assert_eq!(
+        emergency_disclosure(&proxy, alice.identity(), &team)
+            .unwrap()
+            .len(),
+        1
+    );
+}
+
+#[test]
 fn large_record_bodies_survive_the_full_path() {
     let mut c = clinic(4);
     let mut alice = Patient::new("alice", &c.patient_kgc);

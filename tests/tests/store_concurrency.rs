@@ -20,8 +20,34 @@ use tibpre_ibe::{Identity, Kgc};
 use tibpre_pairing::PairingParams;
 use tibpre_phr::audit::AuditEvent;
 use tibpre_phr::category::Category;
+use tibpre_phr::durable::Durability;
 use tibpre_phr::store::EncryptedPhrStore;
-use tibpre_phr::PhrError;
+use tibpre_phr::{FsyncPolicy, PhrError};
+use tibpre_storage::TempDir;
+
+/// The store under test: in-memory by default; a durable store in a fresh
+/// tempdir when `TIBPRE_DURABLE=1` (the CI recovery job sets it), so the
+/// same interleaving schedules also exercise the per-shard WAL handles and
+/// the snapshot path under write contention.
+fn store_under_test(shards: usize) -> (Arc<EncryptedPhrStore>, Option<TempDir>) {
+    if std::env::var("TIBPRE_DURABLE").as_deref() == Ok("1") {
+        let tmp = TempDir::new("store-concurrency").unwrap();
+        let store = EncryptedPhrStore::open(tmp.path().join("db"), durable_config(shards))
+            .expect("open durable store");
+        (Arc::new(store), Some(tmp))
+    } else {
+        (Arc::new(EncryptedPhrStore::with_shards("db", shards)), None)
+    }
+}
+
+/// Durable configuration for the concurrency schedules: no fsync (speed) and
+/// an aggressive snapshot cadence so snapshots happen *during* the race.
+fn durable_config(shards: usize) -> Durability {
+    Durability::new(PairingParams::insecure_toy())
+        .shards(shards)
+        .fsync(FsyncPolicy::Never)
+        .snapshot_every(16)
+}
 
 fn sample_ciphertext(seed: u64) -> HybridCiphertext {
     let params = PairingParams::insecure_toy();
@@ -99,7 +125,7 @@ proptest! {
         delete_mask in any::<u64>(),
         shards in 1usize..9,
     ) {
-        let store = Arc::new(EncryptedPhrStore::with_shards("db", shards));
+        let (store, tmp) = store_under_test(shards);
         let ciphertext = sample_ciphertext(0xC0);
         let outcomes: Vec<(usize, usize)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads as u64)
@@ -129,6 +155,17 @@ proptest! {
         for pair in audit.windows(2) {
             prop_assert!(pair[0].at() < pair[1].at());
         }
+
+        // Durable mode: a clean reopen recovers exactly what the racing
+        // writers committed.
+        if let Some(tmp) = tmp {
+            let count = store.record_count();
+            drop(store);
+            let reopened = EncryptedPhrStore::open(tmp.path().join("db"), durable_config(shards))
+                .expect("reopen durable store");
+            prop_assert_eq!(reopened.record_count(), count);
+            prop_assert_eq!(reopened.audit_snapshot(), audit);
+        }
     }
 
     /// Readers racing writers: `get` / `list_for_patient` / `record_count`
@@ -139,7 +176,7 @@ proptest! {
         puts in 4usize..24,
         shards in 1usize..9,
     ) {
-        let store = Arc::new(EncryptedPhrStore::with_shards("db", shards));
+        let (store, _tmp) = store_under_test(shards);
         let ciphertext = sample_ciphertext(0xC1);
         let writer_patient = Identity::new("patient-w");
         std::thread::scope(|scope| {
