@@ -1,0 +1,143 @@
+//! E11: the unified wire codec — encode/decode throughput per wire version
+//! and the v0→v1 serialized-size regression gate.
+//!
+//! Two questions this experiment answers:
+//!
+//! 1. **How much smaller is v1?**  The compressed encodings must keep the
+//!    group-element portion of hybrid ciphertexts and re-encryption keys at
+//!    least 35% below v0 (the PR's acceptance bar); the assertion runs
+//!    before any timing, so a size regression fails the bench smoke in CI,
+//!    not just a human reading tables.
+//! 2. **What does compression cost?**  v1 decoding pays a square root per
+//!    compressed element (point decompression and torus decompression);
+//!    the throughput rows make that trade-off visible next to the size
+//!    win.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tibpre_bench::{bench_rng, sweep_levels, Fixture};
+use tibpre_core::{HybridCiphertext, ReEncryptionKey, TypeTag};
+use tibpre_pairing::DecodeCtx;
+use tibpre_wire::{WireDecode, WireEncode, WireVersion};
+
+/// The acceptance bar: v1's group-element portion is at least this much
+/// smaller than v0's.
+const MIN_GROUP_SAVING: f64 = 0.35;
+
+fn wire(c: &mut Criterion) {
+    println!("\nE11 wire-format sizes (bytes) and savings per security level");
+    println!(
+        "{:<22} {:>10} {:>10} {:>8} {:>10} {:>10} {:>8}",
+        "level", "hybrid v0", "hybrid v1", "save", "rekey v0", "rekey v1", "save"
+    );
+
+    let mut group = c.benchmark_group("e11_wire");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    for level in sweep_levels() {
+        let fixture = Fixture::new(level);
+        let mut rng = bench_rng();
+        let t = TypeTag::new("illness-history");
+        let ctx = DecodeCtx::from(&fixture.params);
+        let payload = vec![0x5Au8; 1024];
+        let hybrid = fixture
+            .delegator
+            .encrypt_bytes(&payload, b"aad", &t, &mut rng);
+        let rekey = fixture
+            .delegator
+            .make_reencryption_key(&fixture.delegatee_id, fixture.kgc2_public(), &t, &mut rng)
+            .unwrap();
+
+        let hybrid_v0 = hybrid.to_wire_bytes_versioned(WireVersion::V0);
+        let hybrid_v1 = hybrid.to_wire_bytes_versioned(WireVersion::V1);
+        let rekey_v0 = rekey.to_wire_bytes_versioned(WireVersion::V0);
+        let rekey_v1 = rekey.to_wire_bytes_versioned(WireVersion::V1);
+
+        // ---- Size regression gate on the group-element portion ----
+        // The hybrid header carries one G1 point and one Gt element; the
+        // re-encryption key carries two G1 points and one Gt element (the
+        // rk₂ point plus the embedded IBE ciphertext).  Everything else in
+        // those encodings (AEAD body, nonces, strings, length prefixes) is
+        // version-independent, so the measured whole-object delta must
+        // equal the group-portion delta exactly — and that portion must
+        // shrink by at least `MIN_GROUP_SAVING`.
+        let params = &fixture.params;
+        let saving = |v0: usize, v1: usize| 1.0 - v1 as f64 / v0 as f64;
+        let hybrid_group_v0 = params.g1_byte_len() + params.gt_byte_len();
+        let hybrid_group_v1 = params.g1_compressed_byte_len() + params.gt_compressed_byte_len();
+        let rekey_group_v0 = 2 * params.g1_byte_len() + params.gt_byte_len();
+        let rekey_group_v1 = 2 * params.g1_compressed_byte_len() + params.gt_compressed_byte_len();
+        assert_eq!(
+            hybrid_v0.len() - hybrid_v1.len(),
+            hybrid_group_v0 - hybrid_group_v1,
+            "{}: hybrid size delta is not explained by group-element compression",
+            level.label()
+        );
+        assert_eq!(
+            rekey_v0.len() - rekey_v1.len(),
+            rekey_group_v0 - rekey_group_v1,
+            "{}: rekey size delta is not explained by group-element compression",
+            level.label()
+        );
+        let hybrid_saving = saving(hybrid_group_v0, hybrid_group_v1);
+        let rekey_saving = saving(rekey_group_v0, rekey_group_v1);
+        assert!(
+            hybrid_saving >= MIN_GROUP_SAVING,
+            "{}: hybrid group portion shrank only {:.0}% (v0 {hybrid_group_v0} B, v1 {hybrid_group_v1} B)",
+            level.label(),
+            100.0 * hybrid_saving
+        );
+        assert!(
+            rekey_saving >= MIN_GROUP_SAVING,
+            "{}: rekey group portion shrank only {:.0}% (v0 {rekey_group_v0} B, v1 {rekey_group_v1} B)",
+            level.label(),
+            100.0 * rekey_saving
+        );
+        // Both versions still decode to the same objects.
+        assert_eq!(
+            HybridCiphertext::from_wire_bytes(&hybrid_v0, &ctx).unwrap(),
+            HybridCiphertext::from_wire_bytes(&hybrid_v1, &ctx).unwrap()
+        );
+        assert_eq!(
+            ReEncryptionKey::from_wire_bytes(&rekey_v0, &ctx).unwrap(),
+            ReEncryptionKey::from_wire_bytes(&rekey_v1, &ctx).unwrap()
+        );
+
+        println!(
+            "{:<22} {:>10} {:>10} {:>7.0}% {:>10} {:>10} {:>7.0}%",
+            level.label(),
+            hybrid_v0.len(),
+            hybrid_v1.len(),
+            100.0 * hybrid_saving,
+            rekey_v0.len(),
+            rekey_v1.len(),
+            100.0 * rekey_saving,
+        );
+
+        // ---- Throughput: encode and decode, per version ----
+        let label = level.label();
+        for (version, tag) in [(WireVersion::V0, "v0"), (WireVersion::V1, "v1")] {
+            group.bench_function(
+                BenchmarkId::new(format!("hybrid_encode_{tag}"), label),
+                |b| b.iter(|| hybrid.to_wire_bytes_versioned(version)),
+            );
+            let bytes = hybrid.to_wire_bytes_versioned(version);
+            group.bench_function(
+                BenchmarkId::new(format!("hybrid_decode_{tag}"), label),
+                |b| b.iter(|| HybridCiphertext::from_wire_bytes(&bytes, &ctx).unwrap()),
+            );
+            let kbytes = rekey.to_wire_bytes_versioned(version);
+            group.bench_function(
+                BenchmarkId::new(format!("rekey_decode_{tag}"), label),
+                |b| b.iter(|| ReEncryptionKey::from_wire_bytes(&kbytes, &ctx).unwrap()),
+            );
+        }
+    }
+    group.finish();
+    println!();
+}
+
+criterion_group!(benches, wire);
+criterion_main!(benches);

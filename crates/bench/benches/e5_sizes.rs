@@ -14,22 +14,23 @@ use tibpre_pairing::PairingParams;
 
 fn sizes(c: &mut Criterion) {
     // ---- The size table itself (pure accounting, printed once) ----
-    println!("\nE5 serialized sizes per security level (bytes)");
+    println!("\nE5 serialized sizes per security level (bytes, v0 → v1)");
     println!(
-        "{:<22} {:>10} {:>10} {:>12} {:>14} {:>16}",
+        "{:<22} {:>14} {:>14} {:>12} {:>16} {:>16}",
         "level", "G elem", "G1 elem", "private key", "typed ctext", "re-enc key"
     );
     for level in sweep_levels() {
         let params = PairingParams::cached(level);
         let report = SizeReport::for_params(&params);
+        let pair = |a: usize, b: usize| format!("{a}→{b}");
         println!(
-            "{:<22} {:>10} {:>10} {:>12} {:>14} {:>16}",
+            "{:<22} {:>14} {:>14} {:>12} {:>16} {:>16}",
             level.label(),
-            report.g1_element,
-            report.gt_element,
+            pair(report.v0.g1_element, report.v1.g1_element),
+            pair(report.v0.gt_element, report.v1.gt_element),
             report.private_key,
-            report.typed_ciphertext,
-            report.reencryption_key
+            pair(report.v0.typed_ciphertext, report.v1.typed_ciphertext),
+            pair(report.v0.reencryption_key, report.v1.reencryption_key),
         );
     }
     println!();

@@ -7,7 +7,10 @@ use crate::{PreError, Result, H2_DOMAIN};
 use rand::{CryptoRng, RngCore};
 use std::sync::{Arc, OnceLock};
 use tibpre_ibe::{bf, IbePrivateKey, IbePublicParams, Identity, H1_DOMAIN};
-use tibpre_pairing::{G1Affine, G1Precomp, Gt, PairingParams, Scalar};
+use tibpre_pairing::{
+    wire as pairing_wire, DecodeCtx, G1Affine, G1Precomp, Gt, PairingParams, Scalar,
+};
+use tibpre_wire::{DecodeError, Reader, WireDecode, WireEncode, WireVersion, Writer};
 
 /// A typed ciphertext `(c1, c2, c3) = (g^r, m · ê(pk_id, pk₁)^{r·H2(sk‖t)}, t)`.
 ///
@@ -24,49 +27,60 @@ pub struct TypedCiphertext {
 }
 
 impl TypedCiphertext {
-    /// Serializes as `c1 || c2 || type_len(u32 BE) || type`.
+    /// Serializes under the default versioned envelope
+    /// (`c1 ‖ c2 ‖ type_len(u32 BE) ‖ type`, group elements compressed in
+    /// `v1`).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = self.c1.to_bytes();
-        out.extend(self.c2.to_bytes());
-        out.extend((self.type_tag.as_bytes().len() as u32).to_be_bytes());
-        out.extend(self.type_tag.as_bytes());
-        out
+        self.to_wire_bytes()
     }
 
-    /// Parses the serialization produced by [`Self::to_bytes`].
+    /// Parses the serialization produced by [`Self::to_bytes`], rejecting
+    /// unknown versions and trailing bytes.
     pub fn from_bytes(params: &Arc<PairingParams>, bytes: &[u8]) -> Result<Self> {
-        let g1_len = params.g1_byte_len();
-        let gt_len = params.gt_byte_len();
-        let fixed = g1_len + gt_len + 4;
-        if bytes.len() < fixed {
-            return Err(PreError::InvalidEncoding("typed ciphertext too short"));
-        }
-        let c1 = G1Affine::from_bytes(params.fp_ctx(), &bytes[..g1_len])?;
-        if !c1.is_in_subgroup(params.q()) {
-            return Err(PreError::InvalidEncoding(
-                "c1 is not in the prime-order subgroup",
-            ));
-        }
-        let c2 = tibpre_pairing::Gt::from_bytes_unchecked(
-            params.fp_ctx(),
-            &bytes[g1_len..g1_len + gt_len],
-        )?;
-        let mut len_bytes = [0u8; 4];
-        len_bytes.copy_from_slice(&bytes[g1_len + gt_len..fixed]);
-        let type_len = u32::from_be_bytes(len_bytes) as usize;
-        if bytes.len() != fixed + type_len {
-            return Err(PreError::InvalidEncoding("type-tag length mismatch"));
-        }
-        Ok(TypedCiphertext {
-            c1,
-            c2,
-            type_tag: TypeTag::from_bytes(bytes[fixed..].to_vec()),
-        })
+        Ok(Self::from_wire_bytes(bytes, &DecodeCtx::from(params))?)
     }
 
-    /// Serialized length for the given parameters and type-tag length.
+    /// Bare (envelope-less) serialized length under the given wire version.
+    pub fn serialized_len_versioned(
+        params: &PairingParams,
+        type_len: usize,
+        version: WireVersion,
+    ) -> usize {
+        match version {
+            WireVersion::V0 => params.g1_byte_len() + params.gt_byte_len() + 4 + type_len,
+            WireVersion::V1 => {
+                params.g1_compressed_byte_len() + params.gt_compressed_byte_len() + 4 + type_len
+            }
+        }
+    }
+
+    /// Total standalone serialized length (envelope byte included) under the
+    /// default wire version.
     pub fn serialized_len(params: &PairingParams, type_len: usize) -> usize {
-        params.g1_byte_len() + params.gt_byte_len() + 4 + type_len
+        1 + Self::serialized_len_versioned(params, type_len, WireVersion::DEFAULT)
+    }
+}
+
+impl WireEncode for TypedCiphertext {
+    fn encode(&self, w: &mut Writer) {
+        self.c1.encode(w);
+        self.c2.encode(w);
+        w.put_bytes(self.type_tag.as_bytes());
+    }
+}
+
+impl WireDecode for TypedCiphertext {
+    type Ctx = DecodeCtx;
+
+    /// Validates `c1` against the curve and the prime-order subgroup; `c2`
+    /// is range/torus-validated only (the mask never needs the full
+    /// subgroup check — see the pairing crate's wire docs).
+    fn decode(r: &mut Reader<'_>, ctx: &DecodeCtx) -> core::result::Result<Self, DecodeError> {
+        let c1 =
+            pairing_wire::decode_g1_in_subgroup(r, ctx, "c1 outside the prime-order subgroup")?;
+        let c2 = Gt::decode(r, ctx.fp_ctx())?;
+        let type_tag = TypeTag::from_bytes(r.bytes()?.to_vec());
+        Ok(TypedCiphertext { c1, c2, type_tag })
     }
 }
 

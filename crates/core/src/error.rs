@@ -4,12 +4,15 @@ use core::fmt;
 use tibpre_ibe::IbeError;
 use tibpre_pairing::PairingError;
 use tibpre_symmetric::SymmetricError;
+use tibpre_wire::DecodeError;
 
 /// Errors produced by the TIB-PRE scheme and its baselines.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PreError {
     /// An error bubbled up from the pairing substrate.
     Pairing(PairingError),
+    /// A wire decode failed (truncation, bad tag, invalid group element).
+    Decode(DecodeError),
     /// An error bubbled up from the IBE layer.
     Ibe(IbeError),
     /// An error bubbled up from the symmetric (DEM) layer.
@@ -35,6 +38,7 @@ impl fmt::Display for PreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PreError::Pairing(e) => write!(f, "pairing error: {e}"),
+            PreError::Decode(e) => write!(f, "decode error: {e}"),
             PreError::Ibe(e) => write!(f, "IBE error: {e}"),
             PreError::Symmetric(e) => write!(f, "symmetric-cipher error: {e}"),
             PreError::TypeMismatch {
@@ -65,6 +69,12 @@ impl std::error::Error for PreError {}
 impl From<PairingError> for PreError {
     fn from(e: PairingError) -> Self {
         PreError::Pairing(e)
+    }
+}
+
+impl From<DecodeError> for PreError {
+    fn from(e: DecodeError) -> Self {
+        PreError::Decode(e)
     }
 }
 

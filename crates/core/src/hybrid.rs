@@ -18,11 +18,12 @@ use crate::delegator::{Delegator, TypedCiphertext};
 use crate::proxy::{re_encrypt, ReEncryptedCiphertext};
 use crate::rekey::ReEncryptionKey;
 use crate::types::TypeTag;
-use crate::{PreError, Result};
+use crate::Result;
 use rand::{CryptoRng, RngCore};
 use std::sync::Arc;
-use tibpre_pairing::{Gt, PairingParams};
+use tibpre_pairing::{DecodeCtx, Gt, PairingParams};
 use tibpre_symmetric::{AeadCiphertext, AeadKey};
+use tibpre_wire::{DecodeError, Reader, WireDecode, WireEncode, Writer};
 
 /// Context string binding derived AEAD keys to this construction.
 const KEM_CONTEXT: &str = "tibpre-hybrid-kem-v1";
@@ -59,42 +60,83 @@ impl HybridCiphertext {
         &self.header.type_tag
     }
 
-    /// Total ciphertext size in bytes (header + body) for the size experiments.
+    /// Total serialized size in bytes (envelope + header + body) under the
+    /// default wire version, for the size experiments.
     pub fn serialized_len(&self) -> usize {
-        self.header.to_bytes().len() + self.body.serialized_len()
+        self.to_bytes().len()
     }
 
-    /// Serializes as `header_len(u32 BE) ‖ header ‖ body`.
+    /// Serializes under the default versioned envelope
+    /// (`header_len(u32 BE) ‖ header ‖ body`).
     ///
-    /// The header's own encoding is only self-delimiting given the pairing
-    /// parameters, so an explicit length prefix keeps the hybrid wire format
-    /// parseable field by field; the AEAD body carries its own length field
-    /// and must consume the remainder exactly.  This is the encoding the
-    /// durable PHR store logs and snapshots records with.
+    /// The KEM header is length-prefixed so the hybrid format stays
+    /// parseable field by field; the AEAD body carries its own length
+    /// field.  This is the encoding the durable PHR store logs and
+    /// snapshots records with.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let header = self.header.to_bytes();
-        let mut out = Vec::with_capacity(4 + header.len() + self.body.serialized_len());
-        out.extend((header.len() as u32).to_be_bytes());
-        out.extend(header);
-        out.extend(self.body.to_bytes());
-        out
+        self.to_wire_bytes()
     }
 
-    /// Parses the serialization produced by [`Self::to_bytes`].
+    /// Parses the serialization produced by [`Self::to_bytes`], rejecting
+    /// unknown versions and trailing bytes.
     pub fn from_bytes(params: &Arc<PairingParams>, bytes: &[u8]) -> Result<Self> {
-        if bytes.len() < 4 {
-            return Err(PreError::InvalidEncoding("hybrid ciphertext too short"));
-        }
-        let header_len = u32::from_be_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
-        let rest = &bytes[4..];
-        if rest.len() < header_len {
-            return Err(PreError::InvalidEncoding(
-                "hybrid header length exceeds input",
-            ));
-        }
-        let header = TypedCiphertext::from_bytes(params, &rest[..header_len])?;
-        let body = AeadCiphertext::from_bytes(&rest[header_len..])?;
+        Ok(Self::from_wire_bytes(bytes, &DecodeCtx::from(params))?)
+    }
+}
+
+impl WireEncode for HybridCiphertext {
+    fn encode(&self, w: &mut Writer) {
+        w.put_nested(|w| self.header.encode(w));
+        self.body.encode(w);
+    }
+}
+
+impl WireDecode for HybridCiphertext {
+    type Ctx = DecodeCtx;
+
+    fn decode(r: &mut Reader<'_>, ctx: &DecodeCtx) -> core::result::Result<Self, DecodeError> {
+        // The header is length-prefixed; decode it from its own cursor (at
+        // the container's version) and require it to be consumed exactly.
+        let header_bytes = r.bytes()?;
+        let mut hr = Reader::with_version(header_bytes, r.version());
+        let header = TypedCiphertext::decode(&mut hr, ctx)?;
+        hr.finish()?;
+        let body = AeadCiphertext::decode(r, &())?;
         Ok(HybridCiphertext { header, body })
+    }
+}
+
+impl WireEncode for ReEncryptedHybridCiphertext {
+    fn encode(&self, w: &mut Writer) {
+        w.put_nested(|w| self.header.encode(w));
+        self.body.encode(w);
+    }
+}
+
+impl WireDecode for ReEncryptedHybridCiphertext {
+    type Ctx = DecodeCtx;
+
+    fn decode(r: &mut Reader<'_>, ctx: &DecodeCtx) -> core::result::Result<Self, DecodeError> {
+        let header_bytes = r.bytes()?;
+        let mut hr = Reader::with_version(header_bytes, r.version());
+        let header = ReEncryptedCiphertext::decode(&mut hr, ctx)?;
+        hr.finish()?;
+        let body = AeadCiphertext::decode(r, &())?;
+        Ok(ReEncryptedHybridCiphertext { header, body })
+    }
+}
+
+impl ReEncryptedHybridCiphertext {
+    /// Serializes under the default versioned envelope (re-encrypted KEM
+    /// header, length-prefixed, then the untouched AEAD body).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_wire_bytes()
+    }
+
+    /// Parses the serialization produced by [`Self::to_bytes`], rejecting
+    /// unknown versions and trailing bytes.
+    pub fn from_bytes(params: &Arc<PairingParams>, bytes: &[u8]) -> Result<Self> {
+        Ok(Self::from_wire_bytes(bytes, &DecodeCtx::from(params))?)
     }
 }
 
@@ -307,7 +349,7 @@ mod tests {
             let payload: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
             let ct = f.delegator.encrypt_bytes(&payload, b"aad", &t, &mut f.rng);
             let bytes = ct.to_bytes();
-            assert_eq!(bytes.len(), ct.serialized_len() + 4, "len {len}");
+            assert_eq!(bytes.len(), ct.serialized_len(), "len {len}");
             let parsed = HybridCiphertext::from_bytes(&params, &bytes).unwrap();
             assert_eq!(parsed, ct, "len {len}");
             assert_eq!(parsed.to_bytes(), bytes, "len {len}");
@@ -329,10 +371,11 @@ mod tests {
         let mut longer = bytes.clone();
         longer.push(0);
         assert!(HybridCiphertext::from_bytes(&params, &longer).is_err());
-        // A corrupted header-length field never panics, whatever it claims.
-        for claimed in [0u32, 1, (bytes.len() as u32) - 4, u32::MAX] {
+        // A corrupted header-length field (just after the envelope byte)
+        // never panics, whatever it claims.
+        for claimed in [0u32, 1, (bytes.len() as u32) - 5, u32::MAX] {
             let mut corrupted = bytes.clone();
-            corrupted[..4].copy_from_slice(&claimed.to_be_bytes());
+            corrupted[1..5].copy_from_slice(&claimed.to_be_bytes());
             assert!(HybridCiphertext::from_bytes(&params, &corrupted).is_err());
         }
     }

@@ -7,7 +7,8 @@ use crate::{PreError, Result};
 use std::collections::HashMap;
 use std::sync::Arc;
 use tibpre_ibe::{bf::IbeCiphertext, Identity};
-use tibpre_pairing::{G1Affine, Gt, PairingParams};
+use tibpre_pairing::{wire as pairing_wire, DecodeCtx, G1Affine, Gt, PairingParams};
+use tibpre_wire::{DecodeError, Reader, WireDecode, WireEncode, Writer};
 
 /// A re-encrypted ciphertext `(c1, c2·ê(c1, rk₂), Encrypt2(X, id_j))`.
 ///
@@ -31,61 +32,43 @@ pub struct ReEncryptedCiphertext {
 }
 
 impl ReEncryptedCiphertext {
-    /// Serializes as
-    /// `c1 || c2 || encrypted_x || type_len || type || delegatee_len || delegatee`.
+    /// Serializes under the default versioned envelope:
+    /// `c1 ‖ c2 ‖ encrypted_x ‖ type_len ‖ type ‖ delegatee_len ‖ delegatee`
+    /// (group elements compressed in `v1`).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = self.c1.to_bytes();
-        out.extend(self.c2.to_bytes());
-        out.extend(self.encrypted_x.to_bytes());
-        for field in [self.type_tag.as_bytes(), self.delegatee.as_bytes()] {
-            out.extend((field.len() as u32).to_be_bytes());
-            out.extend(field);
-        }
-        out
+        self.to_wire_bytes()
     }
 
-    /// Parses the serialization produced by [`Self::to_bytes`].
+    /// Parses the serialization produced by [`Self::to_bytes`], rejecting
+    /// unknown versions and trailing bytes.
     pub fn from_bytes(params: &Arc<PairingParams>, bytes: &[u8]) -> Result<Self> {
-        let g1_len = params.g1_byte_len();
-        let gt_len = params.gt_byte_len();
-        let ibe_len = IbeCiphertext::serialized_len(params);
-        let fixed = g1_len + gt_len + ibe_len;
-        if bytes.len() < fixed + 8 {
-            return Err(PreError::InvalidEncoding(
-                "re-encrypted ciphertext too short",
-            ));
-        }
-        let c1 = G1Affine::from_bytes(params.fp_ctx(), &bytes[..g1_len])?;
-        let c2 = Gt::from_bytes_unchecked(params.fp_ctx(), &bytes[g1_len..g1_len + gt_len])?;
-        let encrypted_x = IbeCiphertext::from_bytes(params, &bytes[g1_len + gt_len..fixed])?;
+        Ok(Self::from_wire_bytes(bytes, &DecodeCtx::from(params))?)
+    }
+}
 
-        let mut offset = fixed;
-        let mut fields = Vec::new();
-        for _ in 0..2 {
-            if bytes.len() < offset + 4 {
-                return Err(PreError::InvalidEncoding(
-                    "re-encrypted ciphertext truncated",
-                ));
-            }
-            let mut len_bytes = [0u8; 4];
-            len_bytes.copy_from_slice(&bytes[offset..offset + 4]);
-            let len = u32::from_be_bytes(len_bytes) as usize;
-            offset += 4;
-            if bytes.len() < offset + len {
-                return Err(PreError::InvalidEncoding(
-                    "re-encrypted ciphertext truncated",
-                ));
-            }
-            fields.push(bytes[offset..offset + len].to_vec());
-            offset += len;
-        }
-        if offset != bytes.len() {
-            return Err(PreError::InvalidEncoding(
-                "re-encrypted ciphertext has trailing bytes",
-            ));
-        }
-        let delegatee = Identity::from_bytes(fields.pop().expect("two fields were read"));
-        let type_tag = TypeTag::from_bytes(fields.pop().expect("two fields were read"));
+impl WireEncode for ReEncryptedCiphertext {
+    fn encode(&self, w: &mut Writer) {
+        self.c1.encode(w);
+        self.c2.encode(w);
+        self.encrypted_x.encode(w);
+        w.put_bytes(self.type_tag.as_bytes());
+        w.put_bytes(self.delegatee.as_bytes());
+    }
+}
+
+impl WireDecode for ReEncryptedCiphertext {
+    type Ctx = DecodeCtx;
+
+    /// Validates `c1` against the curve and the prime-order subgroup
+    /// (slightly stricter than the legacy parser, which skipped the
+    /// subgroup check here); `c2` is range/torus-validated only.
+    fn decode(r: &mut Reader<'_>, ctx: &DecodeCtx) -> core::result::Result<Self, DecodeError> {
+        let c1 =
+            pairing_wire::decode_g1_in_subgroup(r, ctx, "c1 outside the prime-order subgroup")?;
+        let c2 = Gt::decode(r, ctx.fp_ctx())?;
+        let encrypted_x = IbeCiphertext::decode(r, ctx)?;
+        let type_tag = TypeTag::from_bytes(r.bytes()?.to_vec());
+        let delegatee = Identity::from_bytes(r.bytes()?.to_vec());
         Ok(ReEncryptedCiphertext {
             c1,
             c2,

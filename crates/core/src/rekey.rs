@@ -1,10 +1,11 @@
 //! Re-encryption keys (`Pextract` output).
 
 use crate::types::TypeTag;
-use crate::{PreError, Result};
+use crate::Result;
 use std::sync::{Arc, OnceLock};
 use tibpre_ibe::{bf::IbeCiphertext, Identity};
-use tibpre_pairing::{G1Affine, PairingParams, PreparedPairing};
+use tibpre_pairing::{wire as pairing_wire, DecodeCtx, G1Affine, PairingParams, PreparedPairing};
+use tibpre_wire::{DecodeError, Reader, WireDecode, WireEncode, WireVersion, Writer};
 
 /// Lazily-built pairing precomputation for one re-encryption key, shared
 /// across clones (a proxy clones keys freely; the Miller-loop table must not
@@ -118,77 +119,78 @@ impl ReEncryptionKey {
         &self.encrypted_x
     }
 
-    /// Serializes the key:
-    /// `del_len || delegator || dee_len || delegatee || type_len || type || rk_point || encrypted_x`.
+    /// Serializes under the default versioned envelope:
+    /// `del_len ‖ delegator ‖ dee_len ‖ delegatee ‖ type_len ‖ type ‖
+    /// rk_point ‖ encrypted_x` (group elements compressed in `v1`).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::new();
-        for field in [
-            self.delegator.as_bytes(),
-            self.delegatee.as_bytes(),
-            self.type_tag.as_bytes(),
-        ] {
-            out.extend((field.len() as u32).to_be_bytes());
-            out.extend(field);
-        }
-        out.extend(self.rk_point.to_bytes());
-        out.extend(self.encrypted_x.to_bytes());
-        out
+        self.to_wire_bytes()
     }
 
-    /// Parses the serialization produced by [`Self::to_bytes`].
+    /// Parses the serialization produced by [`Self::to_bytes`], rejecting
+    /// unknown versions and trailing bytes.
     pub fn from_bytes(params: &Arc<PairingParams>, bytes: &[u8]) -> Result<Self> {
-        fn read_field(bytes: &[u8], offset: &mut usize) -> Result<Vec<u8>> {
-            if bytes.len() < *offset + 4 {
-                return Err(PreError::InvalidEncoding("re-encryption key too short"));
-            }
-            let mut len_bytes = [0u8; 4];
-            len_bytes.copy_from_slice(&bytes[*offset..*offset + 4]);
-            let len = u32::from_be_bytes(len_bytes) as usize;
-            *offset += 4;
-            if bytes.len() < *offset + len {
-                return Err(PreError::InvalidEncoding("re-encryption key truncated"));
-            }
-            let field = bytes[*offset..*offset + len].to_vec();
-            *offset += len;
-            Ok(field)
-        }
-        let mut offset = 0usize;
-        let delegator = Identity::from_bytes(read_field(bytes, &mut offset)?);
-        let delegatee = Identity::from_bytes(read_field(bytes, &mut offset)?);
-        let type_tag = TypeTag::from_bytes(read_field(bytes, &mut offset)?);
+        Ok(Self::from_wire_bytes(bytes, &DecodeCtx::from(params))?)
+    }
 
-        let g1_len = params.g1_byte_len();
-        let ibe_len = IbeCiphertext::serialized_len(params);
-        if bytes.len() != offset + g1_len + ibe_len {
-            return Err(PreError::InvalidEncoding(
-                "re-encryption key has the wrong total length",
-            ));
+    /// Bare (envelope-less) serialized length under the given wire version.
+    pub fn serialized_len_versioned(&self, params: &PairingParams, version: WireVersion) -> usize {
+        let strings = 12
+            + self.delegator.as_bytes().len()
+            + self.delegatee.as_bytes().len()
+            + self.type_tag.as_bytes().len();
+        match version {
+            WireVersion::V0 => {
+                strings
+                    + params.g1_byte_len()
+                    + IbeCiphertext::serialized_len_versioned(params, WireVersion::V0)
+            }
+            WireVersion::V1 => {
+                strings
+                    + params.g1_compressed_byte_len()
+                    + IbeCiphertext::serialized_len_versioned(params, WireVersion::V1)
+            }
         }
-        let rk_point = G1Affine::from_bytes(params.fp_ctx(), &bytes[offset..offset + g1_len])?;
-        if !rk_point.is_in_subgroup(params.q()) {
-            return Err(PreError::InvalidEncoding(
-                "rk point is not in the prime-order subgroup",
-            ));
-        }
-        let encrypted_x = IbeCiphertext::from_bytes(params, &bytes[offset + g1_len..])?;
+    }
+
+    /// Total standalone serialized length (envelope byte included) under
+    /// the default wire version — bookkeeping for the size experiment.
+    pub fn serialized_len(&self, params: &PairingParams) -> usize {
+        1 + self.serialized_len_versioned(params, WireVersion::DEFAULT)
+    }
+}
+
+impl WireEncode for ReEncryptionKey {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(self.delegator.as_bytes());
+        w.put_bytes(self.delegatee.as_bytes());
+        w.put_bytes(self.type_tag.as_bytes());
+        self.rk_point.encode(w);
+        self.encrypted_x.encode(w);
+    }
+}
+
+impl WireDecode for ReEncryptionKey {
+    type Ctx = DecodeCtx;
+
+    /// Validates `rk₂` against the curve and the prime-order subgroup
+    /// (an out-of-subgroup key point could leak information through the
+    /// proxy's pairings).
+    fn decode(r: &mut Reader<'_>, ctx: &DecodeCtx) -> core::result::Result<Self, DecodeError> {
+        let delegator = Identity::from_bytes(r.bytes()?.to_vec());
+        let delegatee = Identity::from_bytes(r.bytes()?.to_vec());
+        let type_tag = TypeTag::from_bytes(r.bytes()?.to_vec());
+        let rk_point =
+            pairing_wire::decode_g1_in_subgroup(r, ctx, "rk point outside the subgroup")?;
+        let encrypted_x = IbeCiphertext::decode(r, ctx)?;
         Ok(ReEncryptionKey {
             delegator,
             delegatee,
             type_tag,
             rk_point,
             encrypted_x,
-            params: Arc::clone(params),
+            params: Arc::clone(ctx.params()),
             cache: Arc::default(),
         })
-    }
-
-    /// Serialized length for bookkeeping / the size experiment.
-    pub fn serialized_len(&self, params: &PairingParams) -> usize {
-        12 + self.delegator.as_bytes().len()
-            + self.delegatee.as_bytes().len()
-            + self.type_tag.as_bytes().len()
-            + params.g1_byte_len()
-            + IbeCiphertext::serialized_len(params)
     }
 }
 

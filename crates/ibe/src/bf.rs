@@ -17,7 +17,8 @@ use crate::kgc::{IbePrivateKey, IbePublicParams};
 use crate::{IbeError, Result};
 use rand::{CryptoRng, RngCore};
 use std::sync::Arc;
-use tibpre_pairing::{G1Affine, Gt, PairingParams};
+use tibpre_pairing::{wire, DecodeCtx, G1Affine, Gt, PairingParams};
+use tibpre_wire::{DecodeError, Reader, WireDecode, WireEncode, WireVersion, Writer};
 
 /// A Boneh–Franklin ciphertext `(c1, c2) = (g^r, m · ê(pk_id, pk)^r)`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -29,35 +30,50 @@ pub struct IbeCiphertext {
 }
 
 impl IbeCiphertext {
-    /// Serializes as `c1 (uncompressed point) || c2 (Gt element)`.
+    /// Serializes under the default versioned envelope (`c1 ‖ c2`, with
+    /// compressed group elements in `v1`).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = self.c1.to_bytes();
-        out.extend(self.c2.to_bytes());
-        out
+        self.to_wire_bytes()
     }
 
-    /// Parses the serialization produced by [`Self::to_bytes`].
+    /// Parses the serialization produced by [`Self::to_bytes`], rejecting
+    /// unknown versions and trailing bytes.
     pub fn from_bytes(params: &Arc<PairingParams>, bytes: &[u8]) -> Result<Self> {
-        let g1_len = params.g1_byte_len();
-        let gt_len = params.gt_byte_len();
-        if bytes.len() != g1_len + gt_len {
-            return Err(IbeError::InvalidCiphertext("wrong ciphertext length"));
-        }
-        let c1 =
-            G1Affine::from_bytes(params.fp_ctx(), &bytes[..g1_len]).map_err(IbeError::Pairing)?;
-        if !c1.is_in_subgroup(params.q()) {
-            return Err(IbeError::InvalidCiphertext(
-                "c1 is not in the prime-order subgroup",
-            ));
-        }
-        let c2 = Gt::from_bytes_unchecked(params.fp_ctx(), &bytes[g1_len..])
-            .map_err(IbeError::Pairing)?;
-        Ok(IbeCiphertext { c1, c2 })
+        Ok(Self::from_wire_bytes(bytes, &DecodeCtx::from(params))?)
     }
 
-    /// Total serialized length for the given parameters.
+    /// Bare (envelope-less) serialized length under the given wire version.
+    pub fn serialized_len_versioned(params: &PairingParams, version: WireVersion) -> usize {
+        match version {
+            WireVersion::V0 => params.g1_byte_len() + params.gt_byte_len(),
+            WireVersion::V1 => params.g1_compressed_byte_len() + params.gt_compressed_byte_len(),
+        }
+    }
+
+    /// Total standalone serialized length (envelope byte included) under the
+    /// default wire version.
     pub fn serialized_len(params: &PairingParams) -> usize {
-        params.g1_byte_len() + params.gt_byte_len()
+        1 + Self::serialized_len_versioned(params, WireVersion::DEFAULT)
+    }
+}
+
+impl WireEncode for IbeCiphertext {
+    fn encode(&self, w: &mut Writer) {
+        self.c1.encode(w);
+        self.c2.encode(w);
+    }
+}
+
+impl WireDecode for IbeCiphertext {
+    type Ctx = DecodeCtx;
+
+    /// Validates `c1` against the curve *and* the prime-order subgroup;
+    /// `c2` is range/torus-validated only (see the pairing crate's wire
+    /// docs for why the full `Gt` subgroup check is skipped).
+    fn decode(r: &mut Reader<'_>, ctx: &DecodeCtx) -> core::result::Result<Self, DecodeError> {
+        let c1 = wire::decode_g1_in_subgroup(r, ctx, "c1 outside the prime-order subgroup")?;
+        let c2 = Gt::decode(r, ctx.fp_ctx())?;
+        Ok(IbeCiphertext { c1, c2 })
     }
 }
 

@@ -9,11 +9,12 @@
 
 use crate::identity::Identity;
 use crate::kgc::{IbePrivateKey, IbePublicParams};
-use crate::{IbeError, Result};
+use crate::Result;
 use rand::{CryptoRng, RngCore};
 use std::sync::Arc;
 use tibpre_hash::DomainSeparatedHasher;
-use tibpre_pairing::{G1Affine, Gt, PairingParams};
+use tibpre_pairing::{DecodeCtx, G1Affine, Gt, PairingParams};
+use tibpre_wire::{DecodeError, Reader, WireDecode, WireEncode, Writer};
 
 /// Domain-separation tag of the mask-derivation oracle (the original scheme's `H2`).
 const MASK_DOMAIN: &str = "TIBPRE-BF-XOR-MASK";
@@ -65,32 +66,35 @@ pub fn decrypt(sk: &IbePrivateKey, ciphertext: &IbeXorCiphertext) -> Result<Vec<
 }
 
 impl IbeXorCiphertext {
-    /// Serializes as `c1 || body_len(u64 BE) || body`.
+    /// Serializes under the default versioned envelope
+    /// (`c1 ‖ body_len(u64 BE) ‖ body`).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = self.c1.to_bytes();
-        out.extend((self.c2.len() as u64).to_be_bytes());
-        out.extend(&self.c2);
-        out
+        self.to_wire_bytes()
     }
 
-    /// Parses the serialization produced by [`Self::to_bytes`].
+    /// Parses the serialization produced by [`Self::to_bytes`], rejecting
+    /// unknown versions and trailing bytes.
     pub fn from_bytes(params: &Arc<PairingParams>, bytes: &[u8]) -> Result<Self> {
-        let g1_len = params.g1_byte_len();
-        if bytes.len() < g1_len + 8 {
-            return Err(IbeError::InvalidCiphertext("too short"));
-        }
-        let c1 =
-            G1Affine::from_bytes(params.fp_ctx(), &bytes[..g1_len]).map_err(IbeError::Pairing)?;
-        let mut len_bytes = [0u8; 8];
-        len_bytes.copy_from_slice(&bytes[g1_len..g1_len + 8]);
-        let body_len = u64::from_be_bytes(len_bytes) as usize;
-        if bytes.len() != g1_len + 8 + body_len {
-            return Err(IbeError::InvalidCiphertext("length mismatch"));
-        }
-        Ok(IbeXorCiphertext {
-            c1,
-            c2: bytes[g1_len + 8..].to_vec(),
-        })
+        Ok(Self::from_wire_bytes(bytes, &DecodeCtx::from(params))?)
+    }
+}
+
+impl WireEncode for IbeXorCiphertext {
+    fn encode(&self, w: &mut Writer) {
+        self.c1.encode(w);
+        w.put_u64(self.c2.len() as u64);
+        w.put_slice(&self.c2);
+    }
+}
+
+impl WireDecode for IbeXorCiphertext {
+    type Ctx = DecodeCtx;
+
+    fn decode(r: &mut Reader<'_>, ctx: &DecodeCtx) -> core::result::Result<Self, DecodeError> {
+        let c1 = G1Affine::decode(r, ctx.fp_ctx())?;
+        let body_len = r.u64()? as usize;
+        let c2 = r.take(body_len)?.to_vec();
+        Ok(IbeXorCiphertext { c1, c2 })
     }
 }
 

@@ -2,12 +2,15 @@
 
 use core::fmt;
 use tibpre_pairing::PairingError;
+use tibpre_wire::DecodeError;
 
 /// Errors produced by the IBE layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IbeError {
     /// An error bubbled up from the pairing substrate.
     Pairing(PairingError),
+    /// A wire decode failed (truncation, bad tag, invalid group element).
+    Decode(DecodeError),
     /// A ciphertext failed to decode or decrypt.
     InvalidCiphertext(&'static str),
     /// A key or parameter encoding was malformed.
@@ -20,6 +23,7 @@ impl fmt::Display for IbeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IbeError::Pairing(e) => write!(f, "pairing error: {e}"),
+            IbeError::Decode(e) => write!(f, "decode error: {e}"),
             IbeError::InvalidCiphertext(why) => write!(f, "invalid ciphertext: {why}"),
             IbeError::InvalidEncoding(why) => write!(f, "invalid encoding: {why}"),
             IbeError::DomainMismatch => write!(f, "elements belong to different IBE domains"),
@@ -32,6 +36,12 @@ impl std::error::Error for IbeError {}
 impl From<PairingError> for IbeError {
     fn from(e: PairingError) -> Self {
         IbeError::Pairing(e)
+    }
+}
+
+impl From<DecodeError> for IbeError {
+    fn from(e: DecodeError) -> Self {
+        IbeError::Decode(e)
     }
 }
 

@@ -9,7 +9,7 @@ use crate::identity::Identity;
 use crate::{IbeError, Result, H1_DOMAIN};
 use rand::{CryptoRng, RngCore};
 use std::sync::{Arc, OnceLock};
-use tibpre_pairing::{G1Affine, PairingParams, PreparedPairing, Scalar};
+use tibpre_pairing::{wire, DecodeCtx, G1Affine, PairingParams, PreparedPairing, Scalar};
 
 /// Lazily-built pairing precomputation for one KGC domain, shared by every
 /// clone of the public parameters (the `Arc` makes the cache survive the
@@ -128,8 +128,15 @@ impl IbePrivateKey {
         )
     }
 
-    /// Canonical serialization of the key material (used by the paper's
-    /// `H2(sk_id ‖ t)` computation, which hashes the private key).
+    /// Canonical serialization of the key material: the *uncompressed*
+    /// group element, always.
+    ///
+    /// This is deliberately **not** the versioned wire format: these bytes
+    /// are the preimage of the paper's `H2(sk_id ‖ t)` type exponent, so
+    /// they must stay byte-stable across wire-format generations —
+    /// re-encoding the key compressed would silently change every derived
+    /// virtual key and orphan all previously encrypted data.  Use the
+    /// [`WireEncode`](tibpre_wire::WireEncode) impl for transport instead.
     pub fn to_bytes(&self) -> Vec<u8> {
         self.key.to_bytes()
     }
@@ -152,6 +159,50 @@ impl IbePrivateKey {
             key,
             kgc_label: kgc_label.to_string(),
             params: Arc::clone(params),
+            cache: Arc::default(),
+        })
+    }
+}
+
+impl PartialEq for IbePrivateKey {
+    /// Compares the key material and its provenance; the lazily-built
+    /// pairing cache and the parameter handle are not part of identity.
+    fn eq(&self, other: &Self) -> bool {
+        self.identity == other.identity
+            && self.key == other.key
+            && self.kgc_label == other.kgc_label
+    }
+}
+
+impl Eq for IbePrivateKey {}
+
+impl tibpre_wire::WireEncode for IbePrivateKey {
+    /// Transport form of the full key material:
+    /// `identity ‖ kgc_label ‖ key point` (length-prefixed strings, the
+    /// point compressed under `v1`).  The hashing-preimage form is
+    /// [`IbePrivateKey::to_bytes`].
+    fn encode(&self, w: &mut tibpre_wire::Writer) {
+        w.put_bytes(self.identity.as_bytes());
+        w.put_bytes(self.kgc_label.as_bytes());
+        self.key.encode(w);
+    }
+}
+
+impl tibpre_wire::WireDecode for IbePrivateKey {
+    type Ctx = DecodeCtx;
+
+    fn decode(
+        r: &mut tibpre_wire::Reader<'_>,
+        ctx: &DecodeCtx,
+    ) -> core::result::Result<Self, tibpre_wire::DecodeError> {
+        let identity = Identity::from_bytes(r.bytes()?.to_vec());
+        let kgc_label = r.string()?;
+        let key = wire::decode_g1_in_subgroup(r, ctx, "private key outside the subgroup")?;
+        Ok(IbePrivateKey {
+            identity,
+            key,
+            kgc_label,
+            params: Arc::clone(ctx.params()),
             cache: Arc::default(),
         })
     }

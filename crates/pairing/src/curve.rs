@@ -195,25 +195,45 @@ impl G1Affine {
         out
     }
 
+    /// Decodes an uncompressed coordinate pair, re-validating the curve
+    /// equation.  Shared by [`Self::from_bytes`] and the wire codec.
+    pub(crate) fn decode_uncompressed(
+        ctx: &Arc<FpCtx>,
+        x_bytes: &[u8],
+        y_bytes: &[u8],
+    ) -> Result<G1Affine> {
+        let x = Fp::from_bytes(ctx, x_bytes)?;
+        let y = Fp::from_bytes(ctx, y_bytes)?;
+        G1Affine::new(x, y)
+    }
+
+    /// Decompresses an x-coordinate plus a y-parity bit, re-validating the
+    /// curve equation (an x with no square root on the right-hand side is
+    /// rejected).  Shared by [`Self::from_bytes`] and the wire codec.
+    pub(crate) fn decode_compressed(
+        ctx: &Arc<FpCtx>,
+        want_odd_y: bool,
+        x_bytes: &[u8],
+    ) -> Result<G1Affine> {
+        let x = Fp::from_bytes(ctx, x_bytes)?;
+        let rhs = &x.square().mul(&x) + &x;
+        let mut y = rhs.sqrt().ok_or(PairingError::NotOnCurve)?;
+        if y.is_odd_repr() != want_odd_y {
+            y = y.neg();
+        }
+        G1Affine::new(x, y)
+    }
+
     /// Decodes either encoding, re-validating the curve equation.
     pub fn from_bytes(ctx: &Arc<FpCtx>, bytes: &[u8]) -> Result<G1Affine> {
         let field_len = ctx.byte_len();
         match bytes.first() {
             Some(0x00) if bytes.len() == 1 => Ok(G1Affine::identity(ctx)),
             Some(0x04) if bytes.len() == 1 + 2 * field_len => {
-                let x = Fp::from_bytes(ctx, &bytes[1..1 + field_len])?;
-                let y = Fp::from_bytes(ctx, &bytes[1 + field_len..])?;
-                G1Affine::new(x, y)
+                Self::decode_uncompressed(ctx, &bytes[1..1 + field_len], &bytes[1 + field_len..])
             }
             Some(tag @ (0x02 | 0x03)) if bytes.len() == 1 + field_len => {
-                let x = Fp::from_bytes(ctx, &bytes[1..])?;
-                let rhs = &x.square().mul(&x) + &x;
-                let mut y = rhs.sqrt().ok_or(PairingError::NotOnCurve)?;
-                let want_odd = *tag == 0x03;
-                if y.is_odd_repr() != want_odd {
-                    y = y.neg();
-                }
-                G1Affine::new(x, y)
+                Self::decode_compressed(ctx, *tag == 0x03, &bytes[1..])
             }
             _ => Err(PairingError::InvalidEncoding("unknown point encoding")),
         }

@@ -2,12 +2,15 @@
 
 use core::fmt;
 use tibpre_bigint::BigIntError;
+use tibpre_wire::DecodeError;
 
 /// Errors produced by the pairing layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PairingError {
     /// An error bubbled up from the big-integer layer.
     BigInt(BigIntError),
+    /// A wire decode failed (truncation, bad tag, invalid field element).
+    Decode(DecodeError),
     /// A point failed the curve-membership check.
     NotOnCurve,
     /// A point failed the subgroup-membership check.
@@ -28,6 +31,7 @@ impl fmt::Display for PairingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PairingError::BigInt(e) => write!(f, "big-integer error: {e}"),
+            PairingError::Decode(e) => write!(f, "decode error: {e}"),
             PairingError::NotOnCurve => write!(f, "point is not on the curve"),
             PairingError::NotInSubgroup => write!(f, "point is not in the prime-order subgroup"),
             PairingError::InvalidEncoding(why) => write!(f, "invalid encoding: {why}"),
@@ -50,6 +54,12 @@ impl std::error::Error for PairingError {}
 impl From<BigIntError> for PairingError {
     fn from(e: BigIntError) -> Self {
         PairingError::BigInt(e)
+    }
+}
+
+impl From<DecodeError> for PairingError {
+    fn from(e: DecodeError) -> Self {
+        PairingError::Decode(e)
     }
 }
 

@@ -107,13 +107,6 @@ impl Gt {
         }
         Ok(gt)
     }
-
-    /// Decodes an element without the (relatively expensive) subgroup check.
-    pub fn from_bytes_unchecked(ctx: &Arc<FpCtx>, bytes: &[u8]) -> Result<Gt> {
-        Ok(Gt {
-            value: Fp2::from_bytes(ctx, bytes)?,
-        })
-    }
 }
 
 impl core::fmt::Debug for Gt {
@@ -175,13 +168,20 @@ mod tests {
     }
 
     #[test]
-    fn byte_round_trip_unchecked() {
+    fn byte_round_trip_through_the_wire_codec() {
+        // The unchecked decode path now lives behind the `WireDecode` impl
+        // (`tibpre_wire::decode_bare`); the legacy `from_bytes_unchecked`
+        // public bypass is gone.
         let c = ctx();
         let mut r = StdRng::seed_from_u64(7);
         let g = Gt::from_fp2_unchecked(Fp2::random(&c, &mut r));
         let bytes = g.to_bytes();
-        assert_eq!(Gt::from_bytes_unchecked(&c, &bytes).unwrap(), g);
-        assert!(Gt::from_bytes_unchecked(&c, &bytes[1..]).is_err());
+        use tibpre_wire::WireVersion;
+        assert_eq!(
+            tibpre_wire::decode_bare::<Gt>(&bytes, WireVersion::V0, &c).unwrap(),
+            g
+        );
+        assert!(tibpre_wire::decode_bare::<Gt>(&bytes[1..], WireVersion::V0, &c).is_err());
     }
 
     #[test]

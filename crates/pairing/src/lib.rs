@@ -47,6 +47,7 @@ pub mod pairing;
 pub mod params;
 pub mod precomp;
 pub mod scalar;
+pub mod wire;
 
 pub use curve::{G1Affine, G1Projective};
 pub use error::PairingError;
@@ -57,6 +58,7 @@ pub use pairing::{pairing, pairing_unreduced};
 pub use params::{PairingParams, SecurityLevel};
 pub use precomp::{G1Precomp, PreparedPairing};
 pub use scalar::{Scalar, ScalarCtx};
+pub use wire::DecodeCtx;
 
 /// Crate-wide result alias.
 pub type Result<T> = core::result::Result<T, PairingError>;

@@ -333,14 +333,24 @@ impl PairingParams {
         hash_to_scalar(&self.scalar_ctx, domain, fields)
     }
 
-    /// Byte length of a serialized (uncompressed) curve point.
+    /// Byte length of a serialized (uncompressed, `v0`) curve point.
     pub fn g1_byte_len(&self) -> usize {
         1 + 2 * self.fp_ctx.byte_len()
     }
 
-    /// Byte length of a serialized target-group element.
+    /// Byte length of a compressed (`v1`) non-identity curve point.
+    pub fn g1_compressed_byte_len(&self) -> usize {
+        1 + self.fp_ctx.byte_len()
+    }
+
+    /// Byte length of a serialized (uncompressed, `v0`) target-group element.
     pub fn gt_byte_len(&self) -> usize {
         2 * self.fp_ctx.byte_len()
+    }
+
+    /// Byte length of a compressed (`v1`) target-group subgroup element.
+    pub fn gt_compressed_byte_len(&self) -> usize {
+        1 + self.fp_ctx.byte_len()
     }
 
     /// Byte length of a serialized scalar.

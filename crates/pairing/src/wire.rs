@@ -1,0 +1,484 @@
+//! [`WireEncode`] / [`WireDecode`] implementations for the pairing
+//! primitives, plus the [`DecodeCtx`] the scheme layers decode under.
+//!
+//! # Layouts
+//!
+//! | type | v0 (legacy) | v1 (default) |
+//! |---|---|---|
+//! | [`Fp`] | fixed `len(p)` bytes BE | same |
+//! | [`Fp2`] | `c0 ‖ c1` | same |
+//! | [`Scalar`] | fixed `len(q)` bytes BE | same |
+//! | [`G1Affine`] | `0x04 ‖ x ‖ y` (`0x00` = identity) | `0x02/0x03 ‖ x` (`0x00` = identity) |
+//! | [`Gt`] | raw `c0 ‖ c1` | `0x02/0x03 ‖ c0` (`0x04 ‖ c0 ‖ c1` fallback) |
+//!
+//! The `v0` layouts are byte-identical to the pre-`tibpre-wire` encodings,
+//! which is what lets durable data written before this crate existed decode
+//! through the same code path.
+//!
+//! # Validation at the boundary
+//!
+//! Decoding validates **canonical range** (every field element `< p`) and
+//! **curve membership** for `G1` points — compressed points are
+//! additionally canonical by construction, since only `x` and a sign bit
+//! are transmitted.  Two checks are deliberately *not* performed here and
+//! are documented per call site:
+//!
+//! * `G1` **subgroup** membership (`q·P = O`) costs a scalar
+//!   multiplication; the scheme types that accept attacker-controlled
+//!   points (`c1`, `rk₂`, private keys) perform it in their own `decode`,
+//!   exactly once, where the order `q` is in scope.
+//! * `Gt` **subgroup** membership (`v^q = 1`) costs a full exponentiation
+//!   per element.  The scheme layers never needed it: a mask or message
+//!   outside the subgroup decrypts to garbage but breaks nothing, which is
+//!   why the legacy code used `Gt::from_bytes_unchecked` everywhere.  The
+//!   `v1` layout does not change that acceptance policy (off-torus values
+//!   still decode, through the explicit `0x04` fallback tag), but it makes
+//!   torus membership *explicit and canonical*: a compressed tag proves
+//!   norm 1 by construction, the fallback tag rejects torus members, so
+//!   every value has exactly one accepted encoding and the tag never lies.
+//!   Callers that do need the full subgroup check use [`Gt::from_bytes`].
+
+use crate::curve::G1Affine;
+use crate::fp::{Fp, FpCtx};
+use crate::fp2::Fp2;
+use crate::gt::Gt;
+use crate::params::PairingParams;
+use crate::scalar::{Scalar, ScalarCtx};
+use std::sync::Arc;
+use tibpre_bigint::Uint;
+use tibpre_wire::{DecodeError, Reader, WireDecode, WireEncode, WireVersion, Writer};
+
+/// The decode-time context of the scheme layers: the pairing parameters
+/// every group element is validated against, exactly once, at the wire
+/// boundary.
+#[derive(Debug, Clone)]
+pub struct DecodeCtx {
+    params: Arc<PairingParams>,
+}
+
+impl DecodeCtx {
+    /// Wraps the shared pairing parameters.
+    pub fn new(params: Arc<PairingParams>) -> Self {
+        DecodeCtx { params }
+    }
+
+    /// The pairing parameters.
+    pub fn params(&self) -> &Arc<PairingParams> {
+        &self.params
+    }
+
+    /// The base-field context.
+    pub fn fp_ctx(&self) -> &Arc<FpCtx> {
+        self.params.fp_ctx()
+    }
+
+    /// The scalar-field context.
+    pub fn scalar_ctx(&self) -> &Arc<ScalarCtx> {
+        self.params.scalar_ctx()
+    }
+
+    /// The prime group order `q`.
+    pub fn q(&self) -> &Uint {
+        self.params.q()
+    }
+}
+
+impl From<&Arc<PairingParams>> for DecodeCtx {
+    fn from(params: &Arc<PairingParams>) -> Self {
+        DecodeCtx::new(Arc::clone(params))
+    }
+}
+
+/// Maps a validation failure onto a [`DecodeError`] at the reader's
+/// current offset.
+fn invalid_at(r: &Reader<'_>, what: &'static str) -> DecodeError {
+    DecodeError::invalid(r.offset(), what)
+}
+
+/// Decodes a `G1` point and checks prime-order subgroup membership
+/// (`q·P = O`) — the boundary validation for attacker-controlled points
+/// (`c1`, `rk₂`, private keys).  `what` names the field in the error.
+pub fn decode_g1_in_subgroup(
+    r: &mut Reader<'_>,
+    ctx: &DecodeCtx,
+    what: &'static str,
+) -> Result<G1Affine, DecodeError> {
+    let start = r.offset();
+    let point = G1Affine::decode(r, ctx.fp_ctx())?;
+    if !point.is_in_subgroup(ctx.q()) {
+        return Err(DecodeError::invalid(start, what));
+    }
+    Ok(point)
+}
+
+impl WireEncode for Fp {
+    fn encode(&self, w: &mut Writer) {
+        w.put_slice(&self.to_bytes());
+    }
+}
+
+impl WireDecode for Fp {
+    type Ctx = Arc<FpCtx>;
+
+    fn decode(r: &mut Reader<'_>, ctx: &Self::Ctx) -> Result<Self, DecodeError> {
+        let start = r.offset();
+        let bytes = r.take(ctx.byte_len())?;
+        Fp::from_bytes(ctx, bytes).map_err(|_| DecodeError::invalid(start, "field element"))
+    }
+}
+
+impl WireEncode for Fp2 {
+    fn encode(&self, w: &mut Writer) {
+        self.c0.encode(w);
+        self.c1.encode(w);
+    }
+}
+
+impl WireDecode for Fp2 {
+    type Ctx = Arc<FpCtx>;
+
+    fn decode(r: &mut Reader<'_>, ctx: &Self::Ctx) -> Result<Self, DecodeError> {
+        Ok(Fp2::new(Fp::decode(r, ctx)?, Fp::decode(r, ctx)?))
+    }
+}
+
+impl WireEncode for Scalar {
+    fn encode(&self, w: &mut Writer) {
+        w.put_slice(&self.to_bytes());
+    }
+}
+
+impl WireDecode for Scalar {
+    type Ctx = Arc<ScalarCtx>;
+
+    fn decode(r: &mut Reader<'_>, ctx: &Self::Ctx) -> Result<Self, DecodeError> {
+        let start = r.offset();
+        let bytes = r.take(ctx.byte_len())?;
+        Scalar::from_bytes(ctx, bytes).map_err(|_| DecodeError::invalid(start, "scalar"))
+    }
+}
+
+impl WireEncode for G1Affine {
+    fn encode(&self, w: &mut Writer) {
+        match w.version() {
+            WireVersion::V0 => w.put_slice(&self.to_bytes()),
+            WireVersion::V1 => w.put_slice(&self.to_bytes_compressed()),
+        }
+    }
+}
+
+impl WireDecode for G1Affine {
+    type Ctx = Arc<FpCtx>;
+
+    /// The point tags are self-describing, so the decoder accepts both the
+    /// compressed and the uncompressed form under either version; the
+    /// version only governs what the *writer* emits.  Curve membership is
+    /// validated here; subgroup membership is the caller's (documented)
+    /// responsibility.
+    fn decode(r: &mut Reader<'_>, ctx: &Self::Ctx) -> Result<Self, DecodeError> {
+        let start = r.offset();
+        let tag = r.u8()?;
+        let flen = ctx.byte_len();
+        match tag {
+            0x00 => Ok(G1Affine::identity(ctx)),
+            0x04 => {
+                let body = r.take(2 * flen)?;
+                G1Affine::decode_uncompressed(ctx, &body[..flen], &body[flen..])
+                    .map_err(|_| DecodeError::invalid(start, "uncompressed G1 point"))
+            }
+            0x02 | 0x03 => {
+                let body = r.take(flen)?;
+                G1Affine::decode_compressed(ctx, tag == 0x03, body)
+                    .map_err(|_| DecodeError::invalid(start, "compressed G1 point"))
+            }
+            other => Err(DecodeError::invalid_tag(start, "G1 point", other)),
+        }
+    }
+}
+
+/// `Gt` compression tags (v1 only; v0 is the raw two-coordinate layout).
+mod gt_tag {
+    /// Compressed, `c1` has an even canonical representative.
+    pub const EVEN: u8 = 0x02;
+    /// Compressed, `c1` has an odd canonical representative.
+    pub const ODD: u8 = 0x03;
+    /// Uncompressed fallback for values off the norm-1 torus (only
+    /// produced for values that never appear in honest protocol runs).
+    pub const FULL: u8 = 0x04;
+}
+
+impl WireEncode for Gt {
+    fn encode(&self, w: &mut Writer) {
+        let v = self.as_fp2();
+        match w.version() {
+            WireVersion::V0 => w.put_slice(&self.to_bytes()),
+            WireVersion::V1 => {
+                // Genuine subgroup elements live on the norm-1 torus
+                // (q | p + 1, so v·v̄ = v^{p+1} = 1): c1 is determined by
+                // c0 up to sign, and one coordinate plus a parity bit
+                // suffice.  Anything else (possible only through
+                // `from_fp2_unchecked`) falls back to the full layout so
+                // encoding stays total and lossless.
+                let norm = &v.c0.square() + &v.c1.square();
+                if norm.is_one() {
+                    w.put_u8(if v.c1.is_odd_repr() {
+                        gt_tag::ODD
+                    } else {
+                        gt_tag::EVEN
+                    });
+                    v.c0.encode(w);
+                } else {
+                    w.put_u8(gt_tag::FULL);
+                    v.c0.encode(w);
+                    v.c1.encode(w);
+                }
+            }
+        }
+    }
+}
+
+impl WireDecode for Gt {
+    type Ctx = Arc<FpCtx>;
+
+    /// Validates canonical range always.  Under v1 the encoding is also
+    /// **canonical**: a compressed tag (`0x02`/`0x03`) proves norm-1 torus
+    /// membership by construction (decompression solves `c1² = 1 − c0²`),
+    /// and the `0x04` fallback *rejects* torus members — every value has
+    /// exactly one accepted encoding, and the tag truthfully reports
+    /// whether the element lies on the torus.  Off-torus values are still
+    /// accepted (matching v0 and legacy semantics: a bad mask decrypts to
+    /// garbage, nothing more); the full `v^q = 1` subgroup check remains
+    /// opt-in via [`Gt::from_bytes`] (see the [module docs](self)).
+    fn decode(r: &mut Reader<'_>, ctx: &Self::Ctx) -> Result<Self, DecodeError> {
+        match r.version() {
+            WireVersion::V0 => {
+                let value = Fp2::decode(r, ctx)?;
+                Ok(Gt::from_fp2_unchecked(value))
+            }
+            WireVersion::V1 => {
+                let start = r.offset();
+                let tag = r.u8()?;
+                match tag {
+                    gt_tag::EVEN | gt_tag::ODD => {
+                        let c0 = Fp::decode(r, ctx)?;
+                        // c1² = 1 − c0²; an x off the torus has no root.
+                        let c1_sq = &Fp::one(ctx) - &c0.square();
+                        let mut c1 = c1_sq
+                            .sqrt()
+                            .ok_or_else(|| invalid_at(r, "compressed Gt element"))?;
+                        if c1.is_odd_repr() != (tag == gt_tag::ODD) {
+                            c1 = c1.neg();
+                        }
+                        // Re-check after the fix-up: when c1 = 0 (c0 = ±1)
+                        // negation cannot produce the requested odd parity,
+                        // and accepting the mismatched tag would give those
+                        // elements two encodings.
+                        if c1.is_odd_repr() != (tag == gt_tag::ODD) {
+                            return Err(invalid_at(
+                                r,
+                                "non-canonical Gt encoding (impossible c1 parity)",
+                            ));
+                        }
+                        Ok(Gt::from_fp2_unchecked(Fp2::new(c0, c1)))
+                    }
+                    gt_tag::FULL => {
+                        let value = Fp2::decode(r, ctx)?;
+                        // Reject torus members smuggled through the
+                        // fallback tag: they must use the compressed form,
+                        // otherwise one value would have two accepted
+                        // encodings (breaking dedup/hashing of serialized
+                        // ciphertexts) and the tag would lie about torus
+                        // membership.
+                        if (&value.c0.square() + &value.c1.square()).is_one() {
+                            return Err(DecodeError::invalid(
+                                start,
+                                "non-canonical Gt encoding (torus member in full layout)",
+                            ));
+                        }
+                        Ok(Gt::from_fp2_unchecked(value))
+                    }
+                    other => Err(DecodeError::invalid_tag(start, "Gt element", other)),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tibpre_wire::{decode_bare, encode_bare};
+
+    fn params() -> Arc<PairingParams> {
+        PairingParams::insecure_toy()
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x31173)
+    }
+
+    #[test]
+    fn g1_round_trips_both_versions() {
+        let pp = params();
+        let mut r = rng();
+        let ctx = pp.fp_ctx().clone();
+        for _ in 0..5 {
+            let p = pp.random_g1(&mut r);
+            let v0 = encode_bare(&p, WireVersion::V0);
+            let v1 = encode_bare(&p, WireVersion::V1);
+            assert_eq!(v0, p.to_bytes(), "v0 must match the legacy layout");
+            assert_eq!(v1.len(), 1 + ctx.byte_len());
+            assert!(v1.len() < v0.len());
+            assert_eq!(
+                decode_bare::<G1Affine>(&v0, WireVersion::V0, &ctx).unwrap(),
+                p
+            );
+            assert_eq!(
+                decode_bare::<G1Affine>(&v1, WireVersion::V1, &ctx).unwrap(),
+                p
+            );
+            // Tags are self-describing: cross-version decode works too.
+            assert_eq!(
+                decode_bare::<G1Affine>(&v1, WireVersion::V0, &ctx).unwrap(),
+                p
+            );
+        }
+        // Identity round-trips in both versions.
+        let id = pp.g1_identity();
+        for v in [WireVersion::V0, WireVersion::V1] {
+            let bytes = encode_bare(&id, v);
+            assert_eq!(bytes, vec![0x00]);
+            assert_eq!(decode_bare::<G1Affine>(&bytes, v, &ctx).unwrap(), id);
+        }
+    }
+
+    #[test]
+    fn gt_compresses_subgroup_elements() {
+        let pp = params();
+        let mut r = rng();
+        let ctx = pp.fp_ctx().clone();
+        for _ in 0..5 {
+            let g = pp.random_gt(&mut r);
+            let v0 = encode_bare(&g, WireVersion::V0);
+            let v1 = encode_bare(&g, WireVersion::V1);
+            assert_eq!(v0, g.to_bytes(), "v0 must match the legacy layout");
+            assert_eq!(v1.len(), 1 + ctx.byte_len(), "subgroup elements compress");
+            assert_eq!(decode_bare::<Gt>(&v0, WireVersion::V0, &ctx).unwrap(), g);
+            assert_eq!(decode_bare::<Gt>(&v1, WireVersion::V1, &ctx).unwrap(), g);
+        }
+    }
+
+    #[test]
+    fn gt_off_torus_values_fall_back_to_the_full_layout() {
+        let pp = params();
+        let mut r = rng();
+        let ctx = pp.fp_ctx().clone();
+        // A random Fp2 element has norm 1 with negligible probability.
+        let raw = Gt::from_fp2_unchecked(Fp2::random(&ctx, &mut r));
+        let v1 = encode_bare(&raw, WireVersion::V1);
+        assert_eq!(v1[0], gt_tag::FULL);
+        assert_eq!(v1.len(), 1 + 2 * ctx.byte_len());
+        assert_eq!(decode_bare::<Gt>(&v1, WireVersion::V1, &ctx).unwrap(), raw);
+    }
+
+    #[test]
+    fn gt_v1_encoding_is_canonical() {
+        // A torus member smuggled through the FULL fallback tag is
+        // rejected: otherwise one value would have two accepted encodings
+        // and the tag would lie about torus membership.
+        let pp = params();
+        let mut r = rng();
+        let ctx = pp.fp_ctx().clone();
+        let g = pp.random_gt(&mut r);
+        let mut forged = vec![gt_tag::FULL];
+        forged.extend(g.as_fp2().c0.to_bytes());
+        forged.extend(g.as_fp2().c1.to_bytes());
+        let err = decode_bare::<Gt>(&forged, WireVersion::V1, &ctx).unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::invalid(0, "non-canonical Gt encoding (torus member in full layout)")
+        );
+        // The canonical (compressed) form still round-trips, of course.
+        let canonical = encode_bare(&g, WireVersion::V1);
+        assert_eq!(
+            decode_bare::<Gt>(&canonical, WireVersion::V1, &ctx).unwrap(),
+            g
+        );
+
+        // The c1 = 0 corner (identity, c0 = ±1): only the even-parity tag
+        // is accepted, so those elements too have exactly one encoding.
+        let one = Gt::one(&ctx);
+        let canonical = encode_bare(&one, WireVersion::V1);
+        assert_eq!(canonical[0], gt_tag::EVEN);
+        assert_eq!(
+            decode_bare::<Gt>(&canonical, WireVersion::V1, &ctx).unwrap(),
+            one
+        );
+        let mut odd_forged = canonical.clone();
+        odd_forged[0] = gt_tag::ODD;
+        assert!(decode_bare::<Gt>(&odd_forged, WireVersion::V1, &ctx).is_err());
+    }
+
+    #[test]
+    fn corrupt_encodings_are_rejected_with_offsets() {
+        let pp = params();
+        let mut r = rng();
+        let ctx = pp.fp_ctx().clone();
+        let p = pp.random_g1(&mut r);
+        let v1 = encode_bare(&p, WireVersion::V1);
+        // Unknown tag.
+        let mut bad = v1.clone();
+        bad[0] = 0x07;
+        assert!(decode_bare::<G1Affine>(&bad, WireVersion::V1, &ctx).is_err());
+        // Truncation at every byte.
+        for cut in 0..v1.len() {
+            assert!(decode_bare::<G1Affine>(&v1[..cut], WireVersion::V1, &ctx).is_err());
+        }
+        // Trailing bytes.
+        let mut longer = v1.clone();
+        longer.push(0);
+        assert!(decode_bare::<G1Affine>(&longer, WireVersion::V1, &ctx).is_err());
+        // An x-coordinate with no curve point: flip parity tag bits until
+        // the x decodes but the decompression fails, or the range check
+        // fires — either way, an error, never a panic.
+        let gt = pp.random_gt(&mut r);
+        let mut enc = encode_bare(&gt, WireVersion::V1);
+        let last = enc.len() - 1;
+        enc[last] ^= 1;
+        let _ = decode_bare::<Gt>(&enc, WireVersion::V1, &ctx); // must not panic
+    }
+
+    #[test]
+    fn scalar_and_fp2_round_trip() {
+        let pp = params();
+        let mut r = rng();
+        let s = pp.random_scalar(&mut r);
+        for v in [WireVersion::V0, WireVersion::V1] {
+            let bytes = encode_bare(&s, v);
+            assert_eq!(bytes, s.to_bytes());
+            assert_eq!(
+                decode_bare::<Scalar>(&bytes, v, pp.scalar_ctx()).unwrap(),
+                s
+            );
+        }
+        let f2 = Fp2::random(pp.fp_ctx(), &mut r);
+        let bytes = encode_bare(&f2, WireVersion::V1);
+        assert_eq!(bytes, f2.to_bytes());
+        assert_eq!(
+            decode_bare::<Fp2>(&bytes, WireVersion::V1, pp.fp_ctx()).unwrap(),
+            f2
+        );
+    }
+
+    #[test]
+    fn decode_ctx_exposes_the_parameter_handles() {
+        let pp = params();
+        let ctx = DecodeCtx::from(&pp);
+        assert!(Arc::ptr_eq(ctx.params(), &pp));
+        assert_eq!(ctx.q(), pp.q());
+        assert_eq!(ctx.fp_ctx().byte_len(), pp.fp_ctx().byte_len());
+        assert_eq!(ctx.scalar_ctx().byte_len(), pp.scalar_ctx().byte_len());
+    }
+}

@@ -16,9 +16,9 @@
 
 use crate::category::Category;
 use crate::record::RecordId;
-use crate::{PhrError, Result};
+use crate::Result;
 use tibpre_ibe::Identity;
-use tibpre_storage::codec::{self, Reader};
+use tibpre_wire::{DecodeError, Reader, WireDecode, WireEncode, WireVersion, Writer};
 
 /// Wire tags of the [`AuditEvent`] variants (stable on-disk format).
 mod tag {
@@ -107,10 +107,24 @@ impl AuditEvent {
     }
 
     /// Serializes the event for the durable audit trail (a tag byte followed
-    /// by length-prefixed fields; the format every WAL audit frame and shard
-    /// snapshot uses).
+    /// by length-prefixed fields).  Audit events carry no group elements, so
+    /// the body is identical in every wire version; the bare form is emitted
+    /// because events are always nested inside a length-prefixed WAL or
+    /// snapshot field that carries the version.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+        tibpre_wire::encode_bare(self, WireVersion::V0)
+    }
+
+    /// Parses the serialization produced by [`Self::to_bytes`].  Every error
+    /// is a value ([`crate::PhrError::Decode`]), never a panic — recovery
+    /// treats an undecodable event like a checksum failure.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        Ok(tibpre_wire::decode_bare(bytes, WireVersion::V0, &())?)
+    }
+}
+
+impl WireEncode for AuditEvent {
+    fn encode(&self, w: &mut Writer) {
         match self {
             AuditEvent::RecordStored {
                 id,
@@ -118,16 +132,16 @@ impl AuditEvent {
                 category,
                 at,
             } => {
-                out.push(tag::RECORD_STORED);
-                codec::put_u64(&mut out, id.0);
-                codec::put_bytes(&mut out, patient.as_bytes());
-                codec::put_bytes(&mut out, category.label().as_bytes());
-                codec::put_u64(&mut out, *at);
+                w.put_u8(tag::RECORD_STORED);
+                w.put_u64(id.0);
+                w.put_bytes(patient.as_bytes());
+                w.put_bytes(category.label().as_bytes());
+                w.put_u64(*at);
             }
             AuditEvent::RecordDeleted { id, at } => {
-                out.push(tag::RECORD_DELETED);
-                codec::put_u64(&mut out, id.0);
-                codec::put_u64(&mut out, *at);
+                w.put_u8(tag::RECORD_DELETED);
+                w.put_u64(id.0);
+                w.put_u64(*at);
             }
             AuditEvent::AccessGranted {
                 patient,
@@ -141,36 +155,36 @@ impl AuditEvent {
                 grantee,
                 at,
             } => {
-                out.push(if matches!(self, AuditEvent::AccessGranted { .. }) {
+                w.put_u8(if matches!(self, AuditEvent::AccessGranted { .. }) {
                     tag::ACCESS_GRANTED
                 } else {
                     tag::ACCESS_REVOKED
                 });
-                codec::put_bytes(&mut out, patient.as_bytes());
-                codec::put_bytes(&mut out, category.label().as_bytes());
-                codec::put_bytes(&mut out, grantee.as_bytes());
-                codec::put_u64(&mut out, *at);
+                w.put_bytes(patient.as_bytes());
+                w.put_bytes(category.label().as_bytes());
+                w.put_bytes(grantee.as_bytes());
+                w.put_u64(*at);
             }
             AuditEvent::DisclosurePerformed { id, requester, at }
             | AuditEvent::DisclosureDenied { id, requester, at } => {
-                out.push(if matches!(self, AuditEvent::DisclosurePerformed { .. }) {
+                w.put_u8(if matches!(self, AuditEvent::DisclosurePerformed { .. }) {
                     tag::DISCLOSURE_PERFORMED
                 } else {
                     tag::DISCLOSURE_DENIED
                 });
-                codec::put_u64(&mut out, id.0);
-                codec::put_bytes(&mut out, requester.as_bytes());
-                codec::put_u64(&mut out, *at);
+                w.put_u64(id.0);
+                w.put_bytes(requester.as_bytes());
+                w.put_u64(*at);
             }
         }
-        out
     }
+}
 
-    /// Parses the serialization produced by [`Self::to_bytes`].  Every error
-    /// is a value ([`PhrError::CorruptedRecord`]), never a panic — recovery
-    /// treats an undecodable event like a checksum failure.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
-        let mut r = Reader::new(bytes);
+impl WireDecode for AuditEvent {
+    type Ctx = ();
+
+    fn decode(r: &mut Reader<'_>, _ctx: &()) -> core::result::Result<Self, DecodeError> {
+        let start = r.offset();
         let event = match r.u8()? {
             tag::RECORD_STORED => AuditEvent::RecordStored {
                 id: RecordId(r.u64()?),
@@ -213,9 +227,8 @@ impl AuditEvent {
                     AuditEvent::DisclosureDenied { id, requester, at }
                 }
             }
-            _ => return Err(PhrError::CorruptedRecord("unknown audit event tag")),
+            other => return Err(DecodeError::invalid_tag(start, "audit event", other)),
         };
-        r.finish()?;
         Ok(event)
     }
 }

@@ -25,22 +25,26 @@
 //! the invariant `tests/tests/recovery_props.rs` checks at every byte
 //! boundary.
 //!
-//! Record ciphertexts reuse the workspace's existing wire formats
-//! ([`HybridCiphertext::to_bytes`]); no second serialization of any
-//! cryptographic object is introduced here.
+//! Every frame payload starts with the one-byte wire-format envelope (see
+//! `tibpre-wire`); frames written before the envelope existed decode
+//! through the bare-legacy `v0` path, so mixed-generation logs replay
+//! seamlessly.  Record ciphertexts go through the workspace's single
+//! `WireEncode`/`WireDecode` codec ([`HybridCiphertext`]'s impl); no
+//! second serialization of any cryptographic object is introduced here.
 
 use crate::audit::AuditEvent;
 use crate::category::Category;
 use crate::record::RecordId;
 use crate::store::StoredRecord;
-use crate::{PhrError, Result};
+use crate::Result;
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Arc;
 use tibpre_core::{HybridCiphertext, ReEncryptionKey};
 use tibpre_ibe::Identity;
-use tibpre_pairing::PairingParams;
-use tibpre_storage::codec::{self, Reader};
-use tibpre_storage::{FsyncPolicy, WalWriter};
+use tibpre_pairing::{DecodeCtx, PairingParams};
+use tibpre_storage::{segment, FsyncPolicy, SegmentedWal};
+use tibpre_wire::{DecodeError, Reader, WireDecode, WireEncode, WireVersion, Writer};
 
 /// Default number of logged operations between two snapshots of one shard.
 pub const DEFAULT_SNAPSHOT_EVERY: u64 = 256;
@@ -150,31 +154,44 @@ pub enum WalOp {
     },
 }
 
-/// Encodes a stored record (length-prefixed fields; the ciphertext reuses
-/// [`HybridCiphertext::to_bytes`]).
-fn put_record(out: &mut Vec<u8>, record: &StoredRecord) {
-    codec::put_u64(out, record.id.0);
-    codec::put_bytes(out, record.patient.as_bytes());
-    codec::put_bytes(out, record.category.label().as_bytes());
-    codec::put_bytes(out, record.title.as_bytes());
-    codec::put_bytes(out, &record.ciphertext.to_bytes());
+impl WireEncode for StoredRecord {
+    /// `id ‖ patient ‖ category ‖ title ‖ ciphertext_len ‖ ciphertext`
+    /// (the ciphertext nested bare, inheriting the container's version).
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.id.0);
+        w.put_bytes(self.patient.as_bytes());
+        w.put_bytes(self.category.label().as_bytes());
+        w.put_bytes(self.title.as_bytes());
+        w.put_nested(|w| self.ciphertext.encode(w));
+    }
 }
 
-/// Decodes a stored record.
-fn read_record(params: &Arc<PairingParams>, r: &mut Reader<'_>) -> Result<StoredRecord> {
-    let id = RecordId(r.u64()?);
-    let patient = Identity::from_bytes(r.bytes()?.to_vec());
-    let category = Category::from_label(&r.string()?);
-    let title = r.string()?;
-    let ciphertext = HybridCiphertext::from_bytes(params, r.bytes()?)
-        .map_err(|_| PhrError::CorruptedRecord("undecodable record ciphertext"))?;
-    Ok(StoredRecord {
-        id,
-        patient,
-        category,
-        title,
-        ciphertext,
-    })
+impl WireDecode for StoredRecord {
+    type Ctx = DecodeCtx;
+
+    fn decode(r: &mut Reader<'_>, ctx: &DecodeCtx) -> core::result::Result<Self, DecodeError> {
+        let id = RecordId(r.u64()?);
+        let patient = Identity::from_bytes(r.bytes()?.to_vec());
+        let category = Category::from_label(&r.string()?);
+        let title = r.string()?;
+        let ciphertext_bytes = r.bytes()?;
+        let mut cr = Reader::with_version(ciphertext_bytes, r.version());
+        let ciphertext = HybridCiphertext::decode(&mut cr, ctx)?;
+        cr.finish()?;
+        Ok(StoredRecord {
+            id,
+            patient,
+            category,
+            title,
+            ciphertext,
+        })
+    }
+}
+
+/// Decodes a nested, length-prefixed audit event at the reader's version.
+fn decode_nested_event(r: &mut Reader<'_>) -> core::result::Result<AuditEvent, DecodeError> {
+    let version = r.version();
+    tibpre_wire::decode_bare(r.bytes()?, version, &())
 }
 
 impl WalOp {
@@ -182,42 +199,63 @@ impl WalOp {
     /// hot-path twin of `WalOp::Put { .. }.to_bytes()` that skips cloning
     /// the record (and its whole ciphertext body) just to serialize it.
     pub fn encode_put(record: &StoredRecord, at: u64) -> Vec<u8> {
-        let mut out = Vec::new();
-        out.push(op_tag::PUT);
-        codec::put_u64(&mut out, at);
-        put_record(&mut out, record);
-        out
+        let version = WireVersion::DEFAULT;
+        let mut w = Writer::with_version(version);
+        w.put_u8(version.tag());
+        w.put_u8(op_tag::PUT);
+        w.put_u64(at);
+        record.encode(&mut w);
+        w.into_bytes()
     }
 
-    /// Serializes the operation into one frame payload.
+    /// Serializes the operation into one versioned frame payload.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+        self.to_wire_bytes()
+    }
+
+    /// Parses a frame payload, accepting both the versioned envelope and
+    /// the bare legacy (pre-envelope) layout — no legacy first byte
+    /// collides with an envelope tag, so one-byte sniffing is unambiguous.
+    /// All errors are values, never panics.
+    pub fn from_bytes(params: &Arc<PairingParams>, bytes: &[u8]) -> Result<Self> {
+        let ctx = DecodeCtx::from(params);
+        match bytes.first() {
+            Some(&b) if WireVersion::is_envelope_tag(b) => Ok(Self::from_wire_bytes(bytes, &ctx)?),
+            _ => Ok(tibpre_wire::decode_bare(bytes, WireVersion::V0, &ctx)?),
+        }
+    }
+}
+
+impl WireEncode for WalOp {
+    fn encode(&self, w: &mut Writer) {
         match self {
             WalOp::Put { record, at } => {
-                out.push(op_tag::PUT);
-                codec::put_u64(&mut out, *at);
-                put_record(&mut out, record);
+                w.put_u8(op_tag::PUT);
+                w.put_u64(*at);
+                record.encode(w);
             }
             WalOp::Delete { id, at } => {
-                out.push(op_tag::DELETE);
-                codec::put_u64(&mut out, *at);
-                codec::put_u64(&mut out, id.0);
+                w.put_u8(op_tag::DELETE);
+                w.put_u64(*at);
+                w.put_u64(id.0);
             }
             WalOp::Audit { event } => {
-                out.push(op_tag::AUDIT);
-                codec::put_bytes(&mut out, &event.to_bytes());
+                w.put_u8(op_tag::AUDIT);
+                w.put_nested(|w| event.encode(w));
             }
         }
-        out
     }
+}
 
-    /// Parses a frame payload.  All errors are values, never panics.
-    pub fn from_bytes(params: &Arc<PairingParams>, bytes: &[u8]) -> Result<Self> {
-        let mut r = Reader::new(bytes);
+impl WireDecode for WalOp {
+    type Ctx = DecodeCtx;
+
+    fn decode(r: &mut Reader<'_>, ctx: &DecodeCtx) -> core::result::Result<Self, DecodeError> {
+        let start = r.offset();
         let op = match r.u8()? {
             op_tag::PUT => {
                 let at = r.u64()?;
-                let record = Box::new(read_record(params, &mut r)?);
+                let record = Box::new(StoredRecord::decode(r, ctx)?);
                 WalOp::Put { record, at }
             }
             op_tag::DELETE => {
@@ -228,55 +266,65 @@ impl WalOp {
                 }
             }
             op_tag::AUDIT => WalOp::Audit {
-                event: AuditEvent::from_bytes(r.bytes()?)?,
+                event: decode_nested_event(r)?,
             },
-            _ => return Err(PhrError::CorruptedRecord("unknown WAL op tag")),
+            other => return Err(DecodeError::invalid_tag(start, "WAL op", other)),
         };
-        r.finish()?;
         Ok(op)
     }
 }
 
 /// Serializes one shard's full state (records in id order, then the audit
-/// segment) into a snapshot payload.
+/// segment) into a versioned snapshot payload: one envelope byte, then the
+/// counted, length-prefixed records and events.
 pub(crate) fn encode_shard_state<'a>(
     records: impl ExactSizeIterator<Item = &'a StoredRecord>,
     audit: &[AuditEvent],
 ) -> Vec<u8> {
-    let mut out = Vec::new();
-    codec::put_u64(&mut out, records.len() as u64);
+    let version = WireVersion::DEFAULT;
+    let mut w = Writer::with_version(version);
+    w.put_u8(version.tag());
+    w.put_u64(records.len() as u64);
     for record in records {
-        let mut buf = Vec::new();
-        put_record(&mut buf, record);
-        codec::put_bytes(&mut out, &buf);
+        w.put_nested(|w| record.encode(w));
     }
-    codec::put_u64(&mut out, audit.len() as u64);
+    w.put_u64(audit.len() as u64);
     for event in audit {
-        codec::put_bytes(&mut out, &event.to_bytes());
+        w.put_nested(|w| event.encode(w));
     }
-    out
+    w.into_bytes()
 }
 
-/// Parses a snapshot payload back into `(records, audit)`.
+/// Parses a snapshot payload back into `(records, audit)`.  Accepts both
+/// the versioned envelope and the bare legacy layout (which opens with the
+/// high byte of a `u64` record count — never an envelope tag).
 pub(crate) fn decode_shard_state(
     params: &Arc<PairingParams>,
     payload: &[u8],
 ) -> Result<(Vec<StoredRecord>, Vec<AuditEvent>)> {
-    let mut r = Reader::new(payload);
+    let ctx = DecodeCtx::from(params);
+    let mut r = match payload.first() {
+        Some(&b) if WireVersion::is_envelope_tag(b) => {
+            let version = WireVersion::from_tag(b).expect("checked above");
+            Reader::with_version(&payload[1..], version)
+        }
+        _ => Reader::with_version(payload, WireVersion::V0),
+    };
     let record_count = r.u64()? as usize;
     // Guard the pre-allocation against a corrupt count; the loop below
     // naturally fails on a short buffer either way.
     let mut records = Vec::with_capacity(record_count.min(1024));
     for _ in 0..record_count {
-        let mut field = Reader::new(r.bytes()?);
-        let record = read_record(params, &mut field)?;
+        let version = r.version();
+        let mut field = Reader::with_version(r.bytes()?, version);
+        let record = StoredRecord::decode(&mut field, &ctx)?;
         field.finish()?;
         records.push(record);
     }
     let event_count = r.u64()? as usize;
     let mut audit = Vec::with_capacity(event_count.min(1024));
     for _ in 0..event_count {
-        audit.push(AuditEvent::from_bytes(r.bytes()?)?);
+        audit.push(decode_nested_event(&mut r)?);
     }
     r.finish()?;
     Ok((records, audit))
@@ -294,7 +342,7 @@ mod proxy_tag {
 /// grants the patients installed (the paper's proxy is the long-lived party
 /// *entrusted* with those keys — losing them on restart would force every
 /// patient to re-delegate).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProxyWalOp {
     /// An entry of the proxy's own audit log.
     Audit {
@@ -323,59 +371,78 @@ impl ProxyWalOp {
     /// Encodes an `InstallKey` frame payload directly from a borrowed key —
     /// skips cloning the key (pairing tables included) just to serialize it.
     pub fn encode_install(key: &ReEncryptionKey) -> Vec<u8> {
-        let mut out = Vec::new();
-        out.push(proxy_tag::INSTALL_KEY);
-        codec::put_bytes(&mut out, &key.to_bytes());
-        out
+        let version = WireVersion::DEFAULT;
+        let mut w = Writer::with_version(version);
+        w.put_u8(version.tag());
+        w.put_u8(proxy_tag::INSTALL_KEY);
+        w.put_nested(|w| key.encode(w));
+        w.into_bytes()
     }
 
-    /// Serializes the operation into one frame payload.
+    /// Serializes the operation into one versioned frame payload.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+        self.to_wire_bytes()
+    }
+
+    /// Parses a frame payload, accepting both the versioned envelope and
+    /// the bare legacy layout.  All errors are values, never panics.
+    pub fn from_bytes(params: &Arc<PairingParams>, bytes: &[u8]) -> Result<Self> {
+        let ctx = DecodeCtx::from(params);
+        match bytes.first() {
+            Some(&b) if WireVersion::is_envelope_tag(b) => Ok(Self::from_wire_bytes(bytes, &ctx)?),
+            _ => Ok(tibpre_wire::decode_bare(bytes, WireVersion::V0, &ctx)?),
+        }
+    }
+}
+
+impl WireEncode for ProxyWalOp {
+    fn encode(&self, w: &mut Writer) {
         match self {
             ProxyWalOp::Audit { event } => {
-                out.push(proxy_tag::AUDIT);
-                codec::put_bytes(&mut out, &event.to_bytes());
+                w.put_u8(proxy_tag::AUDIT);
+                w.put_nested(|w| event.encode(w));
             }
             ProxyWalOp::InstallKey { key } => {
-                out.push(proxy_tag::INSTALL_KEY);
-                codec::put_bytes(&mut out, &key.to_bytes());
+                w.put_u8(proxy_tag::INSTALL_KEY);
+                w.put_nested(|w| key.encode(w));
             }
             ProxyWalOp::RevokeKey {
                 patient,
                 category,
                 grantee,
             } => {
-                out.push(proxy_tag::REVOKE_KEY);
-                codec::put_bytes(&mut out, patient.as_bytes());
-                codec::put_bytes(&mut out, category.label().as_bytes());
-                codec::put_bytes(&mut out, grantee.as_bytes());
+                w.put_u8(proxy_tag::REVOKE_KEY);
+                w.put_bytes(patient.as_bytes());
+                w.put_bytes(category.label().as_bytes());
+                w.put_bytes(grantee.as_bytes());
             }
         }
-        out
     }
+}
 
-    /// Parses a frame payload.  All errors are values, never panics.
-    pub fn from_bytes(params: &Arc<PairingParams>, bytes: &[u8]) -> Result<Self> {
-        let mut r = Reader::new(bytes);
+impl WireDecode for ProxyWalOp {
+    type Ctx = DecodeCtx;
+
+    fn decode(r: &mut Reader<'_>, ctx: &DecodeCtx) -> core::result::Result<Self, DecodeError> {
+        let start = r.offset();
         let op = match r.u8()? {
             proxy_tag::AUDIT => ProxyWalOp::Audit {
-                event: AuditEvent::from_bytes(r.bytes()?)?,
+                event: decode_nested_event(r)?,
             },
-            proxy_tag::INSTALL_KEY => ProxyWalOp::InstallKey {
-                key: Box::new(
-                    ReEncryptionKey::from_bytes(params, r.bytes()?)
-                        .map_err(|_| PhrError::CorruptedRecord("undecodable re-encryption key"))?,
-                ),
-            },
+            proxy_tag::INSTALL_KEY => {
+                let version = r.version();
+                let mut kr = Reader::with_version(r.bytes()?, version);
+                let key = Box::new(ReEncryptionKey::decode(&mut kr, ctx)?);
+                kr.finish()?;
+                ProxyWalOp::InstallKey { key }
+            }
             proxy_tag::REVOKE_KEY => ProxyWalOp::RevokeKey {
                 patient: Identity::from_bytes(r.bytes()?.to_vec()),
                 category: Category::from_label(&r.string()?),
                 grantee: Identity::from_bytes(r.bytes()?.to_vec()),
             },
-            _ => return Err(PhrError::CorruptedRecord("unknown proxy WAL op tag")),
+            other => return Err(DecodeError::invalid_tag(start, "proxy WAL op", other)),
         };
-        r.finish()?;
         Ok(op)
     }
 }
@@ -399,13 +466,19 @@ pub fn proxy_wal_path(dir: &Path, name: &str) -> std::path::PathBuf {
 /// its write lock.
 #[derive(Debug)]
 pub(crate) struct ShardLog {
-    pub wal: WalWriter,
+    pub wal: SegmentedWal,
     /// Snapshot series base name (`shard-NN`).
     pub base: String,
     /// Latest snapshot generation written or recovered.
     pub gen: u64,
     /// Operations logged since the last snapshot.
     pub ops_since_snapshot: u64,
+    /// WAL offsets of the snapshot generations currently on disk, as far
+    /// as this process knows them (gen → offset).  Segment GC only runs
+    /// when *every* listed generation's offset is known, and never deletes
+    /// bytes at or above the oldest kept offset — so recovery from any
+    /// kept snapshot always finds its starting offset on disk.
+    pub snap_offsets: BTreeMap<u64, u64>,
 }
 
 /// The store-wide durable context.
@@ -420,9 +493,11 @@ pub(crate) struct StoreDurability {
     pub lock: tibpre_storage::DirLock,
 }
 
-/// The WAL segment path of shard `index` under `dir`.
+/// The path of shard `index`'s *first* WAL segment under `dir` (the
+/// legacy single-file name; rotated segments live beside it, named by
+/// their starting logical offset — see [`tibpre_storage::segment`]).
 pub fn shard_wal_path(dir: &Path, index: usize) -> std::path::PathBuf {
-    dir.join(format!("{}.wal", shard_base(index)))
+    segment::first_segment_path(dir, &shard_base(index))
 }
 
 /// The snapshot series base name of shard `index`.

@@ -2,12 +2,15 @@
 
 use core::fmt;
 use tibpre_core::PreError;
+use tibpre_wire::DecodeError;
 
 /// Errors produced by the PHR disclosure application.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PhrError {
     /// An error bubbled up from the proxy re-encryption layer.
     Pre(PreError),
+    /// A wire decode failed (truncation, bad tag, invalid group element).
+    Decode(DecodeError),
     /// The requested record does not exist.
     RecordNotFound,
     /// The requester has not been granted access to the record's category.
@@ -32,6 +35,7 @@ impl fmt::Display for PhrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PhrError::Pre(e) => write!(f, "re-encryption error: {e}"),
+            PhrError::Decode(e) => write!(f, "decode error: {e}"),
             PhrError::RecordNotFound => write!(f, "record not found"),
             PhrError::AccessDenied {
                 category,
@@ -62,8 +66,15 @@ impl From<tibpre_storage::StorageError> for PhrError {
     fn from(e: tibpre_storage::StorageError) -> Self {
         match e {
             tibpre_storage::StorageError::Corrupt(why) => PhrError::CorruptedRecord(why),
+            tibpre_storage::StorageError::Decode(e) => PhrError::Decode(e),
             other => PhrError::Storage(other.to_string()),
         }
+    }
+}
+
+impl From<DecodeError> for PhrError {
+    fn from(e: DecodeError) -> Self {
+        PhrError::Decode(e)
     }
 }
 

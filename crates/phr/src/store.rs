@@ -57,7 +57,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use tibpre_core::HybridCiphertext;
 use tibpre_engine::ReEncryptEngine;
 use tibpre_ibe::Identity;
-use tibpre_storage::{codec, frame, snapshot, FsyncPolicy, WalWriter};
+use tibpre_storage::{codec, frame, segment, snapshot, FsyncPolicy, SegmentedWal};
 
 /// Default shard count.  Sixteen stripes keep the per-shard contention
 /// negligible for any worker count this workspace's engine will realistically
@@ -262,28 +262,33 @@ impl EncryptedPhrStore {
     /// Recovers one shard: newest valid snapshot (falling back through the
     /// generations, then to empty), then the WAL tail from the snapshot's
     /// offset, truncated at the first torn or corrupt frame.  Only the tail
-    /// behind the chosen snapshot is read from disk — the superseded prefix
-    /// never enters memory.
+    /// behind the chosen snapshot is read from disk — earlier WAL segments
+    /// are skipped entirely (and may already have been garbage-collected).
     fn recover_shard(dir: &Path, index: usize, durability: &Durability) -> Result<Shard> {
-        use std::io::{Read, Seek, SeekFrom};
-
         let base = durable::shard_base(index);
-        let wal_path = durable::shard_wal_path(dir, index);
-        let wal_len = match std::fs::metadata(&wal_path) {
-            Ok(meta) => meta.len(),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+        let segments = match segment::list_segments(dir, &base) {
+            Ok(segments) => segments,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
             Err(e) => return Err(e.into()),
         };
+        let wal_floor = segments.first().map(|s| s.start).unwrap_or(0);
+        let wal_end = segments.last().map(|s| s.end()).unwrap_or(0);
 
         let mut shard = Shard::default();
         let mut start = 0u64;
         let mut gen = 0u64;
+        let mut snap_offsets = std::collections::BTreeMap::new();
         for candidate in snapshot::list_generations(dir, &base)? {
             let Ok(snap) = snapshot::load_snapshot(dir, &base, candidate) else {
                 continue; // checksum/torn: fall back to an older generation
             };
-            if snap.wal_offset > wal_len {
+            if snap.wal_offset > wal_end || snap.wal_offset < wal_floor {
                 continue; // references log bytes that no longer exist
+            }
+            if gen != 0 || !snap_offsets.is_empty() {
+                // A later pass only harvests the offset for the GC map.
+                snap_offsets.insert(candidate, snap.wal_offset);
+                continue;
             }
             let Ok((records, audit)) =
                 durable::decode_shard_state(durability.params(), &snap.payload)
@@ -294,20 +299,24 @@ impl EncryptedPhrStore {
             shard.audit = audit;
             start = snap.wal_offset;
             gen = candidate;
-            break;
+            snap_offsets.insert(candidate, snap.wal_offset);
         }
 
-        let tail = if wal_len > start {
-            let mut file = std::fs::File::open(&wal_path)?;
-            file.seek(SeekFrom::Start(start))?;
-            let mut bytes = Vec::with_capacity((wal_len - start) as usize);
-            file.read_to_end(&mut bytes)?;
-            bytes
-        } else {
-            Vec::new()
-        };
+        // A WAL whose prefix was garbage-collected can only be opened
+        // through a snapshot at or above the surviving floor.  If no kept
+        // generation is usable, refuse to open instead of replaying a
+        // partial tail (silent data loss) or truncating segments a repair
+        // might still need — compaction trades the old "all snapshots
+        // corrupt → full log replay" fallback for bounded disk usage, so
+        // this failure is surfaced, not papered over.
+        if start < wal_floor {
+            return Err(PhrError::CorruptedRecord(
+                "no usable snapshot at or above the oldest surviving WAL segment — \
+                 the log prefix was compacted away; refusing to open with partial state",
+            ));
+        }
 
-        let scan = frame::scan(&tail, 0);
+        let scan = segment::recover(dir, &base, start)?;
         for payload in &scan.frames {
             // A frame that passes its checksum but fails to *decode* is not
             // storage corruption (the CRC vouches for the bytes) — it means
@@ -326,13 +335,13 @@ impl EncryptedPhrStore {
         // The truncation boundary is the scanner's: every frame decoded (a
         // failure returned above), so the valid prefix ends where the scan
         // stopped.
-        let boundary = start + scan.valid_len;
-        let wal = WalWriter::open(&wal_path, boundary, durability.fsync_policy())?;
+        let wal = SegmentedWal::open(dir, &base, scan.valid_len, durability.fsync_policy())?;
         shard.log = Some(ShardLog {
             wal,
             base,
             gen,
             ops_since_snapshot: 0,
+            snap_offsets,
         });
         Ok(shard)
     }
@@ -398,23 +407,21 @@ impl EncryptedPhrStore {
         log.ops_since_snapshot += 1;
     }
 
-    /// Serializes a shard's full state into the next snapshot generation and
-    /// prunes old generations (keeping [`SNAPSHOT_GENERATIONS_KEPT`]).
+    /// Serializes a shard's full state into the next snapshot generation,
+    /// prunes old generations (keeping [`SNAPSHOT_GENERATIONS_KEPT`]) and
+    /// garbage-collects WAL segments wholly behind the oldest kept
+    /// snapshot — the compaction that bounds disk usage by churn since the
+    /// last snapshot instead of store lifetime.
     fn snapshot_shard(d: &StoreDurability, shard: &mut Shard) -> std::io::Result<()> {
         let payload = durable::encode_shard_state(shard.records.values(), &shard.audit);
         let log = shard.log.as_mut().expect("snapshotting a durable shard");
-        // The snapshot must not reference WAL bytes that are less durable
-        // than itself: under `EveryN` the offset could otherwise point past
-        // what survives a power cut, and recovery would discard the (fully
-        // fsynced!) snapshot via the `wal_offset > wal_len` check.  One
-        // extra fsync per cadence interval buys referential integrity;
-        // `Never` keeps its no-fsync contract (and writes the snapshot
-        // unsynced anyway).
-        let wal_offset = if matches!(d.fsync, FsyncPolicy::Never) {
-            log.wal.committed_len()
-        } else {
-            log.wal.sync()?
-        };
+        // Rotate so the snapshot's offset lands on a segment boundary —
+        // that is what makes the prefix reclaimable as whole files once
+        // this snapshot is the oldest kept.  Rotation syncs the old
+        // segment first (under `Never` it only commits, keeping that
+        // policy's no-fsync contract), so the snapshot never references
+        // WAL bytes less durable than itself.
+        let wal_offset = log.wal.rotate()?;
         log.gen += 1;
         snapshot::write_snapshot(
             &d.dir,
@@ -425,6 +432,23 @@ impl EncryptedPhrStore {
             !matches!(d.fsync, FsyncPolicy::Never),
         )?;
         snapshot::prune(&d.dir, &log.base, SNAPSHOT_GENERATIONS_KEPT)?;
+        log.snap_offsets.insert(log.gen, wal_offset);
+        // Segment GC: safe only when a full complement of generations is
+        // on disk and the offset of *every* one of them is known — the
+        // boundary is the smallest of those offsets, so no kept snapshot
+        // can ever reference a deleted segment, and losing the newest
+        // generation still leaves an older one whose log suffix survives.
+        // An unknown generation (e.g. a corrupt newer file surviving from
+        // a previous run) simply defers GC until pruning retires it.
+        let kept = snapshot::list_generations(&d.dir, &log.base)?;
+        log.snap_offsets.retain(|g, _| kept.contains(g));
+        if kept.len() >= SNAPSHOT_GENERATIONS_KEPT
+            && kept.iter().all(|g| log.snap_offsets.contains_key(g))
+        {
+            if let Some(&oldest) = log.snap_offsets.values().min() {
+                log.wal.truncate_before(oldest)?;
+            }
+        }
         log.ops_since_snapshot = 0;
         Ok(())
     }

@@ -1,136 +1,10 @@
-//! Tiny field codec used inside frame and snapshot payloads.
+//! Field codec — absorbed by [`tibpre_wire`].
 //!
-//! Frames delimit *operations*; inside a payload the individual fields are
-//! length-prefixed with the same big-endian conventions the workspace's
-//! ciphertext serializations already use (`u32 BE` length + bytes).  The
-//! [`Reader`] is a bounds-checked cursor: every decode error is a value, not
-//! a panic, so a corrupted payload can never take the process down — recovery
-//! treats it exactly like a bad checksum.
+//! This module used to define its own length-prefixed field codec; the
+//! workspace now has exactly one (`tibpre-wire`), shared by the wire
+//! formats of every crate and by the storage payloads.  The re-exports
+//! below keep the old `storage::codec::*` paths working; decode failures
+//! surface as [`tibpre_wire::DecodeError`] and convert into
+//! [`StorageError`](crate::StorageError) via `From`.
 
-use crate::StorageError;
-
-/// Appends a `u32` big-endian.
-pub fn put_u32(out: &mut Vec<u8>, value: u32) {
-    out.extend_from_slice(&value.to_be_bytes());
-}
-
-/// Appends a `u64` big-endian.
-pub fn put_u64(out: &mut Vec<u8>, value: u64) {
-    out.extend_from_slice(&value.to_be_bytes());
-}
-
-/// Appends a length-prefixed byte string (`u32 BE` length, then the bytes).
-pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
-    put_u32(out, bytes.len() as u32);
-    out.extend_from_slice(bytes);
-}
-
-/// A bounds-checked decoding cursor over a payload.
-#[derive(Debug)]
-pub struct Reader<'a> {
-    bytes: &'a [u8],
-    offset: usize,
-}
-
-impl<'a> Reader<'a> {
-    /// A cursor at the start of `bytes`.
-    pub fn new(bytes: &'a [u8]) -> Self {
-        Reader { bytes, offset: 0 }
-    }
-
-    /// Bytes not yet consumed.
-    pub fn remaining(&self) -> usize {
-        self.bytes.len() - self.offset
-    }
-
-    /// Takes `n` raw bytes.
-    pub fn take(&mut self, n: usize) -> Result<&'a [u8], StorageError> {
-        if self.remaining() < n {
-            return Err(StorageError::Corrupt("payload shorter than a field"));
-        }
-        let slice = &self.bytes[self.offset..self.offset + n];
-        self.offset += n;
-        Ok(slice)
-    }
-
-    /// Reads a `u8`.
-    pub fn u8(&mut self) -> Result<u8, StorageError> {
-        Ok(self.take(1)?[0])
-    }
-
-    /// Reads a `u32 BE`.
-    pub fn u32(&mut self) -> Result<u32, StorageError> {
-        Ok(u32::from_be_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
-    }
-
-    /// Reads a `u64 BE`.
-    pub fn u64(&mut self) -> Result<u64, StorageError> {
-        Ok(u64::from_be_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
-    }
-
-    /// Reads a length-prefixed byte string.
-    pub fn bytes(&mut self) -> Result<&'a [u8], StorageError> {
-        let len = self.u32()? as usize;
-        self.take(len)
-    }
-
-    /// Reads a length-prefixed UTF-8 string.
-    pub fn string(&mut self) -> Result<String, StorageError> {
-        String::from_utf8(self.bytes()?.to_vec())
-            .map_err(|_| StorageError::Corrupt("field is not valid UTF-8"))
-    }
-
-    /// Asserts the payload is fully consumed (catches trailing garbage).
-    pub fn finish(self) -> Result<(), StorageError> {
-        if self.remaining() == 0 {
-            Ok(())
-        } else {
-            Err(StorageError::Corrupt("trailing bytes after payload"))
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn round_trip_fields() {
-        let mut out = Vec::new();
-        out.push(7u8);
-        put_u32(&mut out, 0xDEAD_BEEF);
-        put_u64(&mut out, 42);
-        put_bytes(&mut out, b"payload");
-        let mut r = Reader::new(&out);
-        assert_eq!(r.u8().unwrap(), 7);
-        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
-        assert_eq!(r.u64().unwrap(), 42);
-        assert_eq!(r.bytes().unwrap(), b"payload");
-        r.finish().unwrap();
-    }
-
-    #[test]
-    fn short_and_trailing_inputs_are_errors_not_panics() {
-        let mut out = Vec::new();
-        put_bytes(&mut out, b"abc");
-        // Truncation anywhere fails cleanly.
-        for cut in 0..out.len() {
-            let mut r = Reader::new(&out[..cut]);
-            assert!(r.bytes().is_err(), "cut {cut}");
-        }
-        // A length field larger than the buffer fails cleanly.
-        let mut huge = Vec::new();
-        put_u32(&mut huge, u32::MAX);
-        assert!(Reader::new(&huge).bytes().is_err());
-        // Trailing garbage is caught by finish().
-        let mut extra = out.clone();
-        extra.push(0);
-        let mut r = Reader::new(&extra);
-        r.bytes().unwrap();
-        assert!(r.finish().is_err());
-    }
-}
+pub use tibpre_wire::{put_bytes, put_u32, put_u64, DecodeError, Reader, Writer};

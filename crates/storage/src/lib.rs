@@ -31,6 +31,7 @@
 pub mod codec;
 pub mod crc;
 pub mod frame;
+pub mod segment;
 pub mod snapshot;
 pub mod wal;
 
@@ -40,6 +41,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 pub use frame::{FrameDefect, FrameScan};
+pub use segment::{SegmentedWal, SegmentedWalScan};
 pub use snapshot::Snapshot;
 pub use wal::WalWriter;
 
@@ -93,6 +95,8 @@ pub enum StorageError {
     Io(io::Error),
     /// A file's contents failed validation (checksum, magic, field bounds).
     Corrupt(&'static str),
+    /// A payload failed to decode (truncation, bad tag, trailing bytes).
+    Decode(tibpre_wire::DecodeError),
     /// Another process holds the advisory lock on the store.
     Locked(PathBuf),
 }
@@ -102,6 +106,7 @@ impl fmt::Display for StorageError {
         match self {
             StorageError::Io(e) => write!(f, "storage i/o error: {e}"),
             StorageError::Corrupt(why) => write!(f, "corrupt storage file: {why}"),
+            StorageError::Decode(e) => write!(f, "corrupt storage payload: {e}"),
             StorageError::Locked(path) => write!(
                 f,
                 "another process holds the lock {} — refusing to open the same store twice",
@@ -157,6 +162,12 @@ impl std::error::Error for StorageError {}
 impl From<io::Error> for StorageError {
     fn from(e: io::Error) -> Self {
         StorageError::Io(e)
+    }
+}
+
+impl From<tibpre_wire::DecodeError> for StorageError {
+    fn from(e: tibpre_wire::DecodeError) -> Self {
+        StorageError::Decode(e)
     }
 }
 

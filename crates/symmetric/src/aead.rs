@@ -143,25 +143,36 @@ impl AeadCiphertext {
         out
     }
 
-    /// Parses the serialization produced by [`Self::to_bytes`].
+    /// Parses the serialization produced by [`Self::to_bytes`], rejecting
+    /// trailing bytes (delegates to the wire codec).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
-        if bytes.len() < NONCE_LEN + 8 + TAG_LEN {
-            return Err(SymmetricError::MalformedCiphertext("too short"));
-        }
-        let mut nonce = [0u8; NONCE_LEN];
-        nonce.copy_from_slice(&bytes[..NONCE_LEN]);
-        let mut len_bytes = [0u8; 8];
-        len_bytes.copy_from_slice(&bytes[NONCE_LEN..NONCE_LEN + 8]);
-        let body_len = u64::from_be_bytes(len_bytes) as usize;
-        let expected_total = NONCE_LEN + 8 + body_len + TAG_LEN;
-        if bytes.len() != expected_total {
-            return Err(SymmetricError::MalformedCiphertext(
-                "length field does not match input size",
-            ));
-        }
-        let body = bytes[NONCE_LEN + 8..NONCE_LEN + 8 + body_len].to_vec();
-        let mut tag = [0u8; TAG_LEN];
-        tag.copy_from_slice(&bytes[NONCE_LEN + 8 + body_len..]);
+        tibpre_wire::decode_bare(bytes, tibpre_wire::WireVersion::V0, &())
+            .map_err(|_| SymmetricError::MalformedCiphertext("undecodable AEAD ciphertext"))
+    }
+}
+
+impl tibpre_wire::WireEncode for AeadCiphertext {
+    /// `nonce ‖ body_len(u64 BE) ‖ body ‖ tag` — identical in every wire
+    /// version (nothing here is a group element).
+    fn encode(&self, w: &mut tibpre_wire::Writer) {
+        w.put_slice(&self.nonce);
+        w.put_u64(self.body.len() as u64);
+        w.put_slice(&self.body);
+        w.put_slice(&self.tag);
+    }
+}
+
+impl tibpre_wire::WireDecode for AeadCiphertext {
+    type Ctx = ();
+
+    fn decode(
+        r: &mut tibpre_wire::Reader<'_>,
+        _ctx: &(),
+    ) -> core::result::Result<Self, tibpre_wire::DecodeError> {
+        let nonce: [u8; NONCE_LEN] = r.take(NONCE_LEN)?.try_into().expect("fixed length");
+        let body_len = r.u64()? as usize;
+        let body = r.take(body_len)?.to_vec();
+        let tag: [u8; TAG_LEN] = r.take(TAG_LEN)?.try_into().expect("fixed length");
         Ok(AeadCiphertext { nonce, body, tag })
     }
 }

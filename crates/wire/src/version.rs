@@ -1,0 +1,82 @@
+//! The one-byte versioned envelope.
+//!
+//! Every top-level artifact that crosses a trust or durability boundary —
+//! a ciphertext handed to a client, a re-encryption key installed at a
+//! proxy, a WAL frame, a snapshot payload — starts with a single version
+//! byte.  Decoders read it, switch the [`Reader`](crate::Reader) to that
+//! version, and parse the remainder under the rules of that format
+//! generation.  Nested fields never carry their own envelope; they inherit
+//! the container's version.
+//!
+//! # Tag values
+//!
+//! The tags are `0xE0` (v0) and `0xE1` (v1) rather than `0` and `1` because
+//! durable data written *before the envelope existed* must remain
+//! recognisable: legacy WAL operation frames start with a tag in `1..=3`,
+//! legacy audit events with `1..=6`, legacy shard-state snapshots with the
+//! high byte of a `u64` record count (effectively `0`), and legacy group
+//! elements with `0x00`/`0x02`/`0x03`/`0x04`.  No legacy artifact starts
+//! with a byte in `0xE0..=0xEF`, so a decoder can sniff one leading byte
+//! and fall back to the bare legacy layout when it is not an envelope tag.
+
+/// A wire-format generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireVersion {
+    /// The original formats: uncompressed `G1` points (`0x04 ‖ x ‖ y`) and
+    /// raw two-coordinate target-group elements.  Matches the pre-envelope
+    /// on-disk layouts byte for byte, so v0 decoding doubles as the legacy
+    /// reader.
+    V0,
+    /// The compact formats (current default): compressed `G1` points
+    /// (`0x02/0x03 ‖ x`) and sign-compressed target-group elements — about
+    /// half the bytes for every group element on the wire.
+    V1,
+}
+
+impl WireVersion {
+    /// The version new data is written with.
+    pub const DEFAULT: WireVersion = WireVersion::V1;
+
+    /// The envelope byte of this version.
+    pub fn tag(self) -> u8 {
+        match self {
+            WireVersion::V0 => 0xE0,
+            WireVersion::V1 => 0xE1,
+        }
+    }
+
+    /// Parses an envelope byte.
+    pub fn from_tag(tag: u8) -> Option<WireVersion> {
+        match tag {
+            0xE0 => Some(WireVersion::V0),
+            0xE1 => Some(WireVersion::V1),
+            _ => None,
+        }
+    }
+
+    /// Whether `first_byte` can open a versioned envelope at all — used by
+    /// readers of durable data to distinguish enveloped payloads from bare
+    /// legacy layouts.
+    pub fn is_envelope_tag(first_byte: u8) -> bool {
+        Self::from_tag(first_byte).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_round_trip_and_reject_unknowns() {
+        for v in [WireVersion::V0, WireVersion::V1] {
+            assert_eq!(WireVersion::from_tag(v.tag()), Some(v));
+            assert!(WireVersion::is_envelope_tag(v.tag()));
+        }
+        // Legacy first bytes must never look like an envelope.
+        for legacy in [0x00u8, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06] {
+            assert!(!WireVersion::is_envelope_tag(legacy));
+        }
+        assert_eq!(WireVersion::from_tag(0xEE), None);
+        assert_eq!(WireVersion::DEFAULT, WireVersion::V1);
+    }
+}

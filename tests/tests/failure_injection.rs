@@ -78,18 +78,21 @@ fn ciphertexts_with_out_of_subgroup_points_are_rejected() {
     let ct = delegator.encrypt_typed(&m, &t, &mut rng);
 
     // Swap c1 for a curve point of the wrong order (a random point on the full
-    // curve, which almost surely is not in the order-q subgroup).
+    // curve, which almost surely is not in the order-q subgroup).  c1 sits
+    // right behind the one-byte envelope; compressed rogue and honest points
+    // encode to the same length, so the splice is surgical.
     let rogue = loop {
         let candidate = tibpre_pairing::curve::random_curve_point(params.fp_ctx(), &mut rng);
         if !candidate.is_in_subgroup(params.q()) {
             break candidate;
         }
     };
+    let rogue_enc = tibpre_wire::encode_bare(&rogue, tibpre_wire::WireVersion::V1);
     let mut bytes = ct.to_bytes();
-    bytes[..rogue.to_bytes().len()].copy_from_slice(&rogue.to_bytes());
+    bytes[1..1 + rogue_enc.len()].copy_from_slice(&rogue_enc);
     assert!(matches!(
         TypedCiphertext::from_bytes(&params, &bytes),
-        Err(PreError::InvalidEncoding(_)) | Err(PreError::Pairing(_))
+        Err(PreError::Decode(_)) | Err(PreError::Pairing(_))
     ));
 }
 
@@ -283,8 +286,27 @@ fn mid_frame_truncated_snapshot_falls_back_to_previous_generation() {
 }
 
 #[test]
-fn all_snapshots_corrupt_falls_back_to_full_log_replay() {
+fn all_snapshots_corrupt_refuses_to_open_without_destroying_the_log() {
     let f = SnapshotFixture::new("snap-all-bad", 0xA11);
+    // Since segment GC, the WAL prefix behind the oldest kept snapshot is
+    // deleted, so the pre-compaction fallback ("all generations corrupt →
+    // full log replay from offset 0") no longer exists.  The store must
+    // surface that as a refused open — never replay a partial tail as if
+    // it were the whole history, and never truncate segments a repair
+    // might still need.
+    let wal_segments = || {
+        let mut segs: Vec<(std::path::PathBuf, u64)> = std::fs::read_dir(&f.dir)
+            .unwrap()
+            .map(|e| e.unwrap())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".wal"))
+            .map(|e| (e.path(), e.metadata().unwrap().len()))
+            .collect();
+        segs.sort();
+        segs
+    };
+    // GC ran during the fixture's lifetime: the log no longer starts at 0.
+    assert!(!wal_segments().is_empty());
+
     // Damage BOTH generations differently: one bit-flip, one truncation.
     let gen2 = snapshot::snapshot_path(&f.dir, "shard-00", 2);
     let mut bytes = std::fs::read(&gen2).unwrap();
@@ -295,8 +317,23 @@ fn all_snapshots_corrupt_falls_back_to_full_log_replay() {
     let bytes = std::fs::read(&gen1).unwrap();
     std::fs::write(&gen1, &bytes[..7.min(bytes.len())]).unwrap();
 
-    // The WAL is never trimmed below the oldest kept snapshot, so a full
-    // replay from offset 0 still reconstructs everything.
+    let before = wal_segments();
+    assert!(matches!(
+        EncryptedPhrStore::open(&f.dir, SnapshotFixture::durability(&f.params)),
+        Err(PhrError::CorruptedRecord(_))
+    ));
+    // The refused open left every surviving WAL segment byte-identical.
+    assert_eq!(wal_segments(), before);
+
+    // Restoring one snapshot generation makes the store fully recoverable
+    // again (gen1's offset is the GC boundary, so its log suffix is intact).
+    std::fs::write(&gen2, {
+        let mut fixed = std::fs::read(&gen2).unwrap();
+        let last = fixed.len() - 1;
+        fixed[last] ^= 0x01;
+        fixed
+    })
+    .unwrap();
     f.assert_fully_recovered();
 }
 

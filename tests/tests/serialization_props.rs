@@ -83,7 +83,9 @@ proptest! {
         prop_assert!(TypedCiphertext::from_bytes(&w.params, &bytes[..cut]).is_err());
         // Corrupting the type-length field (without changing the buffer
         // length) must fail, for both larger and smaller claimed lengths.
-        let len_offset = w.params.g1_byte_len() + w.params.gt_byte_len();
+        // The type tag is the trailing field, so its length prefix sits
+        // exactly 4 + type_len bytes before the end.
+        let len_offset = bytes.len() - 4 - t.as_bytes().len();
         let claimed = t.as_bytes().len() as u32;
         for corrupted_len in [claimed.wrapping_add(1), claimed.wrapping_sub(1), u32::MAX] {
             let mut corrupted = bytes.clone();
@@ -119,10 +121,10 @@ proptest! {
         let cut = cut % bytes.len();
         prop_assert!(ReEncryptedCiphertext::from_bytes(&w.params, &bytes[..cut]).is_err());
         // Corrupt the first length field (the type tag's): parsing must not
-        // succeed, because the trailing-bytes check catches any shift.
-        let len_offset = w.params.g1_byte_len()
-            + w.params.gt_byte_len()
-            + IbeCiphertext::serialized_len(&w.params);
+        // succeed, because the trailing-bytes check catches any shift.  The
+        // two string fields trail the encoding, so locate them from the end.
+        let second_offset = bytes.len() - 4 - bob.as_bytes().len();
+        let len_offset = second_offset - 4 - t.as_bytes().len();
         let claimed = t.as_bytes().len() as u32;
         for corrupted_len in [claimed + 1, u32::MAX] {
             let mut corrupted = bytes.clone();
@@ -130,7 +132,6 @@ proptest! {
             prop_assert!(ReEncryptedCiphertext::from_bytes(&w.params, &corrupted).is_err());
         }
         // Corrupt the second length field (the delegatee's) the same way.
-        let second_offset = len_offset + 4 + t.as_bytes().len();
         let claimed = bob.as_bytes().len() as u32;
         for corrupted_len in [claimed + 1, u32::MAX] {
             let mut corrupted = bytes.clone();
