@@ -1,0 +1,332 @@
+//! E12: the wire-resident store against the decoded-struct baseline.
+//!
+//! The tentpole claim of the residency refactor, with numbers attached:
+//!
+//! * **puts/sec** — the resident ingest pipeline (encode once, WAL and
+//!   shard share the buffer, snapshots memcpy resident bytes) vs. the PR-5
+//!   decoded-struct pipeline (encode for the WAL, retain the struct,
+//!   re-encode the entire live set at every snapshot), emulated here
+//!   faithfully from public pieces since the old store no longer exists;
+//! * **bytes/record** — resident payload bytes per record against the v1
+//!   wire size (the gate: ≤ 1.05×; in fact identical bytes);
+//! * **cold vs hot get** — first read decodes from the mapped snapshot
+//!   (page fault + CRC + decode), repeat reads hit the per-shard LRU;
+//! * **reopen time** — O(index) opens at two store sizes (the full set and
+//!   a quarter of it), plus the number of record decodes the open performed
+//!   (must be zero: recovery replays only the WAL tail).
+//!
+//! Not a Criterion bench: one pass over a sizeable record set, wall-clock
+//! timed, emitting `BENCH_e12.json` at the workspace root (override the
+//! path with `TIBPRE_BENCH_JSON`) so the perf trajectory is a committed
+//! artifact.  Record count defaults to 10k; `TIBPRE_E12_RECORDS=1000000`
+//! is the nightly's 1M-record run.  The decoded-struct baseline is rate-
+//! measured on at most 10k records — its snapshot re-encode is quadratic-ish
+//! in the live set, which is precisely the point.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::time::Instant;
+use tibpre_bench::Fixture;
+use tibpre_core::{Delegator, HybridCiphertext, TypeTag};
+use tibpre_ibe::Identity;
+use tibpre_pairing::SecurityLevel;
+use tibpre_phr::category::Category;
+use tibpre_phr::durable::Durability;
+use tibpre_phr::metrics;
+use tibpre_phr::record::RecordId;
+use tibpre_phr::store::{EncryptedPhrStore, StoredRecord};
+use tibpre_phr::FsyncPolicy;
+use tibpre_storage::{snapshot, TempDir, WalWriter};
+use tibpre_wire::{encode_bare, WireVersion};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn sample_ciphertext(delegator: &Delegator, rng: &mut StdRng) -> HybridCiphertext {
+    delegator.encrypt_bytes(&[0x42u8; 64], b"e12", &TypeTag::new("lab-results"), rng)
+}
+
+/// The PR-5 decoded-struct ingest pipeline, emulated: encode each record for
+/// the WAL, retain the decoded struct, and at every snapshot re-encode the
+/// whole shard state — every live record *and* the audit trail, exactly what
+/// `encode_shard_state` persisted — into a monolithic payload.  Same fsync
+/// policy (never), same on-disk artifacts, same snapshot cadence as the
+/// resident run.
+fn baseline_puts_per_sec(
+    ciphertext: &HybridCiphertext,
+    alice: &Identity,
+    records: usize,
+    cadence: usize,
+) -> f64 {
+    use tibpre_phr::audit::AuditEvent;
+    let tmp = TempDir::new("e12-baseline").unwrap();
+    let dir = tmp.path().to_path_buf();
+    let mut wal = WalWriter::open(&dir.join("shard-00.wal"), 0, FsyncPolicy::Never).unwrap();
+    let mut live: BTreeMap<RecordId, StoredRecord> = BTreeMap::new();
+    let mut by_patient: std::collections::HashMap<Vec<u8>, std::collections::BTreeSet<RecordId>> =
+        std::collections::HashMap::new();
+    let mut audit: Vec<AuditEvent> = Vec::new();
+    let mut gen = 0u64;
+    let mut timed = std::time::Duration::ZERO;
+    let mut i = 0usize;
+    while i < records {
+        // Ciphertexts and titles are prepared outside the timed region (a
+        // real ingester moves freshly encrypted blobs in; cloning one
+        // fixture ciphertext per put is harness cost, not pipeline cost).
+        let chunk = CHUNK.min(records - i);
+        let mut cts: Vec<HybridCiphertext> = (0..chunk).map(|_| ciphertext.clone()).collect();
+        let titles: Vec<String> = (i..i + chunk).map(|n| format!("r{n}")).collect();
+        let start = Instant::now();
+        for (ct, title) in cts.drain(..).zip(titles) {
+            i += 1;
+            let record = StoredRecord {
+                id: RecordId(i as u64),
+                patient: alice.clone(),
+                category: Category::LabResults,
+                title,
+                ciphertext: ct,
+            };
+            let frame = encode_bare(&record, WireVersion::DEFAULT);
+            wal.append(&frame);
+            wal.commit().unwrap();
+            audit.push(AuditEvent::RecordStored {
+                id: record.id,
+                patient: record.patient.clone(),
+                category: record.category.clone(),
+                at: i as u64,
+            });
+            by_patient
+                .entry(record.patient.as_bytes().to_vec())
+                .or_default()
+                .insert(record.id);
+            live.insert(record.id, record);
+            if i.is_multiple_of(cadence) {
+                // The decoded-struct snapshot: every live record and every
+                // audit event re-encoded (the resident store's snapshot
+                // copies record bytes and re-encodes only the audit
+                // metadata).
+                let mut payload = Vec::new();
+                for record in live.values() {
+                    payload.extend_from_slice(&encode_bare(record, WireVersion::DEFAULT));
+                }
+                for event in &audit {
+                    payload.extend_from_slice(&encode_bare(event, WireVersion::DEFAULT));
+                }
+                gen += 1;
+                snapshot::write_snapshot(&dir, "shard-00", gen, 0, &payload, false).unwrap();
+            }
+        }
+        timed += start.elapsed();
+    }
+    records as f64 / timed.as_secs_f64()
+}
+
+/// Pre-clone chunk size: big enough to amortize, small enough that the 1M
+/// nightly never holds more than a few MB of pre-built ciphertexts.
+const CHUNK: usize = 4096;
+
+/// Drives `range` puts into `store` with ciphertexts and titles prepared
+/// outside the timed region; returns the timed duration.
+fn timed_puts(
+    store: &EncryptedPhrStore,
+    ciphertext: &HybridCiphertext,
+    alice: &Identity,
+    range: std::ops::Range<usize>,
+    ids: &mut Vec<RecordId>,
+) -> std::time::Duration {
+    let mut timed = std::time::Duration::ZERO;
+    let mut i = range.start;
+    while i < range.end {
+        let chunk = CHUNK.min(range.end - i);
+        let mut cts: Vec<HybridCiphertext> = (0..chunk).map(|_| ciphertext.clone()).collect();
+        let titles: Vec<String> = (i..i + chunk).map(|n| format!("r{n}")).collect();
+        let start = Instant::now();
+        for (ct, title) in cts.drain(..).zip(&titles) {
+            ids.push(store.put(alice, &Category::LabResults, title, ct));
+        }
+        timed += start.elapsed();
+        i += chunk;
+    }
+    timed
+}
+
+fn main() {
+    let records = env_usize("TIBPRE_E12_RECORDS", 10_000);
+    let baseline_records = records.min(env_usize("TIBPRE_E12_BASELINE_RECORDS", 10_000));
+    // The store's default snapshot cadence, stretched only at nightly scale
+    // so total snapshot volume stays bounded (each snapshot rewrites the
+    // live set; at 1M records a 256-op cadence would write terabytes).
+    let cadence = (records / 64).max(256);
+    // Rates are best-of-N at smoke scale: the box CI runs on is small and
+    // noisy, and best-of-N is the standard way to measure the pipelines
+    // rather than the scheduler.  The 1M nightly runs a single pass.
+    let trials = if records <= 100_000 { 3 } else { 1 };
+    let f = Fixture::new(SecurityLevel::Toy);
+    let mut rng = StdRng::seed_from_u64(0xE12);
+    let ciphertext = sample_ciphertext(&f.delegator, &mut rng);
+    let alice = Identity::new("alice");
+    eprintln!("e12: {records} records (baseline rate over {baseline_records}), snapshot cadence {cadence}");
+
+    let baseline_rate = (0..trials)
+        .map(|_| baseline_puts_per_sec(&ciphertext, &alice, baseline_records, cadence))
+        .fold(f64::MIN, f64::max);
+    eprintln!("e12: baseline {baseline_rate:.0} puts/s (best of {trials})");
+
+    // --- Resident ingest: the real store, same cadence and fsync policy. ---
+    let tmp = TempDir::new("e12-resident").unwrap();
+    let dir = tmp.path().join("db");
+    let durability = || {
+        Durability::new(f.params.clone())
+            .shards(1)
+            .fsync(FsyncPolicy::Never)
+            .snapshot_every(cadence as u64)
+    };
+    let quarter = records / 4;
+    let store = EncryptedPhrStore::open(&dir, durability()).unwrap();
+    let mut ids = Vec::with_capacity(records);
+    let quarter_elapsed = timed_puts(&store, &ciphertext, &alice, 0..quarter, &mut ids);
+    // Reopen checkpoint at a quarter of the data, for the sublinearity row.
+    store.force_snapshot().unwrap();
+    drop(store);
+    let open_start = Instant::now();
+    let store = EncryptedPhrStore::open(&dir, durability()).unwrap();
+    let reopen_quarter = open_start.elapsed();
+    assert_eq!(store.record_count(), quarter);
+
+    let put_elapsed =
+        quarter_elapsed + timed_puts(&store, &ciphertext, &alice, quarter..records, &mut ids);
+    let mut resident_rate = records as f64 / put_elapsed.as_secs_f64();
+    // Extra rate trials on a throwaway store (same cadence, same inline
+    // snapshots) — the artifact-producing store above stays untouched.
+    for _ in 1..trials {
+        let trial_tmp = TempDir::new("e12-resident-trial").unwrap();
+        let trial_store =
+            EncryptedPhrStore::open(trial_tmp.path().join("db"), durability()).unwrap();
+        let mut trial_ids = Vec::with_capacity(records);
+        let elapsed = timed_puts(
+            &trial_store,
+            &ciphertext,
+            &alice,
+            0..records,
+            &mut trial_ids,
+        );
+        resident_rate = resident_rate.max(records as f64 / elapsed.as_secs_f64());
+    }
+    eprintln!("e12: resident {resident_rate:.0} puts/s (best of {trials})");
+
+    // --- Bytes per record vs the v1 wire size. ---
+    let resident_bytes = store.encoded_payload_bytes();
+    let reference_bytes = encode_bare(store.get(ids[0]).unwrap().as_ref(), WireVersion::V1).len()
+        as u64
+        * records as u64;
+    let bytes_ratio = resident_bytes as f64 / reference_bytes as f64;
+
+    // --- Reopen at full size: O(index), zero record decodes. ---
+    store.force_snapshot().unwrap();
+    drop(store);
+    let decodes_before = metrics::record_decodes();
+    let open_start = Instant::now();
+    let store = EncryptedPhrStore::open(&dir, durability()).unwrap();
+    let reopen_full = open_start.elapsed();
+    let reopen_decodes = metrics::record_decodes() - decodes_before;
+    assert_eq!(store.record_count(), records);
+
+    // --- Cold vs hot gets over an LRU-sized sample of mapped records. ---
+    let sample: Vec<RecordId> = ids
+        .iter()
+        .step_by((records / 64).max(1))
+        .copied()
+        .take(64)
+        .collect();
+    let start = Instant::now();
+    for &id in &sample {
+        store.get(id).unwrap();
+    }
+    let cold_ns = start.elapsed().as_nanos() as f64 / sample.len() as f64;
+    let start = Instant::now();
+    for &id in &sample {
+        store.get(id).unwrap();
+    }
+    let hot_ns = start.elapsed().as_nanos() as f64 / sample.len() as f64;
+
+    let speedup = resident_rate / baseline_rate;
+    let reopen_scaling = reopen_full.as_secs_f64() / reopen_quarter.as_secs_f64().max(1e-9);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"e12_resident\",\n",
+            "  \"level\": \"toy\",\n",
+            "  \"records\": {},\n",
+            "  \"baseline_records\": {},\n",
+            "  \"snapshot_cadence\": {},\n",
+            "  \"baseline_puts_per_sec\": {:.1},\n",
+            "  \"resident_puts_per_sec\": {:.1},\n",
+            "  \"puts_speedup\": {:.2},\n",
+            "  \"resident_bytes_per_record\": {:.1},\n",
+            "  \"v1_wire_bytes_per_record\": {:.1},\n",
+            "  \"bytes_ratio\": {:.4},\n",
+            "  \"cold_get_ns\": {:.0},\n",
+            "  \"hot_get_ns\": {:.0},\n",
+            "  \"reopen_quarter_ms\": {:.3},\n",
+            "  \"reopen_full_ms\": {:.3},\n",
+            "  \"reopen_scaling_4x_data\": {:.2},\n",
+            "  \"reopen_record_decodes\": {}\n",
+            "}}\n"
+        ),
+        records,
+        baseline_records,
+        cadence,
+        baseline_rate,
+        resident_rate,
+        speedup,
+        resident_bytes as f64 / records as f64,
+        reference_bytes as f64 / records as f64,
+        bytes_ratio,
+        cold_ns,
+        hot_ns,
+        reopen_quarter.as_secs_f64() * 1e3,
+        reopen_full.as_secs_f64() * 1e3,
+        reopen_scaling,
+        reopen_decodes,
+    );
+    print!("{json}");
+
+    let out = std::env::var("TIBPRE_BENCH_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_e12.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).unwrap();
+    eprintln!("e12: wrote {out}");
+
+    // The acceptance gates, enforced here so `cargo bench e12` is the smoke
+    // test CI runs.
+    assert!(
+        bytes_ratio <= 1.05,
+        "bytes/record ratio {bytes_ratio:.4} exceeds 1.05"
+    );
+    assert_eq!(reopen_decodes, 0, "reopen must decode zero records");
+    // The speedup gate applies only when both pipelines ran the *identical*
+    // workload (same record count, same cadence).  At nightly scale the
+    // baseline's rate is sampled on a capped record set whose live-set —
+    // and therefore snapshot re-encode cost — is far smaller, which
+    // flatters it into meaninglessness; the ratio is then reported but not
+    // gated.  `TIBPRE_E12_MIN_SPEEDUP` lets a noisy shared CI runner gate a
+    // looser regression tripwire; the default is the acceptance bar.
+    let min_speedup = std::env::var("TIBPRE_E12_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(1.5);
+    if baseline_records == records {
+        assert!(
+            speedup >= min_speedup,
+            "resident puts/sec only {speedup:.2}x the decoded-struct baseline (gate {min_speedup})"
+        );
+    } else {
+        eprintln!(
+            "e12: speedup gate skipped (baseline sampled on {baseline_records} of {records} records)"
+        );
+    }
+}

@@ -155,6 +155,26 @@ impl ReEncryptEngine {
             .collect())
     }
 
+    /// Index-driven variant of [`Self::try_par_map`]: maps `f` over
+    /// `0..count` without materialising an item slice first.  Used by
+    /// callers whose "items" are positions into some shared structure — a
+    /// snapshot's blob table, a store's shard array — rather than a `&[T]`.
+    ///
+    /// Below the parallel threshold it runs on the calling thread with zero
+    /// allocation beyond the result vector.
+    pub fn try_par_map_indices<U, E, F>(&self, count: usize, f: F) -> Result<Vec<U>, E>
+    where
+        U: Send,
+        E: Send,
+        F: Fn(usize) -> Result<U, E> + Sync,
+    {
+        if self.workers <= 1 || count < self.parallel_threshold() {
+            return (0..count).map(&f).collect();
+        }
+        let indices: Vec<usize> = (0..count).collect();
+        self.try_par_map(&indices, |_, &i| f(i))
+    }
+
     /// Infallible variant of [`Self::try_par_map`].
     pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
     where
@@ -230,6 +250,25 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert_eq!(engine.par_map(&empty, |_, &x| x), empty);
         assert_eq!(engine.par_map(&[41u32], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn try_par_map_indices_matches_the_sequential_loop() {
+        for workers in [1, 4] {
+            let engine = ReEncryptEngine::new(workers);
+            let out: Result<Vec<usize>, ()> = engine.try_par_map_indices(1000, |i| Ok(i * 3));
+            assert_eq!(out.unwrap(), (0..1000).map(|i| i * 3).collect::<Vec<_>>());
+            let err: Result<Vec<usize>, usize> = engine.try_par_map_indices(1000, |i| {
+                if i >= 100 && i % 100 == 0 {
+                    Err(i)
+                } else {
+                    Ok(i)
+                }
+            });
+            assert_eq!(err.unwrap_err(), 100, "workers {workers}");
+            let empty: Result<Vec<usize>, ()> = engine.try_par_map_indices(0, Ok);
+            assert_eq!(empty.unwrap(), Vec::<usize>::new());
+        }
     }
 
     #[test]

@@ -157,7 +157,13 @@ pub enum WalOp {
 impl WireEncode for StoredRecord {
     /// `id ‖ patient ‖ category ‖ title ‖ ciphertext_len ‖ ciphertext`
     /// (the ciphertext nested bare, inheriting the container's version).
+    ///
+    /// The index fields come *first*, before the title and the (dominant)
+    /// ciphertext: `crate::resident::RecordHeader::peek` parses exactly
+    /// this prefix to rebuild indexes without decoding records — the two
+    /// layouts must stay in sync.
     fn encode(&self, w: &mut Writer) {
+        crate::metrics::note_record_encode();
         w.put_u64(self.id.0);
         w.put_bytes(self.patient.as_bytes());
         w.put_bytes(self.category.label().as_bytes());
@@ -170,6 +176,7 @@ impl WireDecode for StoredRecord {
     type Ctx = DecodeCtx;
 
     fn decode(r: &mut Reader<'_>, ctx: &DecodeCtx) -> core::result::Result<Self, DecodeError> {
+        crate::metrics::note_record_decode();
         let id = RecordId(r.u64()?);
         let patient = Identity::from_bytes(r.bytes()?.to_vec());
         let category = Category::from_label(&r.string()?);
@@ -205,6 +212,18 @@ impl WalOp {
         w.put_u8(op_tag::PUT);
         w.put_u64(at);
         record.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Encodes an `Audit` frame payload directly from a borrowed event —
+    /// the audit-path twin of [`Self::encode_put`], skipping the event
+    /// clone `WalOp::Audit { .. }.to_bytes()` would require.
+    pub fn encode_audit(event: &AuditEvent) -> Vec<u8> {
+        let version = WireVersion::DEFAULT;
+        let mut w = Writer::with_version(version);
+        w.put_u8(version.tag());
+        w.put_u8(op_tag::AUDIT);
+        w.put_nested(|w| event.encode(w));
         w.into_bytes()
     }
 
@@ -274,9 +293,106 @@ impl WireDecode for WalOp {
     }
 }
 
+/// The wire version and record-body offset inside a `Put` WAL frame
+/// payload: envelope frames prefix the record with `version ‖ op ‖ at`
+/// (10 bytes), bare legacy frames with `op ‖ at` (9).  Keeping the
+/// arithmetic here, next to the encoders it mirrors, is what lets the
+/// store retain a validated frame's own buffer as a record's resident
+/// bytes — the WAL appends and the shard keeps *the same allocation*.
+pub(crate) fn wal_put_body_layout(payload: &[u8]) -> (WireVersion, usize) {
+    match payload.first() {
+        Some(&b) if WireVersion::is_envelope_tag(b) => {
+            (WireVersion::from_tag(b).expect("checked above"), 10)
+        }
+        _ => (WireVersion::V0, 9),
+    }
+}
+
+/// Serializes a shard's audit trail into the `meta` region of an indexed
+/// (`TBS2`) snapshot: one envelope byte, then the counted, length-prefixed
+/// events.  Records do *not* appear here — they live in the snapshot's
+/// blob region, indexed by `crate::resident::encode_index_meta` entries.
+pub(crate) fn encode_audit_meta(audit: &[Arc<AuditEvent>]) -> Vec<u8> {
+    let version = WireVersion::DEFAULT;
+    let mut w = Writer::with_version(version);
+    w.put_u8(version.tag());
+    w.put_u64(audit.len() as u64);
+    for event in audit {
+        w.put_nested(|w| event.encode(w));
+    }
+    w.into_bytes()
+}
+
+/// Parses the audit trail written by [`encode_audit_meta`].
+pub(crate) fn decode_audit_meta(meta: &[u8]) -> Result<Vec<AuditEvent>> {
+    let mut r = match meta.first() {
+        Some(&b) if WireVersion::is_envelope_tag(b) => {
+            let version = WireVersion::from_tag(b).expect("checked above");
+            Reader::with_version(&meta[1..], version)
+        }
+        _ => {
+            return Err(crate::PhrError::CorruptedRecord(
+                "snapshot audit metadata lacks a wire envelope",
+            ))
+        }
+    };
+    let event_count = r.u64()? as usize;
+    let mut audit = Vec::with_capacity(event_count.min(1024));
+    for _ in 0..event_count {
+        audit.push(decode_nested_event(&mut r)?);
+    }
+    r.finish()?;
+    Ok(audit)
+}
+
+/// Parses a legacy monolithic (`TBS1`) snapshot payload into *wire-resident*
+/// records: each record is still fully decoded once — recovery validates
+/// everything it accepts — but what is retained is the validated encoded
+/// slice plus its parsed header; the decoded struct is dropped.  Accepts the
+/// same envelope/bare layouts as [`decode_shard_state`].
+pub(crate) fn decode_shard_state_resident(
+    params: &Arc<PairingParams>,
+    payload: &[u8],
+) -> Result<(Vec<crate::resident::EncodedRecord>, Vec<AuditEvent>)> {
+    use crate::resident::{EncodedRecord, RecordHeader};
+    let ctx = DecodeCtx::from(params);
+    let mut r = match payload.first() {
+        Some(&b) if WireVersion::is_envelope_tag(b) => {
+            let version = WireVersion::from_tag(b).expect("checked above");
+            Reader::with_version(&payload[1..], version)
+        }
+        _ => Reader::with_version(payload, WireVersion::V0),
+    };
+    let version = r.version();
+    let record_count = r.u64()? as usize;
+    let mut records = Vec::with_capacity(record_count.min(1024));
+    for _ in 0..record_count {
+        let slice = r.bytes()?;
+        let mut field = Reader::with_version(slice, version);
+        let record = StoredRecord::decode(&mut field, &ctx)?;
+        field.finish()?;
+        let header = RecordHeader {
+            id: record.id,
+            patient: record.patient,
+            category: record.category,
+        };
+        records.push(EncodedRecord::from_owned(slice.into(), 0, version, header));
+    }
+    let event_count = r.u64()? as usize;
+    let mut audit = Vec::with_capacity(event_count.min(1024));
+    for _ in 0..event_count {
+        audit.push(decode_nested_event(&mut r)?);
+    }
+    r.finish()?;
+    Ok((records, audit))
+}
+
 /// Serializes one shard's full state (records in id order, then the audit
-/// segment) into a versioned snapshot payload: one envelope byte, then the
-/// counted, length-prefixed records and events.
+/// segment) into a versioned monolithic (`TBS1`) snapshot payload: one
+/// envelope byte, then the counted, length-prefixed records and events.
+/// The store now writes indexed (`TBS2`) snapshots; this encoder is kept
+/// for tests that fabricate legacy-format stores.
+#[cfg(test)]
 pub(crate) fn encode_shard_state<'a>(
     records: impl ExactSizeIterator<Item = &'a StoredRecord>,
     audit: &[AuditEvent],
@@ -297,7 +413,10 @@ pub(crate) fn encode_shard_state<'a>(
 
 /// Parses a snapshot payload back into `(records, audit)`.  Accepts both
 /// the versioned envelope and the bare legacy layout (which opens with the
-/// high byte of a `u64` record count — never an envelope tag).
+/// high byte of a `u64` record count — never an envelope tag).  Recovery
+/// uses [`decode_shard_state_resident`]; this decoded-struct twin remains
+/// as the test oracle the resident form is checked against.
+#[cfg(test)]
 pub(crate) fn decode_shard_state(
     params: &Arc<PairingParams>,
     payload: &[u8],
@@ -635,6 +754,99 @@ mod tests {
             ProxyWalOp::encode_install(&key),
             ProxyWalOp::InstallKey { key: Box::new(key) }.to_bytes()
         );
+    }
+
+    #[test]
+    fn put_body_layout_recovers_the_bare_record_encoding() {
+        let (params, record) = sample_record(31, 6);
+        let framed = WalOp::encode_put(&record, 17);
+        let (version, body_start) = wal_put_body_layout(&framed);
+        assert_eq!(version, WireVersion::DEFAULT);
+        assert_eq!(
+            &framed[body_start..],
+            &tibpre_wire::encode_bare(&record, WireVersion::DEFAULT)[..],
+            "the frame suffix IS the bare record encoding"
+        );
+        // A bare legacy frame: op ‖ at ‖ record, all at v0.
+        let mut legacy = Writer::with_version(WireVersion::V0);
+        legacy.put_u8(2); // any non-envelope first byte
+        legacy.put_u64(17);
+        record.encode(&mut legacy);
+        let legacy = legacy.into_bytes();
+        let (version, body_start) = wal_put_body_layout(&legacy);
+        assert_eq!(version, WireVersion::V0);
+        assert_eq!(
+            &legacy[body_start..],
+            &tibpre_wire::encode_bare(&record, WireVersion::V0)[..]
+        );
+        let _ = params;
+    }
+
+    #[test]
+    fn audit_encoders_and_meta_round_trip() {
+        let event = AuditEvent::DisclosurePerformed {
+            id: RecordId(5),
+            requester: Identity::new("doctor"),
+            at: 44,
+        };
+        assert_eq!(
+            WalOp::encode_audit(&event),
+            WalOp::Audit {
+                event: event.clone()
+            }
+            .to_bytes()
+        );
+
+        let audit = vec![
+            Arc::new(event),
+            Arc::new(AuditEvent::RecordDeleted {
+                id: RecordId(5),
+                at: 45,
+            }),
+        ];
+        let meta = encode_audit_meta(&audit);
+        let decoded = decode_audit_meta(&meta).unwrap();
+        assert_eq!(decoded.len(), 2);
+        for (arc, plain) in audit.iter().zip(&decoded) {
+            assert_eq!(arc.as_ref(), plain);
+        }
+        assert!(decode_audit_meta(&[]).is_err());
+        assert!(decode_audit_meta(&[0x00]).is_err(), "no envelope");
+        for cut in 1..meta.len() {
+            assert!(decode_audit_meta(&meta[..cut]).is_err(), "cut {cut}");
+        }
+        assert_eq!(decode_audit_meta(&encode_audit_meta(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn resident_shard_state_matches_the_decoded_oracle() {
+        let (params, record) = sample_record(8, 1);
+        let (_, record2) = sample_record(8, 2);
+        let audit = vec![AuditEvent::RecordStored {
+            id: RecordId(1),
+            patient: Identity::new("alice"),
+            category: record.category.clone(),
+            at: 1,
+        }];
+        let records = [record, record2];
+        let payload = encode_shard_state(records.iter(), &audit);
+        let (oracle_records, oracle_audit) = decode_shard_state(&params, &payload).unwrap();
+        let (resident, resident_audit) = decode_shard_state_resident(&params, &payload).unwrap();
+        assert_eq!(resident_audit, oracle_audit);
+        assert_eq!(resident.len(), oracle_records.len());
+        let ctx = DecodeCtx::from(&params);
+        for (enc, oracle) in resident.iter().zip(&oracle_records) {
+            assert_eq!(enc.header.id, oracle.id);
+            assert_eq!(enc.header.patient, oracle.patient);
+            assert_eq!(enc.header.category, oracle.category);
+            assert_eq!(&enc.decode(&ctx).unwrap(), oracle);
+        }
+        for cut in [0, 1, 7, payload.len() / 2, payload.len() - 1] {
+            assert!(
+                decode_shard_state_resident(&params, &payload[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
     }
 
     #[test]

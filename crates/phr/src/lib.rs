@@ -25,7 +25,14 @@
 //! * [`emergency`] — the paper's travelling / emergency-access scenario,
 //! * [`durable`] — the optional write-ahead-log + snapshot backend that
 //!   makes stores and proxies survive restarts and crashes
-//!   ([`EncryptedPhrStore::open`], [`ProxyService::open`]).
+//!   ([`EncryptedPhrStore::open`], [`ProxyService::open`]),
+//! * [`metrics`] — process-wide codec counters pinning the store's
+//!   zero-re-encode put path and lazy-decode read path.
+//!
+//! The store keeps records *wire-resident*: shards hold validated encoded
+//! bytes (shared with the WAL frame that persisted them, or served from a
+//! memory-mapped snapshot) and decode lazily through a small per-shard LRU
+//! — see the private `resident` module and `ARCHITECTURE.md`.
 //!
 //! # Example
 //!
@@ -90,11 +97,13 @@ pub mod category;
 pub mod durable;
 pub mod emergency;
 pub mod error;
+pub mod metrics;
 pub mod patient;
 pub mod policy;
 pub mod provider;
 pub mod proxy_service;
 pub mod record;
+pub(crate) mod resident;
 pub mod store;
 
 pub use audit::{AuditEvent, AuditLog};

@@ -95,9 +95,9 @@ impl Patient {
             .map_err(PhrError::Pre)?;
         Ok(DisclosedRecord {
             id: stored.id,
-            patient: stored.patient,
-            category: stored.category,
-            title: stored.title,
+            patient: stored.patient.clone(),
+            category: stored.category.clone(),
+            title: stored.title.clone(),
             body,
         })
     }

@@ -309,9 +309,9 @@ impl ProxyService {
         self.record_success(record_id, requester);
         Ok(DisclosureBundle {
             id: stored.id,
-            patient: stored.patient,
-            category: stored.category,
-            title: stored.title,
+            patient: stored.patient.clone(),
+            category: stored.category.clone(),
+            title: stored.title.clone(),
             ciphertext,
         })
     }
@@ -370,9 +370,9 @@ impl ProxyService {
             self.record_success(stored.id, requester);
             bundles.push(DisclosureBundle {
                 id: stored.id,
-                patient: stored.patient,
-                category: stored.category,
-                title: stored.title,
+                patient: stored.patient.clone(),
+                category: stored.category.clone(),
+                title: stored.title.clone(),
                 ciphertext,
             });
         }

@@ -1,0 +1,462 @@
+//! The wire-resident record representation: shards keep records as encoded
+//! bytes and decode lazily.
+//!
+//! The paper's storage server relays ciphertexts it can never read, so the
+//! natural resident form of a record is its *wire encoding* — validated once
+//! at the API boundary and then treated as opaque bytes.  This module holds
+//! the machinery the store builds on:
+//!
+//! * [`RecordHeader`] — the cheap, non-secret prefix of a record's encoding
+//!   (id, patient, category), parsed without touching the title or the
+//!   ciphertext.  `StoredRecord`'s wire layout deliberately puts these
+//!   fields first (see `durable.rs`) so indexes rebuild from a few dozen
+//!   bytes per record.
+//! * [`EncodedRecord`] — encoded record bytes plus their parsed header.  The
+//!   bytes are either owned (`Arc<[u8]>`, shared with the WAL frame that
+//!   persisted them — zero re-encode on `put`) or a blob of a memory-mapped
+//!   indexed snapshot (paged in on first read, CRC-checked on every read).
+//! * [`RecordBody`] — what a shard slot holds: an [`EncodedRecord`], or a
+//!   pinned decoded struct for plain in-memory stores that have no pairing
+//!   parameters to decode with.
+//! * [`DecodedCache`] — a small per-shard LRU of hot decoded records, so
+//!   repeated reads of the same record cost one pointer clone instead of a
+//!   ciphertext decode.  Capacity comes from `TIBPRE_RECORD_CACHE`
+//!   (records per shard; `0` disables caching).
+
+use crate::category::Category;
+use crate::record::RecordId;
+use crate::store::StoredRecord;
+use crate::{PhrError, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tibpre_ibe::Identity;
+use tibpre_pairing::DecodeCtx;
+use tibpre_storage::{IndexedSnapshot, StorageError};
+use tibpre_wire::{DecodeError, Reader, WireDecode, WireEncode, WireVersion, Writer};
+
+/// Default decoded-record LRU capacity per shard.
+pub(crate) const DEFAULT_CACHE_PER_SHARD: usize = 64;
+
+/// The index-bearing prefix of a record's wire encoding: everything the
+/// store's `by_patient` / category filters and audit bookkeeping need,
+/// without the title or the ciphertext.
+#[derive(Debug, Clone)]
+pub(crate) struct RecordHeader {
+    /// Identifier assigned by the store.
+    pub id: RecordId,
+    /// The owning patient.
+    pub patient: Identity,
+    /// The record category.
+    pub category: Category,
+}
+
+impl RecordHeader {
+    /// Parses a header off the front of an encoded record body.  Stops after
+    /// the category — the title and ciphertext fields are never touched, so
+    /// this is O(header), not O(record).
+    pub fn peek(body: &[u8]) -> core::result::Result<Self, DecodeError> {
+        Self::read_from(&mut Reader::new(body))
+    }
+
+    /// Reader-cursor form of [`Self::peek`] for callers that continue
+    /// parsing after the header.
+    pub fn read_from(r: &mut Reader<'_>) -> core::result::Result<Self, DecodeError> {
+        let id = RecordId(r.u64()?);
+        let patient = Identity::from_bytes(r.bytes()?.to_vec());
+        let at = r.offset();
+        let label = core::str::from_utf8(r.bytes()?)
+            .map_err(|_| DecodeError::invalid(at, "UTF-8 category label"))?;
+        Ok(RecordHeader {
+            id,
+            patient,
+            category: Category::from_label(label),
+        })
+    }
+
+    /// Encodes the header fields — byte-identical to the prefix
+    /// `StoredRecord`'s encoding emits for the same record.
+    fn encode_into(&self, w: &mut Writer) {
+        w.put_u64(self.id.0);
+        w.put_bytes(self.patient.as_bytes());
+        w.put_bytes(self.category.label().as_bytes());
+    }
+}
+
+/// Encodes a snapshot blob's trailer-resident index metadata: the record's
+/// wire version, then its header.  This is what lets a mapped snapshot
+/// rebuild every index at open time without faulting one data page.
+pub(crate) fn encode_index_meta(version: WireVersion, header: &RecordHeader) -> Vec<u8> {
+    let mut w = Writer::with_version(version);
+    w.put_u8(version.tag());
+    header.encode_into(&mut w);
+    w.into_bytes()
+}
+
+/// Parses the metadata produced by [`encode_index_meta`].
+pub(crate) fn decode_index_meta(meta: &[u8]) -> Result<(WireVersion, RecordHeader)> {
+    let mut r = Reader::new(meta);
+    let at = r.offset();
+    let tag = r.u8()?;
+    let version = WireVersion::from_tag(tag)
+        .ok_or_else(|| PhrError::Decode(DecodeError::invalid_tag(at, "index-meta version", tag)))?;
+    let header = RecordHeader::read_from(&mut r)?;
+    r.finish()?;
+    Ok((version, header))
+}
+
+/// Where an encoded record's bytes live.
+#[derive(Debug)]
+enum BlobBytes {
+    /// Heap bytes, shared by `Arc` — on the put path this is *the same
+    /// allocation* the WAL appended, so persisting and retaining a record
+    /// costs one encode total.
+    Owned(Arc<[u8]>),
+    /// Blob `index` of a memory-mapped indexed snapshot.  Nothing is read
+    /// until the record is; every read is CRC-verified by the snapshot.
+    Mapped {
+        snap: Arc<IndexedSnapshot>,
+        index: usize,
+    },
+}
+
+/// One record held as validated wire bytes plus its parsed [`RecordHeader`].
+#[derive(Debug)]
+pub(crate) struct EncodedRecord {
+    bytes: BlobBytes,
+    /// Offset of the bare record encoding inside `bytes` (a WAL `Put` frame
+    /// carries an envelope/op/timestamp prefix; snapshot blobs start at 0).
+    body_start: usize,
+    version: WireVersion,
+    /// The parsed index fields.
+    pub header: RecordHeader,
+}
+
+impl EncodedRecord {
+    /// Wraps owned bytes whose record body starts at `body_start` and is
+    /// encoded under `version`.
+    pub fn from_owned(
+        bytes: Arc<[u8]>,
+        body_start: usize,
+        version: WireVersion,
+        header: RecordHeader,
+    ) -> Self {
+        // The handed header must be the one the body's prefix encodes —
+        // everything that never decodes the body (indexes, ownership
+        // checks, snapshot index metadata) trusts this.
+        debug_assert!(
+            RecordHeader::peek(&bytes[body_start..])
+                .map(|p| p.id == header.id && p.patient == header.patient)
+                .unwrap_or(false),
+            "encoded body disagrees with its header"
+        );
+        EncodedRecord {
+            bytes: BlobBytes::Owned(bytes),
+            body_start,
+            version,
+            header,
+        }
+    }
+
+    /// Wraps blob `index` of a mapped snapshot (blobs are bare record
+    /// bodies, so the body starts at 0).
+    pub fn from_mapped(
+        snap: Arc<IndexedSnapshot>,
+        index: usize,
+        version: WireVersion,
+        header: RecordHeader,
+    ) -> Self {
+        EncodedRecord {
+            bytes: BlobBytes::Mapped { snap, index },
+            body_start: 0,
+            version,
+            header,
+        }
+    }
+
+    /// The wire version the body is encoded under.
+    pub fn version(&self) -> WireVersion {
+        self.version
+    }
+
+    /// The bare encoded record body.  For mapped bytes this faults the pages
+    /// in and verifies the blob CRC — a bit-flip in a snapshot's data region
+    /// surfaces here, as an error, never as corrupt bytes.
+    pub fn body(&self) -> core::result::Result<&[u8], StorageError> {
+        match &self.bytes {
+            BlobBytes::Owned(bytes) => Ok(&bytes[self.body_start..]),
+            BlobBytes::Mapped { snap, index } => Ok(&snap.blob(*index)?[self.body_start..]),
+        }
+    }
+
+    /// The body's length in bytes, without reading (or faulting) it.
+    pub fn encoded_len(&self) -> usize {
+        match &self.bytes {
+            BlobBytes::Owned(bytes) => bytes.len() - self.body_start,
+            BlobBytes::Mapped { snap, index } => {
+                snap.blob_len(*index).unwrap_or(0) - self.body_start
+            }
+        }
+    }
+
+    /// Decodes the full record (the lazy half of `get`).
+    pub fn decode(&self, ctx: &DecodeCtx) -> Result<StoredRecord> {
+        let body = self.body()?;
+        let mut r = Reader::with_version(body, self.version);
+        let record = StoredRecord::decode(&mut r, ctx)?;
+        r.finish()?;
+        Ok(record)
+    }
+
+    /// Re-encodes the body at [`WireVersion::DEFAULT`] if it is resident in
+    /// an older version — the in-place migration step snapshots run so a
+    /// legacy store converges onto the current format.  A no-op (no decode,
+    /// no copy) when the body is already current.
+    pub fn upgrade_to_default(&mut self, ctx: &DecodeCtx) -> Result<()> {
+        if self.version == WireVersion::DEFAULT {
+            return Ok(());
+        }
+        let record = self.decode(ctx)?;
+        let mut w = Writer::with_version(WireVersion::DEFAULT);
+        record.encode(&mut w);
+        self.bytes = BlobBytes::Owned(w.into_bytes().into());
+        self.body_start = 0;
+        self.version = WireVersion::DEFAULT;
+        Ok(())
+    }
+}
+
+/// What one shard slot holds.
+#[derive(Debug)]
+pub(crate) enum RecordBody {
+    /// Encoded bytes, decoded lazily (durable stores, and in-memory stores
+    /// constructed with pairing parameters).
+    Encoded(EncodedRecord),
+    /// A decoded struct pinned in memory.  Plain in-memory stores have no
+    /// pairing parameters, and a ciphertext cannot be decoded without them
+    /// (`Fp` elements carry only their field context) — so those stores
+    /// keep the struct itself, shared by `Arc` with every reader.
+    Pinned(Arc<StoredRecord>),
+}
+
+impl RecordBody {
+    /// The owning patient, served from the header without decoding.
+    pub fn patient(&self) -> &Identity {
+        match self {
+            RecordBody::Encoded(enc) => &enc.header.patient,
+            RecordBody::Pinned(rec) => &rec.patient,
+        }
+    }
+
+    /// The record category, served from the header without decoding.
+    pub fn category(&self) -> &Category {
+        match self {
+            RecordBody::Encoded(enc) => &enc.header.category,
+            RecordBody::Pinned(rec) => &rec.category,
+        }
+    }
+
+    /// Resident encoded size (0 for pinned decoded structs).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            RecordBody::Encoded(enc) => enc.encoded_len(),
+            RecordBody::Pinned(_) => 0,
+        }
+    }
+}
+
+/// A small LRU of hot decoded records, one per shard, sitting behind the
+/// shard's read lock (in a `Mutex`, since `get` must update recency).
+///
+/// Capacity is per shard and small by design — the cache exists to make
+/// *repeated* reads of a hot record cost an `Arc` clone, not to hold the
+/// working set; capacity × shards records is the store's decoded-memory
+/// ceiling.  Eviction scans for the least-recent entry, O(capacity), which
+/// at the default of 64 is noise next to one ciphertext decode.
+#[derive(Debug)]
+pub(crate) struct DecodedCache {
+    cap: usize,
+    tick: u64,
+    map: HashMap<RecordId, (u64, Arc<StoredRecord>)>,
+}
+
+impl DecodedCache {
+    /// A cache holding at most `cap` records (`0` disables caching).
+    pub fn with_capacity(cap: usize) -> Self {
+        DecodedCache {
+            cap,
+            tick: 0,
+            map: HashMap::with_capacity(cap.min(1024)),
+        }
+    }
+
+    /// Capacity from `TIBPRE_RECORD_CACHE` (records per shard), defaulting
+    /// to [`DEFAULT_CACHE_PER_SHARD`]; unparsable values fall back to the
+    /// default — a typo degrades performance, not correctness.
+    pub fn from_env() -> Self {
+        let cap = std::env::var("TIBPRE_RECORD_CACHE")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(DEFAULT_CACHE_PER_SHARD);
+        Self::with_capacity(cap)
+    }
+
+    /// The cached record, freshened to most-recently-used.
+    pub fn get(&mut self, id: RecordId) -> Option<Arc<StoredRecord>> {
+        let (at, record) = self.map.get_mut(&id)?;
+        self.tick += 1;
+        *at = self.tick;
+        Some(record.clone())
+    }
+
+    /// Inserts (or freshens) a record, evicting the least-recently-used
+    /// entry when full.
+    pub fn insert(&mut self, id: RecordId, record: Arc<StoredRecord>) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.map.len() >= self.cap && !self.map.contains_key(&id) {
+            if let Some(&victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (at, _))| *at)
+                .map(|(id, _)| id)
+            {
+                self.map.remove(&victim);
+            }
+        }
+        self.tick += 1;
+        self.map.insert(id, (self.tick, record));
+    }
+
+    /// Drops a record (called on delete, so a re-used id can never serve a
+    /// stale cached body).
+    pub fn remove(&mut self, id: RecordId) {
+        self.map.remove(&id);
+    }
+
+    /// Number of resident decoded records.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+impl Default for DecodedCache {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tibpre_core::{Delegator, TypeTag};
+    use tibpre_ibe::Kgc;
+    use tibpre_pairing::PairingParams;
+
+    fn sample_record(id: u64) -> (Arc<PairingParams>, StoredRecord) {
+        let params = PairingParams::insecure_toy();
+        let mut rng = StdRng::seed_from_u64(id ^ 0xA5A5);
+        let kgc = Kgc::setup(params.clone(), "kgc", &mut rng);
+        let delegator = Delegator::new(
+            kgc.public_params().clone(),
+            kgc.extract(&Identity::new("alice")),
+        );
+        let ciphertext = delegator.encrypt_bytes(b"payload", b"", &TypeTag::new("t"), &mut rng);
+        (
+            params,
+            StoredRecord {
+                id: RecordId(id),
+                patient: Identity::new("alice"),
+                category: Category::Custom("genomics".into()),
+                title: "exome".into(),
+                ciphertext,
+            },
+        )
+    }
+
+    #[test]
+    fn header_peek_matches_the_full_decode_and_skips_the_tail() {
+        let (params, record) = sample_record(7);
+        let body = tibpre_wire::encode_bare(&record, WireVersion::DEFAULT);
+        let header = RecordHeader::peek(&body).unwrap();
+        assert_eq!(header.id, record.id);
+        assert_eq!(header.patient, record.patient);
+        assert_eq!(header.category, record.category);
+
+        // The peek parses only the prefix: chopping the body right after
+        // the category still yields the same header.
+        let mut r = Reader::new(&body);
+        RecordHeader::read_from(&mut r).unwrap();
+        let header_len = r.offset();
+        assert!(header_len < body.len() / 4, "header dwarfed by the body");
+        let header2 = RecordHeader::peek(&body[..header_len]).unwrap();
+        assert_eq!(header2.id, record.id);
+
+        // Round trip through the snapshot index-meta form.
+        let meta = encode_index_meta(WireVersion::DEFAULT, &header);
+        let (version, parsed) = decode_index_meta(&meta).unwrap();
+        assert_eq!(version, WireVersion::DEFAULT);
+        assert_eq!(parsed.id, header.id);
+        assert_eq!(parsed.patient, header.patient);
+        assert_eq!(parsed.category, header.category);
+        for cut in 0..meta.len() {
+            assert!(decode_index_meta(&meta[..cut]).is_err(), "cut {cut}");
+        }
+        assert!(decode_index_meta(&[0x42]).is_err(), "not a version tag");
+        let _ = params;
+    }
+
+    #[test]
+    fn encoded_record_decodes_and_upgrades_versions() {
+        let (params, record) = sample_record(9);
+        let ctx = DecodeCtx::from(&params);
+        let v0 = tibpre_wire::encode_bare(&record, WireVersion::V0);
+        let header = RecordHeader::peek(&v0).unwrap();
+        let mut enc =
+            EncodedRecord::from_owned(v0.clone().into(), 0, WireVersion::V0, header.clone());
+        assert_eq!(enc.encoded_len(), v0.len());
+        assert_eq!(enc.decode(&ctx).unwrap(), record);
+
+        enc.upgrade_to_default(&ctx).unwrap();
+        assert_eq!(enc.version(), WireVersion::DEFAULT);
+        // v1 compresses the group-element portion, so the upgrade shrinks.
+        assert!(enc.encoded_len() < v0.len());
+        assert_eq!(enc.decode(&ctx).unwrap(), record);
+        // Upgrading an already-current body is a no-op.
+        let len = enc.encoded_len();
+        enc.upgrade_to_default(&ctx).unwrap();
+        assert_eq!(enc.encoded_len(), len);
+    }
+
+    #[test]
+    fn lru_cache_evicts_the_least_recent_and_respects_zero_capacity() {
+        let mut cache = DecodedCache::with_capacity(2);
+        let (_, r1) = sample_record(1);
+        let (_, r2) = sample_record(2);
+        let (_, r3) = sample_record(3);
+        let (r1, r2, r3) = (Arc::new(r1), Arc::new(r2), Arc::new(r3));
+
+        cache.insert(RecordId(1), r1.clone());
+        cache.insert(RecordId(2), r2.clone());
+        // Touch 1, making 2 the eviction victim.
+        assert!(Arc::ptr_eq(&cache.get(RecordId(1)).unwrap(), &r1));
+        cache.insert(RecordId(3), r3.clone());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(RecordId(2)).is_none());
+        assert!(cache.get(RecordId(1)).is_some());
+        assert!(cache.get(RecordId(3)).is_some());
+        // Re-inserting a resident id freshens without evicting.
+        cache.insert(RecordId(1), r1.clone());
+        assert_eq!(cache.len(), 2);
+        cache.remove(RecordId(1));
+        assert!(cache.get(RecordId(1)).is_none());
+
+        let mut off = DecodedCache::with_capacity(0);
+        off.insert(RecordId(1), r1);
+        assert!(off.get(RecordId(1)).is_none());
+        assert_eq!(off.len(), 0);
+    }
+}

@@ -23,6 +23,32 @@
 //! segment and [`EncryptedPhrStore::audit_snapshot`] merges the segments by
 //! timestamp.
 //!
+//! # Wire residency
+//!
+//! Shards do not hold decoded record structs — they hold each record's
+//! **encoded bytes**, validated once at the API boundary (see the private
+//! `resident` module and the "In-memory representation" section of
+//! `ARCHITECTURE.md`):
+//!
+//! * `put` encodes the record exactly once; on a durable store the shard
+//!   retains *the same buffer* the WAL appended, so persisting costs
+//!   validate + memcpy + CRC and zero extra codec round trips
+//!   ([`crate::metrics`] counts them),
+//! * `get` decodes lazily, returning `Arc<StoredRecord>`s through a small
+//!   per-shard LRU of hot records (`TIBPRE_RECORD_CACHE` records per shard),
+//! * the `by_patient` / category indexes and delete's ownership check run
+//!   on lightweight headers parsed from the encoding's prefix — never a
+//!   full decode,
+//! * records recovered from an indexed (`TBS2`) snapshot stay backed by the
+//!   **memory-mapped** snapshot file: reopening is O(index), and a record's
+//!   pages fault in only when it is first read (CRC-checked at that moment).
+//!
+//! Plain in-memory stores ([`EncryptedPhrStore::new`]) have no pairing
+//! parameters and therefore cannot decode ciphertexts lazily; they pin the
+//! decoded struct instead (shared by `Arc` with every reader).  An
+//! in-memory store built with
+//! [`EncryptedPhrStore::in_memory_with_params`] keeps records encoded.
+//!
 //! # Durability
 //!
 //! A store is either **in-memory** ([`EncryptedPhrStore::new`] /
@@ -49,15 +75,19 @@ use crate::durable::{
     self, Durability, ShardLog, StoreDurability, WalOp, SNAPSHOT_GENERATIONS_KEPT,
 };
 use crate::record::RecordId;
+use crate::resident::{DecodedCache, EncodedRecord, RecordBody, RecordHeader};
 use crate::{PhrError, Result};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use tibpre_core::HybridCiphertext;
 use tibpre_engine::ReEncryptEngine;
 use tibpre_ibe::Identity;
-use tibpre_storage::{codec, frame, segment, snapshot, FsyncPolicy, SegmentedWal};
+use tibpre_pairing::{DecodeCtx, PairingParams};
+use tibpre_storage::{codec, frame, segment, snapshot, FsyncPolicy, SegmentedWal, StorageError};
+use tibpre_wire::WireVersion;
 
 /// Default shard count.  Sixteen stripes keep the per-shard contention
 /// negligible for any worker count this workspace's engine will realistically
@@ -80,25 +110,34 @@ pub struct StoredRecord {
     pub ciphertext: HybridCiphertext,
 }
 
-/// One lock stripe: the records whose id hashes here, the per-patient index
-/// restricted to those records, this stripe's audit segment, and — on a
-/// durable store — its write-ahead log handle.
+/// What snapshot recovery hands back per shard: the resident record map and
+/// the audit trail.
+type RecoveredShardState = (BTreeMap<RecordId, RecordBody>, Vec<Arc<AuditEvent>>);
+
+/// One lock stripe: the records whose id hashes here (as wire-resident
+/// bodies), the per-patient index restricted to those records, this stripe's
+/// audit segment, the LRU of hot decoded records, and — on a durable store —
+/// its write-ahead log handle.
 #[derive(Default)]
 struct Shard {
-    records: BTreeMap<RecordId, StoredRecord>,
+    records: BTreeMap<RecordId, RecordBody>,
     by_patient: HashMap<Vec<u8>, BTreeSet<RecordId>>,
-    audit: Vec<AuditEvent>,
+    audit: Vec<Arc<AuditEvent>>,
     log: Option<ShardLog>,
+    /// Hot decoded records.  A `Mutex` inside the shard because `get` must
+    /// update LRU recency while holding only the shard *read* lock.
+    cache: Mutex<DecodedCache>,
 }
 
 impl Shard {
-    /// Rebuilds the per-patient index from the record map (used after
-    /// recovery; the index is derived state and is not persisted).
+    /// Rebuilds the per-patient index from the record headers (used after
+    /// recovery; the index is derived state and is not persisted).  No
+    /// record is decoded — the header carries the patient.
     fn rebuild_index(&mut self) {
         self.by_patient.clear();
-        for (&id, record) in &self.records {
+        for (&id, body) in &self.records {
             self.by_patient
-                .entry(record.patient.as_bytes().to_vec())
+                .entry(body.patient().as_bytes().to_vec())
                 .or_default()
                 .insert(id);
         }
@@ -113,6 +152,10 @@ pub struct EncryptedPhrStore {
     next_id: AtomicU64,
     clock: AtomicU64,
     durability: Option<StoreDurability>,
+    /// Pairing parameters for lazily decoding resident record bytes.  Always
+    /// present on durable stores; `None` only on plain in-memory stores,
+    /// which pin decoded structs instead.
+    params: Option<Arc<PairingParams>>,
 }
 
 /// Name of the store metadata file inside a durable store's directory.
@@ -133,6 +176,14 @@ impl EncryptedPhrStore {
         Self::new(name)
     }
 
+    /// Creates an empty in-memory store that keeps records *wire-resident*
+    /// (encoded bytes, decoded lazily through the per-shard LRU) — the
+    /// memory-frugal mode for large working sets.  [`Self::new`] needs no
+    /// parameters but pins decoded structs instead.
+    pub fn in_memory_with_params(name: impl AsRef<str>, params: Arc<PairingParams>) -> Self {
+        Self::with_shards_and_params(name, DEFAULT_SHARDS, params)
+    }
+
     /// Creates an empty in-memory store with an explicit shard count
     /// (clamped to ≥ 1).  `with_shards(name, 1)` degenerates to the
     /// single-lock store this type used to be.
@@ -143,7 +194,19 @@ impl EncryptedPhrStore {
             next_id: AtomicU64::new(0),
             clock: AtomicU64::new(0),
             durability: None,
+            params: None,
         }
+    }
+
+    /// [`Self::in_memory_with_params`] with an explicit shard count.
+    pub fn with_shards_and_params(
+        name: impl AsRef<str>,
+        shards: usize,
+        params: Arc<PairingParams>,
+    ) -> Self {
+        let mut store = Self::with_shards(name, shards);
+        store.params = Some(params);
+        store
     }
 
     /// Opens (or creates) a durable store in directory `dir`, recovering any
@@ -154,7 +217,15 @@ impl EncryptedPhrStore {
     /// fresh store uses the shard count from `durability`; an existing store
     /// keeps the count persisted in its `store.meta` file (the id→shard
     /// mapping depends on it).  Shards are recovered in parallel on a
-    /// [`ReEncryptEngine::from_env`] worker pool.
+    /// [`ReEncryptEngine::from_env`] worker pool, which also parallelizes
+    /// the per-shard index rebuild from snapshot trailer metadata.
+    ///
+    /// Indexed (`TBS2`) snapshots are served through a memory map: the open
+    /// validates and parses only the trailer — O(index), not O(data) — and
+    /// record bytes fault in when first read.  Legacy monolithic (`TBS1`)
+    /// snapshots still load eagerly; the records they carry become resident
+    /// encoded bytes all the same, and the next snapshot rewrites them in
+    /// the indexed layout.
     ///
     /// Recovery never panics on corrupt input: a damaged snapshot generation
     /// falls back to the previous generation (or a full log replay), and a
@@ -180,8 +251,9 @@ impl EncryptedPhrStore {
 
         let indices: Vec<usize> = (0..shards).collect();
         let engine = ReEncryptEngine::from_env();
-        let recovered: Vec<Shard> =
-            engine.try_par_map(&indices, |_, &i| Self::recover_shard(dir, i, &durability))?;
+        let recovered: Vec<Shard> = engine.try_par_map(&indices, |_, &i| {
+            Self::recover_shard(dir, i, &durability, &engine)
+        })?;
 
         // The id allocator and the logical clock resume above everything the
         // log has ever seen — including ids of since-deleted records, which
@@ -194,7 +266,7 @@ impl EncryptedPhrStore {
             }
             for event in &shard.audit {
                 clock = clock.max(event.at());
-                match event {
+                match event.as_ref() {
                     AuditEvent::RecordStored { id, .. }
                     | AuditEvent::RecordDeleted { id, .. }
                     | AuditEvent::DisclosurePerformed { id, .. }
@@ -215,6 +287,7 @@ impl EncryptedPhrStore {
                 snapshot_every: durability.snapshot_cadence(),
                 lock,
             }),
+            params: Some(durability.params().clone()),
         })
     }
 
@@ -264,7 +337,12 @@ impl EncryptedPhrStore {
     /// offset, truncated at the first torn or corrupt frame.  Only the tail
     /// behind the chosen snapshot is read from disk — earlier WAL segments
     /// are skipped entirely (and may already have been garbage-collected).
-    fn recover_shard(dir: &Path, index: usize, durability: &Durability) -> Result<Shard> {
+    fn recover_shard(
+        dir: &Path,
+        index: usize,
+        durability: &Durability,
+        engine: &ReEncryptEngine,
+    ) -> Result<Shard> {
         let base = durable::shard_base(index);
         let segments = match segment::list_segments(dir, &base) {
             Ok(segments) => segments,
@@ -277,29 +355,64 @@ impl EncryptedPhrStore {
         let mut shard = Shard::default();
         let mut start = 0u64;
         let mut gen = 0u64;
+        let mut have_state = false;
         let mut snap_offsets = std::collections::BTreeMap::new();
         for candidate in snapshot::list_generations(dir, &base)? {
-            let Ok(snap) = snapshot::load_snapshot(dir, &base, candidate) else {
-                continue; // checksum/torn: fall back to an older generation
-            };
-            if snap.wal_offset > wal_end || snap.wal_offset < wal_floor {
-                continue; // references log bytes that no longer exist
-            }
-            if gen != 0 || !snap_offsets.is_empty() {
-                // A later pass only harvests the offset for the GC map.
-                snap_offsets.insert(candidate, snap.wal_offset);
+            if have_state {
+                // A later (older-generation) pass only harvests the offset
+                // for the GC map; the trailer-level peek validates enough.
+                let Ok(offset) = snapshot::peek_wal_offset(dir, &base, candidate) else {
+                    continue; // checksum/torn: ignored, pruning retires it
+                };
+                if offset > wal_end || offset < wal_floor {
+                    continue; // references log bytes that no longer exist
+                }
+                snap_offsets.insert(candidate, offset);
                 continue;
             }
-            let Ok((records, audit)) =
-                durable::decode_shard_state(durability.params(), &snap.payload)
-            else {
-                continue; // CRC-valid but undecodable: same fallback
-            };
-            shard.records = records.into_iter().map(|r| (r.id, r)).collect();
-            shard.audit = audit;
-            start = snap.wal_offset;
-            gen = candidate;
-            snap_offsets.insert(candidate, snap.wal_offset);
+            // The indexed (TBS2) layout — what this version writes — is
+            // tried first; a magic mismatch falls through to the legacy
+            // monolithic (TBS1) loader.  Any validation or decode failure
+            // falls back to an older generation, per the recovery contract.
+            match snapshot::load_indexed(dir, &base, candidate) {
+                Ok(snap) => {
+                    let offset = snap.wal_offset();
+                    if offset > wal_end || offset < wal_floor {
+                        continue;
+                    }
+                    let Ok((records, audit)) = Self::state_from_indexed(engine, snap) else {
+                        continue; // trailer decodes, metadata does not
+                    };
+                    shard.records = records;
+                    shard.audit = audit;
+                    start = offset;
+                    gen = candidate;
+                    have_state = true;
+                    snap_offsets.insert(candidate, offset);
+                }
+                Err(_) => {
+                    let Ok(snap) = snapshot::load_snapshot(dir, &base, candidate) else {
+                        continue; // neither layout: fall back a generation
+                    };
+                    if snap.wal_offset > wal_end || snap.wal_offset < wal_floor {
+                        continue;
+                    }
+                    let Ok((records, audit)) =
+                        durable::decode_shard_state_resident(durability.params(), &snap.payload)
+                    else {
+                        continue; // CRC-valid but undecodable: same fallback
+                    };
+                    shard.records = records
+                        .into_iter()
+                        .map(|enc| (enc.header.id, RecordBody::Encoded(enc)))
+                        .collect();
+                    shard.audit = audit.into_iter().map(Arc::new).collect();
+                    start = snap.wal_offset;
+                    gen = candidate;
+                    have_state = true;
+                    snap_offsets.insert(candidate, snap.wal_offset);
+                }
+            }
         }
 
         // A WAL whose prefix was garbage-collected can only be opened
@@ -317,25 +430,58 @@ impl EncryptedPhrStore {
         }
 
         let scan = segment::recover(dir, &base, start)?;
-        for payload in &scan.frames {
+        let valid_len = scan.valid_len;
+        for payload in scan.frames {
             // A frame that passes its checksum but fails to *decode* is not
             // storage corruption (the CRC vouches for the bytes) — it means
             // the wrong pairing parameters or an unknown format tag.
             // Truncating would destroy intact data, so refuse to open.
-            let op = WalOp::from_bytes(durability.params(), payload).map_err(|_| {
+            let op = WalOp::from_bytes(durability.params(), &payload).map_err(|_| {
                 PhrError::CorruptedRecord(
                     "CRC-valid WAL frame failed to decode; check pairing parameters \
                      and binary version — refusing to truncate intact data",
                 )
             })?;
-            Self::apply_op(&mut shard, op);
+            match op {
+                WalOp::Put { record, at } => {
+                    // The decode above validated the frame; what the shard
+                    // retains is the frame's own buffer (the record body is
+                    // a well-known suffix of a Put frame).  The decoded
+                    // struct is dissolved into the header and audit event.
+                    let (version, body_start) = durable::wal_put_body_layout(&payload);
+                    let record = *record;
+                    let header = RecordHeader {
+                        id: record.id,
+                        patient: record.patient.clone(),
+                        category: record.category.clone(),
+                    };
+                    shard.audit.push(Arc::new(AuditEvent::RecordStored {
+                        id: record.id,
+                        patient: record.patient,
+                        category: record.category,
+                        at,
+                    }));
+                    let enc =
+                        EncodedRecord::from_owned(payload.into(), body_start, version, header);
+                    shard
+                        .records
+                        .insert(enc.header.id, RecordBody::Encoded(enc));
+                }
+                WalOp::Delete { id, at } => {
+                    shard.records.remove(&id);
+                    shard
+                        .audit
+                        .push(Arc::new(AuditEvent::RecordDeleted { id, at }));
+                }
+                WalOp::Audit { event } => shard.audit.push(Arc::new(event)),
+            }
         }
         shard.rebuild_index();
 
         // The truncation boundary is the scanner's: every frame decoded (a
         // failure returned above), so the valid prefix ends where the scan
         // stopped.
-        let wal = SegmentedWal::open(dir, &base, scan.valid_len, durability.fsync_policy())?;
+        let wal = SegmentedWal::open(dir, &base, valid_len, durability.fsync_policy())?;
         shard.log = Some(ShardLog {
             wal,
             base,
@@ -346,25 +492,43 @@ impl EncryptedPhrStore {
         Ok(shard)
     }
 
-    /// Replays one logged operation into a shard's state — the exact state
-    /// transition the original call made.
-    fn apply_op(shard: &mut Shard, op: WalOp) {
-        match op {
-            WalOp::Put { record, at } => {
-                shard.audit.push(AuditEvent::RecordStored {
-                    id: record.id,
-                    patient: record.patient.clone(),
-                    category: record.category.clone(),
-                    at,
-                });
-                shard.records.insert(record.id, *record);
+    /// Turns a mapped indexed snapshot into shard state: the audit trail
+    /// from the trailer metadata, and one [`EncodedRecord`] per blob whose
+    /// header comes from the blob's trailer-resident index metadata — no
+    /// data page is touched, which is what keeps reopening O(index).  The
+    /// metadata parse fans out over the engine's workers.
+    fn state_from_indexed(
+        engine: &ReEncryptEngine,
+        snap: snapshot::IndexedSnapshot,
+    ) -> Result<RecoveredShardState> {
+        let audit = durable::decode_audit_meta(snap.meta())?;
+        let snap = Arc::new(snap);
+        let parsed: Vec<(WireVersion, RecordHeader)> =
+            engine.try_par_map_indices(snap.blob_count(), |i| {
+                let meta = snap.index_meta(i).ok_or(PhrError::CorruptedRecord(
+                    "snapshot blob index out of range",
+                ))?;
+                crate::resident::decode_index_meta(meta)
+            })?;
+        let mut records = BTreeMap::new();
+        for (i, (version, header)) in parsed.into_iter().enumerate() {
+            let id = header.id;
+            let enc = EncodedRecord::from_mapped(snap.clone(), i, version, header);
+            if records.insert(id, RecordBody::Encoded(enc)).is_some() {
+                return Err(PhrError::CorruptedRecord(
+                    "duplicate record id in snapshot index",
+                ));
             }
-            WalOp::Delete { id, at } => {
-                shard.records.remove(&id);
-                shard.audit.push(AuditEvent::RecordDeleted { id, at });
-            }
-            WalOp::Audit { event } => shard.audit.push(event),
         }
+        Ok((records, audit.into_iter().map(Arc::new).collect()))
+    }
+
+    /// The decode context for lazily decoding resident record bytes.
+    fn decode_ctx(&self) -> Result<DecodeCtx> {
+        let params = self.params.as_ref().ok_or(PhrError::CorruptedRecord(
+            "store holds encoded records but no pairing parameters",
+        ))?;
+        Ok(DecodeCtx::from(params))
     }
 
     /// Appends one operation to a shard's WAL (no-op on in-memory stores;
@@ -394,7 +558,7 @@ impl EncryptedPhrStore {
             .as_ref()
             .is_some_and(|log| d.snapshot_every > 0 && log.ops_since_snapshot >= d.snapshot_every);
         if snapshot_due {
-            Self::snapshot_shard(d, shard)
+            self.snapshot_shard(shard)
                 .expect("snapshot write failed; cannot continue without durability (fail-stop)");
         }
         let Some(log) = shard.log.as_mut() else {
@@ -407,13 +571,29 @@ impl EncryptedPhrStore {
         log.ops_since_snapshot += 1;
     }
 
-    /// Serializes a shard's full state into the next snapshot generation,
-    /// prunes old generations (keeping [`SNAPSHOT_GENERATIONS_KEPT`]) and
+    /// Streams a shard's state into the next indexed (`TBS2`) snapshot
+    /// generation — resident record bytes are *copied*, not re-encoded; the
+    /// audit trail and per-record headers go into the trailer — then prunes
+    /// old generations (keeping [`SNAPSHOT_GENERATIONS_KEPT`]) and
     /// garbage-collects WAL segments wholly behind the oldest kept
     /// snapshot — the compaction that bounds disk usage by churn since the
     /// last snapshot instead of store lifetime.
-    fn snapshot_shard(d: &StoreDurability, shard: &mut Shard) -> std::io::Result<()> {
-        let payload = durable::encode_shard_state(shard.records.values(), &shard.audit);
+    fn snapshot_shard(&self, shard: &mut Shard) -> Result<()> {
+        let d = self
+            .durability
+            .as_ref()
+            .expect("snapshotting a durable store");
+        // Upgrade pass: a record still resident in an older wire version
+        // (recovered from a legacy store) is re-encoded at the current
+        // default, so snapshots converge the store onto one format.  A
+        // no-op for every already-current record — the common case.
+        let ctx = self.decode_ctx()?;
+        for body in shard.records.values_mut() {
+            if let RecordBody::Encoded(enc) = body {
+                enc.upgrade_to_default(&ctx)?;
+            }
+        }
+        let meta = durable::encode_audit_meta(&shard.audit);
         let log = shard.log.as_mut().expect("snapshotting a durable shard");
         // Rotate so the snapshot's offset lands on a segment boundary —
         // that is what makes the prefix reclaimable as whole files once
@@ -423,12 +603,24 @@ impl EncryptedPhrStore {
         // WAL bytes less durable than itself.
         let wal_offset = log.wal.rotate()?;
         log.gen += 1;
-        snapshot::write_snapshot(
+        snapshot::write_indexed_snapshot(
             &d.dir,
             &log.base,
             log.gen,
             wal_offset,
-            &payload,
+            &meta,
+            shard.records.values().map(|body| match body {
+                // A mapped body is read (and CRC-checked) here; a corrupt
+                // blob fails the snapshot instead of being re-persisted
+                // under a fresh checksum.
+                RecordBody::Encoded(enc) => Ok(snapshot::IndexedBlob {
+                    body: enc.body()?,
+                    index_meta: crate::resident::encode_index_meta(enc.version(), &enc.header),
+                }),
+                RecordBody::Pinned(_) => Err(StorageError::Corrupt(
+                    "durable shard holds a decoded-only record",
+                )),
+            }),
             !matches!(d.fsync, FsyncPolicy::Never),
         )?;
         snapshot::prune(&d.dir, &log.base, SNAPSHOT_GENERATIONS_KEPT)?;
@@ -479,13 +671,13 @@ impl EncryptedPhrStore {
     /// planned shutdown, to make the next recovery O(1) in the log length).
     /// No-op on in-memory stores.
     pub fn force_snapshot(&self) -> Result<()> {
-        let Some(d) = self.durability.as_ref() else {
+        if self.durability.is_none() {
             return Ok(());
-        };
+        }
         for shard in self.shards.iter() {
             let mut shard = shard.write();
             if shard.log.is_some() {
-                Self::snapshot_shard(d, &mut shard)?;
+                self.snapshot_shard(&mut shard)?;
             }
         }
         Ok(())
@@ -499,6 +691,24 @@ impl EncryptedPhrStore {
     /// The number of lock stripes.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Total encoded record-payload bytes resident across all shards — the
+    /// store's record memory footprint (mapped snapshot blobs count at
+    /// their on-disk size; pinned decoded structs report 0).  This is the
+    /// numerator of the bytes-per-record gate the e12 bench and CI check.
+    pub fn encoded_payload_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .read()
+                    .records
+                    .values()
+                    .map(|body| body.encoded_len() as u64)
+                    .sum::<u64>()
+            })
+            .sum()
     }
 
     /// The shard a record id lives on.  Sequential ids are spread with a
@@ -530,7 +740,9 @@ impl EncryptedPhrStore {
 
     /// Inserts an encrypted record and returns its identifier.  On a durable
     /// store the record is logged to the owning shard's WAL before it becomes
-    /// visible in memory.
+    /// visible in memory — and the shard then retains *the same encoded
+    /// buffer* the WAL appended: one encode total, no decoded copy kept
+    /// (the freshly built struct primes the read cache instead).
     pub fn put(
         &self,
         patient: &Identity,
@@ -539,64 +751,106 @@ impl EncryptedPhrStore {
         ciphertext: HybridCiphertext,
     ) -> RecordId {
         let id = RecordId(self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
-        let record = StoredRecord {
+        let record = Arc::new(StoredRecord {
             id,
             patient: patient.clone(),
             category: category.clone(),
             title: title.to_string(),
             ciphertext,
+        });
+        let header = RecordHeader {
+            id,
+            patient: patient.clone(),
+            category: category.clone(),
         };
         let mut shard = self.shard_for_id(id).write();
         let at = self.tick();
-        if self.is_durable() {
+        let body = if self.is_durable() {
             // Encoded from the borrowed record: no clone of the ciphertext
-            // body on the write path.
-            self.log_encoded(&mut shard, &WalOp::encode_put(&record, at));
+            // body on the write path — and the frame buffer the WAL just
+            // appended becomes the record's resident bytes.
+            let frame = WalOp::encode_put(record.as_ref(), at);
+            self.log_encoded(&mut shard, &frame);
+            let (version, body_start) = durable::wal_put_body_layout(&frame);
+            RecordBody::Encoded(EncodedRecord::from_owned(
+                frame.into(),
+                body_start,
+                version,
+                header,
+            ))
+        } else if self.params.is_some() {
+            let version = WireVersion::DEFAULT;
+            let bytes = tibpre_wire::encode_bare(record.as_ref(), version);
+            RecordBody::Encoded(EncodedRecord::from_owned(bytes.into(), 0, version, header))
+        } else {
+            RecordBody::Pinned(record.clone())
+        };
+        if matches!(body, RecordBody::Encoded(_)) {
+            // The caller just handed us the decoded struct; cache it so the
+            // common read-after-write needs no decode.
+            shard.cache.get_mut().insert(id, record.clone());
         }
-        shard.records.insert(id, record);
+        shard.records.insert(id, body);
         shard
             .by_patient
             .entry(patient.as_bytes().to_vec())
             .or_default()
             .insert(id);
-        shard.audit.push(AuditEvent::RecordStored {
+        shard.audit.push(Arc::new(AuditEvent::RecordStored {
             id,
             patient: patient.clone(),
             category: category.clone(),
             at,
-        });
+        }));
         id
     }
 
     /// Fetches one record by identifier.  Takes only the owning shard's read
     /// lock, so lookups on different shards run fully in parallel.
-    pub fn get(&self, id: RecordId) -> Result<StoredRecord> {
-        self.shard_for_id(id)
-            .read()
-            .records
-            .get(&id)
-            .cloned()
-            .ok_or(PhrError::RecordNotFound)
+    ///
+    /// Returns a shared handle, not a copy: a hit in the per-shard LRU of
+    /// hot decoded records costs one `Arc` clone.  On a miss the resident
+    /// bytes are decoded (faulting in and CRC-checking mapped snapshot
+    /// pages on first touch) and the result is cached.
+    pub fn get(&self, id: RecordId) -> Result<Arc<StoredRecord>> {
+        let shard = self.shard_for_id(id).read();
+        match shard.records.get(&id) {
+            None => Err(PhrError::RecordNotFound),
+            Some(RecordBody::Pinned(record)) => Ok(record.clone()),
+            Some(RecordBody::Encoded(enc)) => {
+                let mut cache = shard.cache.lock();
+                if let Some(hit) = cache.get(id) {
+                    return Ok(hit);
+                }
+                let record = Arc::new(enc.decode(&self.decode_ctx()?)?);
+                cache.insert(id, record.clone());
+                Ok(record)
+            }
+        }
     }
 
-    /// Deletes a record.  Only the owning patient may delete.
+    /// Deletes a record.  Only the owning patient may delete.  The check
+    /// runs on the record's header — no decode.
     pub fn delete(&self, id: RecordId, requester: &Identity) -> Result<()> {
         let mut shard = self.shard_for_id(id).write();
-        let record = shard.records.get(&id).ok_or(PhrError::RecordNotFound)?;
-        if &record.patient != requester {
+        let body = shard.records.get(&id).ok_or(PhrError::RecordNotFound)?;
+        if body.patient() != requester {
             return Err(PhrError::AccessDenied {
-                category: record.category.label(),
+                category: body.category().label(),
                 requester: requester.display(),
             });
         }
-        let patient_key = record.patient.as_bytes().to_vec();
+        let patient_key = body.patient().as_bytes().to_vec();
         let at = self.tick();
         self.log_op(&mut shard, &WalOp::Delete { id, at });
         shard.records.remove(&id);
+        shard.cache.get_mut().remove(id);
         if let Some(set) = shard.by_patient.get_mut(&patient_key) {
             set.remove(&id);
         }
-        shard.audit.push(AuditEvent::RecordDeleted { id, at });
+        shard
+            .audit
+            .push(Arc::new(AuditEvent::RecordDeleted { id, at }));
         Ok(())
     }
 
@@ -620,7 +874,8 @@ impl EncryptedPhrStore {
     }
 
     /// Lists the identifiers of a patient's records in one category, in
-    /// ascending id order.
+    /// ascending id order.  The category filter reads record headers, so no
+    /// record is decoded.
     pub fn list_for_patient_category(
         &self,
         patient: &Identity,
@@ -640,7 +895,7 @@ impl EncryptedPhrStore {
                                 shard
                                     .records
                                     .get(id)
-                                    .map(|r| &r.category == category)
+                                    .map(|body| body.category() == category)
                                     .unwrap_or(false)
                             })
                             .copied()
@@ -681,7 +936,7 @@ impl EncryptedPhrStore {
     pub fn log_disclosure(&self, id: RecordId, requester: &Identity, granted: bool) {
         let mut shard = self.shard_for_id(id).write();
         let at = self.tick();
-        let event = if granted {
+        let event = Arc::new(if granted {
             AuditEvent::DisclosurePerformed {
                 id,
                 requester: requester.clone(),
@@ -693,14 +948,10 @@ impl EncryptedPhrStore {
                 requester: requester.clone(),
                 at,
             }
-        };
-        if self.is_durable() {
-            self.log_op(
-                &mut shard,
-                &WalOp::Audit {
-                    event: event.clone(),
-                },
-            );
+        });
+        if self.is_durable() && shard.log.is_some() {
+            // Encoded from the borrowed event: no clone for the log.
+            self.log_encoded(&mut shard, &WalOp::encode_audit(event.as_ref()));
         }
         shard.audit.push(event);
     }
@@ -716,7 +967,7 @@ impl EncryptedPhrStore {
     ) {
         let mut shard = self.shard_for_patient(patient).write();
         let at = self.tick();
-        let event = if granted {
+        let event = Arc::new(if granted {
             AuditEvent::AccessGranted {
                 patient: patient.clone(),
                 category: category.clone(),
@@ -730,27 +981,23 @@ impl EncryptedPhrStore {
                 grantee: grantee.clone(),
                 at,
             }
-        };
-        if self.is_durable() {
-            self.log_op(
-                &mut shard,
-                &WalOp::Audit {
-                    event: event.clone(),
-                },
-            );
+        });
+        if self.is_durable() && shard.log.is_some() {
+            self.log_encoded(&mut shard, &WalOp::encode_audit(event.as_ref()));
         }
         shard.audit.push(event);
     }
 
     /// A snapshot of the audit trail: every shard's segment, merged into one
-    /// sequence ordered by the store-global logical clock.
-    pub fn audit_snapshot(&self) -> Vec<AuditEvent> {
-        let mut events: Vec<AuditEvent> = self
+    /// sequence ordered by the store-global logical clock.  Events are
+    /// shared handles — no event is copied.
+    pub fn audit_snapshot(&self) -> Vec<Arc<AuditEvent>> {
+        let mut events: Vec<Arc<AuditEvent>> = self
             .shards
             .iter()
             .flat_map(|shard| shard.read().audit.clone())
             .collect();
-        events.sort_by_key(AuditEvent::at);
+        events.sort_by_key(|event| event.at());
         events
     }
 }
@@ -844,12 +1091,12 @@ mod tests {
 
         let audit = store.audit_snapshot();
         assert_eq!(audit.len(), 6);
-        assert!(matches!(audit[0], AuditEvent::RecordStored { .. }));
-        assert!(matches!(audit[1], AuditEvent::AccessGranted { .. }));
-        assert!(matches!(audit[2], AuditEvent::DisclosurePerformed { .. }));
-        assert!(matches!(audit[3], AuditEvent::DisclosureDenied { .. }));
-        assert!(matches!(audit[4], AuditEvent::AccessRevoked { .. }));
-        assert!(matches!(audit[5], AuditEvent::RecordDeleted { .. }));
+        assert!(matches!(*audit[0], AuditEvent::RecordStored { .. }));
+        assert!(matches!(*audit[1], AuditEvent::AccessGranted { .. }));
+        assert!(matches!(*audit[2], AuditEvent::DisclosurePerformed { .. }));
+        assert!(matches!(*audit[3], AuditEvent::DisclosureDenied { .. }));
+        assert!(matches!(*audit[4], AuditEvent::AccessRevoked { .. }));
+        assert!(matches!(*audit[5], AuditEvent::RecordDeleted { .. }));
         // Timestamps are strictly increasing.
         for pair in audit.windows(2) {
             assert!(pair[0].at() < pair[1].at());
@@ -895,6 +1142,51 @@ mod tests {
         for id in ids {
             assert!(store.get(id).is_ok());
         }
+    }
+
+    #[test]
+    fn encoded_stores_serve_hot_gets_from_the_lru() {
+        let mut rng = StdRng::seed_from_u64(150);
+        let store = EncryptedPhrStore::in_memory_with_params("ram-enc", toy_params());
+        let alice = Identity::new("alice");
+        let ct = sample_ciphertext(&mut rng);
+        let id = store.put(&alice, &Category::Emergency, "r", ct);
+        // Wire-resident: the record is held encoded...
+        assert!(store.encoded_payload_bytes() > 0);
+        // ...and repeated reads share one decoded instance through the LRU.
+        let a = store.get(id).unwrap();
+        let b = store.get(id).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second read must hit the cache");
+        assert_eq!(a.title, "r");
+
+        // The plain store pins decoded structs: zero resident encoded bytes,
+        // and reads share the pinned instance.
+        let plain = EncryptedPhrStore::new("ram");
+        let ct = sample_ciphertext(&mut rng);
+        let id = plain.put(&alice, &Category::Emergency, "r", ct);
+        assert_eq!(plain.encoded_payload_bytes(), 0);
+        let p1 = plain.get(id).unwrap();
+        let p2 = plain.get(id).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2));
+    }
+
+    #[test]
+    fn encoded_in_memory_store_matches_the_pinned_oracle() {
+        let mut rng = StdRng::seed_from_u64(151);
+        let encoded = EncryptedPhrStore::with_shards_and_params("enc", 4, toy_params());
+        let oracle = EncryptedPhrStore::with_shards("plain", 4);
+        let alice = Identity::new("alice");
+        let bob = Identity::new("bob");
+        let ct = sample_ciphertext(&mut rng);
+        for i in 0..10 {
+            let patient = if i % 2 == 0 { &alice } else { &bob };
+            let a = encoded.put(patient, &Category::LabResults, &format!("r{i}"), ct.clone());
+            let b = oracle.put(patient, &Category::LabResults, &format!("r{i}"), ct.clone());
+            assert_eq!(a, b);
+        }
+        encoded.delete(RecordId(3), &alice).unwrap();
+        oracle.delete(RecordId(3), &alice).unwrap();
+        assert_stores_equal(&encoded, &oracle, &[alice, bob]);
     }
 
     fn toy_params() -> std::sync::Arc<PairingParams> {
@@ -1032,19 +1324,87 @@ mod tests {
                 store.put(&alice, &Category::LabResults, &format!("r{i}"), ct.clone());
             }
         }
-        // Snapshots were written (10 ops, cadence 4 → generations 1 and 2).
+        // Snapshots were written (10 ops, cadence 4 → generations 1 and 2),
+        // in the indexed layout.
         let gens = tibpre_storage::snapshot::list_generations(&dir, "shard-00").unwrap();
         assert_eq!(gens, vec![2, 1]);
+        let newest = tibpre_storage::snapshot::load_indexed(&dir, "shard-00", 2).unwrap();
+        assert_eq!(newest.blob_count(), 8, "snapshot 2 captured puts 1..=8");
 
         let store = EncryptedPhrStore::open(&dir, durability()).unwrap();
         assert_eq!(store.record_count(), 10);
         assert_eq!(store.audit_snapshot().len(), 10);
         assert_eq!(store.list_for_patient(&alice).len(), 10);
+        // Every record decodes — snapshot-mapped blobs and WAL-tail frames
+        // alike.
+        for (i, id) in store.list_for_patient(&alice).into_iter().enumerate() {
+            assert_eq!(store.get(id).unwrap().title, format!("r{i}"));
+        }
         // force_snapshot writes a fresh generation and prunes to two.
         store.force_snapshot().unwrap();
         let gens = tibpre_storage::snapshot::list_generations(&dir, "shard-00").unwrap();
         assert_eq!(gens, vec![3, 2]);
         store.sync().unwrap();
+    }
+
+    #[test]
+    fn mapped_snapshot_corruption_is_contained() {
+        let mut rng = StdRng::seed_from_u64(152);
+        let params = toy_params();
+        let tmp = tibpre_storage::TempDir::new("store-mmap-corrupt").unwrap();
+        let dir = tmp.path().join("db");
+        let alice = Identity::new("alice");
+        let ct = sample_ciphertext(&mut rng);
+        let durability = || {
+            Durability::new(params.clone())
+                .shards(1)
+                .fsync(FsyncPolicy::Never)
+                .snapshot_every(4)
+        };
+        {
+            let store = EncryptedPhrStore::open(&dir, durability()).unwrap();
+            for i in 0..10 {
+                store.put(&alice, &Category::LabResults, &format!("r{i}"), ct.clone());
+            }
+        }
+        let newest = tibpre_storage::snapshot::snapshot_path(&dir, "shard-00", 2);
+        let pristine = std::fs::read(&newest).unwrap();
+
+        // Truncation (torn write of the newest generation): the open falls
+        // back to the previous generation plus a longer WAL replay, and
+        // recovers everything.
+        std::fs::write(&newest, &pristine[..pristine.len() / 2]).unwrap();
+        {
+            let store = EncryptedPhrStore::open(&dir, durability()).unwrap();
+            assert_eq!(store.record_count(), 10);
+            for id in store.list_for_patient(&alice) {
+                assert!(store.get(id).is_ok());
+            }
+        }
+
+        // A bit flip inside the *data region* of the mapped snapshot: the
+        // open still succeeds (it validates only the trailer — that is what
+        // makes reopening O(index)), every intact record is served, and the
+        // damaged record surfaces as an error on read — never as corrupt
+        // plaintext bytes.
+        let mut flipped = pristine.clone();
+        flipped[10] ^= 0x40; // inside blob 0 (the data region starts at 4)
+        std::fs::write(&newest, &flipped).unwrap();
+        {
+            let store = EncryptedPhrStore::open(&dir, durability()).unwrap();
+            assert_eq!(store.record_count(), 10);
+            let mut failures = 0;
+            let mut served = 0;
+            for id in store.list_for_patient(&alice) {
+                match store.get(id) {
+                    Ok(_) => served += 1,
+                    Err(PhrError::CorruptedRecord(_)) => failures += 1,
+                    Err(other) => panic!("unexpected error: {other:?}"),
+                }
+            }
+            assert_eq!(failures, 1, "exactly the flipped blob fails");
+            assert_eq!(served, 9);
+        }
     }
 
     #[test]
@@ -1107,6 +1467,63 @@ mod tests {
         // Nothing was truncated by the failed open.
         assert_eq!(std::fs::metadata(&wal_path).unwrap().len(), after);
         let _ = before;
+    }
+
+    #[test]
+    fn legacy_monolithic_snapshots_recover_and_repersist_indexed() {
+        // Fabricate a store whose only snapshot is a legacy TBS1 monolith —
+        // what a pre-indexed version would have left behind — and check the
+        // wire-resident store recovers it and converges to TBS2.
+        let mut rng = StdRng::seed_from_u64(153);
+        let params = toy_params();
+        let tmp = tibpre_storage::TempDir::new("store-tbs1").unwrap();
+        let dir = tmp.path().join("db");
+        let alice = Identity::new("alice");
+        let ct = sample_ciphertext(&mut rng);
+        let durability = || {
+            Durability::new(params.clone())
+                .shards(1)
+                .fsync(FsyncPolicy::Never)
+                .snapshot_every(4)
+        };
+        {
+            let store = EncryptedPhrStore::open(&dir, durability()).unwrap();
+            for i in 0..6 {
+                store.put(&alice, &Category::Medication, &format!("r{i}"), ct.clone());
+            }
+        }
+        // Rewrite the newest generation in the legacy monolithic layout,
+        // from the same records and audit trail the store would persist.
+        let reopened = EncryptedPhrStore::open(&dir, durability()).unwrap();
+        let records: Vec<StoredRecord> = reopened
+            .list_for_patient(&alice)
+            .into_iter()
+            .map(|id| reopened.get(id).unwrap().as_ref().clone())
+            .collect();
+        let audit: Vec<AuditEvent> = reopened
+            .audit_snapshot()
+            .iter()
+            .map(|e| e.as_ref().clone())
+            .collect();
+        drop(reopened);
+        let newest = tibpre_storage::snapshot::load_indexed(&dir, "shard-00", 1).unwrap();
+        let wal_offset = newest.wal_offset();
+        drop(newest);
+        let payload = durable::encode_shard_state(records.iter().take(4), &audit[..4]);
+        tibpre_storage::snapshot::write_snapshot(&dir, "shard-00", 1, wal_offset, &payload, false)
+            .unwrap();
+
+        let store = EncryptedPhrStore::open(&dir, durability()).unwrap();
+        assert_eq!(store.record_count(), 6);
+        for (i, id) in store.list_for_patient(&alice).into_iter().enumerate() {
+            assert_eq!(store.get(id).unwrap().title, format!("r{i}"));
+        }
+        // The next snapshot repersists everything in the indexed layout.
+        store.force_snapshot().unwrap();
+        let gens = tibpre_storage::snapshot::list_generations(&dir, "shard-00").unwrap();
+        let repersisted =
+            tibpre_storage::snapshot::load_indexed(&dir, "shard-00", gens[0]).unwrap();
+        assert_eq!(repersisted.blob_count(), 6);
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //! * [`wal`] — the append-only segment writer with group-commit flushing and
 //!   a configurable [`FsyncPolicy`],
 //! * [`snapshot`] — atomically-written, generational full-state snapshots
-//!   with automatic fallback to older generations,
+//!   with automatic fallback to older generations, in two layouts: the
+//!   monolithic `TBS1` form and the indexed `TBS2` form served through
+//!   memory maps,
+//! * [`mmap`] — a minimal read-only memory-map shim (the offline build has
+//!   no `memmap2`), so `TBS2` opens are page-fault-driven,
 //! * [`codec`] — the bounds-checked field codec used inside payloads,
 //! * [`crc`] — CRC-32/ISO-HDLC,
 //! * [`TempDir`] — a dependency-free temporary directory for the crash and
@@ -25,12 +29,15 @@
 //! prefix of operations — no panic, no partial frame applied, no frame after
 //! a corruption ever resurrected.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the [`mmap`] module opts back in for its two
+// FFI calls; every other module stays safe-only.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;
 pub mod crc;
 pub mod frame;
+pub mod mmap;
 pub mod segment;
 pub mod snapshot;
 pub mod wal;
@@ -41,8 +48,9 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 pub use frame::{FrameDefect, FrameScan};
+pub use mmap::Mmap;
 pub use segment::{SegmentedWal, SegmentedWalScan};
-pub use snapshot::Snapshot;
+pub use snapshot::{IndexedSnapshot, Snapshot};
 pub use wal::WalWriter;
 
 /// When the write-ahead log fsyncs.

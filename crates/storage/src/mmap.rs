@@ -1,0 +1,228 @@
+//! A minimal read-only memory map over `std::fs::File` — the page-fault-
+//! driven byte source behind indexed snapshots.
+//!
+//! The workspace is built offline, so there is no `memmap2` crate; this
+//! module carries the ~60 lines of `mmap(2)` FFI itself.  The shim is
+//! deliberately tiny and read-only:
+//!
+//! * **Unix**: `mmap(NULL, len, PROT_READ, MAP_PRIVATE, fd, 0)`, unmapped on
+//!   drop.  The mapping is private and read-only, so the kernel pages bytes
+//!   in on first touch — opening a multi-gigabyte snapshot costs only the
+//!   pages actually dereferenced.  A mapped file whose *name* is later
+//!   unlinked (snapshot pruning) stays valid: the inode lives until the last
+//!   mapping is gone.  Callers must not map files that another process may
+//!   *truncate* while mapped (a touch past the new end would fault); every
+//!   snapshot in this workspace is immutable once renamed into place, which
+//!   is what makes mapping them sound.
+//! * **Everywhere else**: the file is simply read into memory.  Same API,
+//!   same semantics, no laziness — correctness does not depend on the map
+//!   being lazy anywhere.
+//!
+//! This is the one module in `tibpre-storage` allowed to use `unsafe` (the
+//! crate is `deny(unsafe_code)` elsewhere); the unsafety is confined to the
+//! two FFI calls and the slice construction over the mapped range.
+
+#![allow(unsafe_code)]
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::path::Path;
+
+/// A read-only byte view of an entire file.
+///
+/// Dereferences to `&[u8]`.  `Send + Sync`: the mapping is immutable for its
+/// whole lifetime (see the module docs for the no-truncation precondition).
+#[derive(Debug)]
+pub struct Mmap {
+    inner: Inner,
+}
+
+#[derive(Debug)]
+enum Inner {
+    /// Zero-length files: `mmap` rejects `len == 0`, and an empty slice
+    /// needs no backing anyway.
+    Empty,
+    #[cfg(unix)]
+    Mapped { ptr: *const u8, len: usize },
+    #[cfg(not(unix))]
+    Buffered(Vec<u8>),
+}
+
+// SAFETY: the mapping is created read-only (`PROT_READ`, `MAP_PRIVATE`) and
+// never mutated or remapped; sharing immutable bytes across threads is safe.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+#[cfg(unix)]
+mod ffi {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+impl Mmap {
+    /// Maps the file at `path` read-only in its entirety.
+    pub fn map_path(path: &Path) -> io::Result<Mmap> {
+        Self::map_file(&File::open(path)?)
+    }
+
+    /// Maps an open file read-only in its entirety.
+    pub fn map_file(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::other("file too large to map on this platform"))?;
+        if len == 0 {
+            return Ok(Mmap {
+                inner: Inner::Empty,
+            });
+        }
+        Self::map_nonempty(file, len)
+    }
+
+    #[cfg(unix)]
+    fn map_nonempty(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        // SAFETY: fd is a valid open file for the duration of the call; a
+        // NULL hint with MAP_PRIVATE|PROT_READ asks the kernel for a fresh
+        // read-only mapping it fully owns.  The result is checked below.
+        let ptr = unsafe {
+            ffi::mmap(
+                std::ptr::null_mut(),
+                len,
+                ffi::PROT_READ,
+                ffi::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            inner: Inner::Mapped {
+                ptr: ptr as *const u8,
+                len,
+            },
+        })
+    }
+
+    #[cfg(not(unix))]
+    fn map_nonempty(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::io::Read;
+        let mut buf = Vec::with_capacity(len);
+        let mut file = file.try_clone()?;
+        file.read_to_end(&mut buf)?;
+        Ok(Mmap {
+            inner: Inner::Buffered(buf),
+        })
+    }
+
+    /// The mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the mapped file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.inner {
+            Inner::Empty => &[],
+            #[cfg(unix)]
+            // SAFETY: ptr/len describe a live PROT_READ mapping owned by
+            // self; it is unmapped only in Drop, after every borrow ends.
+            Inner::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            #[cfg(not(unix))]
+            Inner::Buffered(buf) => buf,
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if let Inner::Mapped { ptr, len } = self.inner {
+            // SAFETY: the pointer came from a successful mmap of exactly
+            // `len` bytes and is unmapped exactly once.
+            unsafe {
+                ffi::munmap(ptr as *mut std::os::raw::c_void, len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_dir;
+
+    #[test]
+    fn maps_file_contents_byte_for_byte() {
+        let dir = test_dir("mmap-bytes");
+        let path = dir.path().join("blob");
+        let data: Vec<u8> = (0..4096u32).flat_map(|i| i.to_be_bytes()).collect();
+        std::fs::write(&path, &data).unwrap();
+        let map = Mmap::map_path(&path).unwrap();
+        assert_eq!(map.len(), data.len());
+        assert_eq!(&map[..], &data[..]);
+        assert!(!map.is_empty());
+    }
+
+    #[test]
+    fn empty_files_map_to_empty_slices() {
+        let dir = test_dir("mmap-empty");
+        let path = dir.path().join("empty");
+        std::fs::write(&path, b"").unwrap();
+        let map = Mmap::map_path(&path).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(&map[..], b"");
+    }
+
+    #[test]
+    fn missing_files_error_cleanly() {
+        let dir = test_dir("mmap-missing");
+        assert!(Mmap::map_path(&dir.path().join("nope")).is_err());
+    }
+
+    #[test]
+    fn mapping_survives_unlink_of_the_name() {
+        // Snapshot pruning deletes *names* while readers may still hold the
+        // mapping; the bytes must stay readable until the map drops.
+        let dir = test_dir("mmap-unlink");
+        let path = dir.path().join("pruned");
+        std::fs::write(&path, b"still here").unwrap();
+        let map = Mmap::map_path(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(&map[..], b"still here");
+    }
+
+    #[test]
+    fn maps_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Mmap>();
+    }
+}

@@ -1,12 +1,26 @@
 //! Generational snapshot files: a full copy of one shard's state, written
 //! atomically, so recovery replays `snapshot + WAL tail` instead of the whole
-//! log.
+//! log.  Two layouts share one generation series:
 //!
-//! A snapshot file is `MAGIC ‖ frame(wal_offset(u64 BE) ‖ payload)` — the
-//! same CRC-framed envelope as the WAL, so one checksum covers the offset and
-//! the entire payload, and any truncation or bit-flip makes the whole file
-//! invalid.  `wal_offset` is the WAL frame boundary the snapshot captures:
-//! replay resumes there.
+//! * **`TBS1` (monolithic)** — `MAGIC ‖ frame(wal_offset(u64 BE) ‖ payload)`:
+//!   the same CRC-framed envelope as the WAL, so one checksum covers the
+//!   offset and the entire payload, and any truncation or bit-flip makes the
+//!   whole file invalid.  Loading is O(data): the file is read and checksummed
+//!   in full.
+//! * **`TBS2` (indexed)** — `MAGIC ‖ blob data ‖ frame(trailer) ‖
+//!   trailer_frame_len(u64 BE)`: raw blobs concatenated up front, described by
+//!   a CRC-framed trailer of `(offset, len, crc, index_meta)` entries plus one
+//!   shard-level `meta` blob.  Opening validates only the trailer and serves
+//!   blob bytes through a memory map ([`crate::mmap`]), so open cost is
+//!   O(index) and data pages fault in only when a blob is actually read.
+//!   Each blob carries its own CRC, verified lazily on every [`
+//!   IndexedSnapshot::blob`] call — a data-region bit-flip is an error at
+//!   *read* time (never silently served), while trailer damage or truncation
+//!   fails the *open*, triggering the same fall-back-a-generation path as a
+//!   corrupt `TBS1` file.
+//!
+//! `wal_offset` in both layouts is the WAL frame boundary the snapshot
+//! captures: replay resumes there.
 //!
 //! Writes go to a temporary file which is fsynced and then renamed over the
 //! final name (with a directory fsync), so a crash mid-write leaves either
@@ -16,13 +30,18 @@
 //! makes "fall back to the previous snapshot + longer log replay" automatic.
 
 use crate::frame;
+use crate::mmap::Mmap;
 use crate::{codec, StorageError};
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::io::{self, BufWriter, Read, Write};
+use std::ops::Range;
 use std::path::{Path, PathBuf};
 
-/// Magic bytes opening every snapshot file.
+/// Magic bytes opening every monolithic snapshot file.
 const MAGIC: &[u8; 4] = b"TBS1";
+
+/// Magic bytes opening every indexed (memory-mappable) snapshot file.
+const MAGIC_INDEXED: &[u8; 4] = b"TBS2";
 
 /// A decoded snapshot.
 #[derive(Debug)]
@@ -132,6 +151,261 @@ pub fn load_newest(dir: &Path, base: &str) -> io::Result<(Option<Snapshot>, usiz
     Ok((None, skipped))
 }
 
+/// One blob handed to [`write_indexed_snapshot`].
+#[derive(Debug)]
+pub struct IndexedBlob<'a> {
+    /// The blob's bytes, written verbatim into the data region and covered
+    /// by a per-blob CRC in the trailer.
+    pub body: &'a [u8],
+    /// Opaque caller metadata recorded in the trailer beside the blob's
+    /// offset/len/CRC — available at open time without touching a single
+    /// data page (e.g. a record header used to rebuild indexes).
+    pub index_meta: Vec<u8>,
+}
+
+/// Writes one indexed (`TBS2`) snapshot generation atomically, streaming the
+/// blobs straight to disk (no contiguous in-memory image is ever built).
+///
+/// `meta` is one shard-level metadata blob stored inside the trailer; `blobs`
+/// yields the data blobs in order.  Blob items are *fallible* so a caller
+/// whose blobs come from another (possibly corrupt) mapped snapshot can
+/// propagate the read error instead of re-persisting unverified bytes under
+/// a fresh checksum.  On any error the temporary file is abandoned and the
+/// previous generation set is untouched.
+pub fn write_indexed_snapshot<'a, I>(
+    dir: &Path,
+    base: &str,
+    gen: u64,
+    wal_offset: u64,
+    meta: &[u8],
+    blobs: I,
+    sync: bool,
+) -> Result<(), StorageError>
+where
+    I: IntoIterator<Item = Result<IndexedBlob<'a>, StorageError>>,
+{
+    let tmp = dir.join(format!("{base}.snap.tmp"));
+    let file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)?;
+    let mut out = BufWriter::new(file);
+    out.write_all(MAGIC_INDEXED)?;
+
+    let mut offset = MAGIC_INDEXED.len() as u64;
+    let mut count = 0u64;
+    let mut entries = Vec::new();
+    for item in blobs {
+        let blob = item?;
+        let len = u32::try_from(blob.body.len())
+            .map_err(|_| StorageError::Corrupt("snapshot blob exceeds the u32 length field"))?;
+        let mut crc = crate::crc::Crc32::new();
+        crc.update(blob.body);
+        out.write_all(blob.body)?;
+        codec::put_u64(&mut entries, offset);
+        codec::put_u32(&mut entries, len);
+        codec::put_u32(&mut entries, crc.finish());
+        codec::put_bytes(&mut entries, &blob.index_meta);
+        offset += u64::from(len);
+        count += 1;
+    }
+
+    let mut trailer = Vec::with_capacity(8 + 4 + meta.len() + 8 + entries.len());
+    codec::put_u64(&mut trailer, wal_offset);
+    codec::put_bytes(&mut trailer, meta);
+    codec::put_u64(&mut trailer, count);
+    trailer.extend_from_slice(&entries);
+    let framed = frame::encode_frame(&trailer);
+    out.write_all(&framed)?;
+    // The trailing pointer lets the loader find the trailer from the end of
+    // the file, which is what keeps this write single-pass.
+    out.write_all(&(framed.len() as u64).to_be_bytes())?;
+
+    let file = out
+        .into_inner()
+        .map_err(|e| StorageError::Io(e.into_error()))?;
+    if sync {
+        file.sync_data()?;
+    }
+    drop(file);
+    fs::rename(&tmp, snapshot_path(dir, base, gen))?;
+    if sync {
+        File::open(dir)?.sync_all()?;
+    }
+    Ok(())
+}
+
+/// One trailer entry of an indexed snapshot.
+#[derive(Debug)]
+struct BlobEntry {
+    offset: u64,
+    len: u32,
+    crc: u32,
+    /// The entry's `index_meta` bytes, as a range into the trailer payload
+    /// (one shared buffer instead of one allocation per blob).
+    meta: Range<usize>,
+}
+
+/// A loaded indexed (`TBS2`) snapshot: a validated trailer over a
+/// memory-mapped data region.
+///
+/// The constructor checksums only the trailer — O(index).  Blob bytes live in
+/// the map and are CRC-verified on every [`blob`](Self::blob) call, so a
+/// bit-flip in the data region surfaces as an error at read time rather than
+/// as corrupt bytes.
+#[derive(Debug)]
+pub struct IndexedSnapshot {
+    gen: u64,
+    wal_offset: u64,
+    map: Mmap,
+    trailer: Vec<u8>,
+    meta: Range<usize>,
+    entries: Vec<BlobEntry>,
+}
+
+impl IndexedSnapshot {
+    fn from_map(map: Mmap, gen: u64) -> Result<Self, StorageError> {
+        let min_len = MAGIC_INDEXED.len() + frame::FRAME_HEADER_LEN + 8;
+        if map.len() < min_len || &map[..4] != MAGIC_INDEXED {
+            return Err(StorageError::Corrupt("indexed snapshot magic mismatch"));
+        }
+        let trailer_end = map.len() - 8;
+        let frame_len = u64::from_be_bytes(map[trailer_end..].try_into().expect("8 bytes"));
+        let trailer_start = usize::try_from(frame_len)
+            .ok()
+            .and_then(|len| trailer_end.checked_sub(len))
+            .filter(|&start| start >= MAGIC_INDEXED.len())
+            .ok_or(StorageError::Corrupt(
+                "indexed snapshot trailer out of bounds",
+            ))?;
+        let trailer = frame::decode_single_frame(&map[trailer_start..trailer_end]).ok_or(
+            StorageError::Corrupt("indexed snapshot trailer torn or checksum mismatch"),
+        )?;
+
+        let data_end = trailer_start as u64;
+        let mut r = codec::Reader::new(&trailer);
+        let wal_offset = r.u64()?;
+        let meta = {
+            let start = r.offset() + 4;
+            let bytes = r.bytes()?;
+            start..start + bytes.len()
+        };
+        let count = r.u64()?;
+        // Each entry occupies ≥ 20 trailer bytes, which bounds a sane count;
+        // capping the pre-allocation keeps an absurd count field from
+        // turning into an allocation attempt before the parse fails.
+        let cap = usize::try_from(count.min(trailer.len() as u64 / 20)).expect("bounded");
+        let mut entries = Vec::with_capacity(cap);
+        for _ in 0..count {
+            let offset = r.u64()?;
+            let len = r.u32()?;
+            let crc = r.u32()?;
+            let meta = {
+                let start = r.offset() + 4;
+                let bytes = r.bytes()?;
+                start..start + bytes.len()
+            };
+            let end = offset
+                .checked_add(u64::from(len))
+                .ok_or(StorageError::Corrupt("indexed snapshot blob overflows"))?;
+            if offset < MAGIC_INDEXED.len() as u64 || end > data_end {
+                return Err(StorageError::Corrupt(
+                    "indexed snapshot blob outside the data region",
+                ));
+            }
+            entries.push(BlobEntry {
+                offset,
+                len,
+                crc,
+                meta,
+            });
+        }
+        r.finish()?;
+        Ok(IndexedSnapshot {
+            gen,
+            wal_offset,
+            map,
+            trailer,
+            meta,
+            entries,
+        })
+    }
+
+    /// The generation number this snapshot was loaded from.
+    pub fn gen(&self) -> u64 {
+        self.gen
+    }
+
+    /// The WAL boundary this snapshot captures; replay resumes here.
+    pub fn wal_offset(&self) -> u64 {
+        self.wal_offset
+    }
+
+    /// The shard-level metadata blob from the trailer.
+    pub fn meta(&self) -> &[u8] {
+        &self.trailer[self.meta.clone()]
+    }
+
+    /// Number of blobs in the data region.
+    pub fn blob_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Blob `i`'s trailer-resident index metadata (trailer-CRC-protected, no
+    /// data page touched).
+    pub fn index_meta(&self, i: usize) -> Option<&[u8]> {
+        self.entries.get(i).map(|e| &self.trailer[e.meta.clone()])
+    }
+
+    /// Blob `i`'s length in bytes, without reading it.
+    pub fn blob_len(&self, i: usize) -> Option<usize> {
+        self.entries.get(i).map(|e| e.len as usize)
+    }
+
+    /// Blob `i`'s bytes, CRC-verified on every call.
+    ///
+    /// This is the lazy half of the corruption contract: the open validated
+    /// only the trailer, so a flipped bit in the data region is discovered
+    /// here — and surfaces as `Corrupt`, never as silently wrong bytes.
+    pub fn blob(&self, i: usize) -> Result<&[u8], StorageError> {
+        let entry = self
+            .entries
+            .get(i)
+            .ok_or(StorageError::Corrupt("blob index out of range"))?;
+        let start = entry.offset as usize;
+        let bytes = &self.map[start..start + entry.len as usize];
+        let mut crc = crate::crc::Crc32::new();
+        crc.update(bytes);
+        if crc.finish() != entry.crc {
+            return Err(StorageError::Corrupt("snapshot blob checksum mismatch"));
+        }
+        Ok(bytes)
+    }
+}
+
+/// Loads and validates one indexed snapshot generation (trailer only — the
+/// data region stays untouched until blobs are read).
+pub fn load_indexed(dir: &Path, base: &str, gen: u64) -> Result<IndexedSnapshot, StorageError> {
+    IndexedSnapshot::from_map(Mmap::map_path(&snapshot_path(dir, base, gen))?, gen)
+}
+
+/// Reads one generation's `wal_offset` with whatever validation its layout
+/// requires (`TBS1`: full-file CRC; `TBS2`: trailer CRC), dispatching on the
+/// magic.  Used by recovery to bound WAL trimming against *older* kept
+/// generations without decoding their payloads.
+pub fn peek_wal_offset(dir: &Path, base: &str, gen: u64) -> Result<u64, StorageError> {
+    let mut magic = [0u8; 4];
+    File::open(snapshot_path(dir, base, gen))?.read_exact(&mut magic)?;
+    if &magic == MAGIC {
+        load_snapshot(dir, base, gen).map(|s| s.wal_offset)
+    } else if &magic == MAGIC_INDEXED {
+        load_indexed(dir, base, gen).map(|s| s.wal_offset())
+    } else {
+        Err(StorageError::Corrupt("snapshot magic mismatch"))
+    }
+}
+
 /// Removes all but the newest `keep` generations of a series.  Keeping two
 /// generations means the newest can be lost to corruption without losing the
 /// snapshot optimisation entirely, while the WAL (which is never trimmed
@@ -206,6 +480,162 @@ mod tests {
         // Pruning an empty tail is a no-op.
         prune(dir.path(), "s", 2).unwrap();
         assert_eq!(list_generations(dir.path(), "s").unwrap(), vec![5, 4]);
+    }
+
+    /// Convenience writer for the indexed-layout tests.
+    fn write_indexed(
+        dir: &Path,
+        base: &str,
+        gen: u64,
+        wal_offset: u64,
+        meta: &[u8],
+        blobs: &[(&[u8], &[u8])],
+    ) {
+        write_indexed_snapshot(
+            dir,
+            base,
+            gen,
+            wal_offset,
+            meta,
+            blobs.iter().map(|&(body, im)| {
+                Ok(IndexedBlob {
+                    body,
+                    index_meta: im.to_vec(),
+                })
+            }),
+            true,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn indexed_snapshot_round_trips_blobs_meta_and_index_meta() {
+        let dir = test_dir("snap-indexed");
+        let blobs: &[(&[u8], &[u8])] = &[
+            (b"alpha-body", b"alpha-hdr"),
+            (b"", b"empty-body-hdr"),
+            (&[0xE1; 300], b""),
+        ];
+        write_indexed(dir.path(), "shard-00", 3, 777, b"shard-meta", blobs);
+
+        let snap = load_indexed(dir.path(), "shard-00", 3).unwrap();
+        assert_eq!((snap.gen(), snap.wal_offset()), (3, 777));
+        assert_eq!(snap.meta(), b"shard-meta");
+        assert_eq!(snap.blob_count(), 3);
+        for (i, &(body, im)) in blobs.iter().enumerate() {
+            assert_eq!(snap.index_meta(i).unwrap(), im, "blob {i}");
+            assert_eq!(snap.blob_len(i).unwrap(), body.len(), "blob {i}");
+            assert_eq!(snap.blob(i).unwrap(), body, "blob {i}");
+        }
+        assert!(snap.index_meta(3).is_none());
+        assert!(snap.blob(3).is_err());
+
+        // Both layouts share the generation series and the wal-offset peek.
+        write_snapshot(dir.path(), "shard-00", 2, 50, b"old-monolithic", true).unwrap();
+        assert_eq!(
+            list_generations(dir.path(), "shard-00").unwrap(),
+            vec![3, 2]
+        );
+        assert_eq!(peek_wal_offset(dir.path(), "shard-00", 3).unwrap(), 777);
+        assert_eq!(peek_wal_offset(dir.path(), "shard-00", 2).unwrap(), 50);
+    }
+
+    #[test]
+    fn indexed_snapshot_with_no_blobs_is_valid() {
+        let dir = test_dir("snap-indexed-empty");
+        write_indexed(dir.path(), "s", 1, 0, b"", &[]);
+        let snap = load_indexed(dir.path(), "s", 1).unwrap();
+        assert_eq!(snap.blob_count(), 0);
+        assert_eq!(snap.meta(), b"");
+        assert_eq!(snap.wal_offset(), 0);
+    }
+
+    #[test]
+    fn data_region_bit_flip_fails_the_read_not_the_open() {
+        let dir = test_dir("snap-indexed-dataflip");
+        write_indexed(
+            dir.path(),
+            "s",
+            1,
+            9,
+            b"m",
+            &[(b"first-blob", b"h0"), (b"second-blob", b"h1")],
+        );
+        let path = snapshot_path(dir.path(), "s", 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Byte 5 sits inside the first blob's body ("irst-blob"...).
+        bytes[5] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Open succeeds: the trailer is intact and only it is validated.
+        let snap = load_indexed(dir.path(), "s", 1).unwrap();
+        assert_eq!(snap.index_meta(0).unwrap(), b"h0");
+        // The damaged blob errors on read; its neighbour is still served.
+        assert!(matches!(
+            snap.blob(0),
+            Err(StorageError::Corrupt("snapshot blob checksum mismatch"))
+        ));
+        assert_eq!(snap.blob(1).unwrap(), b"second-blob");
+    }
+
+    #[test]
+    fn trailer_damage_and_truncation_fail_the_open() {
+        let dir = test_dir("snap-indexed-trailer");
+        write_indexed(dir.path(), "s", 1, 9, b"m", &[(b"blob-bytes", b"h")]);
+        let path = snapshot_path(dir.path(), "s", 1);
+        let pristine = std::fs::read(&path).unwrap();
+
+        // A flipped bit anywhere in the trailer frame or the trailing
+        // pointer refuses the open.
+        let data_len = 4 + b"blob-bytes".len();
+        for byte in data_len..pristine.len() {
+            let mut bytes = pristine.clone();
+            bytes[byte] ^= 0x10;
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(load_indexed(dir.path(), "s", 1).is_err(), "byte {byte}");
+            assert!(peek_wal_offset(dir.path(), "s", 1).is_err(), "byte {byte}");
+        }
+        // Truncation at every length refuses the open.
+        for cut in 0..pristine.len() {
+            std::fs::write(&path, &pristine[..cut]).unwrap();
+            assert!(load_indexed(dir.path(), "s", 1).is_err(), "cut {cut}");
+        }
+        // The pristine bytes still load (the loop above really was the
+        // corruption, not a broken fixture).
+        std::fs::write(&path, &pristine).unwrap();
+        load_indexed(dir.path(), "s", 1).unwrap();
+    }
+
+    #[test]
+    fn failing_blob_iterator_abandons_the_write() {
+        let dir = test_dir("snap-indexed-failblob");
+        write_indexed(dir.path(), "s", 1, 5, b"keep", &[(b"good", b"h")]);
+        let blobs = [
+            Ok(IndexedBlob {
+                body: b"fine".as_slice(),
+                index_meta: vec![],
+            }),
+            Err(StorageError::Corrupt("source blob unreadable")),
+        ];
+        let err = write_indexed_snapshot(dir.path(), "s", 2, 6, b"", blobs, true).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)));
+        // No generation 2 appeared; generation 1 is untouched.
+        assert_eq!(list_generations(dir.path(), "s").unwrap(), vec![1]);
+        assert_eq!(load_indexed(dir.path(), "s", 1).unwrap().meta(), b"keep");
+    }
+
+    #[test]
+    fn monolithic_loader_rejects_indexed_files_and_vice_versa() {
+        let dir = test_dir("snap-cross-layout");
+        write_snapshot(dir.path(), "s", 1, 10, b"mono", true).unwrap();
+        write_indexed(dir.path(), "s", 2, 20, b"idx", &[]);
+        assert!(load_snapshot(dir.path(), "s", 2).is_err());
+        assert!(load_indexed(dir.path(), "s", 1).is_err());
+        // load_newest is the TBS1-only legacy walk: it skips the indexed
+        // generation and falls back to the monolithic one.
+        let (newest, skipped) = load_newest(dir.path(), "s").unwrap();
+        assert_eq!(newest.unwrap().gen, 1);
+        assert_eq!(skipped, 1);
     }
 
     #[test]

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the JSON-emitting benches and leaves their artifacts at the workspace
+# root (BENCH_<experiment>.json), so the perf trajectory is a committed,
+# diffable series rather than a pile of terminal scrollback.
+#
+# Usage:
+#   scripts/bench_json.sh            # toy-scale smoke numbers (minutes)
+#   TIBPRE_E12_RECORDS=1000000 scripts/bench_json.sh   # nightly scale
+#
+# Each bench honours TIBPRE_BENCH_JSON to redirect its output file; this
+# script leaves the default (workspace root) in place on purpose.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The JSON-emitting benches, one per line: name, then any filter args.
+benches=(
+  e12_resident
+)
+
+for bench in "${benches[@]}"; do
+  echo "== $bench =="
+  cargo bench -p tibpre-bench --bench "$bench"
+done
+
+echo "== artifacts =="
+ls -l BENCH_*.json

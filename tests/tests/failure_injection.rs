@@ -243,7 +243,10 @@ impl SnapshotFixture {
         assert_eq!(store.record_count(), self.titles.len());
         let ids = store.list_for_patient(&self.alice);
         assert_eq!(ids.len(), self.titles.len());
-        let got: Vec<String> = ids.iter().map(|&id| store.get(id).unwrap().title).collect();
+        let got: Vec<String> = ids
+            .iter()
+            .map(|&id| store.get(id).unwrap().title.clone())
+            .collect();
         assert_eq!(got, self.titles);
         assert_eq!(store.audit_snapshot().len(), self.titles.len());
         store
@@ -253,14 +256,18 @@ impl SnapshotFixture {
 #[test]
 fn bit_flipped_snapshot_falls_back_to_previous_generation() {
     let f = SnapshotFixture::new("snap-bitflip", 0xB17);
-    // Flip one bit inside the newest snapshot's payload.
+    // Flip one bit inside the newest snapshot's *trailer* — the index the
+    // O(index) open validates.  (A flip in the data region is instead
+    // detected lazily, on the first read of the damaged record; the store's
+    // unit tests and `bit_flipped_snapshot_blob_fails_only_that_record`
+    // below pin that half of the contract.)
     let newest = snapshot::snapshot_path(&f.dir, "shard-00", 2);
     let mut bytes = std::fs::read(&newest).unwrap();
-    let target = bytes.len() / 2;
+    let target = bytes.len() - 12;
     bytes[target] ^= 0x08;
     std::fs::write(&newest, &bytes).unwrap();
-    assert!(snapshot::load_snapshot(&f.dir, "shard-00", 2).is_err());
-    assert!(snapshot::load_snapshot(&f.dir, "shard-00", 1).is_ok());
+    assert!(snapshot::load_indexed(&f.dir, "shard-00", 2).is_err());
+    assert!(snapshot::load_indexed(&f.dir, "shard-00", 1).is_ok());
 
     // Recovery silently falls back to generation 1 + the longer WAL tail.
     let store = f.assert_fully_recovered();
@@ -268,9 +275,35 @@ fn bit_flipped_snapshot_falls_back_to_previous_generation() {
     // The next snapshot supersedes the corrupt generation with valid data.
     store.force_snapshot().unwrap();
     drop(store);
-    let snap = snapshot::load_snapshot(&f.dir, "shard-00", 2).unwrap();
-    assert_eq!(snap.gen, 2);
+    let snap = snapshot::load_indexed(&f.dir, "shard-00", 2).unwrap();
+    assert_eq!(snap.gen(), 2);
     f.assert_fully_recovered();
+}
+
+#[test]
+fn bit_flipped_snapshot_blob_fails_only_that_record() {
+    let f = SnapshotFixture::new("snap-blobflip", 0xB18);
+    // Flip one bit inside the newest snapshot's *data region* (the blobs
+    // start right after the 4-byte magic).  The open still succeeds — it
+    // reads only the trailer — and the damage surfaces as an error on the
+    // first read of that record, never as corrupt ciphertext bytes.
+    let newest = snapshot::snapshot_path(&f.dir, "shard-00", 2);
+    let mut bytes = std::fs::read(&newest).unwrap();
+    bytes[10] ^= 0x08; // inside blob 0
+    std::fs::write(&newest, &bytes).unwrap();
+
+    let store = EncryptedPhrStore::open(&f.dir, SnapshotFixture::durability(&f.params)).unwrap();
+    assert_eq!(store.record_count(), f.titles.len());
+    let ids = store.list_for_patient(&f.alice);
+    let mut corrupt = 0;
+    for &id in &ids {
+        match store.get(id) {
+            Ok(_) => {}
+            Err(PhrError::CorruptedRecord(_)) => corrupt += 1,
+            Err(other) => panic!("unexpected error: {other:?}"),
+        }
+    }
+    assert_eq!(corrupt, 1, "exactly the damaged record fails");
 }
 
 #[test]
@@ -280,7 +313,7 @@ fn mid_frame_truncated_snapshot_falls_back_to_previous_generation() {
     let newest = snapshot::snapshot_path(&f.dir, "shard-00", 2);
     let bytes = std::fs::read(&newest).unwrap();
     std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
-    assert!(snapshot::load_snapshot(&f.dir, "shard-00", 2).is_err());
+    assert!(snapshot::load_indexed(&f.dir, "shard-00", 2).is_err());
 
     f.assert_fully_recovered();
 }

@@ -152,14 +152,14 @@ impl FixtureWorld {
         assert_eq!(
             audit
                 .iter()
-                .filter(|e| matches!(e, AuditEvent::RecordStored { .. }))
+                .filter(|e| matches!(e.as_ref(), AuditEvent::RecordStored { .. }))
                 .count(),
             6
         );
         assert_eq!(
             audit
                 .iter()
-                .filter(|e| matches!(e, AuditEvent::DisclosurePerformed { .. }))
+                .filter(|e| matches!(e.as_ref(), AuditEvent::DisclosurePerformed { .. }))
                 .count(),
             1
         );
@@ -230,13 +230,20 @@ fn legacy_store_compacts_and_repersists_as_v1() {
         "legacy segments must be collected: {files_before} files -> {files_after}"
     );
 
-    // New snapshots carry the v1 envelope tag right after the snapshot
-    // header (magic + frame header + u64 wal_offset).
-    let newest = tibpre_storage::snapshot::load_newest(&w.store_dir, "shard-00")
-        .unwrap()
-        .0
-        .unwrap();
-    assert_eq!(newest.payload[0], 0xE1, "snapshot payload must be v1");
+    // New snapshots use the indexed (TBS2) layout, and every migrated
+    // record is re-persisted under the v1 envelope: the trailer's audit
+    // metadata and each blob's index metadata carry the v1 tag.
+    let gens = tibpre_storage::snapshot::list_generations(&w.store_dir, "shard-00").unwrap();
+    let newest = tibpre_storage::snapshot::load_indexed(&w.store_dir, "shard-00", gens[0]).unwrap();
+    assert_eq!(newest.meta()[0], 0xE1, "audit metadata must be v1");
+    assert!(newest.blob_count() > 0);
+    for i in 0..newest.blob_count() {
+        assert_eq!(
+            newest.index_meta(i).unwrap()[0],
+            0xE1,
+            "migrated record {i} must be resident as v1"
+        );
+    }
 
     // Everything still recovers from the compacted, re-persisted state —
     // and the replayed tail is only what came after the snapshot (the WAL

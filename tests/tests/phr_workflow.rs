@@ -181,7 +181,7 @@ fn audit_trail_is_complete_and_ordered() {
     // Stored, denied, granted, disclosed, revoked — in that order.
     let kinds: Vec<&'static str> = audit
         .iter()
-        .map(|e| match e {
+        .map(|e| match e.as_ref() {
             AuditEvent::RecordStored { .. } => "stored",
             AuditEvent::RecordDeleted { .. } => "deleted",
             AuditEvent::AccessGranted { .. } => "granted",

@@ -148,8 +148,8 @@ proptest! {
         // The merged audit trail: one RecordStored per put, one RecordDeleted
         // per delete, strictly increasing timestamps across all shards.
         let audit = store.audit_snapshot();
-        let stored = audit.iter().filter(|e| matches!(e, AuditEvent::RecordStored { .. })).count();
-        let removed = audit.iter().filter(|e| matches!(e, AuditEvent::RecordDeleted { .. })).count();
+        let stored = audit.iter().filter(|e| matches!(e.as_ref(), AuditEvent::RecordStored { .. })).count();
+        let removed = audit.iter().filter(|e| matches!(e.as_ref(), AuditEvent::RecordDeleted { .. })).count();
         prop_assert_eq!(stored, threads * puts);
         prop_assert_eq!(removed, total_deleted);
         for pair in audit.windows(2) {
