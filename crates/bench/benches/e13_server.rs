@@ -1,0 +1,147 @@
+//! Experiment E13 — the network service layer under load.
+//!
+//! Boots a full kgc/store/proxy node set on loopback ephemeral ports and
+//! drives it with the `tibpre-load` generator: N concurrent clients issuing
+//! decrypt-heavy disclosure traffic with Zipf patient popularity and
+//! grant/revoke churn riding along.  Every counted success is a complete
+//! extract → encrypt → store → grant → re-encrypt → decrypt round trip over
+//! real TCP.  Reports p50/p99 end-to-end latency and requests/second.
+//!
+//! Scale knobs: `TIBPRE_E13_CLIENTS`, `TIBPRE_E13_REQUESTS`,
+//! `TIBPRE_E13_PATIENTS`, `TIBPRE_E13_RECORDS_PER_PATIENT`,
+//! `TIBPRE_E13_CHURN_EVERY`, `TIBPRE_E13_PAYLOAD`.
+
+use tibpre_client::NodeRole;
+use tibpre_server::load::{run_load, LoadConfig};
+use tibpre_server::{node, NodeConfig};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let clients = env_usize("TIBPRE_E13_CLIENTS", 4);
+    let requests = env_usize("TIBPRE_E13_REQUESTS", 800) as u64;
+    let patients = env_usize("TIBPRE_E13_PATIENTS", 16);
+    let records_per_patient = env_usize("TIBPRE_E13_RECORDS_PER_PATIENT", 4);
+    let churn_every = env_usize("TIBPRE_E13_CHURN_EVERY", 25) as u64;
+    let payload_len = env_usize("TIBPRE_E13_PAYLOAD", 256);
+
+    // The node set: kgc + store + proxy, in-process, ephemeral ports, toy
+    // parameters (the pairing level scales crypto cost, not protocol cost,
+    // and E13 measures the protocol).
+    let kgc = node::start(NodeConfig::new(NodeRole::Kgc)).expect("kgc node");
+    let store = node::start(NodeConfig::new(NodeRole::Store)).expect("store node");
+    let mut proxy_config = NodeConfig::new(NodeRole::Proxy);
+    proxy_config.store_addr = Some(store.addr().to_string());
+    let proxy = node::start(proxy_config).expect("proxy node");
+    eprintln!(
+        "e13: kgc {} / store {} / proxy {}",
+        kgc.addr(),
+        store.addr(),
+        proxy.addr()
+    );
+
+    let config = LoadConfig {
+        kgc_addr: kgc.addr().to_string(),
+        store_addr: store.addr().to_string(),
+        proxy_addr: proxy.addr().to_string(),
+        clients,
+        requests,
+        patients,
+        records_per_patient,
+        churn_every,
+        payload_len,
+        ..LoadConfig::default()
+    };
+    eprintln!(
+        "e13: {clients} clients x {requests} requests, {patients} patients x \
+         {records_per_patient} records, churn every {churn_every}"
+    );
+    let report = run_load(&config).expect("load run");
+    eprintln!(
+        "e13: {} ok / {} denied / {} errors in {:.2}s — p50 {}us p99 {}us, {:.0} req/s",
+        report.ok,
+        report.denied,
+        report.errors,
+        report.elapsed.as_secs_f64(),
+        report.p50_us,
+        report.p99_us,
+        report.req_per_sec,
+    );
+
+    for handle in [proxy, store, kgc] {
+        handle.shutdown();
+        handle.wait();
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"e13_server\",\n",
+            "  \"level\": \"toy\",\n",
+            "  \"clients\": {},\n",
+            "  \"requests\": {},\n",
+            "  \"patients\": {},\n",
+            "  \"records_per_patient\": {},\n",
+            "  \"zipf_exponent\": {:.2},\n",
+            "  \"churn_every\": {},\n",
+            "  \"payload_bytes\": {},\n",
+            "  \"ok\": {},\n",
+            "  \"denied\": {},\n",
+            "  \"errors\": {},\n",
+            "  \"churn_ops\": {},\n",
+            "  \"elapsed_s\": {:.3},\n",
+            "  \"p50_us\": {},\n",
+            "  \"p99_us\": {},\n",
+            "  \"max_us\": {},\n",
+            "  \"req_per_sec\": {:.1}\n",
+            "}}\n"
+        ),
+        clients,
+        requests,
+        patients,
+        records_per_patient,
+        config.zipf_exponent,
+        churn_every,
+        payload_len,
+        report.ok,
+        report.denied,
+        report.errors,
+        report.churn_ops,
+        report.elapsed.as_secs_f64(),
+        report.p50_us,
+        report.p99_us,
+        report.max_us,
+        report.req_per_sec,
+    );
+    print!("{json}");
+
+    let out = std::env::var("TIBPRE_BENCH_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_e13.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).unwrap();
+    eprintln!("e13: wrote {out}");
+
+    // Acceptance gates: every request got a definite answer, nothing
+    // errored, and the only non-successes are the revoke→regrant race
+    // window the churn traffic deliberately opens.
+    assert_eq!(report.errors, 0, "transport or decrypt errors under load");
+    assert_eq!(
+        report.ok + report.denied,
+        requests,
+        "every request must be answered"
+    );
+    let denied_share = report.denied as f64 / requests as f64;
+    assert!(
+        denied_share <= 0.10,
+        "denied share {denied_share:.3} exceeds the churn race budget"
+    );
+    assert!(
+        report.req_per_sec >= 50.0,
+        "throughput {:.1} req/s below the 50 req/s floor",
+        report.req_per_sec
+    );
+}

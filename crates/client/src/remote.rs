@@ -1,0 +1,388 @@
+//! Typed clients for the three node roles, and the [`RemoteStore`] that
+//! plugs a store node into [`tibpre_phr::RecordSource`] so a proxy node can
+//! serve disclosures from records it does not hold.
+
+use crate::conn::{ClientConfig, ClientError, Connection, Result};
+use crate::protocol::{Request, Response};
+use parking_lot::Mutex;
+use std::net::ToSocketAddrs;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use tibpre_core::{HybridCiphertext, ReEncryptionKey};
+use tibpre_ibe::{IbePrivateKey, IbePublicParams, Identity};
+use tibpre_pairing::PairingParams;
+use tibpre_phr::proxy_service::DisclosureBundle;
+use tibpre_phr::store::StoredRecord;
+use tibpre_phr::{AuditEvent, Category, RecordId, RecordSource};
+
+/// Client for a KGC node.
+#[derive(Debug)]
+pub struct KgcClient {
+    conn: Connection,
+}
+
+impl KgcClient {
+    /// Connects to a KGC node.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        params: &Arc<PairingParams>,
+        config: &ClientConfig,
+    ) -> Result<Self> {
+        Ok(KgcClient {
+            conn: Connection::connect(addr, params, config)?,
+        })
+    }
+
+    /// The domain's public parameters.
+    pub fn public_params(&mut self) -> Result<IbePublicParams> {
+        match self.conn.call(&Request::PublicParams)? {
+            Response::PublicParams(params) => Ok(*params),
+            _ => Err(ClientError::UnexpectedResponse("expected PublicParams")),
+        }
+    }
+
+    /// `Extract`: the private key for an identity.
+    pub fn extract(&mut self, identity: &Identity) -> Result<IbePrivateKey> {
+        let request = Request::Extract {
+            identity: identity.clone(),
+        };
+        match self.conn.call(&request)? {
+            Response::PrivateKey(key) => Ok(*key),
+            _ => Err(ClientError::UnexpectedResponse("expected PrivateKey")),
+        }
+    }
+
+    /// The underlying connection (for ping/shutdown).
+    pub fn connection(&mut self) -> &mut Connection {
+        &mut self.conn
+    }
+}
+
+/// Client for a store node.
+#[derive(Debug)]
+pub struct StoreClient {
+    conn: Connection,
+}
+
+impl StoreClient {
+    /// Connects to a store node.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        params: &Arc<PairingParams>,
+        config: &ClientConfig,
+    ) -> Result<Self> {
+        Ok(StoreClient {
+            conn: Connection::connect(addr, params, config)?,
+        })
+    }
+
+    /// Stores an encrypted record; the node assigns and returns the id.
+    pub fn put(
+        &mut self,
+        patient: &Identity,
+        category: &Category,
+        title: &str,
+        ciphertext: HybridCiphertext,
+    ) -> Result<RecordId> {
+        let request = Request::PutRecord {
+            patient: patient.clone(),
+            category: category.clone(),
+            title: title.to_string(),
+            ciphertext: Box::new(ciphertext),
+        };
+        match self.conn.call(&request)? {
+            Response::RecordId(id) => Ok(id),
+            _ => Err(ClientError::UnexpectedResponse("expected RecordId")),
+        }
+    }
+
+    /// Fetches one record.
+    pub fn get(&mut self, id: RecordId) -> Result<StoredRecord> {
+        match self.conn.call(&Request::GetRecord { id })? {
+            Response::Record(record) => Ok(*record),
+            _ => Err(ClientError::UnexpectedResponse("expected Record")),
+        }
+    }
+
+    /// Deletes one record.
+    pub fn delete(&mut self, id: RecordId, requester: &Identity) -> Result<()> {
+        self.conn.call_ok(&Request::DeleteRecord {
+            id,
+            requester: requester.clone(),
+        })
+    }
+
+    /// Lists a patient's record ids, optionally within one category.
+    pub fn list(
+        &mut self,
+        patient: &Identity,
+        category: Option<&Category>,
+    ) -> Result<Vec<RecordId>> {
+        let request = Request::ListRecords {
+            patient: patient.clone(),
+            category: category.cloned(),
+        };
+        match self.conn.call(&request)? {
+            Response::RecordIds(ids) => Ok(ids),
+            _ => Err(ClientError::UnexpectedResponse("expected RecordIds")),
+        }
+    }
+
+    /// Total number of records on the node.
+    pub fn record_count(&mut self) -> Result<u64> {
+        match self.conn.call(&Request::RecordCount)? {
+            Response::Count(n) => Ok(n),
+            _ => Err(ClientError::UnexpectedResponse("expected Count")),
+        }
+    }
+
+    /// Forces WAL durability for everything accepted so far.
+    pub fn sync(&mut self) -> Result<()> {
+        self.conn.call_ok(&Request::Sync)
+    }
+
+    /// The store's audit trail.
+    pub fn audit_snapshot(&mut self) -> Result<Vec<AuditEvent>> {
+        match self.conn.call(&Request::AuditSnapshot)? {
+            Response::AuditEvents(events) => Ok(events),
+            _ => Err(ClientError::UnexpectedResponse("expected AuditEvents")),
+        }
+    }
+
+    /// The underlying connection (for ping/shutdown).
+    pub fn connection(&mut self) -> &mut Connection {
+        &mut self.conn
+    }
+}
+
+/// Client for a proxy node.
+#[derive(Debug)]
+pub struct ProxyClient {
+    conn: Connection,
+}
+
+impl ProxyClient {
+    /// Connects to a proxy node.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        params: &Arc<PairingParams>,
+        config: &ClientConfig,
+    ) -> Result<Self> {
+        Ok(ProxyClient {
+            conn: Connection::connect(addr, params, config)?,
+        })
+    }
+
+    /// Installs a re-encryption key (granting access).
+    pub fn install_key(&mut self, key: ReEncryptionKey) -> Result<()> {
+        self.conn
+            .call_ok(&Request::InstallKey { key: Box::new(key) })
+    }
+
+    /// Removes a re-encryption key; `true` if a key was actually removed.
+    pub fn revoke_key(
+        &mut self,
+        patient: &Identity,
+        category: &Category,
+        grantee: &Identity,
+    ) -> Result<bool> {
+        let request = Request::RevokeKey {
+            patient: patient.clone(),
+            category: category.clone(),
+            grantee: grantee.clone(),
+        };
+        match self.conn.call(&request)? {
+            Response::Bool(removed) => Ok(removed),
+            _ => Err(ClientError::UnexpectedResponse("expected Bool")),
+        }
+    }
+
+    /// Whether a grant is active.
+    pub fn has_grant(
+        &mut self,
+        patient: &Identity,
+        category: &Category,
+        grantee: &Identity,
+    ) -> Result<bool> {
+        let request = Request::HasGrant {
+            patient: patient.clone(),
+            category: category.clone(),
+            grantee: grantee.clone(),
+        };
+        match self.conn.call(&request)? {
+            Response::Bool(has) => Ok(has),
+            _ => Err(ClientError::UnexpectedResponse("expected Bool")),
+        }
+    }
+
+    /// Number of installed re-encryption keys.
+    pub fn key_count(&mut self) -> Result<u64> {
+        match self.conn.call(&Request::KeyCount)? {
+            Response::Count(n) => Ok(n),
+            _ => Err(ClientError::UnexpectedResponse("expected Count")),
+        }
+    }
+
+    /// Re-encrypts one record for a requester.
+    pub fn disclose(
+        &mut self,
+        patient: &Identity,
+        id: RecordId,
+        requester: &Identity,
+    ) -> Result<DisclosureBundle> {
+        let request = Request::Disclose {
+            patient: patient.clone(),
+            id,
+            requester: requester.clone(),
+        };
+        match self.conn.call(&request)? {
+            Response::Bundle(bundle) => Ok(*bundle),
+            _ => Err(ClientError::UnexpectedResponse("expected Bundle")),
+        }
+    }
+
+    /// The proxy's audit trail.
+    pub fn audit_snapshot(&mut self) -> Result<Vec<AuditEvent>> {
+        match self.conn.call(&Request::AuditSnapshot)? {
+            Response::AuditEvents(events) => Ok(events),
+            _ => Err(ClientError::UnexpectedResponse("expected AuditEvents")),
+        }
+    }
+
+    /// Re-encrypts every record of one category for a requester.
+    pub fn disclose_category(
+        &mut self,
+        patient: &Identity,
+        category: &Category,
+        requester: &Identity,
+    ) -> Result<Vec<DisclosureBundle>> {
+        let request = Request::DiscloseCategory {
+            patient: patient.clone(),
+            category: category.clone(),
+            requester: requester.clone(),
+        };
+        match self.conn.call(&request)? {
+            Response::Bundles(bundles) => Ok(bundles),
+            _ => Err(ClientError::UnexpectedResponse("expected Bundles")),
+        }
+    }
+
+    /// The underlying connection (for ping/shutdown).
+    pub fn connection(&mut self) -> &mut Connection {
+        &mut self.conn
+    }
+}
+
+/// A store node viewed through [`RecordSource`]: the piece that lets a
+/// *proxy node* serve disclosures for records held on a *store node*.
+///
+/// Holds a small connection pool (requests are strictly serial per
+/// connection) handed out round-robin, so concurrent disclosure handlers on
+/// the proxy don't serialize on one socket.
+pub struct RemoteStore {
+    pool: Vec<Mutex<Connection>>,
+    next: AtomicUsize,
+}
+
+impl RemoteStore {
+    /// Connects `connections` sockets to the store node.
+    pub fn connect(
+        addr: impl ToSocketAddrs + Copy,
+        params: &Arc<PairingParams>,
+        config: &ClientConfig,
+        connections: usize,
+    ) -> Result<Self> {
+        let pool = (0..connections.max(1))
+            .map(|_| Ok(Mutex::new(Connection::connect(addr, params, config)?)))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(RemoteStore {
+            pool,
+            next: AtomicUsize::new(0),
+        })
+    }
+
+    fn call(&self, request: &Request) -> Result<Response> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.pool.len();
+        self.pool[i].lock().call(request)
+    }
+
+    fn phr_call(&self, request: &Request) -> tibpre_phr::Result<Response> {
+        self.call(request).map_err(|e| match e {
+            ClientError::Remote(remote) => remote.into_phr(),
+            other => tibpre_phr::PhrError::Storage(other.to_string()),
+        })
+    }
+}
+
+impl RecordSource for RemoteStore {
+    fn get(&self, id: RecordId) -> tibpre_phr::Result<Arc<StoredRecord>> {
+        match self.phr_call(&Request::GetRecord { id })? {
+            Response::Record(record) => Ok(Arc::new(*record)),
+            _ => Err(tibpre_phr::PhrError::Storage(
+                "store node answered GetRecord with the wrong variant".into(),
+            )),
+        }
+    }
+
+    fn list_for_patient(&self, patient: &Identity) -> tibpre_phr::Result<Vec<RecordId>> {
+        let request = Request::ListRecords {
+            patient: patient.clone(),
+            category: None,
+        };
+        match self.phr_call(&request)? {
+            Response::RecordIds(ids) => Ok(ids),
+            _ => Err(tibpre_phr::PhrError::Storage(
+                "store node answered ListRecords with the wrong variant".into(),
+            )),
+        }
+    }
+
+    fn list_for_patient_category(
+        &self,
+        patient: &Identity,
+        category: &Category,
+    ) -> tibpre_phr::Result<Vec<RecordId>> {
+        let request = Request::ListRecords {
+            patient: patient.clone(),
+            category: Some(category.clone()),
+        };
+        match self.phr_call(&request)? {
+            Response::RecordIds(ids) => Ok(ids),
+            _ => Err(tibpre_phr::PhrError::Storage(
+                "store node answered ListRecords with the wrong variant".into(),
+            )),
+        }
+    }
+
+    fn log_disclosure(&self, id: RecordId, requester: &Identity, granted: bool) {
+        // Best-effort: the proxy keeps its own durable audit trail, and a
+        // disclosure must not fail because the store's trail was
+        // unreachable.
+        let _ = self.call(&Request::LogDisclosure {
+            id,
+            requester: requester.clone(),
+            granted,
+        });
+    }
+
+    fn log_policy_change(
+        &self,
+        patient: &Identity,
+        category: &Category,
+        grantee: &Identity,
+        granted: bool,
+    ) {
+        let _ = self.call(&Request::LogPolicyChange {
+            patient: patient.clone(),
+            category: category.clone(),
+            grantee: grantee.clone(),
+            granted,
+        });
+    }
+}
+
+impl core::fmt::Debug for RemoteStore {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "RemoteStore(pool={})", self.pool.len())
+    }
+}

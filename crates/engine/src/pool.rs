@@ -44,13 +44,26 @@ impl ReEncryptEngine {
     }
 
     /// An engine sized from the environment: the `TIBPRE_WORKERS` variable
-    /// if set (parse failures fall back to sequential, so a typo degrades
-    /// performance, not correctness), else the machine's available
-    /// parallelism.
+    /// if it parses, else the machine's available parallelism.  An
+    /// *unparsable* value falls back to available parallelism too — exactly
+    /// like an unset variable — so a typo degrades nothing (it used to drop
+    /// a multi-core node to sequential).
     pub fn from_env() -> Self {
+        Self::from_env_reporting().0
+    }
+
+    /// [`Self::from_env`], additionally returning the rejected
+    /// `TIBPRE_WORKERS` value when one was set but did not parse — callers
+    /// with a user interface (the node's startup banner) surface the typo
+    /// instead of silently ignoring it.
+    pub fn from_env_reporting() -> (Self, Option<String>) {
+        let fallback = || Self::new(thread::available_parallelism().map_or(1, |n| n.get()));
         match std::env::var("TIBPRE_WORKERS") {
-            Ok(spec) => Self::new(spec.trim().parse::<usize>().unwrap_or(1)),
-            Err(_) => Self::new(thread::available_parallelism().map_or(1, |n| n.get())),
+            Ok(spec) => match spec.trim().parse::<usize>() {
+                Ok(n) => (Self::new(n), None),
+                Err(_) => (fallback(), Some(spec)),
+            },
+            Err(_) => (fallback(), None),
         }
     }
 
@@ -209,6 +222,40 @@ mod tests {
         assert_eq!(ReEncryptEngine::new(8).workers(), 8);
         assert_eq!(ReEncryptEngine::new(100_000).workers(), MAX_WORKERS);
         assert_eq!(ReEncryptEngine::sequential().workers(), 1);
+    }
+
+    /// Regression: an unparsable `TIBPRE_WORKERS` must behave like an
+    /// *unset* one (available parallelism), not like `1` — the old typo
+    /// path silently dropped a multi-core node to sequential.  One test
+    /// drives every case serially because the variable is process-global.
+    #[test]
+    fn from_env_falls_back_to_available_parallelism_on_garbage() {
+        let machine = thread::available_parallelism().map_or(1, |n| n.get());
+        let saved = std::env::var("TIBPRE_WORKERS").ok();
+
+        std::env::remove_var("TIBPRE_WORKERS");
+        let (unset, rejected) = ReEncryptEngine::from_env_reporting();
+        assert_eq!(unset.workers(), machine.clamp(1, MAX_WORKERS));
+        assert!(rejected.is_none());
+
+        for garbage in ["eight", "4x", "", " ", "-2", "3.5"] {
+            std::env::set_var("TIBPRE_WORKERS", garbage);
+            let (engine, rejected) = ReEncryptEngine::from_env_reporting();
+            assert_eq!(engine.workers(), unset.workers(), "spec {garbage:?}");
+            assert_eq!(rejected.as_deref(), Some(garbage), "spec {garbage:?}");
+        }
+
+        // Parsable values are honoured (with surrounding whitespace), and
+        // nothing is reported as rejected.
+        std::env::set_var("TIBPRE_WORKERS", " 3 ");
+        let (engine, rejected) = ReEncryptEngine::from_env_reporting();
+        assert_eq!(engine.workers(), 3);
+        assert!(rejected.is_none());
+
+        match saved {
+            Some(v) => std::env::set_var("TIBPRE_WORKERS", v),
+            None => std::env::remove_var("TIBPRE_WORKERS"),
+        }
     }
 
     #[test]

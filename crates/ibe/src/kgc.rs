@@ -73,6 +73,61 @@ impl IbePublicParams {
                 .get_or_init(|| Arc::new(self.pairing.prepare(&self.kgc_public_key))),
         )
     }
+
+    /// Reassembles public parameters from transported parts — the receiving
+    /// half of a KGC node's `PublicParams` response, where the pairing
+    /// parameters themselves travel as a [`tibpre_pairing::SecurityLevel`]
+    /// name rather than as group-element bytes.
+    ///
+    /// Rejects a public key outside the prime-order subgroup: these
+    /// parameters decide which KGC every encryption trusts, so the boundary
+    /// validates like any other decode.
+    pub fn from_parts(
+        pairing: Arc<PairingParams>,
+        kgc_public_key: G1Affine,
+        label: String,
+    ) -> Result<Self> {
+        if !kgc_public_key.is_in_subgroup(pairing.q()) {
+            return Err(IbeError::InvalidEncoding(
+                "KGC public key is not in the prime-order subgroup",
+            ));
+        }
+        Ok(IbePublicParams {
+            pairing,
+            kgc_public_key,
+            label,
+            cache: Arc::default(),
+        })
+    }
+}
+
+impl tibpre_wire::WireEncode for IbePublicParams {
+    /// Transport form: `label ‖ pk` (the point compressed under `v1`).  The
+    /// pairing parameters are *not* encoded — peers reconstruct them from a
+    /// shared security level, and the decode context supplies them.
+    fn encode(&self, w: &mut tibpre_wire::Writer) {
+        w.put_bytes(self.label.as_bytes());
+        self.kgc_public_key.encode(w);
+    }
+}
+
+impl tibpre_wire::WireDecode for IbePublicParams {
+    type Ctx = DecodeCtx;
+
+    fn decode(
+        r: &mut tibpre_wire::Reader<'_>,
+        ctx: &DecodeCtx,
+    ) -> core::result::Result<Self, tibpre_wire::DecodeError> {
+        let label = r.string()?;
+        let kgc_public_key =
+            wire::decode_g1_in_subgroup(r, ctx, "KGC public key outside the subgroup")?;
+        Ok(IbePublicParams {
+            pairing: Arc::clone(ctx.params()),
+            kgc_public_key,
+            label,
+            cache: Arc::default(),
+        })
+    }
 }
 
 /// Lazily-built precomputation for one private key, shared across clones.
@@ -372,6 +427,42 @@ mod tests {
         let restored = IbePrivateKey::from_bytes(params, id.clone(), "test-kgc", &bytes).unwrap();
         assert_eq!(restored.key(), sk.key());
         assert!(IbePrivateKey::from_bytes(params, id, "test-kgc", &bytes[1..]).is_err());
+    }
+
+    #[test]
+    fn public_params_wire_round_trip_and_from_parts() {
+        use tibpre_wire::{WireDecode, WireEncode};
+        let (kgc, _) = setup();
+        let pp = kgc.public_params();
+        let ctx = DecodeCtx::from(pp.pairing());
+        let bytes = pp.to_wire_bytes();
+        let restored = IbePublicParams::from_wire_bytes(&bytes, &ctx).unwrap();
+        assert_eq!(restored.kgc_public_key(), pp.kgc_public_key());
+        assert_eq!(restored.label(), pp.label());
+        // The restored parameters encrypt against the same KGC: extraction
+        // by the original KGC still satisfies the key equation.
+        let id = Identity::new("frank");
+        let sk = kgc.extract(&id);
+        let params = restored.pairing();
+        assert_eq!(
+            params.pairing(sk.key(), params.generator()),
+            params.pairing(
+                &restored.identity_public_key(&id),
+                restored.kgc_public_key()
+            )
+        );
+        for cut in 0..bytes.len() {
+            assert!(IbePublicParams::from_wire_bytes(&bytes[..cut], &ctx).is_err());
+        }
+
+        let rebuilt = IbePublicParams::from_parts(
+            pp.pairing().clone(),
+            pp.kgc_public_key().clone(),
+            "renamed".into(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.label(), "renamed");
+        assert_eq!(rebuilt.kgc_public_key(), pp.kgc_public_key());
     }
 
     #[test]

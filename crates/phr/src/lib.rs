@@ -104,6 +104,7 @@ pub mod provider;
 pub mod proxy_service;
 pub mod record;
 pub(crate) mod resident;
+pub mod source;
 pub mod store;
 
 pub use audit::{AuditEvent, AuditLog};
@@ -115,6 +116,7 @@ pub use policy::DisclosurePolicy;
 pub use provider::HealthcareProvider;
 pub use proxy_service::ProxyService;
 pub use record::{HealthRecord, RecordId};
+pub use source::RecordSource;
 pub use store::EncryptedPhrStore;
 pub use tibpre_storage::FsyncPolicy;
 

@@ -21,7 +21,7 @@ use crate::audit::{AuditEvent, AuditLog};
 use crate::category::Category;
 use crate::durable::{self, Durability, ProxyWalOp};
 use crate::record::RecordId;
-use crate::store::EncryptedPhrStore;
+use crate::source::RecordSource;
 use crate::{PhrError, Result};
 use parking_lot::Mutex;
 use std::path::Path;
@@ -46,10 +46,50 @@ pub struct DisclosureBundle {
     pub ciphertext: ReEncryptedHybridCiphertext,
 }
 
-/// A proxy service bound to one encrypted store.
+impl tibpre_wire::WireEncode for DisclosureBundle {
+    /// `id ‖ patient ‖ category ‖ title ‖ ciphertext_len ‖ ciphertext` —
+    /// the same field order as a stored record, with the re-encrypted
+    /// ciphertext nested bare (inheriting the container's version).
+    fn encode(&self, w: &mut tibpre_wire::Writer) {
+        w.put_u64(self.id.0);
+        w.put_bytes(self.patient.as_bytes());
+        w.put_bytes(self.category.label().as_bytes());
+        w.put_bytes(self.title.as_bytes());
+        w.put_nested(|w| self.ciphertext.encode(w));
+    }
+}
+
+impl tibpre_wire::WireDecode for DisclosureBundle {
+    type Ctx = tibpre_pairing::DecodeCtx;
+
+    fn decode(
+        r: &mut tibpre_wire::Reader<'_>,
+        ctx: &Self::Ctx,
+    ) -> core::result::Result<Self, tibpre_wire::DecodeError> {
+        let id = RecordId(r.u64()?);
+        let patient = Identity::from_bytes(r.bytes()?.to_vec());
+        let category = Category::from_label(&r.string()?);
+        let title = r.string()?;
+        let ciphertext_bytes = r.bytes()?;
+        let mut cr = tibpre_wire::Reader::with_version(ciphertext_bytes, r.version());
+        let ciphertext = ReEncryptedHybridCiphertext::decode(&mut cr, ctx)?;
+        cr.finish()?;
+        Ok(DisclosureBundle {
+            id,
+            patient,
+            category,
+            title,
+            ciphertext,
+        })
+    }
+}
+
+/// A proxy service bound to one record source — an in-process
+/// [`EncryptedPhrStore`](crate::EncryptedPhrStore) or a client for a remote
+/// store node (any [`RecordSource`]).
 pub struct ProxyService {
     name: String,
-    store: Arc<EncryptedPhrStore>,
+    store: Arc<dyn RecordSource>,
     proxy: Proxy,
     engine: ReEncryptEngine,
     audit: Mutex<AuditLog>,
@@ -65,7 +105,7 @@ impl ProxyService {
     /// Creates a proxy service with no keys installed.  Conversions run
     /// sequentially; use [`Self::with_engine`] (or [`Self::set_engine`]) for
     /// a multi-threaded proxy.
-    pub fn new(name: impl AsRef<str>, store: Arc<EncryptedPhrStore>) -> Self {
+    pub fn new(name: impl AsRef<str>, store: Arc<dyn RecordSource>) -> Self {
         Self::with_engine(name, store, ReEncryptEngine::sequential())
     }
 
@@ -74,7 +114,7 @@ impl ProxyService {
     /// like [`Self::new`].
     pub fn with_engine(
         name: impl AsRef<str>,
-        store: Arc<EncryptedPhrStore>,
+        store: Arc<dyn RecordSource>,
         engine: ReEncryptEngine,
     ) -> Self {
         ProxyService {
@@ -96,11 +136,11 @@ impl ProxyService {
     /// workspace.
     ///
     /// Store-side audit entries are *not* replayed from this log — the store
-    /// has its own durable trail ([`EncryptedPhrStore::open`]); replaying
+    /// has its own durable trail ([`crate::EncryptedPhrStore::open`]); replaying
     /// them here would double-log every disclosure.
     pub fn open(
         name: impl AsRef<str>,
-        store: Arc<EncryptedPhrStore>,
+        store: Arc<dyn RecordSource>,
         dir: impl AsRef<Path>,
         durability: &Durability,
     ) -> Result<Self> {
@@ -331,7 +371,7 @@ impl ProxyService {
         category: &Category,
         requester: &Identity,
     ) -> Result<Vec<DisclosureBundle>> {
-        let ids = self.store.list_for_patient_category(patient, category);
+        let ids = self.store.list_for_patient_category(patient, category)?;
         if ids.is_empty() {
             return Ok(Vec::new());
         }
@@ -445,7 +485,7 @@ impl ProxyService {
     /// ```
     pub fn simulate_compromise(&self, patient: &Identity, attacker: &Identity) -> Vec<RecordId> {
         let mut exposed = Vec::new();
-        for id in self.store.list_for_patient(patient) {
+        for id in self.store.list_for_patient(patient).unwrap_or_default() {
             if let Ok(stored) = self.store.get(id) {
                 let converted = self.proxy.installed_keys().any(|key| {
                     key.delegatee() == attacker

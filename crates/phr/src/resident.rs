@@ -189,12 +189,18 @@ impl EncodedRecord {
     }
 
     /// The body's length in bytes, without reading (or faulting) it.
+    ///
+    /// Saturating: a blob shorter than `body_start` (or an index a snapshot
+    /// no longer covers) reports `0` rather than underflowing — the read
+    /// path ([`body`](Self::body)) is where such damage surfaces as an
+    /// error.
     pub fn encoded_len(&self) -> usize {
         match &self.bytes {
-            BlobBytes::Owned(bytes) => bytes.len() - self.body_start,
-            BlobBytes::Mapped { snap, index } => {
-                snap.blob_len(*index).unwrap_or(0) - self.body_start
-            }
+            BlobBytes::Owned(bytes) => bytes.len().saturating_sub(self.body_start),
+            BlobBytes::Mapped { snap, index } => snap
+                .blob_len(*index)
+                .unwrap_or(0)
+                .saturating_sub(self.body_start),
         }
     }
 
@@ -429,6 +435,75 @@ mod tests {
         let len = enc.encoded_len();
         enc.upgrade_to_default(&ctx).unwrap();
         assert_eq!(enc.encoded_len(), len);
+    }
+
+    #[test]
+    fn encoded_len_saturates_instead_of_underflowing() {
+        let (_, record) = sample_record(11);
+        let body = tibpre_wire::encode_bare(&record, WireVersion::DEFAULT);
+        let header = RecordHeader::peek(&body).unwrap();
+
+        // An owned body behind a nonzero prefix reports the body length.
+        let mut framed = vec![0u8; 3];
+        framed.extend_from_slice(&body);
+        let enc = EncodedRecord::from_owned(framed.into(), 3, WireVersion::DEFAULT, header.clone());
+        assert_eq!(enc.encoded_len(), body.len());
+
+        // The mapped arms are built directly because the public constructor
+        // pins `body_start = 0` — this pins the saturating behaviour for a
+        // future caller that does not.
+        let tmp = tibpre_storage::TempDir::new("resident-len").unwrap();
+        tibpre_storage::snapshot::write_indexed_snapshot(
+            tmp.path(),
+            "s",
+            1,
+            0,
+            b"",
+            [Ok(tibpre_storage::snapshot::IndexedBlob {
+                body: body.as_slice(),
+                index_meta: Vec::new(),
+            })],
+            true,
+        )
+        .unwrap();
+        let snap = Arc::new(tibpre_storage::snapshot::load_indexed(tmp.path(), "s", 1).unwrap());
+
+        // In-range body_start subtracts normally.
+        let mapped = EncodedRecord {
+            bytes: BlobBytes::Mapped {
+                snap: snap.clone(),
+                index: 0,
+            },
+            body_start: 2,
+            version: WireVersion::DEFAULT,
+            header: header.clone(),
+        };
+        assert_eq!(mapped.encoded_len(), body.len() - 2);
+
+        // body_start beyond the blob saturates to 0 (this used to
+        // underflow: debug panic, release wrap to ~usize::MAX).
+        let beyond = EncodedRecord {
+            bytes: BlobBytes::Mapped {
+                snap: snap.clone(),
+                index: 0,
+            },
+            body_start: body.len() + 10,
+            version: WireVersion::DEFAULT,
+            header: header.clone(),
+        };
+        assert_eq!(beyond.encoded_len(), 0);
+
+        // An out-of-range blob index reports 0 even with a nonzero
+        // body_start (this used to underflow too); the read path still
+        // surfaces the damage as an error.
+        let stale = EncodedRecord {
+            bytes: BlobBytes::Mapped { snap, index: 7 },
+            body_start: 4,
+            version: WireVersion::DEFAULT,
+            header,
+        };
+        assert_eq!(stale.encoded_len(), 0);
+        assert!(stale.body().is_err());
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! `tibpre-load` — the TIB-PRE load generator: decrypt-heavy disclosure
+//! traffic with Zipf patient popularity and grant/revoke churn, against a
+//! running kgc/store/proxy node set.
+
+use tibpre_client::level_from_name;
+use tibpre_server::load::{run_load, LoadConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return;
+    }
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("tibpre-load: {message}");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "tibpre-load: {} clients x {} requests, {} patients (zipf {}), churn every {}",
+        config.clients, config.requests, config.patients, config.zipf_exponent, config.churn_every,
+    );
+    match run_load(&config) {
+        Ok(report) => {
+            println!(
+                "{{\"ok\":{},\"denied\":{},\"errors\":{},\"churn_ops\":{},\
+                 \"elapsed_s\":{:.3},\"p50_us\":{},\"p99_us\":{},\"max_us\":{},\
+                 \"req_per_sec\":{:.1}}}",
+                report.ok,
+                report.denied,
+                report.errors,
+                report.churn_ops,
+                report.elapsed.as_secs_f64(),
+                report.p50_us,
+                report.p99_us,
+                report.max_us,
+                report.req_per_sec,
+            );
+            if report.errors > 0 {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("tibpre-load: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<LoadConfig, String> {
+    let mut config = LoadConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .clone();
+        match flag.as_str() {
+            "--kgc" => config.kgc_addr = value,
+            "--store" => config.store_addr = value,
+            "--proxy" => config.proxy_addr = value,
+            "--level" => {
+                config.level =
+                    level_from_name(&value).ok_or_else(|| format!("unknown level {value}"))?;
+            }
+            "--clients" => config.clients = parse_num(flag, &value)?,
+            "--requests" => config.requests = parse_num(flag, &value)?,
+            "--patients" => config.patients = parse_num(flag, &value)?,
+            "--records-per-patient" => config.records_per_patient = parse_num(flag, &value)?,
+            "--zipf" => {
+                config.zipf_exponent = value.parse().map_err(|_| format!("bad {flag} {value}"))?;
+            }
+            "--churn-every" => config.churn_every = parse_num(flag, &value)?,
+            "--open-rate" => {
+                config.open_rate = Some(value.parse().map_err(|_| format!("bad {flag} {value}"))?);
+            }
+            "--payload" => config.payload_len = parse_num(flag, &value)?,
+            "--seed" => config.seed = parse_num(flag, &value)?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(config)
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value.parse().map_err(|_| format!("bad {flag} {value}"))
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: tibpre-load [options]\n\
+         \n\
+         options:\n\
+         \x20 --kgc <host:port>            KGC node (default 127.0.0.1:7070)\n\
+         \x20 --store <host:port>          store node (default 127.0.0.1:7071)\n\
+         \x20 --proxy <host:port>          proxy node (default 127.0.0.1:7072)\n\
+         \x20 --level <name>               toy|low80|medium112|high128 (default toy)\n\
+         \x20 --clients <n>                concurrent clients (default 4)\n\
+         \x20 --requests <n>               total disclosure budget (default 400)\n\
+         \x20 --patients <n>               distinct patients (default 16)\n\
+         \x20 --records-per-patient <n>    uploaded per patient (default 4)\n\
+         \x20 --zipf <s>                   patient popularity skew (default 1.0)\n\
+         \x20 --churn-every <n>            revoke+regrant cadence, 0=off (default 25)\n\
+         \x20 --open-rate <r>              per-client req/s (default: closed loop)\n\
+         \x20 --payload <bytes>            record payload size (default 256)\n\
+         \x20 --seed <n>                   deterministic seed"
+    );
+}

@@ -1,0 +1,64 @@
+//! `tibpre-node` — one TIB-PRE node: `--role kgc|proxy|store`.
+
+use tibpre_server::{config::NodeConfig, node, signal};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return;
+    }
+    let config = match NodeConfig::parse_args(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("tibpre-node: {message}");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+
+    signal::install();
+    let handle = match node::start(config.clone()) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("tibpre-node: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    eprintln!(
+        "tibpre-node: {} role listening on {} (level {}, name {:?})",
+        config.role.name(),
+        handle.addr(),
+        config.level_name(),
+        config.name,
+    );
+    if let Some(rejected) = handle.engine_note() {
+        eprintln!(
+            "tibpre-node: ignored unparsable TIBPRE_WORKERS={rejected:?}; \
+             using available parallelism"
+        );
+    }
+
+    handle.wait();
+    eprintln!("tibpre-node: drained and stopped");
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: tibpre-node --role kgc|proxy|store [options]\n\
+         \n\
+         options:\n\
+         \x20 --addr <host:port>           listen address (default 127.0.0.1:0)\n\
+         \x20 --level <name>               toy|low80|medium112|high128 (default toy)\n\
+         \x20 --data-dir <path>            durable state directory (default in-memory)\n\
+         \x20 --store <host:port>          store node a proxy reads from (proxy only, required)\n\
+         \x20 --store-connections <n>      proxy→store connection pool size (default 4)\n\
+         \x20 --kgc-label <label>          KGC domain label (default tibpre-kgc)\n\
+         \x20 --name <name>                node display/store name\n\
+         \x20 --idle-timeout-secs <n>      per-connection idle limit (default 300)\n\
+         \x20 --read-timeout-secs <n>      in-frame read limit (default 10)\n\
+         \x20 --write-timeout-secs <n>     response write limit (default 10)\n\
+         \x20 --max-frame <bytes>          request frame cap (default 8 MiB)"
+    );
+}

@@ -1,0 +1,331 @@
+//! The load generator behind `tibpre-load` and experiment E13.
+//!
+//! Drives a kgc/store/proxy node set end-to-end: a setup phase extracts
+//! keys, encrypts and uploads records, and installs grants; a measurement
+//! phase runs N concurrent clients issuing decrypt-heavy disclosure traffic
+//! with Zipf-distributed patient popularity and optional grant/revoke churn
+//! riding along.  Every disclosure is *opened client-side* (a real
+//! delegatee decrypt), so a reported success is a full
+//! encrypt → store → re-encrypt → decrypt round trip, not just a 200-OK.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tibpre_client::{
+    params_for_level, ClientConfig, ClientError, KgcClient, ProxyClient, StoreClient,
+};
+use tibpre_core::{Delegator, ReEncryptionKey};
+use tibpre_ibe::Identity;
+use tibpre_pairing::SecurityLevel;
+use tibpre_phr::{Category, HealthRecord, HealthcareProvider, RecordId};
+
+/// What to throw at the node set.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// KGC node address.
+    pub kgc_addr: String,
+    /// Store node address.
+    pub store_addr: String,
+    /// Proxy node address.
+    pub proxy_addr: String,
+    /// Pairing level — must match the nodes'.
+    pub level: SecurityLevel,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Total disclosure requests across all clients (closed loop budget).
+    pub requests: u64,
+    /// Distinct patients.
+    pub patients: usize,
+    /// Records uploaded per patient during setup.
+    pub records_per_patient: usize,
+    /// Zipf skew for patient popularity (0.0 = uniform; ~1.0 = realistic
+    /// hot-patient skew).
+    pub zipf_exponent: f64,
+    /// Every N requests a client revokes and re-installs the hot grant
+    /// (0 disables churn).
+    pub churn_every: u64,
+    /// Open-loop target rate per client in requests/second (`None` =
+    /// closed loop: issue as fast as responses return).
+    pub open_rate: Option<f64>,
+    /// Record payload size in bytes.
+    pub payload_len: usize,
+    /// Deterministic seed for identities, payloads, and arrival sampling.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            kgc_addr: "127.0.0.1:7070".to_string(),
+            store_addr: "127.0.0.1:7071".to_string(),
+            proxy_addr: "127.0.0.1:7072".to_string(),
+            level: SecurityLevel::Toy,
+            clients: 4,
+            requests: 400,
+            patients: 16,
+            records_per_patient: 4,
+            zipf_exponent: 1.0,
+            churn_every: 25,
+            open_rate: None,
+            payload_len: 256,
+            seed: 0x7135_e2e1,
+        }
+    }
+}
+
+/// What came back.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Disclosures that completed and decrypted client-side.
+    pub ok: u64,
+    /// Disclosures denied by policy (the expected race window while a
+    /// churned grant is between revoke and re-install).
+    pub denied: u64,
+    /// Everything else: transport errors, failed decrypts.
+    pub errors: u64,
+    /// Revoke + install operations performed by the churn traffic.
+    pub churn_ops: u64,
+    /// Wall-clock of the measurement phase.
+    pub elapsed: Duration,
+    /// Median end-to-end disclosure latency, microseconds.
+    pub p50_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Worst observed latency, microseconds.
+    pub max_us: u64,
+    /// Completed requests per second (ok + denied; a denial is a served
+    /// policy answer, not a failure).
+    pub req_per_sec: f64,
+}
+
+/// Load-generator failures.
+#[derive(Debug)]
+pub enum LoadError {
+    /// A node call failed during setup.
+    Client(ClientError),
+    /// Local cryptographic setup failed.
+    Setup(String),
+}
+
+impl core::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LoadError::Client(e) => write!(f, "node call failed: {e}"),
+            LoadError::Setup(what) => write!(f, "setup failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<ClientError> for LoadError {
+    fn from(e: ClientError) -> Self {
+        LoadError::Client(e)
+    }
+}
+
+/// Zipf sampler over `0..n` via a precomputed CDF and binary search (the
+/// vendored rand has no distribution support).
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, exponent: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n.max(1));
+        let mut total = 0.0;
+        for i in 0..n.max(1) {
+            total += 1.0 / ((i + 1) as f64).powf(exponent);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        // 53 uniform mantissa bits → u ∈ [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+struct Fixture {
+    patients: Vec<Identity>,
+    records: Vec<Vec<RecordId>>,
+    grants: Vec<ReEncryptionKey>,
+    provider_id: Identity,
+    category: Category,
+}
+
+/// One per-thread tally, merged after the join.
+#[derive(Default)]
+struct Tally {
+    latencies_us: Vec<u64>,
+    denied: u64,
+    errors: u64,
+    churn_ops: u64,
+}
+
+/// Runs setup + measurement against a live node set.
+pub fn run_load(config: &LoadConfig) -> Result<LoadReport, LoadError> {
+    let params = params_for_level(config.level);
+    let client_config = ClientConfig::default();
+    let category = Category::LabResults;
+
+    // --- Setup: extract, encrypt, upload, grant. -------------------------
+    let mut kgc = KgcClient::connect(config.kgc_addr.as_str(), &params, &client_config)?;
+    let mut store = StoreClient::connect(config.store_addr.as_str(), &params, &client_config)?;
+    let mut proxy = ProxyClient::connect(config.proxy_addr.as_str(), &params, &client_config)?;
+
+    let domain = kgc.public_params()?;
+    let provider_id = Identity::new("provider-oncology");
+    let provider_key = kgc.extract(&provider_id)?;
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut patients = Vec::with_capacity(config.patients);
+    let mut records = Vec::with_capacity(config.patients);
+    let mut grants = Vec::with_capacity(config.patients);
+    for p in 0..config.patients.max(1) {
+        let identity = Identity::new(format!("patient-{p:04}"));
+        let delegator = Delegator::new(domain.clone(), kgc.extract(&identity)?);
+        let mut ids = Vec::with_capacity(config.records_per_patient);
+        for r in 0..config.records_per_patient.max(1) {
+            let title = format!("lab-report-{r:03}");
+            let mut payload = vec![0u8; config.payload_len];
+            rng.fill_bytes(&mut payload);
+            let aad = HealthRecord::associated_data(&identity, &category, &title);
+            let ciphertext =
+                delegator.encrypt_bytes(&payload, &aad, &category.type_tag(), &mut rng);
+            ids.push(store.put(&identity, &category, &title, ciphertext)?);
+        }
+        let grant = delegator
+            .make_reencryption_key(&provider_id, &domain, &category.type_tag(), &mut rng)
+            .map_err(|e| LoadError::Setup(format!("re-encryption key: {e:?}")))?;
+        proxy.install_key(grant.clone())?;
+        patients.push(identity);
+        records.push(ids);
+        grants.push(grant);
+    }
+    store.sync()?;
+
+    let fixture = Arc::new(Fixture {
+        patients,
+        records,
+        grants,
+        provider_id,
+        category: category.clone(),
+    });
+
+    // --- Measurement: N clients, shared request budget. ------------------
+    let zipf = Arc::new(Zipf::new(fixture.patients.len(), config.zipf_exponent));
+    let issued = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+
+    let mut tallies: Vec<Tally> = Vec::new();
+    std::thread::scope(|scope| -> Result<(), LoadError> {
+        let mut workers = Vec::new();
+        for client_index in 0..config.clients.max(1) {
+            let fixture = Arc::clone(&fixture);
+            let zipf = Arc::clone(&zipf);
+            let issued = Arc::clone(&issued);
+            let params = Arc::clone(&params);
+            let provider_key = provider_key.clone();
+            let client_config = client_config.clone();
+            workers.push(scope.spawn(move || -> Result<Tally, LoadError> {
+                let mut proxy =
+                    ProxyClient::connect(config.proxy_addr.as_str(), &params, &client_config)?;
+                let provider = HealthcareProvider::new(provider_key);
+                let mut rng = StdRng::seed_from_u64(config.seed ^ (0x9e37 + client_index as u64));
+                let mut tally = Tally::default();
+                let pace = config.open_rate.map(|rate| {
+                    (
+                        Duration::from_secs_f64(1.0 / rate.max(1e-6)),
+                        Instant::now(),
+                    )
+                });
+                let mut next_at = pace.map(|(_, now)| now);
+
+                loop {
+                    let i = issued.fetch_add(1, Ordering::Relaxed);
+                    if i >= config.requests {
+                        break;
+                    }
+                    if let (Some((interval, _)), Some(at)) = (pace, next_at.as_mut()) {
+                        // Open loop: fixed arrival schedule regardless of
+                        // response latency.
+                        let now = Instant::now();
+                        if *at > now {
+                            std::thread::sleep(*at - now);
+                        }
+                        *at += interval;
+                    }
+
+                    let p = zipf.sample(&mut rng);
+                    let ids = &fixture.records[p];
+                    let id = ids[(rng.next_u64() as usize) % ids.len()];
+                    let patient = &fixture.patients[p];
+
+                    let begin = Instant::now();
+                    match proxy.disclose(patient, id, &fixture.provider_id) {
+                        Ok(bundle) => match provider.open(&bundle) {
+                            Ok(_) => tally.latencies_us.push(begin.elapsed().as_micros() as u64),
+                            Err(_) => tally.errors += 1,
+                        },
+                        Err(ClientError::Remote(_)) => tally.denied += 1,
+                        Err(_) => tally.errors += 1,
+                    }
+
+                    if config.churn_every > 0 && i % config.churn_every == config.churn_every - 1 {
+                        // Grant/revoke churn riding along in the traffic:
+                        // drop the hot patient's grant and restore it.
+                        let hot = &fixture.patients[0];
+                        proxy.revoke_key(hot, &fixture.category, &fixture.provider_id)?;
+                        proxy.install_key(fixture.grants[0].clone())?;
+                        tally.churn_ops += 2;
+                    }
+                }
+                Ok(tally)
+            }));
+        }
+        for worker in workers {
+            match worker.join() {
+                Ok(Ok(tally)) => tallies.push(tally),
+                Ok(Err(e)) => return Err(e),
+                Err(_) => return Err(LoadError::Setup("a load client panicked".to_string())),
+            }
+        }
+        Ok(())
+    })?;
+    let elapsed = started.elapsed();
+
+    // --- Merge. ----------------------------------------------------------
+    let mut latencies: Vec<u64> = tallies
+        .iter()
+        .flat_map(|t| t.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let percentile = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let index = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[index]
+    };
+    let ok = latencies.len() as u64;
+    let denied: u64 = tallies.iter().map(|t| t.denied).sum();
+    Ok(LoadReport {
+        ok,
+        denied,
+        errors: tallies.iter().map(|t| t.errors).sum(),
+        churn_ops: tallies.iter().map(|t| t.churn_ops).sum(),
+        elapsed,
+        p50_us: percentile(0.50),
+        p99_us: percentile(0.99),
+        max_us: latencies.last().copied().unwrap_or(0),
+        req_per_sec: (ok + denied) as f64 / elapsed.as_secs_f64().max(1e-9),
+    })
+}

@@ -1,0 +1,338 @@
+//! The TCP node: bind, accept, dispatch, drain.
+//!
+//! One hand-rolled blocking listener per node.  Each accepted connection
+//! gets a thread running a strict request → response loop over
+//! length-prefixed [`tibpre_wire::framing`] frames.  A connection waits for
+//! the *first byte* of a frame in short timeout slices (so it notices
+//! shutdown while idle), then switches to the full read timeout for the
+//! remainder — a slow-but-live peer mid-frame is never cut off by the idle
+//! poll.
+//!
+//! Shutdown — via [`crate::signal`] or a `Shutdown` frame — stops the
+//! accept loop, lets every in-flight request finish, joins the connection
+//! threads, `sync()`s the store, and releases the advisory directory lock
+//! by dropping it.
+
+use crate::config::NodeConfig;
+use crate::service::RoleService;
+use crate::signal;
+use rand::rngs::OsRng;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tibpre_client::{params_for_level, ClientConfig, NodeRole, RemoteError, Request, Response};
+use tibpre_engine::ReEncryptEngine;
+use tibpre_ibe::Kgc;
+use tibpre_pairing::DecodeCtx;
+use tibpre_phr::{Durability, EncryptedPhrStore, ProxyService};
+use tibpre_wire::{read_frame, write_frame, FrameError, WireDecode, WireEncode};
+
+/// How long an idle connection sleeps between shutdown-flag checks while
+/// waiting for the first byte of the next frame.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(50);
+
+/// Errors booting a node.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Binding or configuring the listener failed.
+    Io(io::Error),
+    /// Opening the durable store or proxy state failed.
+    Phr(tibpre_phr::PhrError),
+    /// The proxy could not reach its store node.
+    Client(tibpre_client::ClientError),
+}
+
+impl core::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "I/O error: {e}"),
+            ServerError::Phr(e) => write!(f, "PHR state error: {e}"),
+            ServerError::Client(e) => write!(f, "store connection error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<io::Error> for ServerError {
+    fn from(e: io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<tibpre_phr::PhrError> for ServerError {
+    fn from(e: tibpre_phr::PhrError) -> Self {
+        ServerError::Phr(e)
+    }
+}
+
+impl From<tibpre_client::ClientError> for ServerError {
+    fn from(e: tibpre_client::ClientError) -> Self {
+        ServerError::Client(e)
+    }
+}
+
+struct Shared {
+    service: RoleService,
+    config: NodeConfig,
+    ctx: DecodeCtx,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || signal::interrupted()
+    }
+}
+
+/// A running node.  Dropping the handle does **not** stop the node; call
+/// [`NodeHandle::shutdown`] (or send a `Shutdown` frame / SIGINT) and then
+/// [`NodeHandle::wait`].
+pub struct NodeHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    engine_note: Option<String>,
+}
+
+impl NodeHandle {
+    /// The bound listen address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The `TIBPRE_WORKERS` value the engine rejected at startup, if any
+    /// (surfaced in the `tibpre-node` banner).
+    pub fn engine_note(&self) -> Option<&str> {
+        self.engine_note.as_deref()
+    }
+
+    /// Requests a graceful shutdown (idempotent).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the node has drained and released its state.
+    pub fn wait(mut self) {
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Boots a node from its configuration and returns once the listener is
+/// accepting.
+pub fn start(config: NodeConfig) -> Result<NodeHandle, ServerError> {
+    let params = params_for_level(config.level);
+    let mut engine_note = None;
+
+    let service = match config.role {
+        NodeRole::Kgc => RoleService::Kgc(Box::new(Kgc::setup(
+            Arc::clone(&params),
+            &config.kgc_label,
+            &mut OsRng,
+        ))),
+        NodeRole::Store => {
+            let store = match &config.data_dir {
+                Some(dir) => EncryptedPhrStore::open(dir, Durability::new(Arc::clone(&params)))?,
+                None => EncryptedPhrStore::in_memory_with_params(&config.name, Arc::clone(&params)),
+            };
+            RoleService::Store(Arc::new(store))
+        }
+        NodeRole::Proxy => {
+            let store_addr = config
+                .store_addr
+                .clone()
+                .expect("NodeConfig::parse_args rejects a proxy without --store");
+            let client_config = ClientConfig {
+                read_timeout: Some(config.read_timeout.max(Duration::from_secs(30))),
+                write_timeout: Some(config.write_timeout.max(Duration::from_secs(30))),
+                max_frame: config.max_frame,
+            };
+            let store = Arc::new(tibpre_client::RemoteStore::connect(
+                store_addr.as_str(),
+                &params,
+                &client_config,
+                config.store_connections,
+            )?);
+            let (engine, rejected) = ReEncryptEngine::from_env_reporting();
+            engine_note = rejected;
+            let mut proxy = match &config.data_dir {
+                Some(dir) => ProxyService::open(
+                    &config.name,
+                    store,
+                    dir,
+                    &Durability::new(Arc::clone(&params)),
+                )?,
+                None => ProxyService::new(&config.name, store),
+            };
+            proxy.set_engine(engine);
+            RoleService::Proxy(Box::new(parking_lot::RwLock::new(proxy)))
+        }
+    };
+
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shared = Arc::new(Shared {
+        service,
+        config,
+        ctx: DecodeCtx::from(&params),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::Builder::new()
+        .name("tibpre-accept".to_string())
+        .spawn(move || accept_loop(listener, accept_shared))?;
+
+    Ok(NodeHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+        engine_note,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name("tibpre-conn".to_string())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, conn_shared);
+                    });
+                if let Ok(handle) = spawned {
+                    connections.push(handle);
+                }
+                connections.retain(|handle| !handle.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                connections.retain(|handle| !handle.is_finished());
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            // A failed accept (e.g. a peer resetting mid-handshake) must
+            // not take the listener down.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    drop(listener);
+    // Drain: every connection thread observes the shutdown flag within one
+    // idle-poll slice (or finishes its in-flight request) and exits.
+    for handle in connections {
+        let _ = handle.join();
+    }
+    if let Some(store) = shared.service.store() {
+        let _ = store.sync();
+    }
+}
+
+/// Waits for the first byte of the next frame, polling the shutdown flag
+/// between short timeout slices.  Returns `Ok(None)` on clean EOF or
+/// shutdown/idle-timeout, `Ok(Some(byte))` once a frame starts.
+fn wait_first_byte(stream: &mut TcpStream, shared: &Shared) -> io::Result<Option<u8>> {
+    let deadline = Instant::now() + shared.config.idle_timeout;
+    stream.set_read_timeout(Some(IDLE_POLL))?;
+    let mut first = [0u8; 1];
+    loop {
+        match stream.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => return Ok(Some(first[0])),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutting_down() || Instant::now() >= deadline {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Frames and writes one response.  Oversized *responses* are legitimate (a
+/// category disclosure can exceed the request cap), so the frame cap is not
+/// applied on the way out; clients size their own `max_frame` accordingly.
+fn respond(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let payload = response.to_wire_bytes();
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    write_frame(&mut out, &payload, usize::MAX)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "unframeable response"))?;
+    stream.write_all(&out)
+}
+
+fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_write_timeout(Some(shared.config.write_timeout))?;
+    let max_frame = shared.config.max_frame;
+
+    loop {
+        let first = match wait_first_byte(&mut stream, &shared)? {
+            Some(byte) => byte,
+            None => return Ok(()),
+        };
+
+        // A frame has started: give the peer the full read timeout for the
+        // rest of it, and stitch the already-consumed first byte back on.
+        stream.set_read_timeout(Some(shared.config.read_timeout))?;
+        let first_buf = [first];
+        let payload = {
+            let mut chained = (&first_buf[..]).chain(&mut stream);
+            match read_frame(&mut chained, max_frame) {
+                Ok(Some(payload)) => payload,
+                // EOF inside the prefix after 1 byte = torn frame: close.
+                Ok(None) => return Ok(()),
+                Err(FrameError::Oversized { len, max }) => {
+                    // The length prefix itself was readable, so the
+                    // connection is not desynchronized yet — but the
+                    // payload behind it is unread.  Report, then close.
+                    let response = Response::Error(RemoteError::BadRequest(format!(
+                        "frame of {len} bytes exceeds the {max} byte cap"
+                    )));
+                    let _ = respond(&mut stream, &response);
+                    return Ok(());
+                }
+                Err(FrameError::Io(_)) => return Ok(()),
+            }
+        };
+
+        let request = match Request::from_wire_bytes(&payload, &shared.ctx) {
+            Ok(request) => request,
+            Err(e) => {
+                // Undecodable payload: the stream itself is still framed,
+                // but trusting a peer that sends garbage is not worth it —
+                // answer once, then close.
+                let response =
+                    Response::Error(RemoteError::BadRequest(format!("undecodable request: {e}")));
+                let _ = respond(&mut stream, &response);
+                return Ok(());
+            }
+        };
+
+        let response = match request {
+            Request::Ping => Response::Pong {
+                role: shared.service.role(),
+                level: shared.config.level_name().to_string(),
+            },
+            Request::Shutdown => {
+                let _ = respond(&mut stream, &Response::ShuttingDown);
+                shared.shutdown.store(true, Ordering::SeqCst);
+                return Ok(());
+            }
+            _ if shared.shutting_down() => Response::Error(RemoteError::ShuttingDown),
+            other => shared.service.handle(other),
+        };
+        respond(&mut stream, &response)?;
+    }
+}

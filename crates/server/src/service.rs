@@ -1,0 +1,176 @@
+//! Request dispatch for the three node roles.
+//!
+//! [`RoleService::handle`] is the single seam between the wire protocol and
+//! the in-process scheme objects: it maps each [`Request`] onto the
+//! [`Kgc`] / [`EncryptedPhrStore`] / [`ProxyService`] call it names, and
+//! maps every failure — including a panic in the handler — onto a
+//! [`Response::Error`], so a connection thread can never poison the node.
+
+use parking_lot::RwLock;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use tibpre_client::{NodeRole, RemoteError, Request, Response};
+use tibpre_ibe::Kgc;
+use tibpre_phr::{EncryptedPhrStore, ProxyService};
+
+/// The role-specific state behind a node's listener.
+pub enum RoleService {
+    /// Key generation centre: answers `PublicParams` and `Extract`.
+    /// Boxed: the KGC's cached parameter tables dwarf the other variants.
+    Kgc(Box<Kgc>),
+    /// Record store: CRUD, listing, audit, and durability control.
+    Store(Arc<EncryptedPhrStore>),
+    /// Re-encryption proxy: grant/revoke and disclosure.  Grants mutate the
+    /// key table, so the service sits behind an `RwLock`; disclosures (the
+    /// hot path) take the read side and run concurrently.
+    Proxy(Box<RwLock<ProxyService>>),
+}
+
+impl RoleService {
+    /// The role this service answers for.
+    pub fn role(&self) -> NodeRole {
+        match self {
+            RoleService::Kgc(_) => NodeRole::Kgc,
+            RoleService::Store(_) => NodeRole::Store,
+            RoleService::Proxy(_) => NodeRole::Proxy,
+        }
+    }
+
+    /// The store, if this node holds one (used by the drain path to sync).
+    pub fn store(&self) -> Option<&Arc<EncryptedPhrStore>> {
+        match self {
+            RoleService::Store(store) => Some(store),
+            _ => None,
+        }
+    }
+
+    /// Handles one request.  Never panics: a panicking handler is reported
+    /// as [`RemoteError::Internal`] and the connection stays usable.
+    pub fn handle(&self, request: Request) -> Response {
+        let role = self.role();
+        catch_unwind(AssertUnwindSafe(|| self.dispatch(request))).unwrap_or_else(|_| {
+            Response::Error(RemoteError::Internal(format!(
+                "request handler panicked on the {} node",
+                role.name()
+            )))
+        })
+    }
+
+    fn dispatch(&self, request: Request) -> Response {
+        match self {
+            RoleService::Kgc(kgc) => Self::dispatch_kgc(kgc, request),
+            RoleService::Store(store) => Self::dispatch_store(store, request),
+            RoleService::Proxy(proxy) => Self::dispatch_proxy(proxy, request),
+        }
+    }
+
+    fn wrong_role(role: NodeRole, request: &Request) -> Response {
+        Response::Error(RemoteError::WrongRole(format!(
+            "{} is not served by the {} role",
+            request.kind(),
+            role.name()
+        )))
+    }
+
+    fn dispatch_kgc(kgc: &Kgc, request: Request) -> Response {
+        match request {
+            Request::PublicParams => Response::PublicParams(Box::new(kgc.public_params().clone())),
+            Request::Extract { identity } => Response::PrivateKey(Box::new(kgc.extract(&identity))),
+            other => Self::wrong_role(NodeRole::Kgc, &other),
+        }
+    }
+
+    fn dispatch_store(store: &EncryptedPhrStore, request: Request) -> Response {
+        match request {
+            Request::PutRecord {
+                patient,
+                category,
+                title,
+                ciphertext,
+            } => Response::RecordId(store.put(&patient, &category, &title, *ciphertext)),
+            Request::GetRecord { id } => match store.get(id) {
+                Ok(record) => Response::Record(Box::new((*record).clone())),
+                Err(e) => Response::Error(RemoteError::from_phr(&e)),
+            },
+            Request::DeleteRecord { id, requester } => match store.delete(id, &requester) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Error(RemoteError::from_phr(&e)),
+            },
+            Request::ListRecords { patient, category } => Response::RecordIds(match category {
+                Some(category) => store.list_for_patient_category(&patient, &category),
+                None => store.list_for_patient(&patient),
+            }),
+            Request::RecordCount => Response::Count(store.record_count() as u64),
+            Request::Sync => match store.sync() {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Error(RemoteError::from_phr(&e)),
+            },
+            Request::AuditSnapshot => Response::AuditEvents(
+                store
+                    .audit_snapshot()
+                    .iter()
+                    .map(|event| (**event).clone())
+                    .collect(),
+            ),
+            Request::LogDisclosure {
+                id,
+                requester,
+                granted,
+            } => {
+                store.log_disclosure(id, &requester, granted);
+                Response::Ok
+            }
+            Request::LogPolicyChange {
+                patient,
+                category,
+                grantee,
+                granted,
+            } => {
+                store.log_policy_change(&patient, &category, &grantee, granted);
+                Response::Ok
+            }
+            other => Self::wrong_role(NodeRole::Store, &other),
+        }
+    }
+
+    fn dispatch_proxy(proxy: &RwLock<ProxyService>, request: Request) -> Response {
+        match request {
+            Request::InstallKey { key } => {
+                proxy.write().install_key(*key);
+                Response::Ok
+            }
+            Request::RevokeKey {
+                patient,
+                category,
+                grantee,
+            } => Response::Bool(proxy.write().revoke_key(&patient, &category, &grantee)),
+            Request::HasGrant {
+                patient,
+                category,
+                grantee,
+            } => Response::Bool(proxy.read().has_grant(&patient, &category, &grantee)),
+            Request::KeyCount => Response::Count(proxy.read().key_count() as u64),
+            Request::Disclose {
+                patient,
+                id,
+                requester,
+            } => match proxy.read().disclose(&patient, id, &requester) {
+                Ok(bundle) => Response::Bundle(Box::new(bundle)),
+                Err(e) => Response::Error(RemoteError::from_phr(&e)),
+            },
+            Request::DiscloseCategory {
+                patient,
+                category,
+                requester,
+            } => match proxy
+                .read()
+                .disclose_category(&patient, &category, &requester)
+            {
+                Ok(bundles) => Response::Bundles(bundles),
+                Err(e) => Response::Error(RemoteError::from_phr(&e)),
+            },
+            Request::AuditSnapshot => Response::AuditEvents(proxy.read().audit_snapshot()),
+            other => Self::wrong_role(NodeRole::Proxy, &other),
+        }
+    }
+}

@@ -13,10 +13,11 @@
 //!   shard-level `meta` blob.  Opening validates only the trailer and serves
 //!   blob bytes through a memory map ([`crate::mmap`]), so open cost is
 //!   O(index) and data pages fault in only when a blob is actually read.
-//!   Each blob carries its own CRC, verified lazily on every [`
-//!   IndexedSnapshot::blob`] call — a data-region bit-flip is an error at
-//!   *read* time (never silently served), while trailer damage or truncation
-//!   fails the *open*, triggering the same fall-back-a-generation path as a
+//!   Each blob carries its own CRC, verified lazily on its first
+//!   [`IndexedSnapshot::blob`] read (and memoized thereafter — the mapped
+//!   region is immutable) — a data-region bit-flip is an error at *read*
+//!   time (never silently served), while trailer damage or truncation fails
+//!   the *open*, triggering the same fall-back-a-generation path as a
 //!   corrupt `TBS1` file.
 //!
 //! `wal_offset` in both layouts is the WAL frame boundary the snapshot
@@ -36,6 +37,7 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufWriter, Read, Write};
 use std::ops::Range;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Magic bytes opening every monolithic snapshot file.
 const MAGIC: &[u8; 4] = b"TBS1";
@@ -251,9 +253,9 @@ struct BlobEntry {
 /// memory-mapped data region.
 ///
 /// The constructor checksums only the trailer — O(index).  Blob bytes live in
-/// the map and are CRC-verified on every [`blob`](Self::blob) call, so a
-/// bit-flip in the data region surfaces as an error at read time rather than
-/// as corrupt bytes.
+/// the map and are CRC-verified on their first [`blob`](Self::blob) read
+/// (memoized per blob afterwards), so a bit-flip in the data region surfaces
+/// as an error at read time rather than as corrupt bytes.
 #[derive(Debug)]
 pub struct IndexedSnapshot {
     gen: u64,
@@ -262,6 +264,13 @@ pub struct IndexedSnapshot {
     trailer: Vec<u8>,
     meta: Range<usize>,
     entries: Vec<BlobEntry>,
+    /// One bit per blob, set after that blob's first *successful* CRC check.
+    /// The data region is immutable once mapped, so a blob that verified
+    /// once need never be checksummed again — repeated LRU misses on a hot
+    /// mapped record used to pay O(len) checksumming on every read.  A blob
+    /// that *fails* never sets its bit, so corruption keeps surfacing on
+    /// every read attempt.
+    verified: Box<[AtomicU64]>,
 }
 
 impl IndexedSnapshot {
@@ -322,6 +331,9 @@ impl IndexedSnapshot {
             });
         }
         r.finish()?;
+        let verified = (0..entries.len().div_ceil(64))
+            .map(|_| AtomicU64::new(0))
+            .collect();
         Ok(IndexedSnapshot {
             gen,
             wal_offset,
@@ -329,6 +341,7 @@ impl IndexedSnapshot {
             trailer,
             meta,
             entries,
+            verified,
         })
     }
 
@@ -363,11 +376,14 @@ impl IndexedSnapshot {
         self.entries.get(i).map(|e| e.len as usize)
     }
 
-    /// Blob `i`'s bytes, CRC-verified on every call.
+    /// Blob `i`'s bytes, CRC-verified on first read and memoized thereafter.
     ///
     /// This is the lazy half of the corruption contract: the open validated
     /// only the trailer, so a flipped bit in the data region is discovered
-    /// here — and surfaces as `Corrupt`, never as silently wrong bytes.
+    /// here — and surfaces as `Corrupt`, never as silently wrong bytes.  The
+    /// mapped region is immutable, so a successful check is recorded in a
+    /// per-blob bitmap and skipped on later reads; a
+    /// failed check never records, so corruption surfaces on every attempt.
     pub fn blob(&self, i: usize) -> Result<&[u8], StorageError> {
         let entry = self
             .entries
@@ -375,12 +391,23 @@ impl IndexedSnapshot {
             .ok_or(StorageError::Corrupt("blob index out of range"))?;
         let start = entry.offset as usize;
         let bytes = &self.map[start..start + entry.len as usize];
-        let mut crc = crate::crc::Crc32::new();
-        crc.update(bytes);
-        if crc.finish() != entry.crc {
-            return Err(StorageError::Corrupt("snapshot blob checksum mismatch"));
+        let (word, bit) = (i / 64, 1u64 << (i % 64));
+        if self.verified[word].load(Ordering::Acquire) & bit == 0 {
+            let mut crc = crate::crc::Crc32::new();
+            crc.update(bytes);
+            if crc.finish() != entry.crc {
+                return Err(StorageError::Corrupt("snapshot blob checksum mismatch"));
+            }
+            self.verified[word].fetch_or(bit, Ordering::Release);
         }
         Ok(bytes)
+    }
+
+    /// Whether blob `i` has a recorded successful CRC check (test hook for
+    /// the memoization contract).
+    #[cfg(test)]
+    pub(crate) fn blob_verified(&self, i: usize) -> bool {
+        self.verified[i / 64].load(Ordering::Acquire) & (1u64 << (i % 64)) != 0
     }
 }
 
@@ -576,6 +603,34 @@ mod tests {
             Err(StorageError::Corrupt("snapshot blob checksum mismatch"))
         ));
         assert_eq!(snap.blob(1).unwrap(), b"second-blob");
+        // A failed check is never memoized: every retry re-verifies and
+        // re-fails, while the good neighbour verified exactly once.
+        assert!(!snap.blob_verified(0));
+        assert!(snap.blob_verified(1));
+        assert!(snap.blob(0).is_err());
+        assert!(!snap.blob_verified(0));
+    }
+
+    #[test]
+    fn blob_crc_verification_is_memoized_after_first_success() {
+        let dir = test_dir("snap-indexed-memo");
+        // 65 blobs so the bitmap spans more than one 64-bit word.
+        let bodies: Vec<Vec<u8>> = (0..65u8).map(|i| vec![i; i as usize + 1]).collect();
+        let blobs: Vec<(&[u8], &[u8])> = bodies
+            .iter()
+            .map(|b| (b.as_slice(), b"".as_slice()))
+            .collect();
+        write_indexed(dir.path(), "s", 1, 0, b"", &blobs);
+
+        let snap = load_indexed(dir.path(), "s", 1).unwrap();
+        assert_eq!(snap.blob_count(), bodies.len());
+        for (i, body) in bodies.iter().enumerate() {
+            assert!(!snap.blob_verified(i), "blob {i} verified before any read");
+            assert_eq!(snap.blob(i).unwrap(), body.as_slice());
+            assert!(snap.blob_verified(i), "blob {i} not memoized after read");
+            // Second read serves the same bytes through the memoized path.
+            assert_eq!(snap.blob(i).unwrap(), body.as_slice());
+        }
     }
 
     #[test]

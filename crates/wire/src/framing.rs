@@ -1,0 +1,174 @@
+//! Length-prefixed stream framing: the network counterpart of the storage
+//! crate's CRC frames.
+//!
+//! A network frame is `len (u32 BE) ‖ payload`, where the payload is a
+//! versioned-envelope encoding ([`crate::WireEncode::to_wire_bytes`]) of one
+//! protocol message.  TCP already guarantees integrity, so unlike the WAL
+//! frames there is no checksum — but the length field is attacker-controlled
+//! input, so every reader enforces a maximum frame size *before* allocating
+//! and treats an oversized prefix as a protocol violation, not an allocation
+//! request.
+//!
+//! EOF handling distinguishes the two cases a server cares about:
+//!
+//! * a peer that closes its socket *between* frames produced a clean end of
+//!   stream — [`read_frame`] returns `Ok(None)`,
+//! * a peer that dies *mid-frame* left a torn frame — that is
+//!   [`FrameError::Io`] with `UnexpectedEof`, and the connection carries no
+//!   further trustworthy bytes.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Default maximum frame size (payload bytes) accepted by readers and
+/// writers: large enough for a multi-record disclosure batch, small enough
+/// that a hostile length prefix cannot balloon server memory.
+pub const DEFAULT_MAX_FRAME: usize = 8 * 1024 * 1024;
+
+/// Bytes of the frame length prefix.
+pub const FRAME_PREFIX_LEN: usize = 4;
+
+/// A framing failure.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed (includes mid-frame EOF as
+    /// `UnexpectedEof`).
+    Io(io::Error),
+    /// A length prefix exceeded the configured maximum — the peer is either
+    /// broken or hostile, and the stream position can no longer be trusted.
+    Oversized {
+        /// The length the prefix claimed.
+        len: u64,
+        /// The configured maximum.
+        max: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte maximum")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame (`len ‖ payload`).  Refuses payloads above `max` so a
+/// writer can never emit a frame its peer is guaranteed to reject.
+pub fn write_frame(w: &mut impl Write, payload: &[u8], max: usize) -> Result<(), FrameError> {
+    if payload.len() > max {
+        return Err(FrameError::Oversized {
+            len: payload.len() as u64,
+            max,
+        });
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one frame, returning `Ok(None)` on a clean EOF *before* the length
+/// prefix (the peer hung up between frames).  EOF inside the prefix or the
+/// payload is a torn frame and surfaces as `UnexpectedEof`; a prefix above
+/// `max` fails before any payload allocation.
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; FRAME_PREFIX_LEN];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame length prefix",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > max {
+        return Err(FrameError::Oversized {
+            len: len as u64,
+            max,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_including_empty_payloads() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello", DEFAULT_MAX_FRAME).unwrap();
+        write_frame(&mut buf, b"", DEFAULT_MAX_FRAME).unwrap();
+        write_frame(&mut buf, &[0xAB; 300], DEFAULT_MAX_FRAME).unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().unwrap(),
+            b"hello"
+        );
+        assert_eq!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().unwrap(), b"");
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().unwrap(),
+            vec![0xAB; 300]
+        );
+        // Clean EOF at the frame boundary.
+        assert!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_frames_are_unexpected_eof_not_clean_end() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload-bytes", DEFAULT_MAX_FRAME).unwrap();
+        // Every truncation point except 0 is a torn frame.
+        for cut in 1..buf.len() {
+            let mut r = io::Cursor::new(&buf[..cut]);
+            match read_frame(&mut r, DEFAULT_MAX_FRAME) {
+                Err(FrameError::Io(e)) => {
+                    assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof, "cut {cut}")
+                }
+                other => panic!("cut {cut}: expected torn-frame error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_prefix_fails_before_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        buf.extend_from_slice(b"whatever");
+        let mut r = io::Cursor::new(buf);
+        match read_frame(&mut r, 1024) {
+            Err(FrameError::Oversized { len, max }) => {
+                assert_eq!(len, u64::from(u32::MAX));
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected oversized error, got {other:?}"),
+        }
+        // The writer enforces the same bound.
+        let mut out = Vec::new();
+        assert!(matches!(
+            write_frame(&mut out, &[0u8; 2048], 1024),
+            Err(FrameError::Oversized { .. })
+        ));
+        assert!(out.is_empty());
+    }
+}

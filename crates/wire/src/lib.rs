@@ -16,6 +16,9 @@
 //!   the workspace implements.  `encode`/`decode` handle the bare,
 //!   version-aware body; `to_wire_bytes`/`from_wire_bytes` wrap it in the
 //!   envelope and reject trailing bytes.
+//! * [`framing`] — length-prefixed stream frames (`len (u32 BE) ‖ envelope`),
+//!   the form the node protocol carries these messages in over TCP, with a
+//!   maximum-size guard enforced before any allocation.
 //!
 //! Decoding is context-driven: group elements need their field/parameter
 //! handles to validate (on-curve, canonical range) exactly once at the
@@ -27,10 +30,12 @@
 #![deny(missing_docs)]
 
 mod error;
+pub mod framing;
 mod io;
 mod version;
 
 pub use error::{DecodeError, DecodeErrorKind};
+pub use framing::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
 pub use io::{put_bytes, put_u32, put_u64, Reader, Writer};
 pub use version::WireVersion;
 

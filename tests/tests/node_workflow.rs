@@ -1,0 +1,214 @@
+//! The full PHR workflow of Ibraimi et al. over real TCP: extract, store,
+//! grant, re-encrypt, decrypt, revoke, and emergency access — every
+//! cryptographic step on the client side, every policy step on a node.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use tibpre_client::{
+    params_for_level, ClientConfig, ClientError, KgcClient, NodeRole, ProxyClient, RemoteError,
+    StoreClient,
+};
+use tibpre_core::Delegator;
+use tibpre_ibe::Identity;
+use tibpre_pairing::PairingParams;
+use tibpre_phr::{Category, HealthRecord, HealthcareProvider};
+use tibpre_server::{node, NodeConfig, NodeHandle};
+
+/// Boots a loopback kgc/store/proxy node set on ephemeral ports.
+fn boot_node_set(data_dir: Option<&std::path::Path>) -> (NodeHandle, NodeHandle, NodeHandle) {
+    let kgc = node::start(NodeConfig::new(NodeRole::Kgc)).expect("kgc node");
+    let mut store_config = NodeConfig::new(NodeRole::Store);
+    store_config.data_dir = data_dir.map(|d| d.to_path_buf());
+    let store = node::start(store_config).expect("store node");
+    let mut proxy_config = NodeConfig::new(NodeRole::Proxy);
+    proxy_config.store_addr = Some(store.addr().to_string());
+    let proxy = node::start(proxy_config).expect("proxy node");
+    (kgc, store, proxy)
+}
+
+fn shut_down(handle: NodeHandle, params: &Arc<PairingParams>) {
+    let mut conn =
+        tibpre_client::Connection::connect(handle.addr(), params, &ClientConfig::default())
+            .expect("connect for shutdown");
+    conn.shutdown().expect("shutdown frame");
+    handle.wait();
+}
+
+#[test]
+fn full_phr_workflow_over_tcp() {
+    let (kgc_node, store_node, proxy_node) = boot_node_set(None);
+    let params = params_for_level(tibpre_pairing::SecurityLevel::Toy);
+    let config = ClientConfig::default();
+    let mut rng = StdRng::seed_from_u64(0xE2E);
+
+    // Health checks answer with role + level so misconfiguration is caught
+    // before any traffic.
+    let mut kgc = KgcClient::connect(kgc_node.addr(), &params, &config).unwrap();
+    let mut store = StoreClient::connect(store_node.addr(), &params, &config).unwrap();
+    let mut proxy = ProxyClient::connect(proxy_node.addr(), &params, &config).unwrap();
+    assert_eq!(
+        kgc.connection().ping().unwrap(),
+        (NodeRole::Kgc, "toy".to_string())
+    );
+    assert_eq!(store.connection().ping().unwrap().0, NodeRole::Store);
+    assert_eq!(proxy.connection().ping().unwrap().0, NodeRole::Proxy);
+
+    // Extract: the KGC hands out identity keys; the domain parameters come
+    // over the wire too.
+    let domain = kgc.public_params().unwrap();
+    let alice = Identity::new("alice");
+    let doctor_id = Identity::new("dr-bob");
+    let medic_id = Identity::new("er-medic");
+    let alice_delegator = Delegator::new(domain.clone(), kgc.extract(&alice).unwrap());
+    let doctor = HealthcareProvider::new(kgc.extract(&doctor_id).unwrap());
+    let medic = HealthcareProvider::new(kgc.extract(&medic_id).unwrap());
+
+    // Store: client-side encryption, server-side blobs.
+    let put = |store: &mut StoreClient,
+               delegator: &Delegator,
+               rng: &mut StdRng,
+               category: Category,
+               title: &str,
+               body: &[u8]| {
+        let aad = HealthRecord::associated_data(&alice, &category, title);
+        let ct = delegator.encrypt_bytes(body, &aad, &category.type_tag(), rng);
+        store.put(&alice, &category, title, ct).unwrap()
+    };
+    let lab_id = put(
+        &mut store,
+        &alice_delegator,
+        &mut rng,
+        Category::LabResults,
+        "glucose",
+        b"5.1 mmol/L",
+    );
+    let emergency_id = put(
+        &mut store,
+        &alice_delegator,
+        &mut rng,
+        Category::Emergency,
+        "allergies",
+        b"penicillin",
+    );
+    assert_eq!(store.record_count().unwrap(), 2);
+    assert_eq!(
+        store.list(&alice, Some(&Category::LabResults)).unwrap(),
+        vec![lab_id]
+    );
+    assert_eq!(store.get(lab_id).unwrap().title, "glucose");
+
+    // Grant: a type-scoped re-encryption key made by the patient, installed
+    // on the proxy.  Emergency access is the same mechanism — a standing
+    // grant on the emergency category to the first-responder identity.
+    for (grantee, category) in [
+        (&doctor_id, Category::LabResults),
+        (&medic_id, Category::Emergency),
+    ] {
+        let key = alice_delegator
+            .make_reencryption_key(grantee, &domain, &category.type_tag(), &mut rng)
+            .unwrap();
+        proxy.install_key(key).unwrap();
+    }
+    assert_eq!(proxy.key_count().unwrap(), 2);
+    assert!(proxy
+        .has_grant(&alice, &Category::LabResults, &doctor_id)
+        .unwrap());
+
+    // Re-encrypt + decrypt: the proxy converts, the provider opens.
+    let bundle = proxy.disclose(&alice, lab_id, &doctor_id).unwrap();
+    let disclosed = doctor.open(&bundle).unwrap();
+    assert_eq!(disclosed.body, b"5.1 mmol/L");
+    assert_eq!(disclosed.category, Category::LabResults);
+
+    // The doctor's lab grant does not extend to the emergency record, and
+    // an unknown identity gets nothing.
+    assert!(matches!(
+        proxy.disclose(&alice, emergency_id, &doctor_id),
+        Err(ClientError::Remote(RemoteError::AccessDenied { .. }))
+    ));
+    assert!(matches!(
+        proxy.disclose(&alice, lab_id, &Identity::new("eve")),
+        Err(ClientError::Remote(RemoteError::AccessDenied { .. }))
+    ));
+
+    // Revoke: the proxy drops the key; the doctor is locked out with no
+    // re-keying of the stored ciphertexts.
+    assert!(proxy
+        .revoke_key(&alice, &Category::LabResults, &doctor_id)
+        .unwrap());
+    assert!(!proxy
+        .has_grant(&alice, &Category::LabResults, &doctor_id)
+        .unwrap());
+    assert!(matches!(
+        proxy.disclose(&alice, lab_id, &doctor_id),
+        Err(ClientError::Remote(RemoteError::AccessDenied { .. }))
+    ));
+
+    // Emergency access still works after the routine grant is gone.
+    let bundles = proxy
+        .disclose_category(&alice, &Category::Emergency, &medic_id)
+        .unwrap();
+    assert_eq!(bundles.len(), 1);
+    assert_eq!(medic.open(&bundles[0]).unwrap().body, b"penicillin");
+
+    // Both sides kept an audit trail.
+    assert!(!proxy.audit_snapshot().unwrap().is_empty());
+    assert!(!store.audit_snapshot().unwrap().is_empty());
+
+    // Delete, then verify the tombstone over the wire.
+    store.delete(emergency_id, &alice).unwrap();
+    assert!(matches!(
+        store.get(emergency_id),
+        Err(ClientError::Remote(RemoteError::NotFound))
+    ));
+
+    // Requests for the wrong role are rejected, not misrouted.
+    assert!(matches!(
+        store.connection().call(&tibpre_client::Request::KeyCount),
+        Err(ClientError::Remote(RemoteError::WrongRole(_)))
+    ));
+
+    shut_down(proxy_node, &params);
+    shut_down(store_node, &params);
+    shut_down(kgc_node, &params);
+}
+
+#[test]
+fn durable_store_node_survives_restart() {
+    let tmp = tibpre_storage::TempDir::new("node-restart").unwrap();
+    let params = params_for_level(tibpre_pairing::SecurityLevel::Toy);
+    let config = ClientConfig::default();
+    let mut rng = StdRng::seed_from_u64(0xD0_0D);
+
+    let alice = Identity::new("alice");
+    let record_id;
+    {
+        let mut store_config = NodeConfig::new(NodeRole::Store);
+        store_config.data_dir = Some(tmp.path().to_path_buf());
+        let store_node = node::start(store_config).expect("first store boot");
+        let kgc_node = node::start(NodeConfig::new(NodeRole::Kgc)).expect("kgc");
+
+        let mut kgc = KgcClient::connect(kgc_node.addr(), &params, &config).unwrap();
+        let domain = kgc.public_params().unwrap();
+        let delegator = Delegator::new(domain, kgc.extract(&alice).unwrap());
+        let mut store = StoreClient::connect(store_node.addr(), &params, &config).unwrap();
+        let aad = HealthRecord::associated_data(&alice, &Category::Medication, "statin");
+        let ct = delegator.encrypt_bytes(b"20mg", &aad, &Category::Medication.type_tag(), &mut rng);
+        record_id = store
+            .put(&alice, &Category::Medication, "statin", ct)
+            .unwrap();
+
+        // Graceful shutdown syncs the WAL and releases the directory lock.
+        shut_down(store_node, &params);
+        shut_down(kgc_node, &params);
+    }
+
+    let mut store_config = NodeConfig::new(NodeRole::Store);
+    store_config.data_dir = Some(tmp.path().to_path_buf());
+    let store_node = node::start(store_config).expect("store reboot on the same directory");
+    let mut store = StoreClient::connect(store_node.addr(), &params, &config).unwrap();
+    assert_eq!(store.record_count().unwrap(), 1);
+    assert_eq!(store.get(record_id).unwrap().title, "statin");
+    shut_down(store_node, &params);
+}
