@@ -1,0 +1,287 @@
+//! Experiment E14 — read replicas under load.
+//!
+//! Boots a kgc/store/proxy node set plus two read replicas tailing the
+//! primary's WAL, then drives `tibpre-load` twice: once with every read on
+//! the primary (the single-node baseline) and once round-robined across
+//! the replicas (`--read-replicas`).  Finishes with a stale-revocation
+//! drill: delete a record and log a revocation on the primary, wait for
+//! both replicas to report the primary's exact applied offsets, and count
+//! any replica that still serves the record — the count must be zero.
+//!
+//! Gates: zero errors in both phases, replica aggregate req/s at least
+//! `TIBPRE_E14_MIN_SPEEDUP` (default 1.5) times the 50 req/s single-node
+//! floor E13 has enforced since the node layer landed (multi-core hosts
+//! only), and zero stale-revocation reads.
+//!
+//! Scale knobs: `TIBPRE_E14_CLIENTS`, `TIBPRE_E14_REQUESTS`,
+//! `TIBPRE_E14_PATIENTS`, `TIBPRE_E14_RECORDS_PER_PATIENT`,
+//! `TIBPRE_E14_PAYLOAD`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+use tibpre_client::{
+    params_for_level, ClientConfig, ClientError, Connection, KgcClient, NodeRole, RemoteError,
+    Request, Response, StoreClient,
+};
+use tibpre_core::Delegator;
+use tibpre_ibe::Identity;
+use tibpre_pairing::SecurityLevel;
+use tibpre_phr::{Category, HealthRecord};
+use tibpre_server::load::{run_load, LoadConfig, LoadReport};
+use tibpre_server::{node, NodeConfig};
+
+/// The single-node req/s floor E13 enforces (PR 7's service-layer gate).
+const SINGLE_NODE_FLOOR: f64 = 50.0;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn positions(conn: &mut Connection) -> Vec<u64> {
+    match conn.call(&Request::ReplicationStatus).expect("status") {
+        Response::ReplicaStatus { positions, .. } => positions,
+        other => panic!("expected ReplicaStatus, got {other:?}"),
+    }
+}
+
+fn wait_caught_up(primary: &mut StoreClient, replicas: &mut [StoreClient]) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let want = positions(primary.connection());
+        if replicas
+            .iter_mut()
+            .all(|replica| positions(replica.connection()) == want)
+        {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replicas never reached the primary's applied offsets"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn summarize(tag: &str, report: &LoadReport, requests: u64) {
+    eprintln!(
+        "e14 [{tag}]: {} ok / {} denied / {} errors in {:.2}s — p50 {}us p99 {}us, {:.0} req/s",
+        report.ok,
+        report.denied,
+        report.errors,
+        report.elapsed.as_secs_f64(),
+        report.p50_us,
+        report.p99_us,
+        report.req_per_sec,
+    );
+    assert_eq!(report.errors, 0, "[{tag}] transport errors under load");
+    assert_eq!(
+        report.ok + report.denied,
+        requests,
+        "[{tag}] every request must be answered"
+    );
+}
+
+fn main() {
+    let clients = env_usize("TIBPRE_E14_CLIENTS", 4);
+    let requests = env_usize("TIBPRE_E14_REQUESTS", 800) as u64;
+    let patients = env_usize("TIBPRE_E14_PATIENTS", 16);
+    let records_per_patient = env_usize("TIBPRE_E14_RECORDS_PER_PATIENT", 4);
+    let payload_len = env_usize("TIBPRE_E14_PAYLOAD", 256);
+    let min_speedup = env_f64("TIBPRE_E14_MIN_SPEEDUP", 1.5);
+
+    // The topology: kgc + durable primary store + proxy, plus two read
+    // replicas tailing the primary's WAL over TCP.  Toy parameters — the
+    // pairing level scales crypto cost, and E14 measures the read path.
+    let tmp = tibpre_storage::TempDir::new("e14-primary").expect("tempdir");
+    let kgc = node::start(NodeConfig::new(NodeRole::Kgc)).expect("kgc node");
+    let mut store_config = NodeConfig::new(NodeRole::Store);
+    store_config.data_dir = Some(tmp.path().to_path_buf());
+    let store = node::start(store_config).expect("primary store node");
+    let mut proxy_config = NodeConfig::new(NodeRole::Proxy);
+    proxy_config.store_addr = Some(store.addr().to_string());
+    let proxy = node::start(proxy_config).expect("proxy node");
+    let replicas: Vec<_> = (0..2)
+        .map(|i| {
+            let mut config = NodeConfig::new(NodeRole::Store);
+            config.replica_of = Some(store.addr().to_string());
+            node::start(config).unwrap_or_else(|e| panic!("replica {i}: {e}"))
+        })
+        .collect();
+    eprintln!(
+        "e14: kgc {} / primary {} / proxy {} / replicas {} + {}",
+        kgc.addr(),
+        store.addr(),
+        proxy.addr(),
+        replicas[0].addr(),
+        replicas[1].addr(),
+    );
+
+    let base = LoadConfig {
+        kgc_addr: kgc.addr().to_string(),
+        store_addr: store.addr().to_string(),
+        proxy_addr: proxy.addr().to_string(),
+        clients,
+        requests,
+        patients,
+        records_per_patient,
+        churn_every: 25,
+        payload_len,
+        ..LoadConfig::default()
+    };
+
+    // Phase 1 — baseline: every read hits the primary alone.
+    let baseline_config = LoadConfig {
+        read_replicas: vec![store.addr().to_string()],
+        ..base.clone()
+    };
+    let baseline = run_load(&baseline_config).expect("baseline load run");
+    summarize("primary-only", &baseline, requests);
+
+    // Phase 2 — the real topology: reads round-robin across both replicas
+    // while the write/churn traffic stays on the primary.
+    let replica_config = LoadConfig {
+        read_replicas: replicas
+            .iter()
+            .map(|handle| handle.addr().to_string())
+            .collect(),
+        seed: base.seed + 1,
+        ..base.clone()
+    };
+    let replicated = run_load(&replica_config).expect("replica load run");
+    summarize("read-replicas", &replicated, requests);
+
+    // Phase 3 — the stale-revocation drill.  Store a record, replicate it,
+    // then delete it and log the matching revocation on the primary; once
+    // both replicas report the primary's applied offsets, any replica
+    // still serving the record is a stale read.
+    let params = params_for_level(SecurityLevel::Toy);
+    let client_config = ClientConfig::default();
+    let mut rng = StdRng::seed_from_u64(0xE14);
+    let mut kgc_client = KgcClient::connect(kgc.addr(), &params, &client_config).unwrap();
+    let domain = kgc_client.public_params().unwrap();
+    let patient = Identity::new("e14-revoked-patient");
+    let delegator = Delegator::new(domain, kgc_client.extract(&patient).unwrap());
+    let mut primary = StoreClient::connect(store.addr(), &params, &client_config).unwrap();
+    let mut replica_clients: Vec<StoreClient> = replicas
+        .iter()
+        .map(|handle| StoreClient::connect(handle.addr(), &params, &client_config).unwrap())
+        .collect();
+
+    let category = Category::LabResults;
+    let aad = HealthRecord::associated_data(&patient, &category, "revoked");
+    let ciphertext = delegator.encrypt_bytes(b"stale?", &aad, &category.type_tag(), &mut rng);
+    let id = primary
+        .put(&patient, &category, "revoked", ciphertext)
+        .unwrap();
+    wait_caught_up(&mut primary, &mut replica_clients);
+    for replica in &mut replica_clients {
+        replica.get(id).expect("replicated record must be readable");
+    }
+    let ok = primary
+        .connection()
+        .call(&Request::LogPolicyChange {
+            patient: patient.clone(),
+            category: category.clone(),
+            grantee: Identity::new("e14-grantee"),
+            granted: false,
+        })
+        .unwrap();
+    assert!(matches!(ok, Response::Ok));
+    primary.delete(id, &patient).unwrap();
+    wait_caught_up(&mut primary, &mut replica_clients);
+    let stale_revocation_reads = replica_clients
+        .iter_mut()
+        .map(|replica| replica.get(id))
+        .filter(|read| !matches!(read, Err(ClientError::Remote(RemoteError::NotFound))))
+        .count();
+    let primary_audit = primary.audit_snapshot().unwrap();
+    for replica in &mut replica_clients {
+        assert_eq!(
+            replica.audit_snapshot().unwrap(),
+            primary_audit,
+            "replica audit trail diverged from the primary"
+        );
+    }
+
+    for handle in replicas {
+        handle.shutdown();
+        handle.wait();
+    }
+    for handle in [proxy, store, kgc] {
+        handle.shutdown();
+        handle.wait();
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let speedup_vs_floor = replicated.req_per_sec / SINGLE_NODE_FLOOR;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"e14_replication\",\n",
+            "  \"level\": \"toy\",\n",
+            "  \"clients\": {},\n",
+            "  \"requests\": {},\n",
+            "  \"patients\": {},\n",
+            "  \"records_per_patient\": {},\n",
+            "  \"payload_bytes\": {},\n",
+            "  \"read_replicas\": 2,\n",
+            "  \"baseline_req_per_sec\": {:.1},\n",
+            "  \"replica_req_per_sec\": {:.1},\n",
+            "  \"replica_p50_us\": {},\n",
+            "  \"replica_p99_us\": {},\n",
+            "  \"single_node_floor_req_per_sec\": {:.1},\n",
+            "  \"speedup_vs_floor\": {:.2},\n",
+            "  \"stale_revocation_reads\": {},\n",
+            "  \"errors\": {}\n",
+            "}}\n"
+        ),
+        clients,
+        requests,
+        patients,
+        records_per_patient,
+        payload_len,
+        baseline.req_per_sec,
+        replicated.req_per_sec,
+        replicated.p50_us,
+        replicated.p99_us,
+        SINGLE_NODE_FLOOR,
+        speedup_vs_floor,
+        stale_revocation_reads,
+        baseline.errors + replicated.errors,
+    );
+    print!("{json}");
+
+    let out = std::env::var("TIBPRE_BENCH_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_e14.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).unwrap();
+    eprintln!("e14: wrote {out}");
+
+    // Acceptance gates.
+    assert_eq!(
+        stale_revocation_reads, 0,
+        "a replica served a record past its revocation's applied offset"
+    );
+    if cores >= 4 {
+        assert!(
+            speedup_vs_floor >= min_speedup,
+            "replica reads at {:.1} req/s are below {min_speedup}x the \
+             {SINGLE_NODE_FLOOR} req/s single-node floor",
+            replicated.req_per_sec,
+        );
+    } else {
+        eprintln!("e14: {cores} cores — skipping the {min_speedup}x floor gate");
+    }
+}

@@ -218,6 +218,24 @@ pub enum Request {
         /// The requesting provider.
         requester: Identity,
     },
+    /// (Store) Turn this connection into a replication stream: the node
+    /// stops speaking request→response and pushes [`Response::ReplicaStatus`],
+    /// [`Response::SnapshotGeneration`] and [`Response::SegmentChunk`]
+    /// frames until the connection drops.
+    SubscribeReplication {
+        /// Per-shard applied logical WAL offsets to resume from.  Empty
+        /// means a fresh replica: the node's first `ReplicaStatus` tells it
+        /// the shard count, and streaming starts from offset 0 (or the
+        /// newest snapshot when the log prefix was garbage-collected).
+        applied: Vec<u64>,
+    },
+    /// (Store) One-shot replication status: per-shard positions (committed
+    /// on a primary, applied on a replica) and whether the node accepts
+    /// writes.
+    ReplicationStatus,
+    /// (Store) Promote a replica: stop rejecting writes with `WrongRole`.
+    /// A no-op on a node that already accepts writes.
+    Promote,
 }
 
 impl Request {
@@ -244,6 +262,9 @@ impl Request {
             Request::KeyCount => "KeyCount",
             Request::Disclose { .. } => "Disclose",
             Request::DiscloseCategory { .. } => "DiscloseCategory",
+            Request::SubscribeReplication { .. } => "SubscribeReplication",
+            Request::ReplicationStatus => "ReplicationStatus",
+            Request::Promote => "Promote",
         }
     }
 }
@@ -268,6 +289,9 @@ mod req_tag {
     pub const KEY_COUNT: u8 = 33;
     pub const DISCLOSE: u8 = 34;
     pub const DISCLOSE_CATEGORY: u8 = 35;
+    pub const SUBSCRIBE_REPLICATION: u8 = 40;
+    pub const REPLICATION_STATUS: u8 = 41;
+    pub const PROMOTE: u8 = 42;
 }
 
 fn put_identity(w: &mut Writer, id: &Identity) {
@@ -411,6 +435,15 @@ impl WireEncode for Request {
                 put_category(w, category);
                 put_identity(w, requester);
             }
+            Request::SubscribeReplication { applied } => {
+                w.put_u8(req_tag::SUBSCRIBE_REPLICATION);
+                w.put_u64(applied.len() as u64);
+                for offset in applied {
+                    w.put_u64(*offset);
+                }
+            }
+            Request::ReplicationStatus => w.put_u8(req_tag::REPLICATION_STATUS),
+            Request::Promote => w.put_u8(req_tag::PROMOTE),
         }
     }
 }
@@ -500,6 +533,16 @@ impl WireDecode for Request {
                 category: read_category(r)?,
                 requester: read_identity(r)?,
             },
+            req_tag::SUBSCRIBE_REPLICATION => {
+                let count = read_count(r, 8)?;
+                let mut applied = Vec::with_capacity(count);
+                for _ in 0..count {
+                    applied.push(r.u64()?);
+                }
+                Request::SubscribeReplication { applied }
+            }
+            req_tag::REPLICATION_STATUS => Request::ReplicationStatus,
+            req_tag::PROMOTE => Request::Promote,
             tag => return Err(DecodeError::invalid_tag(offset, "request", tag)),
         })
     }
@@ -688,6 +731,39 @@ pub enum Response {
     ShuttingDown,
     /// The request failed; the error travels as a value.
     Error(RemoteError),
+    /// Replication status: per-shard logical WAL positions (committed on a
+    /// primary, applied on a replica) and whether the node accepts writes.
+    /// The first frame of a replication stream, repeated as a heartbeat.
+    ReplicaStatus {
+        /// One position per shard; the vector length *is* the shard count.
+        positions: Vec<u64>,
+        /// Whether this node accepts writes (primary, or promoted replica).
+        writable: bool,
+    },
+    /// A whole snapshot generation file, shipped to bootstrap a replica
+    /// shard whose requested offset was garbage-collected.
+    SnapshotGeneration {
+        /// The shard this snapshot belongs to.
+        shard: u64,
+        /// The snapshot's generation number.
+        gen: u64,
+        /// The logical WAL offset the snapshot captured — where chunk
+        /// streaming resumes after installation.
+        wal_offset: u64,
+        /// The raw snapshot file bytes.
+        bytes: Vec<u8>,
+    },
+    /// Raw committed WAL bytes of one shard, starting exactly at `start`.
+    /// Not necessarily frame-aligned at either end: receivers buffer and
+    /// reassemble frames, exactly as crash recovery scans a segment.
+    SegmentChunk {
+        /// The shard these bytes belong to.
+        shard: u64,
+        /// Logical offset of the first byte.
+        start: u64,
+        /// The raw log bytes (never empty).
+        bytes: Vec<u8>,
+    },
 }
 
 mod resp_tag {
@@ -705,6 +781,9 @@ mod resp_tag {
     pub const AUDIT_EVENTS: u8 = 12;
     pub const SHUTTING_DOWN: u8 = 13;
     pub const ERROR: u8 = 14;
+    pub const REPLICA_STATUS: u8 = 15;
+    pub const SNAPSHOT_GENERATION: u8 = 16;
+    pub const SEGMENT_CHUNK: u8 = 17;
 }
 
 impl WireEncode for Response {
@@ -770,6 +849,39 @@ impl WireEncode for Response {
                 w.put_u8(resp_tag::ERROR);
                 err.encode(w);
             }
+            Response::ReplicaStatus {
+                positions,
+                writable,
+            } => {
+                w.put_u8(resp_tag::REPLICA_STATUS);
+                w.put_u64(positions.len() as u64);
+                for position in positions {
+                    w.put_u64(*position);
+                }
+                put_bool(w, *writable);
+            }
+            Response::SnapshotGeneration {
+                shard,
+                gen,
+                wal_offset,
+                bytes,
+            } => {
+                w.put_u8(resp_tag::SNAPSHOT_GENERATION);
+                w.put_u64(*shard);
+                w.put_u64(*gen);
+                w.put_u64(*wal_offset);
+                w.put_bytes(bytes);
+            }
+            Response::SegmentChunk {
+                shard,
+                start,
+                bytes,
+            } => {
+                w.put_u8(resp_tag::SEGMENT_CHUNK);
+                w.put_u64(*shard);
+                w.put_u64(*start);
+                w.put_bytes(bytes);
+            }
         }
     }
 }
@@ -834,6 +946,28 @@ impl WireDecode for Response {
             }
             resp_tag::SHUTTING_DOWN => Response::ShuttingDown,
             resp_tag::ERROR => Response::Error(RemoteError::decode(r, &())?),
+            resp_tag::REPLICA_STATUS => {
+                let count = read_count(r, 8)?;
+                let mut positions = Vec::with_capacity(count);
+                for _ in 0..count {
+                    positions.push(r.u64()?);
+                }
+                Response::ReplicaStatus {
+                    positions,
+                    writable: read_bool(r)?,
+                }
+            }
+            resp_tag::SNAPSHOT_GENERATION => Response::SnapshotGeneration {
+                shard: r.u64()?,
+                gen: r.u64()?,
+                wal_offset: r.u64()?,
+                bytes: r.bytes()?.to_vec(),
+            },
+            resp_tag::SEGMENT_CHUNK => Response::SegmentChunk {
+                shard: r.u64()?,
+                start: r.u64()?,
+                bytes: r.bytes()?.to_vec(),
+            },
             tag => return Err(DecodeError::invalid_tag(offset, "response", tag)),
         })
     }
@@ -953,6 +1087,14 @@ mod tests {
                 category: Category::Emergency,
                 requester: doctor,
             },
+            Request::SubscribeReplication {
+                applied: Vec::new(),
+            },
+            Request::SubscribeReplication {
+                applied: vec![0, 4096, u64::MAX],
+            },
+            Request::ReplicationStatus,
+            Request::Promote,
         ];
         for req in &requests {
             let back = round_trip_request(req, &ctx);
@@ -992,6 +1134,21 @@ mod tests {
             Response::Error(RemoteError::WrongRole("kgc".into())),
             Response::AuditEvents(Vec::new()),
             Response::Bundles(Vec::new()),
+            Response::ReplicaStatus {
+                positions: vec![10, 0, 7],
+                writable: false,
+            },
+            Response::SnapshotGeneration {
+                shard: 3,
+                gen: 9,
+                wal_offset: 4096,
+                bytes: vec![0xAB; 32],
+            },
+            Response::SegmentChunk {
+                shard: 1,
+                start: 128,
+                bytes: vec![0xCD; 16],
+            },
         ];
         for resp in &responses {
             let back = round_trip_response(resp, &ctx);
@@ -1019,6 +1176,42 @@ mod tests {
                     requester: "mallory".into(),
                 }
             ),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // Replication frames carry raw log bytes — those must survive
+        // verbatim, not just by discriminant.
+        match round_trip_response(
+            &Response::SegmentChunk {
+                shard: 2,
+                start: 777,
+                bytes: vec![1, 2, 3, 4, 5],
+            },
+            &ctx,
+        ) {
+            Response::SegmentChunk {
+                shard,
+                start,
+                bytes,
+            } => {
+                assert_eq!((shard, start), (2, 777));
+                assert_eq!(bytes, vec![1, 2, 3, 4, 5]);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        match round_trip_response(
+            &Response::ReplicaStatus {
+                positions: vec![64, 0, u64::MAX],
+                writable: true,
+            },
+            &ctx,
+        ) {
+            Response::ReplicaStatus {
+                positions,
+                writable,
+            } => {
+                assert_eq!(positions, vec![64, 0, u64::MAX]);
+                assert!(writable);
+            }
             other => panic!("wrong variant: {other:?}"),
         }
     }

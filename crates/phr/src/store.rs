@@ -86,7 +86,10 @@ use tibpre_core::HybridCiphertext;
 use tibpre_engine::ReEncryptEngine;
 use tibpre_ibe::Identity;
 use tibpre_pairing::{DecodeCtx, PairingParams};
-use tibpre_storage::{codec, frame, segment, snapshot, FsyncPolicy, SegmentedWal, StorageError};
+use tibpre_storage::{
+    codec, frame, segment, snapshot, ChunkOutcome, CommitNotifier, FsyncPolicy, ReplicationLog,
+    SegmentedWal, StorageError,
+};
 use tibpre_wire::WireVersion;
 
 /// Default shard count.  Sixteen stripes keep the per-shard contention
@@ -156,6 +159,9 @@ pub struct EncryptedPhrStore {
     /// present on durable stores; `None` only on plain in-memory stores,
     /// which pin decoded structs instead.
     params: Option<Arc<PairingParams>>,
+    /// Bumped after every durable commit (and every replicated apply) —
+    /// the subscription point replication shipping loops block on.
+    notifier: Arc<CommitNotifier>,
 }
 
 /// Name of the store metadata file inside a durable store's directory.
@@ -195,6 +201,7 @@ impl EncryptedPhrStore {
             clock: AtomicU64::new(0),
             durability: None,
             params: None,
+            notifier: Arc::new(CommitNotifier::new()),
         }
     }
 
@@ -288,6 +295,7 @@ impl EncryptedPhrStore {
                 lock,
             }),
             params: Some(durability.params().clone()),
+            notifier: Arc::new(CommitNotifier::new()),
         })
     }
 
@@ -569,6 +577,7 @@ impl EncryptedPhrStore {
             .commit()
             .expect("WAL append failed; cannot continue without durability (fail-stop)");
         log.ops_since_snapshot += 1;
+        self.notifier.notify();
     }
 
     /// Streams a shard's state into the next indexed (`TBS2`) snapshot
@@ -999,6 +1008,244 @@ impl EncryptedPhrStore {
             .collect();
         events.sort_by_key(|event| event.at());
         events
+    }
+
+    // --- Replication -----------------------------------------------------
+    //
+    // The primary side reads committed WAL bytes per shard
+    // ([`Self::replication_chunk`]) and ships whole snapshot files
+    // ([`Self::replication_snapshot`]) when a replica's offset was
+    // garbage-collected; the replica side applies shipped frames through
+    // the same code path crash recovery replays them
+    // ([`Self::apply_replication_frame`]).  Per-patient policy events land
+    // on one shard (`shard_for_patient`), so in-order per-shard apply
+    // preserves every grant/revoke ordering — replication cannot resurrect
+    // a revoked key.
+
+    /// The subscription point for log shipping: bumped after every durable
+    /// commit and every replicated apply.  A shipping loop that has caught
+    /// up waits on it instead of polling.
+    pub fn commit_notifier(&self) -> Arc<CommitNotifier> {
+        Arc::clone(&self.notifier)
+    }
+
+    /// Per-shard committed logical WAL positions, read under each shard's
+    /// read lock — the safe upper bounds for [`Self::replication_chunk`]
+    /// reads (a group commit is one `write(2)` under the shard write lock,
+    /// so committed positions never expose a torn frame).  In-memory shards
+    /// report 0.
+    pub fn replication_positions(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .read()
+                    .log
+                    .as_ref()
+                    .map_or(0, |log| log.wal.logical_len())
+            })
+            .collect()
+    }
+
+    /// Reads up to `max` committed WAL bytes of one shard starting at
+    /// logical offset `from` — raw log bytes, cut at segment ends, with no
+    /// frame alignment promised (receivers reassemble frames with
+    /// [`tibpre_storage::frame::scan`]).  `Gone` means the prefix behind
+    /// `from` was garbage-collected and the replica must bootstrap from
+    /// [`Self::replication_snapshot`].
+    pub fn replication_chunk(
+        &self,
+        shard_index: usize,
+        from: u64,
+        max: usize,
+    ) -> Result<ChunkOutcome> {
+        let d = self.durability.as_ref().ok_or(PhrError::CorruptedRecord(
+            "replication source must be a durable store",
+        ))?;
+        let shard = self
+            .shards
+            .get(shard_index)
+            .ok_or(PhrError::CorruptedRecord("shard index out of range"))?;
+        let committed = shard
+            .read()
+            .log
+            .as_ref()
+            .map_or(0, |log| log.wal.logical_len());
+        let log = ReplicationLog::new(&d.dir, &durable::shard_base(shard_index));
+        Ok(log.read_chunk(from, committed, max)?)
+    }
+
+    /// The newest intact snapshot generation of one shard as raw file
+    /// bytes, with its generation number and WAL offset — what a primary
+    /// ships to bootstrap a replica whose requested offset lies behind the
+    /// garbage-collected log floor.  `None` when the shard has never
+    /// snapshotted (replicas then stream the log from offset 0).
+    pub fn replication_snapshot(&self, shard_index: usize) -> Result<Option<(u64, u64, Vec<u8>)>> {
+        let d = self.durability.as_ref().ok_or(PhrError::CorruptedRecord(
+            "replication source must be a durable store",
+        ))?;
+        let shard = self
+            .shards
+            .get(shard_index)
+            .ok_or(PhrError::CorruptedRecord("shard index out of range"))?;
+        let base = durable::shard_base(shard_index);
+        // Snapshot files are immutable once renamed into place; the shard
+        // read lock only excludes pruning (which runs under the write
+        // lock) between listing a generation and reading its bytes.
+        let _guard = shard.read();
+        for gen in snapshot::list_generations(&d.dir, &base)? {
+            let Ok(offset) = snapshot::peek_wal_offset(&d.dir, &base, gen) else {
+                continue; // torn or corrupt: fall back a generation
+            };
+            let Ok(bytes) = std::fs::read(snapshot::snapshot_path(&d.dir, &base, gen)) else {
+                continue;
+            };
+            return Ok(Some((gen, offset, bytes)));
+        }
+        Ok(None)
+    }
+
+    /// Applies one replicated WAL frame payload to a shard — the
+    /// replica-side twin of crash recovery's replay loop, incremental
+    /// instead of batch.  Frames must arrive in per-shard log order; that
+    /// ordering is exactly what makes the revocation invariant hold, since
+    /// one patient's grants and revocations all live on one shard.
+    pub fn apply_replication_frame(&self, shard_index: usize, payload: &[u8]) -> Result<()> {
+        let params = self.params.as_ref().ok_or(PhrError::CorruptedRecord(
+            "replica store has no pairing parameters",
+        ))?;
+        let op = WalOp::from_bytes(params, payload)?;
+        let shard = self
+            .shards
+            .get(shard_index)
+            .ok_or(PhrError::CorruptedRecord("shard index out of range"))?;
+        let mut shard = shard.write();
+        match op {
+            WalOp::Put { record, at } => {
+                let (version, body_start) = durable::wal_put_body_layout(payload);
+                let record = *record;
+                let id = record.id;
+                let header = RecordHeader {
+                    id,
+                    patient: record.patient.clone(),
+                    category: record.category.clone(),
+                };
+                shard.audit.push(Arc::new(AuditEvent::RecordStored {
+                    id,
+                    patient: record.patient.clone(),
+                    category: record.category,
+                    at,
+                }));
+                let enc =
+                    EncodedRecord::from_owned(payload.to_vec().into(), body_start, version, header);
+                shard
+                    .by_patient
+                    .entry(record.patient.as_bytes().to_vec())
+                    .or_default()
+                    .insert(id);
+                shard.records.insert(id, RecordBody::Encoded(enc));
+                self.next_id.fetch_max(id.0, Ordering::Relaxed);
+                self.clock.fetch_max(at, Ordering::Relaxed);
+            }
+            WalOp::Delete { id, at } => {
+                if let Some(body) = shard.records.remove(&id) {
+                    let key = body.patient().as_bytes().to_vec();
+                    if let Some(set) = shard.by_patient.get_mut(&key) {
+                        set.remove(&id);
+                    }
+                }
+                shard.cache.get_mut().remove(id);
+                shard
+                    .audit
+                    .push(Arc::new(AuditEvent::RecordDeleted { id, at }));
+                self.clock.fetch_max(at, Ordering::Relaxed);
+            }
+            WalOp::Audit { event } => {
+                self.clock.fetch_max(event.at(), Ordering::Relaxed);
+                shard.audit.push(Arc::new(event));
+            }
+        }
+        drop(shard);
+        self.notifier.notify();
+        Ok(())
+    }
+
+    /// Replaces one shard's state with a shipped snapshot generation (the
+    /// raw file bytes a primary's [`Self::replication_snapshot`] produced)
+    /// and returns the snapshot's WAL offset — where the replica resumes
+    /// applying chunks.  Works on in-memory replicas: the bytes are
+    /// materialized under the snapshot's canonical name in a scratch
+    /// directory so the existing loaders (memory-mapped `TBS2` first,
+    /// legacy `TBS1` fallback) read them unchanged; the mapping outlives
+    /// the unlinked scratch file.
+    pub fn install_replica_snapshot(
+        &self,
+        shard_index: usize,
+        gen: u64,
+        bytes: &[u8],
+    ) -> Result<u64> {
+        let params = self.params.as_ref().ok_or(PhrError::CorruptedRecord(
+            "replica store has no pairing parameters",
+        ))?;
+        let shard_lock = self
+            .shards
+            .get(shard_index)
+            .ok_or(PhrError::CorruptedRecord("shard index out of range"))?;
+        let base = durable::shard_base(shard_index);
+        let scratch = tibpre_storage::TempDir::new("replica-snap")?;
+        std::fs::write(snapshot::snapshot_path(scratch.path(), &base, gen), bytes)?;
+        let (records, audit, offset): (BTreeMap<RecordId, RecordBody>, _, u64) =
+            match snapshot::load_indexed(scratch.path(), &base, gen) {
+                Ok(snap) => {
+                    let offset = snap.wal_offset();
+                    let engine = ReEncryptEngine::from_env();
+                    let (records, audit) = Self::state_from_indexed(&engine, snap)?;
+                    (records, audit, offset)
+                }
+                Err(_) => {
+                    let snap =
+                        snapshot::load_snapshot(scratch.path(), &base, gen).map_err(|_| {
+                            PhrError::CorruptedRecord(
+                                "shipped snapshot failed to validate in either layout",
+                            )
+                        })?;
+                    let (records, audit) =
+                        durable::decode_shard_state_resident(params, &snap.payload)?;
+                    (
+                        records
+                            .into_iter()
+                            .map(|enc| (enc.header.id, RecordBody::Encoded(enc)))
+                            .collect(),
+                        audit.into_iter().map(Arc::new).collect(),
+                        snap.wal_offset,
+                    )
+                }
+            };
+        let mut shard = shard_lock.write();
+        shard.records = records;
+        shard.audit = audit;
+        *shard.cache.get_mut() = DecodedCache::from_env();
+        shard.rebuild_index();
+        // Resume the id allocator and logical clock above everything the
+        // snapshot carries, exactly as `open` does after recovery.
+        if let Some((&id, _)) = shard.records.iter().next_back() {
+            self.next_id.fetch_max(id.0, Ordering::Relaxed);
+        }
+        for event in &shard.audit {
+            self.clock.fetch_max(event.at(), Ordering::Relaxed);
+            match event.as_ref() {
+                AuditEvent::RecordStored { id, .. }
+                | AuditEvent::RecordDeleted { id, .. }
+                | AuditEvent::DisclosurePerformed { id, .. }
+                | AuditEvent::DisclosureDenied { id, .. } => {
+                    self.next_id.fetch_max(id.0, Ordering::Relaxed);
+                }
+                _ => {}
+            }
+        }
+        drop(shard);
+        self.notifier.notify();
+        Ok(offset)
     }
 }
 
@@ -1524,6 +1771,123 @@ mod tests {
         let repersisted =
             tibpre_storage::snapshot::load_indexed(&dir, "shard-00", gens[0]).unwrap();
         assert_eq!(repersisted.blob_count(), 6);
+    }
+
+    /// Streams every shard of a durable primary into an in-memory replica
+    /// through the public replication API: snapshot bootstrap when the log
+    /// floor was GC'd, then chunked frame application.
+    fn replicate_all(primary: &EncryptedPhrStore, replica: &EncryptedPhrStore) {
+        let positions = primary.replication_positions();
+        for (shard, &want) in positions.iter().enumerate() {
+            let mut from = 0u64;
+            let mut buffer: Vec<u8> = Vec::new();
+            loop {
+                match primary
+                    .replication_chunk(shard, from + buffer.len() as u64, 64)
+                    .unwrap()
+                {
+                    ChunkOutcome::Bytes(chunk) => {
+                        buffer.extend(chunk);
+                        let scan = frame::scan(&buffer, 0);
+                        for payload in &scan.frames {
+                            replica.apply_replication_frame(shard, payload).unwrap();
+                        }
+                        from += scan.valid_len;
+                        buffer.drain(..scan.valid_len as usize);
+                    }
+                    ChunkOutcome::Gone => {
+                        assert!(buffer.is_empty(), "GC below an already-read offset");
+                        let (gen, offset, bytes) = primary
+                            .replication_snapshot(shard)
+                            .unwrap()
+                            .expect("a GC'd log floor implies a kept snapshot");
+                        let resumed = replica
+                            .install_replica_snapshot(shard, gen, &bytes)
+                            .unwrap();
+                        assert_eq!(resumed, offset);
+                        from = resumed;
+                    }
+                    ChunkOutcome::CaughtUp => break,
+                    ChunkOutcome::Ahead => panic!("replica ahead of primary"),
+                }
+            }
+            assert_eq!(from, want, "shard {shard} fully applied");
+        }
+    }
+
+    #[test]
+    fn replication_chunks_rebuild_an_identical_replica() {
+        let mut rng = StdRng::seed_from_u64(160);
+        let params = toy_params();
+        let tmp = tibpre_storage::TempDir::new("store-repl").unwrap();
+        let dir = tmp.path().join("db");
+        let alice = Identity::new("alice");
+        let bob = Identity::new("bob");
+        let doctor = Identity::new("doctor");
+        let ct = sample_ciphertext(&mut rng);
+        let primary = EncryptedPhrStore::open(
+            &dir,
+            Durability::new(params.clone())
+                .shards(4)
+                .fsync(FsyncPolicy::Never),
+        )
+        .unwrap();
+        let mut kept = Vec::new();
+        for i in 0..12 {
+            let patient = if i % 2 == 0 { &alice } else { &bob };
+            kept.push(primary.put(patient, &Category::LabResults, &format!("r{i}"), ct.clone()));
+        }
+        primary.log_policy_change(&alice, &Category::LabResults, &doctor, true);
+        primary.log_disclosure(kept[0], &doctor, true);
+        primary.log_policy_change(&alice, &Category::LabResults, &doctor, false);
+        primary.delete(kept[3], &bob).unwrap();
+
+        let replica = EncryptedPhrStore::with_shards_and_params("replica", 4, params.clone());
+        replicate_all(&primary, &replica);
+        assert_stores_equal(&replica, &primary, &[alice.clone(), bob.clone()]);
+        // The revocation landed behind the grant on the replica too — the
+        // merged audit trail preserves log order per patient.
+        let audit = replica.audit_snapshot();
+        let granted = audit
+            .iter()
+            .position(|e| matches!(e.as_ref(), AuditEvent::AccessGranted { .. }))
+            .unwrap();
+        let revoked = audit
+            .iter()
+            .position(|e| matches!(e.as_ref(), AuditEvent::AccessRevoked { .. }))
+            .unwrap();
+        assert!(granted < revoked);
+    }
+
+    #[test]
+    fn replication_bootstraps_from_a_snapshot_when_the_log_floor_moved() {
+        let mut rng = StdRng::seed_from_u64(161);
+        let params = toy_params();
+        let tmp = tibpre_storage::TempDir::new("store-repl-snap").unwrap();
+        let dir = tmp.path().join("db");
+        let alice = Identity::new("alice");
+        let ct = sample_ciphertext(&mut rng);
+        // One shard with an aggressive snapshot cadence: after enough puts
+        // the oldest segments are GC'd and offset 0 is Gone.
+        let primary = EncryptedPhrStore::open(
+            &dir,
+            Durability::new(params.clone())
+                .shards(1)
+                .fsync(FsyncPolicy::Never)
+                .snapshot_every(4),
+        )
+        .unwrap();
+        for i in 0..20 {
+            primary.put(&alice, &Category::Medication, &format!("r{i}"), ct.clone());
+        }
+        assert_eq!(
+            primary.replication_chunk(0, 0, 1 << 20).unwrap(),
+            ChunkOutcome::Gone,
+            "the log prefix must have been garbage-collected"
+        );
+        let replica = EncryptedPhrStore::with_shards_and_params("replica", 1, params.clone());
+        replicate_all(&primary, &replica);
+        assert_stores_equal(&replica, &primary, &[alice]);
     }
 
     #[test]

@@ -80,6 +80,13 @@ fn parse_args(args: &[String]) -> Result<LoadConfig, String> {
             }
             "--payload" => config.payload_len = parse_num(flag, &value)?,
             "--seed" => config.seed = parse_num(flag, &value)?,
+            "--read-replicas" => {
+                config.read_replicas = value
+                    .split(',')
+                    .map(|addr| addr.trim().to_string())
+                    .filter(|addr| !addr.is_empty())
+                    .collect();
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -107,6 +114,8 @@ fn print_usage() {
          \x20 --churn-every <n>            revoke+regrant cadence, 0=off (default 25)\n\
          \x20 --open-rate <r>              per-client req/s (default: closed loop)\n\
          \x20 --payload <bytes>            record payload size (default 256)\n\
-         \x20 --seed <n>                   deterministic seed"
+         \x20 --seed <n>                   deterministic seed\n\
+         \x20 --read-replicas <a,b,...>    round-robin reads across these replica\n\
+         \x20                              store nodes (writes stay on the primary)"
     );
 }

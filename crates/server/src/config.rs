@@ -20,6 +20,11 @@ pub struct NodeConfig {
     /// The store node a proxy reads records from (required for the proxy
     /// role).
     pub store_addr: Option<String>,
+    /// The primary store this node replicates from (store role only).
+    /// When set the node boots as an in-memory read replica: it bootstraps
+    /// from the primary's newest snapshot generations, tails WAL segments,
+    /// serves reads, and rejects writes until promoted.
+    pub replica_of: Option<String>,
     /// Connection-pool size for the proxy's store client.
     pub store_connections: usize,
     /// The KGC domain label (KGC role).
@@ -48,6 +53,7 @@ impl NodeConfig {
             level: SecurityLevel::Toy,
             data_dir: None,
             store_addr: None,
+            replica_of: None,
             store_connections: 4,
             kgc_label: "tibpre-kgc".to_string(),
             name: format!("tibpre-{}", role.name()),
@@ -93,6 +99,7 @@ impl NodeConfig {
                 }
                 "--data-dir" => config.data_dir = Some(PathBuf::from(value)),
                 "--store" => config.store_addr = Some(value),
+                "--replica-of" => config.replica_of = Some(value),
                 "--store-connections" => {
                     config.store_connections = value
                         .parse()
@@ -135,6 +142,18 @@ impl NodeConfig {
                         from)"
                     .to_string(),
             );
+        }
+        if config.replica_of.is_some() {
+            if config.role != NodeRole::Store {
+                return Err("--replica-of applies to the store role only".to_string());
+            }
+            if config.data_dir.is_some() {
+                return Err(
+                    "--replica-of conflicts with --data-dir: a read replica keeps its \
+                     state in memory and rebuilds from the primary on boot"
+                        .to_string(),
+                );
+            }
         }
         Ok(config)
     }
@@ -200,5 +219,24 @@ mod tests {
         // A proxy without a store node is a misconfiguration at parse time.
         assert!(parse(&["--role", "proxy"]).unwrap_err().contains("--store"));
         parse(&["--role", "proxy", "--store", "127.0.0.1:7071"]).unwrap();
+    }
+
+    #[test]
+    fn replica_flags_are_store_only_and_in_memory() {
+        let config = parse(&["--role", "store", "--replica-of", "127.0.0.1:7071"]).unwrap();
+        assert_eq!(config.replica_of.as_deref(), Some("127.0.0.1:7071"));
+        assert!(parse(&["--role", "kgc", "--replica-of", "127.0.0.1:7071"])
+            .unwrap_err()
+            .contains("store role only"));
+        assert!(parse(&[
+            "--role",
+            "store",
+            "--replica-of",
+            "127.0.0.1:7071",
+            "--data-dir",
+            "/tmp/phr",
+        ])
+        .unwrap_err()
+        .contains("conflicts with --data-dir"));
     }
 }

@@ -22,10 +22,12 @@
 pub mod config;
 pub mod load;
 pub mod node;
+pub mod replica;
 pub mod service;
 pub mod signal;
 
 pub use config::NodeConfig;
 pub use load::{run_load, LoadConfig, LoadReport};
 pub use node::{start, NodeHandle, ServerError};
+pub use replica::ReplicaControl;
 pub use service::RoleService;

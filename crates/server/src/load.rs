@@ -53,6 +53,12 @@ pub struct LoadConfig {
     pub payload_len: usize,
     /// Deterministic seed for identities, payloads, and arrival sampling.
     pub seed: u64,
+    /// Read-replica store addresses.  When non-empty the measurement
+    /// traffic becomes record *reads* round-robined across these replicas
+    /// (every write — setup uploads and grant churn — still goes to the
+    /// primary node set), so the load exercises the real replicated
+    /// topology.
+    pub read_replicas: Vec<String>,
 }
 
 impl Default for LoadConfig {
@@ -71,6 +77,7 @@ impl Default for LoadConfig {
             open_rate: None,
             payload_len: 256,
             seed: 0x7135_e2e1,
+            read_replicas: Vec::new(),
         }
     }
 }
@@ -212,6 +219,24 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, LoadError> {
     }
     store.sync()?;
 
+    // Replicated topology: do not start measuring until every replica has
+    // applied the whole setup upload, or early reads would count misses.
+    if !config.read_replicas.is_empty() {
+        let expected = store.record_count()?;
+        for addr in &config.read_replicas {
+            let mut replica = StoreClient::connect(addr.as_str(), &params, &client_config)?;
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while replica.record_count()? < expected {
+                if Instant::now() >= deadline {
+                    return Err(LoadError::Setup(format!(
+                        "replica {addr} did not catch up to {expected} records"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+
     let fixture = Arc::new(Fixture {
         patients,
         records,
@@ -238,6 +263,11 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, LoadError> {
             workers.push(scope.spawn(move || -> Result<Tally, LoadError> {
                 let mut proxy =
                     ProxyClient::connect(config.proxy_addr.as_str(), &params, &client_config)?;
+                let mut replicas: Vec<StoreClient> = config
+                    .read_replicas
+                    .iter()
+                    .map(|addr| StoreClient::connect(addr.as_str(), &params, &client_config))
+                    .collect::<Result<_, _>>()?;
                 let provider = HealthcareProvider::new(provider_key);
                 let mut rng = StdRng::seed_from_u64(config.seed ^ (0x9e37 + client_index as u64));
                 let mut tally = Tally::default();
@@ -270,13 +300,26 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, LoadError> {
                     let patient = &fixture.patients[p];
 
                     let begin = Instant::now();
-                    match proxy.disclose(patient, id, &fixture.provider_id) {
-                        Ok(bundle) => match provider.open(&bundle) {
-                            Ok(_) => tally.latencies_us.push(begin.elapsed().as_micros() as u64),
+                    if replicas.is_empty() {
+                        match proxy.disclose(patient, id, &fixture.provider_id) {
+                            Ok(bundle) => match provider.open(&bundle) {
+                                Ok(_) => {
+                                    tally.latencies_us.push(begin.elapsed().as_micros() as u64)
+                                }
+                                Err(_) => tally.errors += 1,
+                            },
+                            Err(ClientError::Remote(_)) => tally.denied += 1,
                             Err(_) => tally.errors += 1,
-                        },
-                        Err(ClientError::Remote(_)) => tally.denied += 1,
-                        Err(_) => tally.errors += 1,
+                        }
+                    } else {
+                        // Reads round-robin across the replica set; every
+                        // write below still targets the primary.
+                        let which = (i as usize) % replicas.len();
+                        match replicas[which].get(id) {
+                            Ok(_) => tally.latencies_us.push(begin.elapsed().as_micros() as u64),
+                            Err(ClientError::Remote(_)) => tally.denied += 1,
+                            Err(_) => tally.errors += 1,
+                        }
                     }
 
                     if config.churn_every > 0 && i % config.churn_every == config.churn_every - 1 {

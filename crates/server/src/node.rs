@@ -14,6 +14,7 @@
 //! by dropping it.
 
 use crate::config::NodeConfig;
+use crate::replica::{self, ReplicaControl};
 use crate::service::RoleService;
 use crate::signal;
 use rand::rngs::OsRng;
@@ -28,6 +29,7 @@ use tibpre_engine::ReEncryptEngine;
 use tibpre_ibe::Kgc;
 use tibpre_pairing::DecodeCtx;
 use tibpre_phr::{Durability, EncryptedPhrStore, ProxyService};
+use tibpre_storage::ChunkOutcome;
 use tibpre_wire::{read_frame, write_frame, FrameError, WireDecode, WireEncode};
 
 /// How long an idle connection sleeps between shutdown-flag checks while
@@ -83,6 +85,8 @@ struct Shared {
     config: NodeConfig,
     ctx: DecodeCtx,
     shutdown: AtomicBool,
+    /// Joined by the accept loop on drain (replica nodes only).
+    tail_thread: parking_lot::Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Shared {
@@ -131,6 +135,14 @@ impl NodeHandle {
 pub fn start(config: NodeConfig) -> Result<NodeHandle, ServerError> {
     let params = params_for_level(config.level);
     let mut engine_note = None;
+    // A replica's bootstrap connection, deferred until `Shared` exists so
+    // the tail thread's join handle has somewhere to live.
+    let mut replica_boot: Option<(
+        TcpStream,
+        Arc<EncryptedPhrStore>,
+        Arc<ReplicaControl>,
+        String,
+    )> = None;
 
     let service = match config.role {
         NodeRole::Kgc => RoleService::Kgc(Box::new(Kgc::setup(
@@ -138,13 +150,47 @@ pub fn start(config: NodeConfig) -> Result<NodeHandle, ServerError> {
             &config.kgc_label,
             &mut OsRng,
         ))),
-        NodeRole::Store => {
-            let store = match &config.data_dir {
-                Some(dir) => EncryptedPhrStore::open(dir, Durability::new(Arc::clone(&params)))?,
-                None => EncryptedPhrStore::in_memory_with_params(&config.name, Arc::clone(&params)),
-            };
-            RoleService::Store(Arc::new(store))
-        }
+        NodeRole::Store => match &config.replica_of {
+            Some(primary) => {
+                // Handshake first: the primary's initial status frame tells
+                // us its shard count, which sizes the replica store.  The
+                // primary may still be booting, so retry for a while.
+                let ctx = DecodeCtx::from(&params);
+                let deadline = Instant::now() + Duration::from_secs(30);
+                let (stream, positions) =
+                    replica::subscribe_with_retry(primary, &ctx, Vec::new(), deadline)?;
+                let store = Arc::new(EncryptedPhrStore::with_shards_and_params(
+                    &config.name,
+                    positions.len(),
+                    Arc::clone(&params),
+                ));
+                let control = Arc::new(ReplicaControl::new(vec![0; positions.len()]));
+                replica_boot = Some((
+                    stream,
+                    Arc::clone(&store),
+                    Arc::clone(&control),
+                    primary.clone(),
+                ));
+                RoleService::Store {
+                    store,
+                    replica: Some(control),
+                }
+            }
+            None => {
+                let store = match &config.data_dir {
+                    Some(dir) => {
+                        EncryptedPhrStore::open(dir, Durability::new(Arc::clone(&params)))?
+                    }
+                    None => {
+                        EncryptedPhrStore::in_memory_with_params(&config.name, Arc::clone(&params))
+                    }
+                };
+                RoleService::Store {
+                    store: Arc::new(store),
+                    replica: None,
+                }
+            }
+        },
         NodeRole::Proxy => {
             let store_addr = config
                 .store_addr
@@ -186,7 +232,16 @@ pub fn start(config: NodeConfig) -> Result<NodeHandle, ServerError> {
         config,
         ctx: DecodeCtx::from(&params),
         shutdown: AtomicBool::new(false),
+        tail_thread: parking_lot::Mutex::new(None),
     });
+
+    if let Some((stream, store, control, primary)) = replica_boot {
+        let tail_ctx = DecodeCtx::from(&params);
+        let handle = std::thread::Builder::new()
+            .name("tibpre-replica-tail".to_string())
+            .spawn(move || replica::run_tail(primary, store, control, tail_ctx, stream))?;
+        *shared.tail_thread.lock() = Some(handle);
+    }
 
     let accept_shared = Arc::clone(&shared);
     let accept_thread = std::thread::Builder::new()
@@ -231,6 +286,12 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     // idle-poll slice (or finishes its in-flight request) and exits.
     for handle in connections {
         let _ = handle.join();
+    }
+    if let Some(control) = shared.service.replica() {
+        control.request_stop();
+    }
+    if let Some(tail) = shared.tail_thread.lock().take() {
+        let _ = tail.join();
     }
     if let Some(store) = shared.service.store() {
         let _ = store.sync();
@@ -330,9 +391,182 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> io::Result<()
                 shared.shutdown.store(true, Ordering::SeqCst);
                 return Ok(());
             }
+            Request::SubscribeReplication { applied } => {
+                // The connection leaves the request→response loop and
+                // becomes a server-push replication stream until the peer
+                // disconnects or the node drains.
+                return serve_replication(stream, &shared, applied);
+            }
             _ if shared.shutting_down() => Response::Error(RemoteError::ShuttingDown),
             other => shared.service.handle(other),
         };
         respond(&mut stream, &response)?;
     }
+}
+
+/// Maximum raw WAL bytes shipped in one `SegmentChunk` frame.
+const CHUNK_MAX: usize = 256 * 1024;
+
+/// How often an idle replication stream sends a `ReplicaStatus` heartbeat.
+const HEARTBEAT_EVERY: Duration = Duration::from_secs(1);
+
+/// How long the push loop blocks on the commit notifier per wait (bounds
+/// how late it notices shutdown).
+const COMMIT_WAIT: Duration = Duration::from_millis(100);
+
+/// The server half of a replication subscription: stream committed WAL
+/// bytes (and snapshot generations for garbage-collected prefixes) to the
+/// peer until it disconnects or this node drains.
+fn serve_replication(mut stream: TcpStream, shared: &Shared, applied: Vec<u64>) -> io::Result<()> {
+    let store = match shared.service.store() {
+        Some(store) => Arc::clone(store),
+        None => {
+            let _ = respond(
+                &mut stream,
+                &Response::Error(RemoteError::WrongRole(
+                    "replication is served by the store role".to_string(),
+                )),
+            );
+            return Ok(());
+        }
+    };
+    if !store.is_durable() {
+        // An in-memory store has no WAL to ship; refusing here beats a
+        // subscriber silently tailing an empty log forever.
+        let _ = respond(
+            &mut stream,
+            &Response::Error(RemoteError::BadRequest(
+                "replication needs a durable primary (boot it with --data-dir)".to_string(),
+            )),
+        );
+        return Ok(());
+    }
+    let committed = store.replication_positions();
+    let shards = committed.len();
+    // An empty vector is the fresh-replica handshake: the status frame
+    // below tells the peer the shard count, and streaming starts at zero.
+    let mut from = if applied.is_empty() {
+        vec![0; shards]
+    } else {
+        applied
+    };
+    if from.len() != shards {
+        let _ = respond(
+            &mut stream,
+            &Response::Error(RemoteError::BadRequest(format!(
+                "subscription carries {} shard offsets but the store has {shards} shards",
+                from.len()
+            ))),
+        );
+        return Ok(());
+    }
+    respond(
+        &mut stream,
+        &Response::ReplicaStatus {
+            positions: committed,
+            writable: shared.service.writable(),
+        },
+    )?;
+
+    let notifier = store.commit_notifier();
+    let mut epoch = notifier.epoch();
+    let mut last_heartbeat = Instant::now();
+    while !shared.shutting_down() {
+        let mut sent_any = false;
+        for (shard, pos) in from.iter_mut().enumerate() {
+            loop {
+                if shared.shutting_down() {
+                    return Ok(());
+                }
+                match store.replication_chunk(shard, *pos, CHUNK_MAX) {
+                    Ok(ChunkOutcome::Bytes(bytes)) => {
+                        let len = bytes.len() as u64;
+                        respond(
+                            &mut stream,
+                            &Response::SegmentChunk {
+                                shard: shard as u64,
+                                start: *pos,
+                                bytes,
+                            },
+                        )?;
+                        *pos += len;
+                        sent_any = true;
+                    }
+                    Ok(ChunkOutcome::CaughtUp) => break,
+                    Ok(ChunkOutcome::Ahead) => {
+                        // The peer claims more log than this store has
+                        // committed — it is following the wrong primary (or
+                        // a demoted one).  Refuse rather than guess.
+                        let _ = respond(
+                            &mut stream,
+                            &Response::Error(RemoteError::BadRequest(format!(
+                                "shard {shard}: subscriber offset {} is ahead of this store",
+                                *pos
+                            ))),
+                        );
+                        return Ok(());
+                    }
+                    Ok(ChunkOutcome::Gone) => {
+                        // The requested offset was garbage-collected; ship
+                        // the newest snapshot generation and resume the
+                        // byte stream from its WAL offset.
+                        match store.replication_snapshot(shard) {
+                            Ok(Some((gen, offset, bytes))) => {
+                                respond(
+                                    &mut stream,
+                                    &Response::SnapshotGeneration {
+                                        shard: shard as u64,
+                                        gen,
+                                        wal_offset: offset,
+                                        bytes,
+                                    },
+                                )?;
+                                *pos = offset;
+                                sent_any = true;
+                            }
+                            Ok(None) => {
+                                let _ = respond(
+                                    &mut stream,
+                                    &Response::Error(RemoteError::Internal(format!(
+                                        "shard {shard}: log prefix gone but no snapshot exists"
+                                    ))),
+                                );
+                                return Ok(());
+                            }
+                            Err(e) => {
+                                let _ = respond(
+                                    &mut stream,
+                                    &Response::Error(RemoteError::from_phr(&e)),
+                                );
+                                return Ok(());
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        let _ = respond(&mut stream, &Response::Error(RemoteError::from_phr(&e)));
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        if sent_any {
+            last_heartbeat = Instant::now();
+            continue;
+        }
+        // Fully caught up: block until the next commit (or a short timeout
+        // so shutdown is noticed), heartbeating about once a second so the
+        // peer can tell a quiet primary from a dead one.
+        epoch = notifier.wait_beyond(epoch, COMMIT_WAIT);
+        if last_heartbeat.elapsed() >= HEARTBEAT_EVERY {
+            respond(
+                &mut stream,
+                &Response::ReplicaStatus {
+                    positions: from.clone(),
+                    writable: shared.service.writable(),
+                },
+            )?;
+            last_heartbeat = Instant::now();
+        }
+    }
+    Ok(())
 }

@@ -1,0 +1,363 @@
+//! The read-replica runtime: bootstrap, tail, reconnect, promote.
+//!
+//! A store node started with `--replica-of <addr>` keeps an **in-memory**
+//! [`EncryptedPhrStore`] that mirrors a durable primary by replaying the
+//! primary's own commit format: raw WAL bytes shipped as `SegmentChunk`
+//! frames and whole snapshot generation files shipped as
+//! `SnapshotGeneration` frames.  The replica applies frames exactly the way
+//! crash recovery does — buffer bytes, scan for intact CRC frames, apply
+//! the longest valid prefix — so every invariant the recovery tests pin
+//! down ("a crash cannot resurrect a revoked key") transfers verbatim to
+//! replication.
+//!
+//! The stream protocol is deliberately dumb:
+//!
+//! 1. the replica connects and sends one `SubscribeReplication { applied }`
+//!    request — an empty vector on first boot (the primary's answer sizes
+//!    the replica's shard count), per-shard resume offsets afterwards;
+//! 2. the primary answers with a `ReplicaStatus` and then pushes
+//!    `SegmentChunk` / `SnapshotGeneration` frames, interleaving
+//!    `ReplicaStatus` heartbeats while idle;
+//! 3. the replica never writes again on that connection.  Any defect — a
+//!    torn TCP stream, a chunk that does not start exactly at the next
+//!    expected byte, a CRC failure inside a chunk — tears the connection
+//!    down and re-subscribes from the last *applied* offsets, dropping any
+//!    partially buffered bytes.  Resume-from-applied makes redelivery
+//!    idempotent: a frame is either fully applied (and never requested
+//!    again) or not applied at all.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tibpre_client::{Request, Response};
+use tibpre_pairing::DecodeCtx;
+use tibpre_phr::EncryptedPhrStore;
+use tibpre_storage::frame;
+use tibpre_wire::{read_frame, write_frame, WireDecode, WireEncode};
+
+/// Upper bound on a replication frame the replica will accept.  Snapshot
+/// generations ship as one frame, so this is deliberately far above the
+/// request-path default.
+pub const MAX_REPLICATION_FRAME: usize = 1 << 30;
+
+/// How long the tail thread waits for the first byte of the next pushed
+/// frame before re-checking the stop flag.
+const TAIL_POLL: Duration = Duration::from_millis(100);
+
+/// No frame (the primary heartbeats about once a second) for this long
+/// means the primary is gone: tear down and reconnect.
+const SILENCE_LIMIT: Duration = Duration::from_secs(10);
+
+/// Backoff between reconnect attempts while the primary is unreachable.
+const RECONNECT_BACKOFF: Duration = Duration::from_millis(250);
+
+/// Shared replica state: the write gate and the per-shard applied offsets.
+///
+/// `applied[shard]` is the logical WAL offset *after* the last frame fully
+/// applied to the replica store — the exact resume point sent on
+/// re-subscription, and the offset the revocation-ordering invariant is
+/// stated against: every policy event at an offset below `applied` is
+/// visible, nothing at or above it is.
+#[derive(Debug)]
+pub struct ReplicaControl {
+    promoted: AtomicBool,
+    stopping: AtomicBool,
+    connected: AtomicBool,
+    applied: parking_lot::Mutex<Vec<u64>>,
+}
+
+impl ReplicaControl {
+    /// Fresh control state with `shards` offsets at the given start.
+    pub fn new(applied: Vec<u64>) -> Self {
+        ReplicaControl {
+            promoted: AtomicBool::new(false),
+            stopping: AtomicBool::new(false),
+            connected: AtomicBool::new(false),
+            applied: parking_lot::Mutex::new(applied),
+        }
+    }
+
+    /// Whether this replica accepts writes (only after [`Self::promote`]).
+    pub fn writable(&self) -> bool {
+        self.promoted.load(Ordering::SeqCst)
+    }
+
+    /// Flips the write gate open and stops the tail thread: the replica
+    /// stops following its former primary and serves writes from now on.
+    pub fn promote(&self) {
+        self.promoted.store(true, Ordering::SeqCst);
+    }
+
+    /// Asks the tail thread to exit (node shutdown).
+    pub fn request_stop(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the tail thread should exit.
+    pub fn stopping(&self) -> bool {
+        self.stopping.load(Ordering::SeqCst) || self.promoted.load(Ordering::SeqCst)
+    }
+
+    /// Whether the tail is currently subscribed to the primary.
+    pub fn connected(&self) -> bool {
+        self.connected.load(Ordering::SeqCst)
+    }
+
+    /// The per-shard applied offsets (a snapshot; the tail keeps moving).
+    pub fn positions(&self) -> Vec<u64> {
+        self.applied.lock().clone()
+    }
+
+    fn set_position(&self, shard: usize, offset: u64) {
+        self.applied.lock()[shard] = offset;
+    }
+}
+
+/// Frames and writes one request onto a raw stream.
+fn send_request(stream: &mut TcpStream, request: &Request) -> io::Result<()> {
+    let payload = request.to_wire_bytes();
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    write_frame(&mut out, &payload, usize::MAX)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "unframeable request"))?;
+    stream.write_all(&out)
+}
+
+/// Reads one pushed frame, polling `stop` while idle.  Returns `Ok(None)`
+/// when asked to stop or when the primary has been silent too long.
+fn read_pushed(
+    stream: &mut TcpStream,
+    ctx: &DecodeCtx,
+    stop: &dyn Fn() -> bool,
+) -> io::Result<Option<Response>> {
+    stream.set_read_timeout(Some(TAIL_POLL))?;
+    let deadline = Instant::now() + SILENCE_LIMIT;
+    let mut first = [0u8; 1];
+    loop {
+        match stream.read(&mut first) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(_) => break,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop() {
+                    return Ok(None);
+                }
+                if Instant::now() >= deadline {
+                    return Err(io::ErrorKind::TimedOut.into());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    // A frame has started; allow a generous window for the rest of it
+    // (snapshot generations can be large).
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let first_buf = [first[0]];
+    let mut chained = (&first_buf[..]).chain(&mut *stream);
+    let payload = match read_frame(&mut chained, MAX_REPLICATION_FRAME) {
+        Ok(Some(payload)) => payload,
+        Ok(None) => return Err(io::ErrorKind::UnexpectedEof.into()),
+        Err(e) => return Err(io::Error::other(format!("replication frame: {e}"))),
+    };
+    let response = Response::from_wire_bytes(&payload, ctx)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad push frame: {e}")))?;
+    Ok(Some(response))
+}
+
+/// Connects to the primary and subscribes from the given applied offsets.
+/// Returns the live stream plus the primary's first status frame.
+pub fn subscribe(
+    addr: &str,
+    ctx: &DecodeCtx,
+    applied: Vec<u64>,
+) -> io::Result<(TcpStream, Vec<u64>)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    send_request(&mut stream, &Request::SubscribeReplication { applied })?;
+    match read_pushed(&mut stream, ctx, &|| false)? {
+        Some(Response::ReplicaStatus { positions, .. }) => Ok((stream, positions)),
+        Some(Response::Error(e)) => Err(io::Error::other(format!("primary refused: {e}"))),
+        Some(other) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected ReplicaStatus, got {}", response_kind(&other)),
+        )),
+        None => Err(io::ErrorKind::TimedOut.into()),
+    }
+}
+
+/// Connects and subscribes, retrying until `deadline` (boot path: the
+/// primary may still be coming up).
+pub fn subscribe_with_retry(
+    addr: &str,
+    ctx: &DecodeCtx,
+    applied: Vec<u64>,
+    deadline: Instant,
+) -> io::Result<(TcpStream, Vec<u64>)> {
+    loop {
+        match subscribe(addr, ctx, applied.clone()) {
+            Ok(found) => return Ok(found),
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => std::thread::sleep(RECONNECT_BACKOFF),
+        }
+    }
+}
+
+fn response_kind(response: &Response) -> &'static str {
+    match response {
+        Response::ReplicaStatus { .. } => "ReplicaStatus",
+        Response::SnapshotGeneration { .. } => "SnapshotGeneration",
+        Response::SegmentChunk { .. } => "SegmentChunk",
+        Response::Error(_) => "Error",
+        _ => "a non-replication response",
+    }
+}
+
+/// Why one subscription ended (the tail loop decides whether to resume).
+enum TailEnd {
+    /// Stop/promote observed — exit the tail thread.
+    Stopped,
+    /// Connection defect — drop buffers, reconnect from applied offsets.
+    Resync(io::Error),
+}
+
+/// Consumes pushed frames on one subscription until defect or stop.
+fn drain_stream(
+    mut stream: TcpStream,
+    store: &EncryptedPhrStore,
+    control: &ReplicaControl,
+    ctx: &DecodeCtx,
+) -> TailEnd {
+    let shards = control.positions().len();
+    // Raw bytes received but not yet forming a complete frame, per shard.
+    let mut buffered: Vec<Vec<u8>> = vec![Vec::new(); shards];
+    loop {
+        let pushed = match read_pushed(&mut stream, ctx, &|| control.stopping()) {
+            Ok(Some(response)) => response,
+            Ok(None) => return TailEnd::Stopped,
+            Err(e) => return TailEnd::Resync(e),
+        };
+        match pushed {
+            Response::ReplicaStatus { .. } => {} // heartbeat
+            Response::SnapshotGeneration {
+                shard,
+                gen,
+                wal_offset: _,
+                bytes,
+            } => {
+                let shard = shard as usize;
+                if shard >= shards {
+                    return TailEnd::Resync(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "snapshot for an unknown shard",
+                    ));
+                }
+                match store.install_replica_snapshot(shard, gen, &bytes) {
+                    Ok(offset) => {
+                        buffered[shard].clear();
+                        control.set_position(shard, offset);
+                    }
+                    Err(e) => {
+                        return TailEnd::Resync(io::Error::other(format!(
+                            "snapshot install failed: {e}"
+                        )))
+                    }
+                }
+            }
+            Response::SegmentChunk {
+                shard,
+                start,
+                bytes,
+            } => {
+                let shard = shard as usize;
+                if shard >= shards {
+                    return TailEnd::Resync(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "chunk for an unknown shard",
+                    ));
+                }
+                let applied = control.positions()[shard];
+                let expected = applied + buffered[shard].len() as u64;
+                if start != expected {
+                    // Chain gap: bytes are missing between what we hold and
+                    // what arrived.  Never apply across a gap — resubscribe
+                    // from the applied offset instead.
+                    return TailEnd::Resync(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("chunk gap on shard {shard}: expected {expected}, got {start}"),
+                    ));
+                }
+                buffered[shard].extend_from_slice(&bytes);
+                let scan = frame::scan(&buffered[shard], 0);
+                if matches!(scan.defect, Some(frame::FrameDefect::CrcMismatch)) {
+                    return TailEnd::Resync(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("corrupt frame in replication stream on shard {shard}"),
+                    ));
+                }
+                for payload in &scan.frames {
+                    if let Err(e) = store.apply_replication_frame(shard, payload) {
+                        return TailEnd::Resync(io::Error::other(format!(
+                            "replication apply failed: {e}"
+                        )));
+                    }
+                }
+                // A torn tail (incomplete trailing frame) stays buffered
+                // until the next chunk completes it.
+                buffered[shard].drain(..scan.valid_len as usize);
+                control.set_position(shard, applied + scan.valid_len);
+            }
+            Response::Error(e) => {
+                return TailEnd::Resync(io::Error::other(format!("primary error: {e}")))
+            }
+            other => {
+                return TailEnd::Resync(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected push frame: {}", response_kind(&other)),
+                ))
+            }
+        }
+    }
+}
+
+/// The tail thread body: follow the primary until stopped or promoted,
+/// reconnecting (and resuming from the applied offsets) on any defect.
+pub fn run_tail(
+    primary: String,
+    store: Arc<EncryptedPhrStore>,
+    control: Arc<ReplicaControl>,
+    ctx: DecodeCtx,
+    first_stream: TcpStream,
+) {
+    let mut stream = Some(first_stream);
+    while !control.stopping() {
+        let live = match stream.take() {
+            Some(live) => live,
+            None => {
+                match subscribe(&primary, &ctx, control.positions()) {
+                    Ok((live, _positions)) => live,
+                    Err(_) => {
+                        // Primary unreachable: keep serving reads from what
+                        // is already applied, retry until stop/promote.
+                        std::thread::sleep(RECONNECT_BACKOFF);
+                        continue;
+                    }
+                }
+            }
+        };
+        control.connected.store(true, Ordering::SeqCst);
+        let end = drain_stream(live, &store, &control, &ctx);
+        control.connected.store(false, Ordering::SeqCst);
+        match end {
+            TailEnd::Stopped => break,
+            TailEnd::Resync(_defect) => {
+                // Partial buffers died with drain_stream; the next
+                // subscription resumes from the applied offsets.
+                std::thread::sleep(RECONNECT_BACKOFF);
+            }
+        }
+    }
+}

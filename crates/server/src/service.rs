@@ -6,6 +6,7 @@
 //! maps every failure — including a panic in the handler — onto a
 //! [`Response::Error`], so a connection thread can never poison the node.
 
+use crate::replica::ReplicaControl;
 use parking_lot::RwLock;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -19,7 +20,13 @@ pub enum RoleService {
     /// Boxed: the KGC's cached parameter tables dwarf the other variants.
     Kgc(Box<Kgc>),
     /// Record store: CRUD, listing, audit, and durability control.
-    Store(Arc<EncryptedPhrStore>),
+    Store {
+        /// The record store itself (durable primary or in-memory replica).
+        store: Arc<EncryptedPhrStore>,
+        /// Present when this store is a read replica: holds the write gate
+        /// and the per-shard applied offsets.
+        replica: Option<Arc<ReplicaControl>>,
+    },
     /// Re-encryption proxy: grant/revoke and disclosure.  Grants mutate the
     /// key table, so the service sits behind an `RwLock`; disclosures (the
     /// hot path) take the read side and run concurrently.
@@ -31,7 +38,7 @@ impl RoleService {
     pub fn role(&self) -> NodeRole {
         match self {
             RoleService::Kgc(_) => NodeRole::Kgc,
-            RoleService::Store(_) => NodeRole::Store,
+            RoleService::Store { .. } => NodeRole::Store,
             RoleService::Proxy(_) => NodeRole::Proxy,
         }
     }
@@ -39,9 +46,26 @@ impl RoleService {
     /// The store, if this node holds one (used by the drain path to sync).
     pub fn store(&self) -> Option<&Arc<EncryptedPhrStore>> {
         match self {
-            RoleService::Store(store) => Some(store),
+            RoleService::Store { store, .. } => Some(store),
             _ => None,
         }
+    }
+
+    /// The replica control state, if this node is a read replica.
+    pub fn replica(&self) -> Option<&Arc<ReplicaControl>> {
+        match self {
+            RoleService::Store {
+                replica: Some(control),
+                ..
+            } => Some(control),
+            _ => None,
+        }
+    }
+
+    /// Whether this node currently accepts writes: anything but an
+    /// unpromoted replica.
+    pub fn writable(&self) -> bool {
+        self.replica().is_none_or(|control| control.writable())
     }
 
     /// Handles one request.  Never panics: a panicking handler is reported
@@ -59,7 +83,9 @@ impl RoleService {
     fn dispatch(&self, request: Request) -> Response {
         match self {
             RoleService::Kgc(kgc) => Self::dispatch_kgc(kgc, request),
-            RoleService::Store(store) => Self::dispatch_store(store, request),
+            RoleService::Store { store, replica } => {
+                Self::dispatch_store(store, replica.as_deref(), request)
+            }
             RoleService::Proxy(proxy) => Self::dispatch_proxy(proxy, request),
         }
     }
@@ -80,8 +106,48 @@ impl RoleService {
         }
     }
 
-    fn dispatch_store(store: &EncryptedPhrStore, request: Request) -> Response {
+    /// Whether a request mutates store state (gated on an unpromoted
+    /// replica).
+    fn mutates_store(request: &Request) -> bool {
+        matches!(
+            request,
+            Request::PutRecord { .. }
+                | Request::DeleteRecord { .. }
+                | Request::LogDisclosure { .. }
+                | Request::LogPolicyChange { .. }
+        )
+    }
+
+    fn dispatch_store(
+        store: &EncryptedPhrStore,
+        replica: Option<&ReplicaControl>,
+        request: Request,
+    ) -> Response {
+        if let Some(control) = replica {
+            if !control.writable() && Self::mutates_store(&request) {
+                return Response::Error(RemoteError::WrongRole(
+                    "read replica (writes go to the primary; promote to accept them here)"
+                        .to_string(),
+                ));
+            }
+        }
         match request {
+            Request::ReplicationStatus => Response::ReplicaStatus {
+                positions: match replica {
+                    Some(control) => control.positions(),
+                    None => store.replication_positions(),
+                },
+                writable: replica.is_none_or(|control| control.writable()),
+            },
+            Request::Promote => match replica {
+                Some(control) => {
+                    control.promote();
+                    Response::Ok
+                }
+                None => Response::Error(RemoteError::BadRequest(
+                    "this store is not a replica; there is nothing to promote".to_string(),
+                )),
+            },
             Request::PutRecord {
                 patient,
                 category,

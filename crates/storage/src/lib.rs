@@ -38,6 +38,7 @@ pub mod codec;
 pub mod crc;
 pub mod frame;
 pub mod mmap;
+pub mod replication;
 pub mod segment;
 pub mod snapshot;
 pub mod wal;
@@ -49,6 +50,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 pub use frame::{FrameDefect, FrameScan};
 pub use mmap::Mmap;
+pub use replication::{ChunkOutcome, CommitNotifier, ReplicationLog};
 pub use segment::{SegmentedWal, SegmentedWalScan};
 pub use snapshot::{IndexedSnapshot, Snapshot};
 pub use wal::WalWriter;

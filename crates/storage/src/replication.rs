@@ -1,0 +1,329 @@
+//! The replication view over a segmented WAL: committed-byte chunk reads
+//! from a logical offset, plus the subscription point a shipping loop
+//! blocks on while a primary is idle.
+//!
+//! A [`crate::SegmentedWal`] is already a replication log — a monotonic
+//! byte stream addressed by logical offset, cut into files at snapshot
+//! boundaries.  This module adds the two pieces a primary needs to *ship*
+//! it:
+//!
+//! * [`ReplicationLog`] — reads raw committed bytes from a `(dir, base)`
+//!   series starting at a logical offset, bounded by a caller-supplied
+//!   committed end (the store reports it under its shard lock, so a torn
+//!   concurrent read of an in-flight group commit is impossible) and cut
+//!   at segment ends.  Chunks carry **no frame alignment guarantee**: the
+//!   receiver buffers bytes and runs [`crate::frame::scan`] to extract
+//!   complete frames, which is exactly what crash recovery already does.
+//! * [`CommitNotifier`] — a monotonic epoch behind a condvar.  The store
+//!   bumps it after every commit; a shipping loop that has caught up to
+//!   the committed end waits on it instead of spinning.
+//!
+//! When a replica asks for an offset **below the first surviving
+//! segment**, the prefix it wants has been garbage-collected behind a
+//! snapshot; [`ChunkOutcome::Gone`] tells the caller to fall back to
+//! snapshot bootstrap.  An offset *beyond* the committed end is the
+//! replica's corruption (or a stale primary) and comes back as
+//! [`ChunkOutcome::Ahead`] — the shipping loop surfaces it as a protocol
+//! error instead of inventing bytes.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::segment::{self, SegmentInfo};
+
+/// One chunk read from the replication log.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ChunkOutcome {
+    /// Raw committed log bytes starting exactly at the requested offset.
+    /// Not necessarily frame-aligned at either end; never empty.
+    Bytes(Vec<u8>),
+    /// The requested offset equals the committed end: nothing new yet.
+    CaughtUp,
+    /// The requested offset lies behind the first surviving segment — the
+    /// prefix was garbage-collected; bootstrap from a snapshot instead.
+    Gone,
+    /// The requested offset lies beyond the committed end or outside the
+    /// surviving chain: the requester knows bytes this log never wrote.
+    Ahead,
+}
+
+/// A read-only replication view over one segmented WAL series.
+///
+/// Holds no file handles between reads and never writes; the owning
+/// [`crate::SegmentedWal`] keeps appending concurrently.  Callers pass the
+/// committed logical end they observed under the writer's lock, so reads
+/// stop short of any in-flight group commit.
+#[derive(Debug, Clone)]
+pub struct ReplicationLog {
+    dir: PathBuf,
+    base: String,
+}
+
+impl ReplicationLog {
+    /// A replication view over the series `base` in `dir`.
+    pub fn new(dir: &Path, base: &str) -> Self {
+        ReplicationLog {
+            dir: dir.to_path_buf(),
+            base: base.to_string(),
+        }
+    }
+
+    /// The series' base name.
+    pub fn base(&self) -> &str {
+        &self.base
+    }
+
+    /// The on-disk segments of the series, sorted by start offset.
+    pub fn segments(&self) -> io::Result<Vec<SegmentInfo>> {
+        segment::list_segments(&self.dir, &self.base)
+    }
+
+    /// Reads up to `max` committed bytes starting at logical offset
+    /// `from`, never crossing `committed` (the writer-reported end) and
+    /// never crossing a segment boundary — one chunk maps to one
+    /// contiguous file read.
+    pub fn read_chunk(&self, from: u64, committed: u64, max: usize) -> io::Result<ChunkOutcome> {
+        if from > committed {
+            return Ok(ChunkOutcome::Ahead);
+        }
+        if from == committed || max == 0 {
+            return Ok(ChunkOutcome::CaughtUp);
+        }
+        let segments = match segment::list_segments(&self.dir, &self.base) {
+            Ok(segments) => segments,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let Some(first) = segments.first() else {
+            // Bytes are committed (committed > from ≥ 0) but no file holds
+            // them: the series was GC'd or never existed here.
+            return Ok(ChunkOutcome::Gone);
+        };
+        if from < first.start {
+            return Ok(ChunkOutcome::Gone);
+        }
+        for segment in &segments {
+            if from >= segment.end() {
+                continue;
+            }
+            if from < segment.start {
+                // A chain gap between the requested offset and this
+                // segment: the offset names reclaimed (or lost) bytes.
+                return Ok(ChunkOutcome::Gone);
+            }
+            let skip = from - segment.start;
+            // Stop at the segment end, the committed end, and the chunk
+            // cap, whichever is nearest.
+            let end = segment.end().min(committed);
+            let want = ((end - from) as usize).min(max);
+            if want == 0 {
+                return Ok(ChunkOutcome::CaughtUp);
+            }
+            let mut file = File::open(&segment.path)?;
+            if skip > 0 {
+                file.seek(SeekFrom::Start(skip))?;
+            }
+            let mut bytes = vec![0u8; want];
+            file.read_exact(&mut bytes)?;
+            return Ok(ChunkOutcome::Bytes(bytes));
+        }
+        // `from` is at or beyond the end of every surviving segment yet
+        // below `committed`: the writer claims bytes no file holds.
+        Ok(ChunkOutcome::Ahead)
+    }
+}
+
+/// A monotonic commit epoch behind a condvar — the subscription point for
+/// log shipping.
+///
+/// The writer calls [`CommitNotifier::notify`] after every commit (and
+/// after every rotation, since a rotation seals a segment).  A shipping
+/// loop remembers the epoch it last observed and calls
+/// [`CommitNotifier::wait_beyond`]; the epoch carries no offset — it only
+/// answers "did anything happen since I looked?", and the loop re-reads
+/// the store's committed positions itself.
+#[derive(Debug, Default)]
+pub struct CommitNotifier {
+    epoch: Mutex<u64>,
+    condvar: Condvar,
+}
+
+impl CommitNotifier {
+    /// A notifier at epoch 0.
+    pub fn new() -> Self {
+        CommitNotifier::default()
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        *self.epoch.lock().expect("commit notifier poisoned")
+    }
+
+    /// Bumps the epoch and wakes every waiter.
+    pub fn notify(&self) {
+        let mut epoch = self.epoch.lock().expect("commit notifier poisoned");
+        *epoch += 1;
+        drop(epoch);
+        self.condvar.notify_all();
+    }
+
+    /// Blocks until the epoch moves past `seen` or `timeout` elapses;
+    /// returns the epoch observed on wake.  A `seen` already behind the
+    /// current epoch returns immediately — a commit between the caller's
+    /// read and its wait is never missed.
+    pub fn wait_beyond(&self, seen: u64, timeout: Duration) -> u64 {
+        let mut epoch = self.epoch.lock().expect("commit notifier poisoned");
+        let deadline = std::time::Instant::now() + timeout;
+        while *epoch <= seen {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _timed_out) = self
+                .condvar
+                .wait_timeout(epoch, deadline - now)
+                .expect("commit notifier poisoned");
+            epoch = guard;
+        }
+        *epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_dir;
+    use crate::{frame, FsyncPolicy, SegmentedWal};
+    use std::sync::Arc;
+
+    fn seed_wal(dir: &Path) -> (SegmentedWal, u64) {
+        let mut wal = SegmentedWal::open(dir, "r", 0, FsyncPolicy::Never).unwrap();
+        wal.append(b"one");
+        wal.append(b"two");
+        let committed = wal.commit().unwrap();
+        (wal, committed)
+    }
+
+    #[test]
+    fn chunks_cover_the_committed_bytes_exactly() {
+        let dir = test_dir("repl-basic");
+        let (_wal, committed) = seed_wal(dir.path());
+        let log = ReplicationLog::new(dir.path(), "r");
+
+        // One big read returns everything; frame::scan sees both frames.
+        let ChunkOutcome::Bytes(bytes) = log.read_chunk(0, committed, 1 << 20).unwrap() else {
+            panic!("expected bytes");
+        };
+        assert_eq!(bytes.len() as u64, committed);
+        let scan = frame::scan(&bytes, 0);
+        assert_eq!(scan.frames, vec![b"one".to_vec(), b"two".to_vec()]);
+
+        // 1-byte reads reassemble to the identical stream.
+        let mut assembled = Vec::new();
+        let mut from = 0;
+        loop {
+            match log.read_chunk(from, committed, 1).unwrap() {
+                ChunkOutcome::Bytes(chunk) => {
+                    from += chunk.len() as u64;
+                    assembled.extend(chunk);
+                }
+                ChunkOutcome::CaughtUp => break,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert_eq!(assembled, bytes);
+        assert_eq!(
+            log.read_chunk(committed, committed, 64).unwrap(),
+            ChunkOutcome::CaughtUp
+        );
+    }
+
+    #[test]
+    fn chunks_stop_at_segment_boundaries_and_the_committed_end() {
+        let dir = test_dir("repl-seg");
+        let (mut wal, _) = seed_wal(dir.path());
+        let boundary = wal.rotate().unwrap();
+        wal.append(b"three");
+        let committed = wal.commit().unwrap();
+        let log = ReplicationLog::new(dir.path(), "r");
+
+        // A read spanning the boundary is cut at it.
+        let ChunkOutcome::Bytes(bytes) = log.read_chunk(0, committed, 1 << 20).unwrap() else {
+            panic!("expected bytes");
+        };
+        assert_eq!(bytes.len() as u64, boundary);
+        // The next read continues in the second segment.
+        let ChunkOutcome::Bytes(rest) = log.read_chunk(boundary, committed, 1 << 20).unwrap()
+        else {
+            panic!("expected bytes");
+        };
+        assert_eq!(boundary + rest.len() as u64, committed);
+
+        // An uncommitted append is invisible at the old committed end.
+        wal.append(b"uncommitted-group");
+        assert_eq!(
+            log.read_chunk(committed, committed, 64).unwrap(),
+            ChunkOutcome::CaughtUp
+        );
+    }
+
+    #[test]
+    fn gcd_prefix_reads_gone_and_future_reads_ahead() {
+        let dir = test_dir("repl-gone");
+        let (mut wal, _) = seed_wal(dir.path());
+        let boundary = wal.rotate().unwrap();
+        wal.append(b"live");
+        let committed = wal.commit().unwrap();
+        wal.truncate_before(boundary).unwrap();
+        let log = ReplicationLog::new(dir.path(), "r");
+
+        assert_eq!(
+            log.read_chunk(0, committed, 64).unwrap(),
+            ChunkOutcome::Gone
+        );
+        assert!(matches!(
+            log.read_chunk(boundary, committed, 64).unwrap(),
+            ChunkOutcome::Bytes(_)
+        ));
+        assert_eq!(
+            log.read_chunk(committed + 1, committed, 64).unwrap(),
+            ChunkOutcome::Ahead
+        );
+        // A claimed committed end beyond the surviving files is the
+        // *caller's* inconsistency and also reads Ahead, not invented bytes.
+        assert_eq!(
+            log.read_chunk(committed + 1, committed + 2, 64).unwrap(),
+            ChunkOutcome::Ahead
+        );
+        // A missing series with committed bytes claimed is Gone, not a read
+        // of nothing.
+        let none = ReplicationLog::new(dir.path(), "absent");
+        assert_eq!(none.read_chunk(0, 10, 64).unwrap(), ChunkOutcome::Gone);
+        assert_eq!(none.read_chunk(0, 0, 64).unwrap(), ChunkOutcome::CaughtUp);
+    }
+
+    #[test]
+    fn notifier_wakes_waiters_and_never_loses_a_preceding_notify() {
+        let notifier = Arc::new(CommitNotifier::new());
+        assert_eq!(notifier.epoch(), 0);
+
+        // A notify *before* the wait is still observed (no lost wakeup).
+        notifier.notify();
+        assert_eq!(notifier.wait_beyond(0, Duration::from_secs(5)), 1);
+
+        // A waiter parked on the current epoch is woken by the next notify.
+        let waiter = {
+            let notifier = Arc::clone(&notifier);
+            std::thread::spawn(move || notifier.wait_beyond(1, Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        notifier.notify();
+        assert_eq!(waiter.join().unwrap(), 2);
+
+        // A timeout returns the unchanged epoch instead of hanging.
+        assert_eq!(notifier.wait_beyond(2, Duration::from_millis(10)), 2);
+    }
+}

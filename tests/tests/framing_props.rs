@@ -1,0 +1,185 @@
+//! Property tests for `tibpre_wire::framing` under pathological I/O.
+//!
+//! Real sockets hand `read`/`write` arbitrary fragments; the nastiest
+//! schedule is one byte at a time.  A trickle reader/writer shim forces
+//! that schedule on every call, and the properties check the three
+//! contractual behaviours of the framing layer:
+//!
+//! * round trips are byte-identical no matter how the stream fragments,
+//! * truncation at any byte is either a clean end-of-stream (exactly at a
+//!   frame boundary) or `UnexpectedEof` — never a short or corrupted
+//!   payload,
+//! * oversized length prefixes are refused on both sides, before any
+//!   payload allocation on the read side.
+
+use proptest::prelude::*;
+use std::io::{self, Read, Write};
+use tibpre_wire::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
+
+/// Bytes of the length prefix (mirrors `framing::FRAME_PREFIX_LEN`).
+const PREFIX: usize = 4;
+
+/// Delivers the wrapped bytes at most one per `read` call.
+struct TrickleReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> TrickleReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        TrickleReader { data, pos: 0 }
+    }
+}
+
+impl Read for TrickleReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.pos >= self.data.len() || buf.is_empty() {
+            return Ok(0);
+        }
+        buf[0] = self.data[self.pos];
+        self.pos += 1;
+        Ok(1)
+    }
+}
+
+/// Accepts at most one byte per `write` call — every `write_all` in the
+/// framing layer must loop over short writes to survive this.
+#[derive(Default)]
+struct TrickleWriter {
+    data: Vec<u8>,
+}
+
+impl Write for TrickleWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match buf.first() {
+            Some(&byte) => {
+                self.data.push(byte);
+                Ok(1)
+            }
+            None => Ok(0),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn payloads() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..300), 0..6)
+}
+
+proptest! {
+    /// Frames written through a 1-byte-at-a-time writer and read back
+    /// through a 1-byte-at-a-time reader round-trip byte-identically, and
+    /// the stream ends with a clean `Ok(None)`.
+    #[test]
+    fn round_trips_are_byte_identical_under_trickled_io(frames in payloads()) {
+        let mut writer = TrickleWriter::default();
+        for frame in &frames {
+            write_frame(&mut writer, frame, DEFAULT_MAX_FRAME).unwrap();
+        }
+        prop_assert_eq!(
+            writer.data.len(),
+            frames.iter().map(|f| PREFIX + f.len()).sum::<usize>()
+        );
+
+        let mut reader = TrickleReader::new(&writer.data);
+        for frame in &frames {
+            let got = read_frame(&mut reader, DEFAULT_MAX_FRAME).unwrap().unwrap();
+            prop_assert_eq!(&got, frame);
+        }
+        prop_assert!(read_frame(&mut reader, DEFAULT_MAX_FRAME).unwrap().is_none());
+    }
+
+    /// Cutting the stream at an arbitrary byte yields a prefix of the
+    /// original frames followed by either a clean end (cut exactly on a
+    /// frame boundary) or `UnexpectedEof` — never a truncated payload.
+    #[test]
+    fn truncation_is_loud_or_clean_never_silent(
+        frames in payloads(),
+        cut_seed in any::<u64>(),
+    ) {
+        let mut stream = Vec::new();
+        let mut boundaries = vec![0usize];
+        for frame in &frames {
+            write_frame(&mut stream, frame, DEFAULT_MAX_FRAME).unwrap();
+            boundaries.push(stream.len());
+        }
+        let cut = (cut_seed as usize) % (stream.len() + 1);
+        let truncated = &stream[..cut];
+
+        let mut reader = TrickleReader::new(truncated);
+        let mut recovered = 0usize;
+        let outcome = loop {
+            match read_frame(&mut reader, DEFAULT_MAX_FRAME) {
+                Ok(Some(frame)) => {
+                    prop_assert_eq!(&frame, &frames[recovered]);
+                    recovered += 1;
+                }
+                Ok(None) => break Ok(()),
+                Err(e) => break Err(e),
+            }
+        };
+        // Every fully contained frame is recovered intact...
+        let contained = boundaries.iter().filter(|b| **b <= cut).count() - 1;
+        prop_assert_eq!(recovered, contained);
+        // ...and the tail is a clean end iff the cut hit a boundary.
+        match outcome {
+            Ok(()) => prop_assert!(boundaries.contains(&cut)),
+            Err(FrameError::Io(e)) => {
+                prop_assert!(!boundaries.contains(&cut));
+                prop_assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+
+    /// A hostile length prefix above the maximum is refused while reading
+    /// the prefix — before any payload bytes are consumed or allocated.
+    #[test]
+    fn oversized_prefixes_are_rejected_before_allocation(
+        claimed in (64u32 + 1)..u32::MAX,
+    ) {
+        let max = 64usize;
+        let mut stream = Vec::from(claimed.to_be_bytes());
+        // Garbage "payload" that must never be read.
+        stream.extend_from_slice(&[0xAB; 16]);
+        let mut reader = TrickleReader::new(&stream);
+        match read_frame(&mut reader, max) {
+            Err(FrameError::Oversized { len, max: got_max }) => {
+                prop_assert_eq!(len, u64::from(claimed));
+                prop_assert_eq!(got_max, max);
+                prop_assert_eq!(reader.pos, PREFIX);
+            }
+            other => prop_assert!(false, "expected Oversized, got {other:?}"),
+        }
+    }
+
+    /// The writer refuses oversized payloads up front and leaves the
+    /// stream untouched, so a bad caller cannot poison the connection.
+    #[test]
+    fn oversized_writes_leave_the_stream_untouched(extra in 1usize..64) {
+        let max = 32usize;
+        let payload = vec![0u8; max + extra];
+        let mut writer = TrickleWriter::default();
+        match write_frame(&mut writer, &payload, max) {
+            Err(FrameError::Oversized { len, max: got_max }) => {
+                prop_assert_eq!(len, payload.len() as u64);
+                prop_assert_eq!(got_max, max);
+                prop_assert!(writer.data.is_empty());
+            }
+            other => prop_assert!(false, "expected Oversized, got {other:?}"),
+        }
+    }
+}
+
+/// A reader that ends before the first prefix byte is a clean `Ok(None)`,
+/// not an error — the idle-connection shutdown path relies on it.
+#[test]
+fn eof_before_any_byte_is_a_clean_end() {
+    let mut reader = TrickleReader::new(&[]);
+    assert!(read_frame(&mut reader, DEFAULT_MAX_FRAME)
+        .unwrap()
+        .is_none());
+}
