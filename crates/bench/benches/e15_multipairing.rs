@@ -1,0 +1,276 @@
+//! Experiment E15 — product-of-pairings batching.
+//!
+//! Measures the three pairing batch shapes the multi-pairing PR added, each
+//! against the per-pairing path it replaces, after first asserting the fast
+//! path's output is bit-identical:
+//!
+//! * **element-wise, one fixed argument** (the proxy shape: one re-encryption
+//!   key against a batch of ciphertext `c₁`s) — `PreparedPairing::
+//!   pairing_batch` vs a loop of `PreparedPairing::pairing`.  Shares the
+//!   final exponentiation's easy part (one GCD inversion per batch).
+//! * **product of k distinct pairings** (the multi-pairing shape) —
+//!   `tibpre_pairing::multi_pairing` vs a `Gt::mul` fold of k independent
+//!   prepared pairings.  Shares the Miller accumulator's squaring chain
+//!   *and* runs one final exponentiation total.
+//! * **32-ciphertext re-encryption** (the end-to-end e9-style number) —
+//!   `proxy::re_encrypt_batch` vs a loop of `proxy::re_encrypt`.
+//!
+//! Gate: at the 80-bit level the multi-pairing product must be at least
+//! `TIBPRE_E15_MIN_SPEEDUP` (default 1.3) times faster than the per-pairing
+//! product on a `TIBPRE_E15_BATCH` (default 32) pairing batch.  Results land
+//! in `BENCH_e15.json` (redirect with `TIBPRE_BENCH_JSON`).
+//!
+//! Levels: toy + 80-bit by default (the committed artifact needs the gate's
+//! level); `TIBPRE_BENCH_LEVELS` picks a different sweep.
+
+use std::time::Instant;
+use tibpre_bench::{bench_rng, Fixture};
+use tibpre_core::{proxy, TypeTag};
+use tibpre_pairing::{multi_pairing, G1Affine, PairingParams, SecurityLevel};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// E15's own level sweep: toy + 80-bit unless `TIBPRE_BENCH_LEVELS` says
+/// otherwise (the gate needs 80-bit in the default run, and 112/128 would
+/// make the committed-artifact run needlessly slow).
+fn levels() -> Vec<SecurityLevel> {
+    match std::env::var("TIBPRE_BENCH_LEVELS") {
+        Err(_) => vec![SecurityLevel::Toy, SecurityLevel::Low80],
+        Ok(spec) => spec
+            .split(',')
+            .filter_map(|tag| match tag.trim() {
+                "toy" => Some(SecurityLevel::Toy),
+                "80" => Some(SecurityLevel::Low80),
+                "112" => Some(SecurityLevel::Medium112),
+                "128" => Some(SecurityLevel::High128),
+                "" => None,
+                other => panic!("unknown TIBPRE_BENCH_LEVELS entry: {other:?}"),
+            })
+            .collect(),
+    }
+}
+
+/// Milliseconds per call: one warmup, then the mean over `iters` runs.
+fn time_ms<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+struct LevelRow {
+    label: &'static str,
+    elementwise_loop_ms: f64,
+    elementwise_batch_ms: f64,
+    product_loop_ms: f64,
+    product_multi_ms: f64,
+    reencrypt_loop_ms: f64,
+    reencrypt_batch_ms: f64,
+}
+
+fn run_level(level: SecurityLevel, batch: usize, iters: usize) -> LevelRow {
+    let params = PairingParams::cached(level);
+    let mut rng = bench_rng();
+
+    // -- element-wise shape: one prepared argument, `batch` moving points.
+    let fixed = params.random_g1(&mut rng);
+    let prepared = params.prepare(&fixed);
+    let qs_owned: Vec<G1Affine> = (0..batch).map(|_| params.random_g1(&mut rng)).collect();
+    let qs: Vec<&G1Affine> = qs_owned.iter().collect();
+    let loop_results: Vec<_> = qs.iter().map(|q| prepared.pairing(q)).collect();
+    let batch_results = prepared.pairing_batch(&qs);
+    assert_eq!(loop_results.len(), batch_results.len());
+    for (a, b) in loop_results.iter().zip(&batch_results) {
+        assert_eq!(a.to_bytes(), b.to_bytes(), "pairing_batch diverged");
+    }
+    let elementwise_loop_ms = time_ms(iters, || {
+        let out: Vec<_> = qs.iter().map(|q| prepared.pairing(q)).collect();
+        assert_eq!(out.len(), batch);
+    });
+    let elementwise_batch_ms = time_ms(iters, || {
+        assert_eq!(prepared.pairing_batch(&qs).len(), batch);
+    });
+
+    // -- product shape: `batch` distinct prepared pairs, one Gt out.
+    let pairs_owned: Vec<(G1Affine, G1Affine)> = (0..batch)
+        .map(|_| (params.random_g1(&mut rng), params.random_g1(&mut rng)))
+        .collect();
+    let prepared_pairs: Vec<_> = pairs_owned.iter().map(|(a, _)| params.prepare(a)).collect();
+    let multi_refs: Vec<_> = prepared_pairs
+        .iter()
+        .zip(pairs_owned.iter())
+        .map(|(prep, (_, q))| (prep, q))
+        .collect();
+    let product_loop = multi_refs
+        .iter()
+        .fold(params.gt_identity(), |acc, (prep, q)| {
+            acc.mul(&prep.pairing(q))
+        });
+    let product_multi = multi_pairing(&multi_refs).expect("non-empty batch");
+    assert_eq!(
+        product_loop.to_bytes(),
+        product_multi.to_bytes(),
+        "multi_pairing diverged"
+    );
+    let product_loop_ms = time_ms(iters, || {
+        let out = multi_refs
+            .iter()
+            .fold(params.gt_identity(), |acc, (prep, q)| {
+                acc.mul(&prep.pairing(q))
+            });
+        assert!(!out.to_bytes().is_empty());
+    });
+    let product_multi_ms = time_ms(iters, || {
+        let out = multi_pairing(&multi_refs).expect("non-empty batch");
+        assert!(!out.to_bytes().is_empty());
+    });
+
+    // -- end-to-end shape: a 32-ciphertext `Preenc` burst with one key.
+    let f = Fixture::new(level);
+    let t = TypeTag::new("illness-history");
+    let rekey = f
+        .delegator
+        .make_reencryption_key(&f.delegatee_id, f.kgc2_public(), &t, &mut rng)
+        .expect("shared parameters");
+    let ciphertexts: Vec<_> = (0..batch)
+        .map(|_| {
+            let m = f.params.random_gt(&mut rng);
+            f.delegator.encrypt_typed(&m, &t, &mut rng)
+        })
+        .collect();
+    let reencrypt_loop_ms = time_ms(iters, || {
+        let out: Vec<_> = ciphertexts
+            .iter()
+            .map(|ct| proxy::re_encrypt(ct, &rekey).expect("matching type"))
+            .collect();
+        assert_eq!(out.len(), batch);
+    });
+    let reencrypt_batch_ms = time_ms(iters, || {
+        let out = proxy::re_encrypt_batch(&ciphertexts, &rekey).expect("matching type");
+        assert_eq!(out.len(), batch);
+    });
+
+    LevelRow {
+        label: level.label(),
+        elementwise_loop_ms,
+        elementwise_batch_ms,
+        product_loop_ms,
+        product_multi_ms,
+        reencrypt_loop_ms,
+        reencrypt_batch_ms,
+    }
+}
+
+fn main() {
+    let batch = env_usize("TIBPRE_E15_BATCH", 32);
+    let iters = env_usize("TIBPRE_E15_ITERS", 10);
+    let min_speedup = env_f64("TIBPRE_E15_MIN_SPEEDUP", 1.3);
+
+    let mut rows = Vec::new();
+    for level in levels() {
+        let row = run_level(level, batch, iters);
+        eprintln!(
+            "e15 [{}]: elementwise {:.3} -> {:.3} ms ({:.2}x) | product {:.3} -> {:.3} ms ({:.2}x) | reencrypt {:.3} -> {:.3} ms ({:.2}x)",
+            row.label,
+            row.elementwise_loop_ms,
+            row.elementwise_batch_ms,
+            row.elementwise_loop_ms / row.elementwise_batch_ms,
+            row.product_loop_ms,
+            row.product_multi_ms,
+            row.product_loop_ms / row.product_multi_ms,
+            row.reencrypt_loop_ms,
+            row.reencrypt_batch_ms,
+            row.reencrypt_loop_ms / row.reencrypt_batch_ms,
+        );
+        rows.push(row);
+    }
+
+    let level_entries: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"level\": \"{}\",\n",
+                    "      \"elementwise_loop_ms\": {:.3},\n",
+                    "      \"elementwise_batch_ms\": {:.3},\n",
+                    "      \"elementwise_speedup\": {:.2},\n",
+                    "      \"product_loop_ms\": {:.3},\n",
+                    "      \"product_multi_pairing_ms\": {:.3},\n",
+                    "      \"multi_pairing_speedup\": {:.2},\n",
+                    "      \"reencrypt_loop_ms\": {:.3},\n",
+                    "      \"reencrypt_batch_ms\": {:.3},\n",
+                    "      \"reencrypt_speedup\": {:.2}\n",
+                    "    }}"
+                ),
+                row.label,
+                row.elementwise_loop_ms,
+                row.elementwise_batch_ms,
+                row.elementwise_loop_ms / row.elementwise_batch_ms,
+                row.product_loop_ms,
+                row.product_multi_ms,
+                row.product_loop_ms / row.product_multi_ms,
+                row.reencrypt_loop_ms,
+                row.reencrypt_batch_ms,
+                row.reencrypt_loop_ms / row.reencrypt_batch_ms,
+            )
+        })
+        .collect();
+    let gate_row = rows.iter().find(|row| row.label.starts_with("80-bit"));
+    let gate_speedup = gate_row
+        .map(|row| row.product_loop_ms / row.product_multi_ms)
+        .unwrap_or(0.0);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"e15_multipairing\",\n",
+            "  \"batch_size\": {},\n",
+            "  \"iters\": {},\n",
+            "  \"levels\": [\n{}\n  ],\n",
+            "  \"gate_level\": \"80-bit\",\n",
+            "  \"gate_min_speedup\": {:.2},\n",
+            "  \"gate_multi_pairing_speedup\": {:.2}\n",
+            "}}\n"
+        ),
+        batch,
+        iters,
+        level_entries.join(",\n"),
+        min_speedup,
+        gate_speedup,
+    );
+    print!("{json}");
+
+    let out = std::env::var("TIBPRE_BENCH_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_e15.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).unwrap();
+    eprintln!("e15: wrote {out}");
+
+    // Acceptance gate: the shared-accumulator product must beat the
+    // per-pairing product by the configured factor at the 80-bit level.
+    // Sweeps that exclude 80-bit (e.g. the toy CI smoke) skip the gate.
+    if let Some(row) = gate_row {
+        assert!(
+            gate_speedup >= min_speedup,
+            "multi_pairing at {:.3} ms is under {min_speedup}x the {:.3} ms per-pairing \
+             product on a {batch}-pairing batch at the 80-bit level",
+            row.product_multi_ms,
+            row.product_loop_ms,
+        );
+    } else {
+        eprintln!("e15: sweep excludes the 80-bit level — skipping the {min_speedup}x gate");
+    }
+}

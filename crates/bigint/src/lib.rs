@@ -43,7 +43,7 @@ pub mod uint;
 
 pub use error::BigIntError;
 pub use mont::MontCtx;
-pub use uint::{Uint, MAX_BITS, MAX_LIMBS};
+pub use uint::{Uint, WideAcc, MAX_BITS, MAX_LIMBS};
 
 /// Crate-wide result alias.
 pub type Result<T> = core::result::Result<T, BigIntError>;

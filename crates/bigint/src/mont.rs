@@ -8,7 +8,7 @@
 
 use crate::error::BigIntError;
 use crate::limb::{adc, inv_mod_u64, mac};
-use crate::uint::{Uint, MAX_LIMBS};
+use crate::uint::{Uint, WideAcc, MAX_LIMBS};
 use crate::Result;
 
 /// Montgomery reduction context for an odd modulus `m`.
@@ -160,6 +160,73 @@ impl MontCtx {
     /// Montgomery squaring.
     pub fn mont_sqr(&self, a: &Uint) -> Uint {
         self.mont_mul(a, a)
+    }
+
+    /// Lazy-reduction sum of products: returns `(Σ aᵢ·bᵢ)·R^{-1} mod m`.
+    ///
+    /// Every product is accumulated unreduced into a double-width
+    /// [`WideAcc`] and the whole sum is Montgomery-reduced **once**, so a
+    /// k-term expression pays one reduction pass (plus up to k
+    /// conditional subtractions) instead of k interleaved CIOS
+    /// reductions.  For Montgomery-form inputs `aᵢR, bᵢR` the result is
+    /// the Montgomery form of the sum of products, `(Σ aᵢbᵢ)·R`, exactly
+    /// as if each product had been computed with [`mont_mul`](Self::mont_mul)
+    /// and added with [`add`](Self::add) — the canonical representative is
+    /// bit-identical.
+    ///
+    /// Subtractions are expressed by negating one operand of the pair
+    /// first ([`neg`](Self::neg) is a cheap n-limb subtraction), which
+    /// keeps the accumulator unsigned.  All operands must be `< m`; the
+    /// term count must stay below `2^64` (field code uses a handful).
+    pub fn mont_mul_sum(&self, pairs: &[(&Uint, &Uint)]) -> Uint {
+        let mut acc = WideAcc::zero();
+        for (a, b) in pairs {
+            debug_assert!(*a < &self.modulus && *b < &self.modulus);
+            acc.accumulate(a, b, self.nlimbs);
+        }
+        self.mont_reduce_wide(acc, pairs.len())
+    }
+
+    /// Montgomery-reduces an accumulated double-width sum of `terms`
+    /// products of residues `< m`: returns `acc·R^{-1} mod m`.
+    ///
+    /// Word-by-word reduction (the reduction half of CIOS, run once over
+    /// the whole buffer): for each of the `n` low limbs, add the multiple
+    /// of `m` that zeroes it, then read the result from the limbs above.
+    /// The input is `< terms·m²`, so the pre-subtraction result is
+    /// `< (terms + 1)·m` — a short subtraction loop canonicalises it.
+    pub fn mont_reduce_wide(&self, mut acc: WideAcc, terms: usize) -> Uint {
+        let n = self.nlimbs;
+        let ml = self.modulus.limbs();
+        let t = acc.limbs_mut();
+        for i in 0..n {
+            let m_prime = t[i].wrapping_mul(self.n0);
+            let (_, mut carry) = mac(t[i], m_prime, ml[0], 0);
+            for j in 1..n {
+                let (lo, hi) = mac(t[i + j], m_prime, ml[j], carry);
+                t[i + j] = lo;
+                carry = hi;
+            }
+            let mut k = i + n;
+            while carry != 0 {
+                let (lo, hi) = adc(t[k], carry, 0);
+                t[k] = lo;
+                carry = hi;
+                k += 1;
+            }
+        }
+        // acc / R now sits in t[n..]; it spans at most n + 1 limbs because
+        // the reduced value is < (terms + 1)·m and nlimbs ≤ MAX_LIMBS − 1.
+        debug_assert!(t[2 * n + 1..].iter().all(|&l| l == 0));
+        let mut out = Uint::ZERO;
+        out.limbs[..=n].copy_from_slice(&t[n..=2 * n]);
+        let mut subs = 0usize;
+        while out >= self.modulus {
+            out = out.wrapping_sub(&self.modulus);
+            subs += 1;
+            debug_assert!(subs <= terms + 1);
+        }
+        out
     }
 
     /// Modular addition of plain or Montgomery residues (both `< m`).
@@ -473,6 +540,85 @@ mod tests {
         assert!(c.mont_inv(&Uint::ZERO).is_err());
         assert!(c.mont_inv_fermat(&Uint::ZERO).is_err());
         assert!(c.inv_plain(&Uint::ZERO).is_err());
+    }
+
+    #[test]
+    fn inversion_of_modulus_multiples_fails() {
+        // A multiple of the modulus is a zero residue in disguise:
+        // `inv_plain` reduces first, so k·m must hit the same typed error
+        // as literal zero, never a bogus "inverse" or a non-terminating
+        // GCD.  Regression for the batch-inversion zero-operand audit.
+        let p = 0xFFFF_FFFF_FFFF_FFC5u64;
+        let c = ctx(p);
+        let m = Uint::from_u64(p);
+        for k in 1u64..4 {
+            let (multiple, carry) = m.mul_u64(k);
+            assert_eq!(carry, 0);
+            assert_eq!(
+                c.inv_plain(&multiple).unwrap_err(),
+                BigIntError::NotInvertible,
+                "k = {k}"
+            );
+        }
+        // Multi-limb modulus, same contract.
+        let p2 = Uint::from_u128((1u128 << 127) - 1);
+        let c2 = MontCtx::new(&p2).unwrap();
+        let (double, carry) = p2.mul_u64(2);
+        assert_eq!(carry, 0);
+        assert_eq!(
+            c2.inv_plain(&double).unwrap_err(),
+            BigIntError::NotInvertible
+        );
+    }
+
+    #[test]
+    fn mont_mul_sum_matches_strict_chain() {
+        // Σ aᵢ·bᵢ through the lazy path must be bit-identical to the
+        // strict mont_mul + add chain, including adversarial near-m and
+        // all-ones-limb operands.
+        let p = Uint::from_u128((1u128 << 127) - 1);
+        let c = MontCtx::new(&p).unwrap();
+        let near_p = p.wrapping_sub(&Uint::ONE);
+        let ones = c.reduce(&Uint::from_u128(u128::MAX));
+        let mid = Uint::from_u128(0x0123_4567_89AB_CDEF_0011_2233_4455_6677u128);
+        let operands = [Uint::ZERO, Uint::ONE, mid, ones, near_p];
+        for a0 in &operands {
+            for b0 in &operands {
+                for a1 in &operands {
+                    for b1 in &operands {
+                        let lazy = c.mont_mul_sum(&[(a0, b0), (a1, b1)]);
+                        let strict = c.add(&c.mont_mul(a0, b0), &c.mont_mul(a1, b1));
+                        assert_eq!(lazy, strict, "{a0:?}*{b0:?} + {a1:?}*{b1:?}");
+                    }
+                }
+            }
+        }
+        // Degenerate term counts.
+        assert_eq!(c.mont_mul_sum(&[]), Uint::ZERO);
+        assert_eq!(c.mont_mul_sum(&[(&mid, &ones)]), c.mont_mul(&mid, &ones));
+        // Many terms: the subtraction loop runs more than once.
+        let sixteen: Vec<(&Uint, &Uint)> = (0..16).map(|_| (&near_p, &near_p)).collect();
+        let mut strict = Uint::ZERO;
+        for _ in 0..16 {
+            strict = c.add(&strict, &c.mont_mul(&near_p, &near_p));
+        }
+        assert_eq!(c.mont_mul_sum(&sixteen), strict);
+    }
+
+    #[test]
+    fn mont_mul_sum_subtraction_via_negation() {
+        // a·b − c·d is expressed as a·b + (−c)·d; the lazy result must
+        // match the strict sub of the two strict products.
+        let p = Uint::from_u128((1u128 << 127) - 1);
+        let c = MontCtx::new(&p).unwrap();
+        let a = Uint::from_u128(0x5EAD_BEEF_0000_0001_1234_5678_9ABC_DEF0u128);
+        let b = Uint::from_u128(0x0FED_CBA9_8765_4321_0000_0000_0000_0007u128);
+        let d = p.wrapping_sub(&Uint::from_u64(3));
+        let e = Uint::from_u64(0x1111_2222_3333_4444);
+        let neg_d = c.neg(&d);
+        let lazy = c.mont_mul_sum(&[(&a, &b), (&neg_d, &e)]);
+        let strict = c.sub(&c.mont_mul(&a, &b), &c.mont_mul(&d, &e));
+        assert_eq!(lazy, strict);
     }
 
     #[test]

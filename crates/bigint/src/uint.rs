@@ -430,6 +430,82 @@ impl Uint {
     }
 }
 
+/// Limb capacity of a [`WideAcc`]: a full double-width product plus two
+/// headroom limbs so sums of many products never wrap.
+pub const WIDE_LIMBS: usize = 2 * MAX_LIMBS + 2;
+
+/// Unreduced double-width accumulator for sums of limb products.
+///
+/// This is the lazy-reduction primitive of the workspace: `Σ aᵢ·bᵢ` is
+/// accumulated limb-by-limb with carries flowing into the headroom limbs
+/// instead of being folded back by a modular reduction after every
+/// product.  The accumulated value is reduced exactly once, by
+/// [`MontCtx::mont_mul_sum`](crate::MontCtx::mont_mul_sum), so a k-term
+/// product pays one Montgomery reduction instead of k.
+///
+/// The two headroom limbs above the `2·MAX_LIMBS` product width admit up
+/// to `2^128` accumulated terms — effectively unbounded for field code,
+/// where k is the handful of cross terms in an `Fp2` product or a fused
+/// line evaluation.
+#[derive(Clone, Debug)]
+pub struct WideAcc {
+    limbs: [u64; WIDE_LIMBS],
+}
+
+impl Default for WideAcc {
+    fn default() -> Self {
+        WideAcc::zero()
+    }
+}
+
+impl WideAcc {
+    /// The empty accumulator.
+    pub const fn zero() -> Self {
+        WideAcc {
+            limbs: [0u64; WIDE_LIMBS],
+        }
+    }
+
+    /// Accumulates the schoolbook product `a·b` over the first `n` limbs of
+    /// each operand, without reducing.  Carries out of the product width
+    /// propagate into the headroom limbs.
+    ///
+    /// Both operands must fit in `n` limbs (`n ≤ MAX_LIMBS − 1`, the same
+    /// spare-limb bound [`MontCtx`](crate::MontCtx) enforces).
+    pub fn accumulate(&mut self, a: &Uint, b: &Uint, n: usize) {
+        debug_assert!(n < MAX_LIMBS);
+        debug_assert!(a.limb_len() <= n && b.limb_len() <= n);
+        let al = &a.limbs;
+        let bl = &b.limbs;
+        for (i, &bi) in bl.iter().take(n).enumerate() {
+            let mut carry = 0u64;
+            for (j, &aj) in al.iter().take(n).enumerate() {
+                let (lo, hi) = mac(self.limbs[i + j], aj, bi, carry);
+                self.limbs[i + j] = lo;
+                carry = hi;
+            }
+            // Carry out of the product window rides up the headroom limbs.
+            let mut k = i + n;
+            while carry != 0 {
+                let (lo, hi) = adc(self.limbs[k], carry, 0);
+                self.limbs[k] = lo;
+                carry = hi;
+                k += 1;
+            }
+        }
+    }
+
+    /// Whether nothing has been accumulated (or the sum is zero).
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// The raw little-endian limb buffer (for the reducer).
+    pub(crate) fn limbs_mut(&mut self) -> &mut [u64; WIDE_LIMBS] {
+        &mut self.limbs
+    }
+}
+
 impl Ord for Uint {
     fn cmp(&self, other: &Self) -> Ordering {
         for i in (0..MAX_LIMBS).rev() {
@@ -671,6 +747,37 @@ mod tests {
         let v = Uint::from_limbs_le(&[7, 9]).unwrap();
         assert_eq!(v.limbs[0], 7);
         assert_eq!(v.limbs[1], 9);
+    }
+
+    #[test]
+    fn wide_acc_matches_mul_wide() {
+        let a = Uint::from_u128(0x0123_4567_89AB_CDEF_0011_2233_4455_6677u128);
+        let b = Uint::from_u128(0xFFFF_FFFF_FFFF_FFFF_FFFF_FFFF_FFFF_FFFEu128);
+        let mut acc = WideAcc::zero();
+        assert!(acc.is_zero());
+        acc.accumulate(&a, &b, 2);
+        let (lo, _) = a.mul_wide(&b);
+        let limbs = acc.limbs_mut();
+        assert_eq!(&limbs[..4], &lo.limbs[..4]);
+        assert!(limbs[4..].iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn wide_acc_sums_products_without_wrapping() {
+        // Accumulate k copies of the all-ones two-limb square: the sum is
+        // exactly k · (2^128 − 1)², verified against mul_wide + additions.
+        let ones = Uint::from_u128(u128::MAX);
+        let k = 5u64;
+        let mut acc = WideAcc::zero();
+        for _ in 0..k {
+            acc.accumulate(&ones, &ones, 2);
+        }
+        let (sq, _) = ones.mul_wide(&ones);
+        let (expect, carry) = sq.mul_u64(k);
+        assert_eq!(carry, 0);
+        let limbs = acc.limbs_mut();
+        assert_eq!(&limbs[..5], &expect.limbs[..5]);
+        assert!(limbs[5..].iter().all(|&l| l == 0));
     }
 
     #[test]

@@ -195,10 +195,18 @@ where
 {
     let ciphertexts: Vec<&HybridCiphertext> = ciphertexts.into_iter().collect();
     crate::proxy::validate_batch_types(ciphertexts.iter().map(|ct| &ct.header.type_tag), rekey)?;
-    ciphertexts
+    // Convert all the headers through the shared batched path (one batched
+    // final exponentiation for the whole chunk), then re-attach the bodies.
+    let headers: Vec<&TypedCiphertext> = ciphertexts.iter().map(|ct| &ct.header).collect();
+    let converted = crate::proxy::re_encrypt_validated_batch(&headers, rekey);
+    Ok(ciphertexts
         .into_iter()
-        .map(|ciphertext| re_encrypt_hybrid(ciphertext, rekey))
-        .collect()
+        .zip(converted)
+        .map(|(ciphertext, header)| ReEncryptedHybridCiphertext {
+            header,
+            body: ciphertext.body.clone(),
+        })
+        .collect())
 }
 
 impl Delegatee {
@@ -377,6 +385,28 @@ mod tests {
             let mut corrupted = bytes.clone();
             corrupted[1..5].copy_from_slice(&claimed.to_be_bytes());
             assert!(HybridCiphertext::from_bytes(&params, &corrupted).is_err());
+        }
+    }
+
+    #[test]
+    fn hybrid_batch_is_bit_identical_to_per_item() {
+        let mut f = fixture();
+        let t = TypeTag::new("lab-results");
+        let rk = f
+            .delegator
+            .make_reencryption_key(&f.delegatee_id, &f.kgc2_pp, &t, &mut f.rng)
+            .unwrap();
+        let cts: Vec<HybridCiphertext> = (0..4)
+            .map(|i| {
+                f.delegator
+                    .encrypt_bytes(&[i as u8; 64], b"aad", &t, &mut f.rng)
+            })
+            .collect();
+        let batch = re_encrypt_hybrid_batch(&cts, &rk).unwrap();
+        assert_eq!(batch.len(), cts.len());
+        for (got, ct) in batch.iter().zip(&cts) {
+            let single = re_encrypt_hybrid(ct, &rk).unwrap();
+            assert_eq!(got.to_bytes(), single.to_bytes());
         }
     }
 

@@ -147,12 +147,39 @@ pub fn re_encrypt_batch(
     rekey: &ReEncryptionKey,
 ) -> Result<Vec<ReEncryptedCiphertext>> {
     validate_batch_types(ciphertexts.iter().map(|ct| &ct.type_tag), rekey)?;
-    // The per-ciphertext conversion *is* `re_encrypt`: the key's prepared
-    // Miller loop is cached on first use, so the whole batch shares one
-    // tabulation.
+    let refs: Vec<&TypedCiphertext> = ciphertexts.iter().collect();
+    Ok(re_encrypt_validated_batch(&refs, rekey))
+}
+
+/// The shared batched conversion behind [`re_encrypt_batch`],
+/// [`crate::hybrid::re_encrypt_hybrid_batch`], and the parallel engine's
+/// per-chunk jobs: one stored-line Miller loop per ciphertext against the
+/// key's shared tabulation, then one *batched* final exponentiation whose
+/// easy-part inversions collapse into a single GCD — bit-identical to the
+/// per-item [`re_encrypt`] path, which stays alive as the oracle.
+///
+/// Callers **must** have validated the type tags with
+/// [`validate_batch_types`] already (the engine validates the whole batch
+/// once, before fanning chunks out); feeding an unvalidated mixed batch
+/// produces algebraic garbage rather than an error, exactly like relabelling
+/// a ciphertext to bypass [`re_encrypt`]'s check.
+pub fn re_encrypt_validated_batch(
+    ciphertexts: &[&TypedCiphertext],
+    rekey: &ReEncryptionKey,
+) -> Vec<ReEncryptedCiphertext> {
+    let prepared = rekey.prepared_rk_point();
+    let c1s: Vec<&G1Affine> = ciphertexts.iter().map(|ct| &ct.c1).collect();
+    let adjustments = prepared.pairing_batch(&c1s);
     ciphertexts
         .iter()
-        .map(|ciphertext| re_encrypt(ciphertext, rekey))
+        .zip(adjustments)
+        .map(|(ciphertext, adjustment)| ReEncryptedCiphertext {
+            c1: ciphertext.c1.clone(),
+            c2: ciphertext.c2.mul(&adjustment),
+            encrypted_x: rekey.encrypted_x().clone(),
+            type_tag: ciphertext.type_tag.clone(),
+            delegatee: rekey.delegatee().clone(),
+        })
         .collect()
 }
 
@@ -391,6 +418,37 @@ mod tests {
         ct.type_tag = TypeTag::new("illness-history"); // adversarial relabel
         let transformed = re_encrypt(&ct, &rk).unwrap();
         assert_ne!(f.delegatee.decrypt_reencrypted(&transformed).unwrap(), m);
+    }
+
+    #[test]
+    fn batch_reencryption_is_bit_identical_to_per_item() {
+        let mut f = fixture();
+        let t = TypeTag::new("illness-history");
+        let rk = f
+            .delegator
+            .make_reencryption_key(&f.delegatee_id, &f.kgc2_pp, &t, &mut f.rng)
+            .unwrap();
+        let messages: Vec<Gt> = (0..5).map(|_| f.params.random_gt(&mut f.rng)).collect();
+        let cts: Vec<TypedCiphertext> = messages
+            .iter()
+            .map(|m| f.delegator.encrypt_typed(m, &t, &mut f.rng))
+            .collect();
+        let batch = re_encrypt_batch(&cts, &rk).unwrap();
+        assert_eq!(batch.len(), cts.len());
+        for ((got, ct), m) in batch.iter().zip(&cts).zip(&messages) {
+            let single = re_encrypt(ct, &rk).unwrap();
+            assert_eq!(got.to_bytes(), single.to_bytes());
+            assert_eq!(&f.delegatee.decrypt_reencrypted(got).unwrap(), m);
+        }
+        assert!(re_encrypt_batch(&[], &rk).unwrap().is_empty());
+
+        // A mixed batch fails atomically, reporting the mismatching type.
+        let mut mixed = cts;
+        mixed[3].type_tag = TypeTag::new("diet");
+        match re_encrypt_batch(&mixed, &rk) {
+            Err(PreError::TypeMismatch { .. }) => {}
+            other => panic!("expected a type mismatch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -60,7 +60,13 @@ impl ReEncryptEngine {
         // One-time table build, done once on this thread rather than raced by
         // every worker on first use.
         let _ = rekey.prepared_rk_point();
-        self.try_par_map(ciphertexts, |_, ct| proxy::re_encrypt(ct, rekey))
+        // Each work-stealing job converts its whole chunk through the batched
+        // path, amortising one final-exponentiation easy-part inversion per
+        // chunk rather than paying one GCD per ciphertext.
+        Ok(self.par_map_chunks(ciphertexts.len(), |range| {
+            let refs: Vec<&TypedCiphertext> = ciphertexts[range].iter().collect();
+            proxy::re_encrypt_validated_batch(&refs, rekey)
+        }))
     }
 
     /// The hybrid counterpart of [`Self::re_encrypt_batch`]: converts the KEM
@@ -84,7 +90,20 @@ impl ReEncryptEngine {
         }
         validate_batch_types(ciphertexts.iter().map(|ct| &ct.header.type_tag), rekey)?;
         let _ = rekey.prepared_rk_point();
-        self.try_par_map(&ciphertexts, |_, ct| hybrid::re_encrypt_hybrid(ct, rekey))
+        // Headers of each chunk go through the shared batched conversion;
+        // bodies are re-attached untouched.
+        Ok(self.par_map_chunks(ciphertexts.len(), |range| {
+            let chunk = &ciphertexts[range];
+            let headers: Vec<&TypedCiphertext> = chunk.iter().map(|ct| &ct.header).collect();
+            proxy::re_encrypt_validated_batch(&headers, rekey)
+                .into_iter()
+                .zip(chunk)
+                .map(|(header, ct)| ReEncryptedHybridCiphertext {
+                    header,
+                    body: ct.body.clone(),
+                })
+                .collect()
+        }))
     }
 }
 

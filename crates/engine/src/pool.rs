@@ -188,6 +188,66 @@ impl ReEncryptEngine {
         self.try_par_map(&indices, |_, &i| f(i))
     }
 
+    /// Chunk-level infallible map: `f` converts one contiguous index range
+    /// into the corresponding output vector, letting callers amortise
+    /// per-chunk work across every item of a job — the re-encryption engine
+    /// uses this to run one *batched* final exponentiation per work-stealing
+    /// job instead of one per ciphertext.
+    ///
+    /// `f` must return exactly `range.len()` outputs for the range it was
+    /// given; results are reassembled in input order.  Below the parallel
+    /// threshold the whole input is handed to `f` as a single chunk on the
+    /// calling thread (maximal amortisation, zero threads).  A panic in `f`
+    /// propagates to the caller after all workers have stopped.
+    pub fn par_map_chunks<U, F>(&self, count: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(std::ops::Range<usize>) -> Vec<U> + Sync,
+    {
+        if self.workers <= 1 || count < self.parallel_threshold() {
+            let out = f(0..count);
+            debug_assert_eq!(out.len(), count, "chunk map must be length-preserving");
+            return out;
+        }
+        let chunk_size = (count / (self.workers * 4)).max(1);
+        let queue = StealQueue::seed(self.workers, count, chunk_size);
+        let per_worker: Vec<Vec<(usize, Vec<U>)>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.workers)
+                .map(|me| {
+                    let queue = &queue;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut produced = Vec::new();
+                        while let Some(job) = queue.next_job(me) {
+                            let start = job.start;
+                            let expected = job.len();
+                            let out = f(job);
+                            debug_assert_eq!(
+                                out.len(),
+                                expected,
+                                "chunk map must be length-preserving"
+                            );
+                            produced.push((start, out));
+                        }
+                        produced
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        });
+        let mut chunks: Vec<(usize, Vec<U>)> = per_worker.into_iter().flatten().collect();
+        chunks.sort_unstable_by_key(|(start, _)| *start);
+        let mut out = Vec::with_capacity(count);
+        for (start, mut chunk) in chunks {
+            debug_assert_eq!(start, out.len(), "chunks must tile the input exactly");
+            out.append(&mut chunk);
+        }
+        out
+    }
+
     /// Infallible variant of [`Self::try_par_map`].
     pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
     where
@@ -316,6 +376,20 @@ mod tests {
             let empty: Result<Vec<usize>, ()> = engine.try_par_map_indices(0, Ok);
             assert_eq!(empty.unwrap(), Vec::<usize>::new());
         }
+    }
+
+    #[test]
+    fn par_map_chunks_matches_the_flat_map() {
+        let expected: Vec<usize> = (0..777).map(|i| i * 7).collect();
+        for workers in [1, 2, 4, 7] {
+            let engine = ReEncryptEngine::new(workers);
+            let out = engine.par_map_chunks(777, |range| range.map(|i| i * 7).collect());
+            assert_eq!(out, expected, "workers {workers}");
+        }
+        // Empty and tiny inputs take the single-chunk path.
+        let engine = ReEncryptEngine::new(4);
+        assert_eq!(engine.par_map_chunks(0, |r| r.collect::<Vec<_>>()), vec![]);
+        assert_eq!(engine.par_map_chunks(1, |r| r.collect::<Vec<_>>()), vec![0]);
     }
 
     #[test]

@@ -169,6 +169,41 @@ impl Fp {
         }
     }
 
+    /// Lazy-reduction sum of products `Σ aᵢ·bᵢ`: each product is
+    /// accumulated into an unreduced double-width buffer and the whole sum
+    /// pays a *single* Montgomery reduction instead of one per term
+    /// ([`MontCtx::mont_mul_sum`]).  The result is bit-identical to the
+    /// strict `mul` + `add` chain — this is the hot-path primitive behind
+    /// `Fp2` products and the fused line evaluations.
+    ///
+    /// Subtractions are expressed by negating one operand of a pair
+    /// (negation is a cheap single subtraction): `a·b − c·d` is
+    /// `sum_of_products(&[(a, b), (&c.neg(), d)])`.
+    ///
+    /// # Panics
+    /// Panics if `pairs` is empty (there is no context to borrow; callers
+    /// always have at least one term).
+    pub fn sum_of_products(pairs: &[(&Fp, &Fp)]) -> Fp {
+        let ctx = &pairs
+            .first()
+            .expect("sum_of_products needs at least one term")
+            .0
+            .ctx;
+        let mut uint_pairs = Vec::with_capacity(pairs.len());
+        for (a, b) in pairs {
+            a.assert_same_ctx(b);
+            debug_assert!(
+                Arc::ptr_eq(&a.ctx, ctx) || a.ctx.modulus() == ctx.modulus(),
+                "mixed field contexts"
+            );
+            uint_pairs.push((&a.mont_repr, &b.mont_repr));
+        }
+        Fp {
+            ctx: Arc::clone(ctx),
+            mont_repr: ctx.mont.mont_mul_sum(&uint_pairs),
+        }
+    }
+
     /// Multiplication by a small integer constant.
     pub fn mul_u64(&self, k: u64) -> Fp {
         self.mul(&Fp::from_u64(&self.ctx, k))
@@ -190,10 +225,26 @@ impl Fp {
     /// Inverts every element of a slice at the cost of a *single* field
     /// inversion plus `3(n − 1)` multiplications (Montgomery's
     /// simultaneous-inversion trick: prefix products, one inversion,
-    /// back-substitution).  Fails if any element is zero.
+    /// back-substitution).
+    ///
+    /// # Zero operands
+    ///
+    /// A zero anywhere in the batch would silently poison the whole
+    /// prefix-product chain (every product from that index on is zero, and
+    /// the final inversion would fail with no indication of *which*
+    /// element was at fault).  The contract is therefore explicit: each
+    /// element is checked **before** it enters the chain, and the first
+    /// zero aborts with [`PairingError::NotInvertible`] without touching
+    /// the accumulator — no partial results, no wrong inverses for the
+    /// non-zero prefix.  (A p-multiple cannot arise here: `Fp` reduces on
+    /// construction, so the zero residue class is exactly `is_zero()`;
+    /// the same audit for plain `Uint` residues lives in
+    /// `MontCtx::inv_plain`, which reduces first.)
     ///
     /// The precomputation layer uses this to normalise whole tables of
-    /// Miller-loop line coefficients and Jacobian points in one shot.
+    /// Miller-loop line coefficients and Jacobian points in one shot, and
+    /// the batched final exponentiation uses it to share one GCD inversion
+    /// across a multi-pairing chunk.
     pub fn batch_invert(values: &[Fp]) -> Result<Vec<Fp>> {
         let Some(first) = values.first() else {
             return Ok(Vec::new());
@@ -397,6 +448,54 @@ mod tests {
         assert_eq!(Fp::batch_invert(&one).unwrap()[0], one[0].invert().unwrap());
         let with_zero = vec![Fp::from_u64(&c, 1), Fp::zero(&c)];
         assert!(Fp::batch_invert(&with_zero).is_err());
+    }
+
+    #[test]
+    fn batch_inversion_zero_mid_batch_is_a_clean_typed_error() {
+        // Regression for the zero-operand audit: a zero at *any* position
+        // (front, middle, back) must yield NotInvertible — never a poisoned
+        // chain that returns wrong inverses for the non-zero prefix, and
+        // never a panic.  A p-multiple constructs to the same zero residue.
+        let c = ctx();
+        for pos in 0..5 {
+            let mut values: Vec<Fp> = (1u64..=5).map(|v| Fp::from_u64(&c, v * 31)).collect();
+            values[pos] = Fp::zero(&c);
+            assert!(
+                matches!(Fp::batch_invert(&values), Err(PairingError::NotInvertible)),
+                "zero at {pos}"
+            );
+        }
+        // p reduces to the zero residue on construction; the batch must
+        // treat it exactly like a literal zero.
+        let p_multiple = Fp::from_uint(&c, c.modulus());
+        assert!(p_multiple.is_zero());
+        let values = vec![Fp::from_u64(&c, 7), p_multiple, Fp::from_u64(&c, 9)];
+        assert!(matches!(
+            Fp::batch_invert(&values),
+            Err(PairingError::NotInvertible)
+        ));
+    }
+
+    #[test]
+    fn sum_of_products_matches_strict_chain() {
+        let c = ctx();
+        let near_p = Fp::from_uint(&c, &c.modulus().wrapping_sub(&Uint::ONE));
+        let ones = Fp::from_uint(&c, &Uint::from_u128(u128::MAX));
+        let a = Fp::from_u64(&c, 0xDEAD_BEEF);
+        let b = Fp::from_u64(&c, 0x1234_5678);
+        for x in [&near_p, &ones, &a, &b, &Fp::zero(&c), &Fp::one(&c)] {
+            for y in [&near_p, &ones, &a, &b] {
+                let lazy = Fp::sum_of_products(&[(x, y), (&a, &b)]);
+                let strict = &(x * y) + &(&a * &b);
+                assert_eq!(lazy, strict);
+                // Subtraction via negation.
+                let lazy = Fp::sum_of_products(&[(x, y), (&a.neg(), &b)]);
+                let strict = &(x * y) - &(&a * &b);
+                assert_eq!(lazy, strict);
+            }
+        }
+        // Single term degenerates to a plain product.
+        assert_eq!(Fp::sum_of_products(&[(&a, &b)]), &a * &b);
     }
 
     #[test]

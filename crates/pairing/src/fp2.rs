@@ -109,8 +109,27 @@ impl Fp2 {
 
     /// Multiplication: `(a0 + a1 i)(b0 + b1 i) = (a0 b0 − a1 b1) + (a0 b1 + a1 b0) i`.
     ///
-    /// Uses the Karatsuba trick (3 base-field multiplications).
+    /// Lazy-reduction schoolbook: each output coefficient is one
+    /// [`Fp::sum_of_products`] call, so the four cross products carry
+    /// **once per coefficient** (two Montgomery reductions total) instead
+    /// of once per base-field multiplication.  Karatsuba does not compose
+    /// with lazy reduction — its `(a0+a1)(b0+b1) − a0b0 − a1b1` cross term
+    /// needs the *reduced* partial products — which is why the strict
+    /// oracle [`Self::mul_strict`] keeps that shape.  Results are
+    /// bit-identical to the oracle.
     pub fn mul(&self, other: &Fp2) -> Fp2 {
+        let neg_a1 = self.c1.neg();
+        Fp2 {
+            c0: Fp::sum_of_products(&[(&self.c0, &other.c0), (&neg_a1, &other.c1)]),
+            c1: Fp::sum_of_products(&[(&self.c0, &other.c1), (&self.c1, &other.c0)]),
+        }
+    }
+
+    /// Strict-reduction Karatsuba multiplication (3 base-field
+    /// multiplications, every product reduced immediately).  This is the
+    /// oracle the lazy [`Self::mul`] is tested bit-identical against; it
+    /// also documents the historical shape of the hot path.
+    pub fn mul_strict(&self, other: &Fp2) -> Fp2 {
         let a0b0 = &self.c0 * &other.c0;
         let a1b1 = &self.c1 * &other.c1;
         let sum_a = &self.c0 + &self.c1;
@@ -123,6 +142,12 @@ impl Fp2 {
     }
 
     /// Squaring: `(a0 + a1 i)² = (a0+a1)(a0−a1) + 2 a0 a1 i`.
+    ///
+    /// Stays on the strict two-multiplication form: lazy schoolbook for a
+    /// square costs three wide products plus two deferred reductions,
+    /// which is strictly more limb work than these two reduced products —
+    /// the lazy win exists only where the naive form needs ≥ 4 products
+    /// ([`Self::mul`], [`Self::mul_by_line`], the fused line evaluations).
     pub fn square(&self) -> Fp2 {
         let plus = &self.c0 + &self.c1;
         let minus = &self.c0 - &self.c1;
@@ -135,9 +160,19 @@ impl Fp2 {
 
     /// Multiplication by a Miller-loop line value `real + y·i` given as its
     /// two coefficients, without materialising a temporary `Fp2` (the
-    /// prepared-pairing evaluation calls this once per stored line).  Same
-    /// Karatsuba multiplication count as [`Self::mul`].
+    /// prepared-pairing evaluation calls this once per stored line).
+    /// Lazy-reduction schoolbook, exactly like [`Self::mul`].
     pub fn mul_by_line(&self, real: &Fp, y: &Fp) -> Fp2 {
+        let neg_a1 = self.c1.neg();
+        Fp2 {
+            c0: Fp::sum_of_products(&[(&self.c0, real), (&neg_a1, y)]),
+            c1: Fp::sum_of_products(&[(&self.c0, y), (&self.c1, real)]),
+        }
+    }
+
+    /// Strict-reduction Karatsuba form of [`Self::mul_by_line`] — the
+    /// oracle the lazy path is tested bit-identical against.
+    pub fn mul_by_line_strict(&self, real: &Fp, y: &Fp) -> Fp2 {
         let a0b0 = &self.c0 * real;
         let a1b1 = &self.c1 * y;
         let sum_a = &self.c0 + &self.c1;
@@ -371,6 +406,36 @@ mod tests {
                 f.mul_by_line(&real, &y),
                 f.mul(&Fp2::new(real.clone(), y.clone()))
             );
+        }
+    }
+
+    #[test]
+    fn lazy_mul_is_bit_identical_to_strict_karatsuba() {
+        let c = ctx();
+        let mut r = rng();
+        // Random operands plus the adversarial corners: zero, one, i,
+        // near-p coefficients, and all-ones-limb coefficients.
+        let near_p = Fp::from_uint(&c, &c.modulus().wrapping_sub(&Uint::ONE));
+        let ones = Fp::from_uint(&c, &Uint::from_u128(u128::MAX));
+        let mut cases = vec![
+            Fp2::zero(&c),
+            Fp2::one(&c),
+            Fp2::i(&c),
+            Fp2::new(near_p.clone(), near_p.clone()),
+            Fp2::new(ones.clone(), near_p),
+        ];
+        for _ in 0..20 {
+            cases.push(Fp2::random(&c, &mut r));
+        }
+        for a in &cases {
+            for b in &cases {
+                let lazy = a.mul(b);
+                let strict = a.mul_strict(b);
+                assert_eq!(lazy.to_bytes(), strict.to_bytes());
+                let lazy = a.mul_by_line(&b.c0, &b.c1);
+                let strict = a.mul_by_line_strict(&b.c0, &b.c1);
+                assert_eq!(lazy.to_bytes(), strict.to_bytes());
+            }
         }
     }
 

@@ -156,6 +156,21 @@ mod tests {
     }
 
     #[test]
+    fn the_order_two_torus_element_behaves() {
+        // (−1, 0) is the unique order-2 element of F_{p²}^*: its own inverse
+        // (via the conjugate fast path — it lies on the norm-1 torus) and a
+        // member of exactly the even-order subgroups.
+        let c = ctx();
+        let g = Gt::from_fp2_unchecked(Fp2::new(Fp::one(&c).neg(), Fp::zero(&c)));
+        assert!(!g.is_one());
+        assert!(g.mul(&g).is_one());
+        assert_eq!(g.invert().unwrap(), g);
+        assert!(g.is_in_subgroup(&Uint::from_u64(2)));
+        assert!(g.is_in_subgroup(&Uint::from_u64(8)));
+        assert!(!g.is_in_subgroup(&Uint::from_u64(7)));
+    }
+
+    #[test]
     fn pow_behaves_like_repeated_multiplication() {
         let c = ctx();
         let mut r = StdRng::seed_from_u64(6);

@@ -56,7 +56,7 @@ pub use fp2::Fp2;
 pub use gt::Gt;
 pub use pairing::{pairing, pairing_unreduced};
 pub use params::{PairingParams, SecurityLevel};
-pub use precomp::{G1Precomp, PreparedPairing};
+pub use precomp::{multi_pairing, G1Precomp, PreparedPairing};
 pub use scalar::{Scalar, ScalarCtx};
 pub use wire::DecodeCtx;
 

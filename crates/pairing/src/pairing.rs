@@ -82,14 +82,28 @@ impl MillerPoint {
     /// which reuses the doubling intermediates and needs no inversion.
     ///
     /// The caller must ensure `Y ≠ 0` (no 2-torsion).
+    ///
+    /// Lazy reduction: `M = 3X² + Z⁴` and `Y' = M(S − X') − Y²·8Y²` are
+    /// each one [`Fp::sum_of_products`] — the constituent products carry
+    /// once per output instead of once per multiplication.  (The line
+    /// itself stays strict: `M·(X + x_Q·Z²)` is a nested product whose
+    /// inner factor must be reduced anyway, so there is nothing to defer.)
     fn double_with_line(&mut self, xq: &Fp, yq: &Fp) -> Fp2 {
         debug_assert!(!self.is_identity() && !self.y.is_zero());
         let yy = self.y.square();
         let zz = self.z.square();
         let s = self.x.mul(&yy).double().double();
-        let m = &self.x.square().mul_u64(3) + &zz.square();
+        let m = Fp::sum_of_products(&[
+            (&self.x, &self.x),
+            (&self.x, &self.x),
+            (&self.x, &self.x),
+            (&zz, &zz),
+        ]);
         let x3 = &m.square() - &s.double();
-        let y3 = &m.mul(&(&s - &x3)) - &yy.square().double().double().double();
+        let s_minus_x3 = &s - &x3;
+        let yy8 = yy.double().double().double();
+        let neg_yy = yy.neg();
+        let y3 = Fp::sum_of_products(&[(&m, &s_minus_x3), (&neg_yy, &yy8)]);
         let z3 = self.y.double().mul(&self.z);
 
         let two_yy = yy.double();
@@ -117,6 +131,10 @@ impl MillerPoint {
     /// (`H = 0 ⇔ x_T = x_P`, and then `r = 0 ⇔ T = P`), so the caller pays no
     /// separate normalised comparisons: they are reported instead of a line,
     /// and `T` is left untouched.
+    /// Lazy reduction: `X' = r² − H·H² − 2V` and
+    /// `Y' = r(V − X') − (Y·H)·H²` fold their products into one deferred
+    /// reduction each (so `H³` is never materialised), and the chord value
+    /// `r·(x_Q + x_P) − Z'·y_P` is a third sum-of-products.
     fn add_with_line(&mut self, p: &G1Affine, xq: &Fp, yq: &Fp) -> AddStep {
         debug_assert!(!self.is_identity());
         let zz = self.z.square();
@@ -132,13 +150,17 @@ impl MillerPoint {
             };
         }
         let hh = h.square();
-        let hhh = hh.mul(&h);
         let v = self.x.mul(&hh);
-        let x3 = &(&r.square() - &hhh) - &v.double();
-        let y3 = &r.mul(&(&v - &x3)) - &self.y.mul(&hhh);
+        let neg_h = h.neg();
+        let x3 = &Fp::sum_of_products(&[(&r, &r), (&neg_h, &hh)]) - &v.double();
+        let v_minus_x3 = &v - &x3;
+        let neg_yh = self.y.mul(&h).neg();
+        let y3 = Fp::sum_of_products(&[(&r, &v_minus_x3), (&neg_yh, &hh)]);
         let z3 = self.z.mul(&h);
 
-        let line_real = &r.mul(&(xq + p.x())) - &z3.mul(p.y());
+        let x_sum = xq + p.x();
+        let neg_z3 = z3.neg();
+        let line_real = Fp::sum_of_products(&[(&r, &x_sum), (&neg_z3, p.y())]);
         let line_imag = z3.mul(yq);
 
         self.x = x3;
@@ -342,6 +364,44 @@ pub(crate) fn final_exponentiation_with_digits(f: &Fp2, cofactor_digits: &[i8]) 
     Ok(cyclotomic_pow_wnaf(&easy, cofactor_digits))
 }
 
+/// Batched [`final_exponentiation_with_digits`]: one shared field inversion
+/// for the whole slice.
+///
+/// The easy part needs `f^{−1} = conj(f)·norm(f)^{−1}`, and the base-field
+/// GCD inversion inside `norm(f)^{−1}` dominates it.  Batching computes the
+/// k norms, inverts them with **one** GCD via [`Fp::batch_invert`], and
+/// finishes each element as `conj(f)²·norm(f)^{−1}` — mathematically the
+/// same `conj(f)·f^{−1}`, so every output is bit-identical to the
+/// per-element path.  The cyclotomic cofactor exponentiation (the hard
+/// part) remains per element; it is all squarings and cheap conjugations.
+///
+/// Fails with [`PairingError::NotInvertible`] if *any* input is zero (a
+/// zero Miller value, impossible for well-formed curve inputs), matching
+/// the per-element contract — see [`Fp::batch_invert`] for the
+/// zero-mid-batch semantics.
+pub(crate) fn final_exponentiation_batch(fs: &[Fp2], cofactor_digits: &[i8]) -> Result<Vec<Fp2>> {
+    if fs.is_empty() {
+        return Ok(Vec::new());
+    }
+    for f in fs {
+        if f.is_zero() {
+            return Err(PairingError::NotInvertible);
+        }
+    }
+    let norms: Vec<Fp> = fs.iter().map(|f| f.norm()).collect();
+    let inv_norms = Fp::batch_invert(&norms)?;
+    Ok(fs
+        .iter()
+        .zip(&inv_norms)
+        .map(|(f, norm_inv)| {
+            let conj = f.conjugate();
+            let easy = conj.square().mul_fp(norm_inv);
+            debug_assert!(easy.norm().is_one(), "f^(p-1) must have norm 1");
+            cyclotomic_pow_wnaf(&easy, cofactor_digits)
+        })
+        .collect())
+}
+
 /// Width of the signed-digit window used for the cofactor exponentiation.
 pub(crate) const WNAF_WINDOW: u32 = 4;
 
@@ -528,6 +588,32 @@ mod tests {
         let one = Fp2::one(&c);
         let out = final_exponentiation(&one, &Uint::from_u64(123456)).unwrap();
         assert!(out.is_one());
+    }
+
+    /// The batched easy part (one shared GCD inversion) must be
+    /// bit-identical to the per-element final exponentiation.
+    #[test]
+    fn batched_final_exponentiation_matches_per_element() {
+        let pp = PairingParams::insecure_toy();
+        let mut rng = StdRng::seed_from_u64(0x6B17);
+        let digits = wnaf_digits(pp.cofactor(), WNAF_WINDOW);
+        let fs: Vec<Fp2> = (0..7)
+            .map(|_| {
+                let a = pp.random_g1(&mut rng);
+                let b = pp.random_g1(&mut rng);
+                miller_loop(&a, &b, pp.q())
+            })
+            .collect();
+        let batched = final_exponentiation_batch(&fs, &digits).unwrap();
+        assert_eq!(batched.len(), fs.len());
+        for (f, out) in fs.iter().zip(&batched) {
+            let individual = final_exponentiation_with_digits(f, &digits).unwrap();
+            assert_eq!(out.to_bytes(), individual.to_bytes());
+        }
+        // Empty batch and zero rejection.
+        assert!(final_exponentiation_batch(&[], &digits).unwrap().is_empty());
+        let with_zero = vec![fs[0].clone(), Fp2::zero(pp.fp_ctx())];
+        assert!(final_exponentiation_batch(&with_zero, &digits).is_err());
     }
 
     /// The signed-digit cyclotomic exponentiation must agree with plain

@@ -10,10 +10,12 @@
 use crate::curve::{random_curve_point, G1Affine};
 use crate::error::PairingError;
 use crate::fp::FpCtx;
+use crate::fp2::Fp2;
 use crate::gt::Gt;
 use crate::hash::{hash_to_curve, hash_to_scalar};
 use crate::pairing::{
-    final_exponentiation, final_exponentiation_with_digits, miller_loop, wnaf_digits, WNAF_WINDOW,
+    final_exponentiation, final_exponentiation_batch, final_exponentiation_with_digits,
+    miller_loop, wnaf_digits, WNAF_WINDOW,
 };
 use crate::precomp::{G1Precomp, PreparedPairing};
 use crate::scalar::{Scalar, ScalarCtx};
@@ -260,6 +262,39 @@ impl PairingParams {
         Gt::from_fp2_unchecked(reduced)
     }
 
+    /// The product of pairings `∏ᵢ ê(Pᵢ, Qᵢ)` over prepared first arguments —
+    /// one lockstep Miller loop sharing a single accumulator squaring per
+    /// step, and **one** final exponentiation for the whole product.
+    ///
+    /// Bit-identical to multiplying the individual
+    /// [`PreparedPairing::pairing`] results in [`Gt`]; an empty batch is the
+    /// identity.  See [`crate::precomp::multi_pairing`] for the underlying
+    /// free function and the full equivalence argument.
+    pub fn multi_pairing(&self, pairs: &[(&PreparedPairing, &G1Affine)]) -> Gt {
+        crate::precomp::multi_pairing(pairs).unwrap_or_else(|| Gt::one(&self.fp_ctx))
+    }
+
+    /// Reduced pairings `ê(aᵢ, bᵢ)` for a batch of unrelated argument pairs:
+    /// one naive Miller loop each, then a *batched* final exponentiation
+    /// whose per-element easy-part inversions collapse into a single
+    /// extended GCD (Montgomery's trick).
+    ///
+    /// Element-wise bit-identical to `k` independent [`Self::pairing`] calls.
+    /// When the *same* first argument recurs across the batch, prefer
+    /// [`PreparedPairing::pairing_batch`], which also reuses the stored
+    /// Miller lines.
+    pub fn pairing_batch(&self, pairs: &[(&G1Affine, &G1Affine)]) -> Vec<Gt> {
+        let fs: Vec<Fp2> = pairs
+            .iter()
+            .map(|(a, b)| miller_loop(a, b, &self.q))
+            .collect();
+        final_exponentiation_batch(&fs, &self.cofactor_wnaf())
+            .expect("Miller values are never zero for points on the curve")
+            .into_iter()
+            .map(Gt::from_fp2_unchecked)
+            .collect()
+    }
+
     /// The cofactor's cached wNAF recoding (shared by the naive and prepared
     /// final exponentiations).
     pub(crate) fn cofactor_wnaf(&self) -> Arc<Vec<i8>> {
@@ -439,6 +474,30 @@ mod tests {
         let lhs = pp.pairing(&p1.add(&p2), &q);
         let rhs = pp.pairing(&p1, &q).mul(&pp.pairing(&p2, &q));
         assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn params_multi_pairing_and_batch_match_naive_products() {
+        let pp = params();
+        let mut r = rng();
+        let fixed: Vec<G1Affine> = (0..3).map(|_| pp.random_g1(&mut r)).collect();
+        let qs: Vec<G1Affine> = (0..3).map(|_| pp.random_g1(&mut r)).collect();
+        let prepared: Vec<_> = fixed.iter().map(|p| pp.prepare(p)).collect();
+        let pairs: Vec<_> = prepared.iter().zip(qs.iter()).collect();
+        let product = pp.multi_pairing(&pairs);
+        let naive = fixed
+            .iter()
+            .zip(qs.iter())
+            .fold(pp.gt_identity(), |acc, (p, q)| acc.mul(&pp.pairing(p, q)));
+        assert_eq!(product.to_bytes(), naive.to_bytes());
+        assert!(pp.multi_pairing(&[]).is_one());
+
+        let arg_pairs: Vec<(&G1Affine, &G1Affine)> = fixed.iter().zip(qs.iter()).collect();
+        let batch = pp.pairing_batch(&arg_pairs);
+        for (got, (a, b)) in batch.iter().zip(arg_pairs.iter()) {
+            assert_eq!(got.to_bytes(), pp.pairing(a, b).to_bytes());
+        }
+        assert!(pp.pairing_batch(&[]).is_empty());
     }
 
     #[test]

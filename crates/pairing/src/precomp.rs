@@ -40,7 +40,10 @@ use crate::curve::{batch_to_affine, G1Affine, G1Projective};
 use crate::fp::Fp;
 use crate::fp2::Fp2;
 use crate::gt::Gt;
-use crate::pairing::{final_exponentiation_with_digits, wnaf_digits, MillerPoint, RawAddStep};
+use crate::pairing::{
+    final_exponentiation_batch, final_exponentiation_with_digits, wnaf_digits, MillerPoint,
+    RawAddStep,
+};
 use crate::params::PairingParams;
 use crate::scalar::Scalar;
 use std::sync::Arc;
@@ -326,6 +329,90 @@ impl PreparedPairing {
             .expect("Miller values are never zero for points on the curve");
         Gt::from_fp2_unchecked(reduced)
     }
+
+    /// Reduced pairings `ê(P, Qᵢ)` for a whole batch of second arguments.
+    ///
+    /// Runs one stored-line Miller loop per `Qᵢ`, then a *batched* final
+    /// exponentiation: the easy part `f^{p−1} = conj(f)²·N(f)^{−1}` needs one
+    /// base-field inversion per element, and Montgomery's trick collapses all
+    /// `k` of them into a single extended GCD.  The hard (cofactor) part is
+    /// still per-element, so the win is the amortised inversion, not the
+    /// whole final exponentiation.
+    ///
+    /// Element-wise bit-identical to `k` independent [`Self::pairing`] calls
+    /// (canonical representatives of equal field elements are unique).
+    pub fn pairing_batch(&self, qs: &[&G1Affine]) -> Vec<Gt> {
+        let fs: Vec<Fp2> = qs.iter().map(|q| self.miller_loop(q)).collect();
+        final_exponentiation_batch(&fs, &self.cofactor_digits)
+            .expect("Miller values are never zero for points on the curve")
+            .into_iter()
+            .map(Gt::from_fp2_unchecked)
+            .collect()
+    }
+}
+
+/// The product of pairings `∏ᵢ ê(Pᵢ, Qᵢ)` over prepared first arguments, in
+/// one shared Miller loop and **one** final exponentiation.
+///
+/// Every prepared table built from the same parameter set replays the same
+/// NAF of the group order, so all the non-degenerate tables have the same
+/// step count and the loops run in lockstep: per step the shared accumulator
+/// is squared *once* and every pair folds in its stored lines.  Squaring
+/// distributes over products, so after the loop the accumulator is exactly
+/// `∏ᵢ fᵢ`; the final exponentiation is a power map and hence multiplicative,
+/// so the reduced result is bit-identical to multiplying the `k` individual
+/// [`PreparedPairing::pairing`] outputs in [`Gt`].
+///
+/// Pairs whose fixed argument or `Qᵢ` is the identity contribute a factor `1`
+/// and are skipped.  A table with a step count different from the rest (only
+/// possible by mixing parameter sets, which the field contexts reject
+/// anyway) falls back to its own Miller loop, folded into the product before
+/// the final exponentiation.
+///
+/// Returns `None` for an empty slice — there is no field context to build
+/// the identity in; [`crate::params::PairingParams::multi_pairing`] supplies
+/// it.
+pub fn multi_pairing(pairs: &[(&PreparedPairing, &G1Affine)]) -> Option<Gt> {
+    let (first, _) = pairs.first()?;
+    let ctx = first.point.ctx();
+    // Degenerate pairs (identity on either side) pair to 1: skip them.
+    let active: Vec<&(&PreparedPairing, &G1Affine)> = pairs
+        .iter()
+        .filter(|(prep, q)| !prep.steps.is_empty() && !q.is_identity())
+        .collect();
+    let len = active
+        .iter()
+        .map(|(prep, _)| prep.steps.len())
+        .max()
+        .unwrap_or(0);
+    let (lockstep, stragglers): (Vec<_>, Vec<_>) = active
+        .into_iter()
+        .partition(|(prep, _)| prep.steps.len() == len);
+    debug_assert!(
+        stragglers.is_empty(),
+        "prepared tables from one parameter set share a step count"
+    );
+
+    let mut f = Fp2::one(ctx);
+    for i in 0..len {
+        f = f.square();
+        for (prep, q) in &lockstep {
+            let step = &prep.steps[i];
+            if let Some(dbl) = &step.dbl {
+                f = dbl.mul_into(&f, q.x(), q.y());
+            }
+            if let Some(add) = &step.add {
+                f = add.mul_into(&f, q.x(), q.y());
+            }
+        }
+    }
+    for (prep, q) in &stragglers {
+        f = f.mul(&prep.miller_loop(q));
+    }
+
+    let reduced = final_exponentiation_with_digits(&f, &first.cofactor_digits)
+        .expect("Miller values are never zero for points on the curve");
+    Some(Gt::from_fp2_unchecked(reduced))
 }
 
 #[cfg(test)]
@@ -414,6 +501,67 @@ mod tests {
             prepared.pairing(pp.generator()),
             pp.pairing(&two_torsion, pp.generator())
         );
+    }
+
+    #[test]
+    fn multi_pairing_matches_product_of_individual_pairings() {
+        let pp = PairingParams::insecure_toy();
+        let mut r = rng();
+        for k in [1usize, 2, 3, 5, 8] {
+            let fixed: Vec<G1Affine> = (0..k).map(|_| pp.random_g1(&mut r)).collect();
+            let qs: Vec<G1Affine> = (0..k).map(|_| pp.random_g1(&mut r)).collect();
+            let prepared: Vec<PreparedPairing> =
+                fixed.iter().map(|p| PreparedPairing::new(&pp, p)).collect();
+            let pairs: Vec<(&PreparedPairing, &G1Affine)> =
+                prepared.iter().zip(qs.iter()).collect();
+            let fast = multi_pairing(&pairs).expect("non-empty batch");
+            let naive = prepared
+                .iter()
+                .zip(qs.iter())
+                .fold(pp.gt_identity(), |acc, (p, q)| acc.mul(&p.pairing(q)));
+            assert_eq!(fast, naive);
+            assert_eq!(fast.to_bytes(), naive.to_bytes());
+        }
+        // Empty batch: no context to build 1 in.
+        assert!(multi_pairing(&[]).is_none());
+    }
+
+    #[test]
+    fn multi_pairing_skips_degenerate_pairs() {
+        let pp = PairingParams::insecure_toy();
+        let mut r = rng();
+        let a = pp.random_g1(&mut r);
+        let b = pp.random_g1(&mut r);
+        let q = pp.random_g1(&mut r);
+        let prep_a = PreparedPairing::new(&pp, &a);
+        let prep_b = PreparedPairing::new(&pp, &b);
+        let prep_id = PreparedPairing::new(&pp, &pp.g1_identity());
+        let id = pp.g1_identity();
+        // Identity in either position contributes a factor 1.
+        let pairs: Vec<(&PreparedPairing, &G1Affine)> =
+            vec![(&prep_a, &q), (&prep_id, &q), (&prep_b, &id)];
+        let fast = multi_pairing(&pairs).expect("non-empty batch");
+        assert_eq!(fast.to_bytes(), prep_a.pairing(&q).to_bytes());
+        // All-degenerate batch is the identity.
+        let pairs: Vec<(&PreparedPairing, &G1Affine)> = vec![(&prep_id, &q), (&prep_a, &id)];
+        assert!(multi_pairing(&pairs).expect("non-empty batch").is_one());
+    }
+
+    #[test]
+    fn pairing_batch_matches_individual_pairings() {
+        let pp = PairingParams::insecure_toy();
+        let mut r = rng();
+        let fixed = pp.random_g1(&mut r);
+        let prepared = PreparedPairing::new(&pp, &fixed);
+        let mut qs: Vec<G1Affine> = (0..6).map(|_| pp.random_g1(&mut r)).collect();
+        qs.push(pp.g1_identity());
+        let refs: Vec<&G1Affine> = qs.iter().collect();
+        let batch = prepared.pairing_batch(&refs);
+        assert_eq!(batch.len(), qs.len());
+        for (got, q) in batch.iter().zip(qs.iter()) {
+            assert_eq!(got.to_bytes(), prepared.pairing(q).to_bytes());
+        }
+        assert!(prepared.pairing_batch(&[]).is_empty());
     }
 
     #[test]

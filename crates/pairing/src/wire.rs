@@ -422,6 +422,80 @@ mod tests {
     }
 
     #[test]
+    fn gt_v1_torus_corner_cases_round_trip_exhaustively() {
+        let pp = params();
+        let ctx = pp.fp_ctx().clone();
+        let one = Fp::one(&ctx);
+        let minus_one = one.neg();
+        let zero = Fp::zero(&ctx);
+
+        // The four torus points with a zero coordinate: c0 = ±1 (c1 = 0 —
+        // the unit and the order-2 element, where decompression must take
+        // the square root of zero) and c0 = 0 (c1 = ±1, one per parity).
+        let corners = [
+            Fp2::new(one.clone(), zero.clone()),
+            Fp2::new(minus_one.clone(), zero.clone()),
+            Fp2::new(zero.clone(), one.clone()),
+            Fp2::new(zero.clone(), minus_one.clone()),
+        ];
+        for v in &corners {
+            let gt = Gt::from_fp2_unchecked(v.clone());
+            let enc = encode_bare(&gt, WireVersion::V1);
+            let expected_tag = if v.c1.is_odd_repr() {
+                gt_tag::ODD
+            } else {
+                gt_tag::EVEN
+            };
+            assert_eq!(enc[0], expected_tag, "corner {v:?}");
+            assert_eq!(enc.len(), 1 + ctx.byte_len(), "corners compress");
+            let dec = decode_bare::<Gt>(&enc, WireVersion::V1, &ctx).unwrap();
+            assert_eq!(dec.to_bytes(), gt.to_bytes(), "corner {v:?}");
+        }
+
+        // The c1 = 0 corners are their own conjugates, so the flipped
+        // parity tag encodes nothing and must be rejected.
+        for c0 in [one, minus_one] {
+            let gt = Gt::from_fp2_unchecked(Fp2::new(c0, zero.clone()));
+            let mut enc = encode_bare(&gt, WireVersion::V1);
+            assert_eq!(enc[0], gt_tag::EVEN);
+            enc[0] = gt_tag::ODD;
+            assert!(decode_bare::<Gt>(&enc, WireVersion::V1, &ctx).is_err());
+        }
+
+        // For c1 ≠ 0 both parity branches occur, each round-trips, and the
+        // flipped tag is not an alias: it decodes the *conjugate* (the
+        // inverse on the norm-1 torus), keeping encodings one-to-one.
+        let (mut seen_even, mut seen_odd) = (false, false);
+        let mut g = pp.gt_generator().clone();
+        for _ in 0..16 {
+            if !g.as_fp2().c1.is_zero() {
+                let enc = encode_bare(&g, WireVersion::V1);
+                match enc[0] {
+                    gt_tag::ODD => seen_odd = true,
+                    gt_tag::EVEN => seen_even = true,
+                    other => panic!("unexpected tag {other:#x}"),
+                }
+                let dec = decode_bare::<Gt>(&enc, WireVersion::V1, &ctx).unwrap();
+                assert_eq!(dec.to_bytes(), g.to_bytes());
+                let mut flipped = enc;
+                flipped[0] ^= 0x01; // EVEN <-> ODD
+                let conj = decode_bare::<Gt>(&flipped, WireVersion::V1, &ctx).unwrap();
+                assert_eq!(
+                    conj.as_fp2().c1.to_bytes(),
+                    g.as_fp2().c1.neg().to_bytes(),
+                    "flipped parity is the conjugate"
+                );
+                assert!(conj.mul(&g).is_one(), "conjugate inverts on the torus");
+            }
+            g = g.mul(pp.gt_generator());
+        }
+        assert!(
+            seen_even && seen_odd,
+            "both parity branches must be exercised"
+        );
+    }
+
+    #[test]
     fn corrupt_encodings_are_rejected_with_offsets() {
         let pp = params();
         let mut r = rng();

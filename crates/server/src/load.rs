@@ -133,30 +133,49 @@ impl From<ClientError> for LoadError {
     }
 }
 
-/// Zipf sampler over `0..n` via a precomputed CDF and binary search (the
-/// vendored rand has no distribution support).
+/// Zipf sampler over `0..n` via precomputed *tail* sums and binary search
+/// (the vendored rand has no distribution support).
+///
+/// The distribution is stored as the complementary CDF
+/// `tail[i] = P(bucket ≥ i)` rather than the forward CDF: at high skew the
+/// forward `cdf[i] = 1 − tail(i+1)` rounds to exactly `1.0` as soon as the
+/// remaining mass drops below an ulp, which silently made the last buckets
+/// unreachable.  Tail sums keep arbitrarily small bucket masses
+/// representable, so every bucket with non-zero `f64` mass stays sampleable
+/// at any exponent.
 struct Zipf {
-    cdf: Vec<f64>,
+    /// `tail[i] = Σ_{j ≥ i} w_j / Σ w_j`; decreasing, `tail[0] = 1.0`.
+    tail: Vec<f64>,
 }
 
 impl Zipf {
     fn new(n: usize, exponent: f64) -> Self {
-        let mut cdf = Vec::with_capacity(n.max(1));
-        let mut total = 0.0;
-        for i in 0..n.max(1) {
-            total += 1.0 / ((i + 1) as f64).powf(exponent);
-            cdf.push(total);
+        let n = n.max(1);
+        let weights: Vec<f64> = (0..n)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(exponent))
+            .collect();
+        // Accumulate from the smallest weight up so tiny tail masses are not
+        // absorbed by the head's rounding.
+        let total: f64 = weights.iter().rev().sum();
+        let mut tail = vec![0.0; n];
+        let mut acc = 0.0;
+        for i in (0..n).rev() {
+            acc += weights[i];
+            tail[i] = acc / total;
         }
-        for c in &mut cdf {
-            *c /= total;
-        }
-        Zipf { cdf }
+        // Pin the full-distribution entry so the sampler's invariant
+        // (`tail[0] ≥ v` for every v in (0, 1]) holds exactly.
+        tail[0] = 1.0;
+        Zipf { tail }
     }
 
     fn sample(&self, rng: &mut StdRng) -> usize {
-        // 53 uniform mantissa bits → u ∈ [0, 1).
-        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
-        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+        // 53 uniform mantissa bits → v ∈ (0, 1].
+        let v = ((rng.next_u64() >> 11) + 1) as f64 / (1u64 << 53) as f64;
+        // Largest index whose tail mass still covers v.  `tail[0] = 1 ≥ v`
+        // guarantees at least one true entry, and the count is at most `n`,
+        // so the index is always in range.
+        self.tail.partition_point(|&t| t >= v).saturating_sub(1)
     }
 }
 
@@ -371,4 +390,86 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, LoadError> {
         max_us: latencies.last().copied().unwrap_or(0),
         req_per_sec: (ok + denied) as f64 / elapsed.as_secs_f64().max(1e-9),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_tail_is_a_valid_distribution() {
+        for &(n, s) in &[
+            (1usize, 1.0f64),
+            (16, 0.0),
+            (16, 1.0),
+            (16, 2.0),
+            (64, 3.0),
+            (8, 20.0),
+        ] {
+            let z = Zipf::new(n, s);
+            assert_eq!(z.tail.len(), n, "n={n}, s={s}");
+            assert_eq!(z.tail[0], 1.0, "n={n}, s={s}");
+            for w in z.tail.windows(2) {
+                assert!(w[0] >= w[1] && w[1] > 0.0, "n={n}, s={s}: {w:?}");
+            }
+            // The per-bucket masses tile [0, 1] exactly (up to rounding).
+            let mass: f64 = (0..n)
+                .map(|i| z.tail[i] - z.tail.get(i + 1).copied().unwrap_or(0.0))
+                .sum();
+            assert!((mass - 1.0).abs() < 1e-12, "n={n}, s={s}: mass {mass}");
+        }
+    }
+
+    #[test]
+    fn zipf_last_bucket_stays_reachable_at_high_skew() {
+        // Regression: the forward-CDF construction rounded `cdf[i]` to 1.0
+        // once the remaining mass fell below an ulp, so at high skew the
+        // last buckets could never be drawn.  The tail representation keeps
+        // their mass positive; prove reachability by evaluating the
+        // sampler's own search at the exact boundary value instead of
+        // waiting for an astronomically unlikely draw.
+        for &(n, s) in &[(16usize, 2.0f64), (16, 4.0), (8, 20.0), (64, 6.0)] {
+            let z = Zipf::new(n, s);
+            assert!(z.tail[n - 1] > 0.0, "n={n}, s={s}: last mass underflowed");
+            let idx = z.tail.partition_point(|&t| t >= z.tail[n - 1]) - 1;
+            assert_eq!(idx, n - 1, "n={n}, s={s}: last bucket unreachable");
+        }
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_range_and_match_the_analytic_masses() {
+        // No out-of-range index, whatever the rng produces.
+        let z = Zipf::new(5, 3.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20_000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+
+        // Empirical frequencies track 1/k^s at moderate skew.
+        let (n, s) = (8usize, 1.0f64);
+        let z = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(7);
+        let draws = 200_000u64;
+        let mut hist = vec![0u64; n];
+        for _ in 0..draws {
+            hist[z.sample(&mut rng)] += 1;
+        }
+        let total: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
+        for (k, &count) in hist.iter().enumerate() {
+            let expect = ((k + 1) as f64).powf(-s) / total;
+            let got = count as f64 / draws as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "bucket {k}: got {got:.4}, expected {expect:.4}"
+            );
+        }
+        // Every bucket of a small uniform distribution gets hit.
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..10_000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
 }

@@ -17,6 +17,7 @@ cd "$(dirname "$0")/.."
 benches=(
   e12_resident
   e13_server
+  e15_multipairing
 )
 
 filter="${1:-}"
