@@ -1,0 +1,317 @@
+//! Experiment E16 — pipelined framing + the cross-request batch scheduler.
+//!
+//! Boots one shared kgc + store and TWO proxy nodes against the same store:
+//!
+//! * **plain** — `batch_max = 1`, the scheduler fully disabled: every
+//!   request is handled inline on its connection thread.  For the
+//!   throughput baseline the bit-identical crypto caches (the `G1`
+//!   validation memo and the delegatee mask cache) are switched **off**,
+//!   reproducing the pre-scheduler (PR-7) per-request cost path;
+//! * **batched** — the full fast path: the scheduler on, draining up to
+//!   `batch_max` disclosures per tick across all connections into one
+//!   engine batch, with the caches on.
+//!
+//! Both proxies hold the *same* installed re-encryption keys, and TIB-PRE
+//! disclosure is deterministic, so before any timing the harness asserts
+//! the batched proxy's pipelined cached responses are **byte-identical**
+//! to the plain proxy's sequential *uncached* ones — which simultaneously
+//! proves the scheduler and the caches change no output.  Then it measures
+//! closed-loop requests/second under pipelined multi-client load on each,
+//! and finally re-measures a single lockstep client against both proxies
+//! with caches on to prove the adaptive drain window keeps idle latency
+//! flat (that comparison isolates the scheduler, so both idle arms run the
+//! same validation config).
+//!
+//! Scale knobs: `TIBPRE_E16_CLIENTS`, `TIBPRE_E16_REQUESTS`,
+//! `TIBPRE_E16_PIPELINE`, `TIBPRE_E16_BATCH_MAX`,
+//! `TIBPRE_E16_IDLE_REQUESTS`.  Gate knobs (for noisy CI runners):
+//! `TIBPRE_E16_MIN_SPEEDUP`, `TIBPRE_E16_IDLE_SLACK`.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use tibpre_client::{
+    params_for_level, ClientConfig, Connection, KgcClient, NodeRole, ProxyClient, Request,
+    StoreClient,
+};
+use tibpre_core::Delegator;
+use tibpre_ibe::Identity;
+use tibpre_pairing::SecurityLevel;
+use tibpre_phr::{Category, HealthRecord};
+use tibpre_server::load::{run_load, LoadConfig, LoadReport};
+use tibpre_server::{node, NodeConfig, NodeHandle};
+use tibpre_wire::WireEncode;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Proves the batched path is an optimization, not a behaviour change: the
+/// same disclosure sequence, pipelined through the scheduler-enabled proxy,
+/// must produce response frames byte-identical to the plain proxy answering
+/// one request at a time.  Both proxies share the store and the installed
+/// re-encryption key, and disclosure is deterministic, so any divergence is
+/// a bug in the batch path.
+fn assert_bit_identical(
+    kgc: &NodeHandle,
+    store: &NodeHandle,
+    plain: &NodeHandle,
+    batched: &NodeHandle,
+) {
+    let params = params_for_level(SecurityLevel::Toy);
+    let config = ClientConfig::default();
+    let mut kgc_client = KgcClient::connect(kgc.addr(), &params, &config).unwrap();
+    let mut store_client = StoreClient::connect(store.addr(), &params, &config).unwrap();
+    let domain = kgc_client.public_params().unwrap();
+
+    let patient = Identity::new("identity-check-patient");
+    let provider = Identity::new("identity-check-provider");
+    let category = Category::LabResults;
+    let delegator = Delegator::new(domain.clone(), kgc_client.extract(&patient).unwrap());
+    let mut rng = StdRng::seed_from_u64(0x000E_161D);
+    let mut requests = Vec::new();
+    for r in 0..8 {
+        let title = format!("check-{r}");
+        let mut body = vec![0u8; 64];
+        rng.fill_bytes(&mut body);
+        let aad = HealthRecord::associated_data(&patient, &category, &title);
+        let ct = delegator.encrypt_bytes(&body, &aad, &category.type_tag(), &mut rng);
+        let id = store_client.put(&patient, &category, &title, ct).unwrap();
+        requests.push(Request::Disclose {
+            patient: patient.clone(),
+            id,
+            requester: provider.clone(),
+        });
+    }
+    // ONE key, installed on BOTH proxies — the precondition for comparing
+    // their outputs at all.
+    let key = delegator
+        .make_reencryption_key(&provider, &domain, &category.type_tag(), &mut rng)
+        .unwrap();
+    for proxy in [plain, batched] {
+        let mut client = ProxyClient::connect(proxy.addr(), &params, &config).unwrap();
+        client.install_key(key.clone()).unwrap();
+    }
+
+    // Oracle: one-at-a-time, caches off — the PR-7 cost path exactly.
+    // Probe: pipelined through the scheduler with caches on.  Byte equality
+    // proves neither the batch path nor the caches change any output.
+    tibpre_pairing::set_crypto_caches_enabled(false);
+    let mut plain_conn = Connection::connect(plain.addr(), &params, &config).unwrap();
+    let oracle: Vec<Vec<u8>> = requests
+        .iter()
+        .map(|request| {
+            plain_conn
+                .call_pipelined(std::slice::from_ref(request))
+                .unwrap()[0]
+                .to_wire_bytes()
+        })
+        .collect();
+    tibpre_pairing::set_crypto_caches_enabled(true);
+    let mut batched_conn = Connection::connect(batched.addr(), &params, &config).unwrap();
+    let piped = batched_conn.call_pipelined(&requests).unwrap();
+    assert_eq!(piped.len(), oracle.len());
+    for (i, (response, want)) in piped.iter().zip(&oracle).enumerate() {
+        assert_eq!(
+            &response.to_wire_bytes(),
+            want,
+            "batched+cached response {i} is not bit-identical to the uncached \
+             one-at-a-time path"
+        );
+    }
+    eprintln!("e16: batched+cached responses bit-identical to the uncached one-at-a-time path");
+}
+
+fn drive(
+    label: &str,
+    kgc: &NodeHandle,
+    store: &NodeHandle,
+    proxy: &NodeHandle,
+    clients: usize,
+    requests: u64,
+    pipeline: usize,
+) -> LoadReport {
+    let config = LoadConfig {
+        kgc_addr: kgc.addr().to_string(),
+        store_addr: store.addr().to_string(),
+        proxy_addr: proxy.addr().to_string(),
+        clients,
+        requests,
+        pipeline,
+        // Churn off: E16 isolates the protocol/batching win, and the two
+        // arms must serve identical traffic.
+        churn_every: 0,
+        ..LoadConfig::default()
+    };
+    let report = run_load(&config).expect("load run");
+    eprintln!(
+        "e16[{label}]: {} ok / {} denied / {} errors / {} reordered in {:.2}s — \
+         p50 {}us p99 {}us, {:.0} req/s",
+        report.ok,
+        report.denied,
+        report.errors,
+        report.reordered,
+        report.elapsed.as_secs_f64(),
+        report.p50_us,
+        report.p99_us,
+        report.req_per_sec,
+    );
+    assert_eq!(report.errors, 0, "e16[{label}]: errors under load");
+    assert_eq!(report.reordered, 0, "e16[{label}]: reordered responses");
+    assert_eq!(
+        report.ok + report.denied,
+        requests,
+        "e16[{label}]: every request must be answered"
+    );
+    report
+}
+
+fn main() {
+    let clients = env_usize("TIBPRE_E16_CLIENTS", 8);
+    let requests = env_usize("TIBPRE_E16_REQUESTS", 1600) as u64;
+    let pipeline = env_usize("TIBPRE_E16_PIPELINE", 8);
+    let batch_max = env_usize("TIBPRE_E16_BATCH_MAX", 16);
+    let idle_requests = env_usize("TIBPRE_E16_IDLE_REQUESTS", 300) as u64;
+    // The acceptance gates.  CI smoke runs relax them (shared multi-core
+    // runners are noisy and parallelise the one-at-a-time arm); the
+    // committed BENCH_e16.json carries the acceptance-grade defaults.
+    let min_speedup = env_f64("TIBPRE_E16_MIN_SPEEDUP", 1.3);
+    let idle_slack = env_f64("TIBPRE_E16_IDLE_SLACK", 1.10);
+
+    let kgc = node::start(NodeConfig::new(NodeRole::Kgc)).expect("kgc node");
+    let store = node::start(NodeConfig::new(NodeRole::Store)).expect("store node");
+    let mut plain_config = NodeConfig::new(NodeRole::Proxy);
+    plain_config.store_addr = Some(store.addr().to_string());
+    plain_config.batch_max = 1; // scheduler off: the PR-7 one-at-a-time path
+    let plain = node::start(plain_config).expect("plain proxy");
+    let mut batched_config = NodeConfig::new(NodeRole::Proxy);
+    batched_config.store_addr = Some(store.addr().to_string());
+    batched_config.batch_max = batch_max;
+    let batched = node::start(batched_config).expect("batched proxy");
+    eprintln!(
+        "e16: kgc {} / store {} / plain proxy {} / batched proxy {} \
+         (batch_max {batch_max})",
+        kgc.addr(),
+        store.addr(),
+        plain.addr(),
+        batched.addr()
+    );
+
+    // Correctness before any timing.
+    assert_bit_identical(&kgc, &store, &plain, &batched);
+
+    // Throughput: the same multi-client load on each arm.  The baseline arm
+    // is the PR-7 configuration end to end — one request per round trip AND
+    // the per-request validation cost path (caches off); the batched arm is
+    // this PR's full fast path.
+    eprintln!("e16: {clients} clients x {requests} requests, pipeline {pipeline}");
+    tibpre_pairing::set_crypto_caches_enabled(false);
+    let base = drive("plain", &kgc, &store, &plain, clients, requests, 1);
+    tibpre_pairing::set_crypto_caches_enabled(true);
+    let coal = drive(
+        "batched", &kgc, &store, &batched, clients, requests, pipeline,
+    );
+    let speedup = coal.req_per_sec / base.req_per_sec.max(1e-9);
+
+    // Idle-latency guard: one lockstep client must not pay for the
+    // scheduler it does not need (the adaptive window dispatches a lone
+    // request immediately).  Caches stay on in BOTH idle arms so the
+    // comparison isolates the scheduler alone.
+    let idle_base = drive("idle-plain", &kgc, &store, &plain, 1, idle_requests, 1);
+    let idle_coal = drive("idle-batched", &kgc, &store, &batched, 1, idle_requests, 1);
+
+    let sched = coal.sched.clone().unwrap_or_default();
+    eprintln!(
+        "e16: speedup {speedup:.2}x ({:.0} → {:.0} req/s); idle p50 {}us → {}us; \
+         scheduler ran {} batches over {} requests, histogram {:?}",
+        base.req_per_sec,
+        coal.req_per_sec,
+        idle_base.p50_us,
+        idle_coal.p50_us,
+        sched.batches,
+        sched.batched_requests,
+        sched.hist,
+    );
+
+    for handle in [batched, plain, store, kgc] {
+        handle.shutdown();
+        handle.wait();
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"e16_coalesce\",\n",
+            "  \"level\": \"toy\",\n",
+            "  \"clients\": {},\n",
+            "  \"requests\": {},\n",
+            "  \"pipeline\": {},\n",
+            "  \"batch_max\": {},\n",
+            "  \"bit_identical\": true,\n",
+            "  \"baseline_arm\": \"pr7 path: one-at-a-time, crypto caches off\",\n",
+            "  \"batched_arm\": \"scheduler + pipelining, crypto caches on\",\n",
+            "  \"baseline_req_per_sec\": {:.1},\n",
+            "  \"batched_req_per_sec\": {:.1},\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"baseline_p50_us\": {},\n",
+            "  \"batched_p50_us\": {},\n",
+            "  \"idle_baseline_p50_us\": {},\n",
+            "  \"idle_batched_p50_us\": {},\n",
+            "  \"errors\": {},\n",
+            "  \"reordered\": {},\n",
+            "  \"sched_batches\": {},\n",
+            "  \"sched_batched_requests\": {},\n",
+            "  \"sched_bypass\": {},\n",
+            "  \"sched_hist\": {:?}\n",
+            "}}\n"
+        ),
+        clients,
+        requests,
+        pipeline,
+        batch_max,
+        base.req_per_sec,
+        coal.req_per_sec,
+        speedup,
+        base.p50_us,
+        coal.p50_us,
+        idle_base.p50_us,
+        idle_coal.p50_us,
+        base.errors + coal.errors + idle_base.errors + idle_coal.errors,
+        base.reordered + coal.reordered + idle_base.reordered + idle_coal.reordered,
+        sched.batches,
+        sched.batched_requests,
+        sched.bypass,
+        sched.hist,
+    );
+    print!("{json}");
+
+    let out = std::env::var("TIBPRE_BENCH_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_e16.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).unwrap();
+    eprintln!("e16: wrote {out}");
+
+    // Acceptance gates.
+    assert!(
+        speedup >= min_speedup,
+        "batched throughput {:.1} req/s is only {speedup:.2}x the one-at-a-time \
+         path's {:.1} req/s (gate: {min_speedup}x)",
+        coal.req_per_sec,
+        base.req_per_sec
+    );
+    assert!(
+        idle_coal.p50_us as f64 <= idle_base.p50_us as f64 * idle_slack,
+        "single-client p50 {}us on the batched proxy exceeds the one-at-a-time \
+         path's {}us by more than the {idle_slack}x allowance",
+        idle_coal.p50_us,
+        idle_base.p50_us
+    );
+}

@@ -89,14 +89,24 @@ impl Default for ClientConfig {
 
 /// One framed request/response connection to a node.
 ///
-/// The protocol is strictly request → response, one in flight per
-/// connection; concurrency comes from opening more connections (see
-/// [`crate::RemoteStore`]'s pool).
+/// The protocol answers every request with exactly one response frame, in
+/// request order, so a connection supports two usage modes:
+///
+/// * **lockstep** — [`Self::call`]: one request, block for its response;
+/// * **pipelined** — [`Self::send`] several requests (the writer buffers
+///   them; [`Self::flush`] pushes the whole run in one segment), then
+///   [`Self::receive`] each response in order.  [`Self::call_pipelined`]
+///   packages the common burst shape.
+///
+/// Responses are matched to requests purely by order — the invariant the
+/// server's scheduler preserves per connection.  Additional concurrency
+/// comes from opening more connections (see [`crate::RemoteStore`]'s pool).
 pub struct Connection {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     ctx: DecodeCtx,
     max_frame: usize,
+    in_flight: usize,
 }
 
 impl Connection {
@@ -117,6 +127,7 @@ impl Connection {
             writer,
             ctx: DecodeCtx::from(params),
             max_frame: config.max_frame,
+            in_flight: 0,
         })
     }
 
@@ -124,14 +135,58 @@ impl Connection {
     /// [`Response::Error`] comes back as [`ClientError::Remote`], so the
     /// `Ok` arm always holds a success variant.
     pub fn call(&mut self, request: &Request) -> Result<Response> {
-        write_frame(&mut self.writer, &request.to_wire_bytes(), self.max_frame)?;
-        self.writer.flush()?;
-        let payload =
-            read_frame(&mut self.reader, self.max_frame)?.ok_or(ClientError::Disconnected)?;
-        match Response::from_wire_bytes(&payload, &self.ctx)? {
+        self.send(request)?;
+        self.flush()?;
+        match self.receive()? {
             Response::Error(err) => Err(ClientError::Remote(err)),
             response => Ok(response),
         }
+    }
+
+    /// Queues one request frame into the writer without flushing.  The
+    /// response is owed: balance every `send` with a [`Self::receive`].
+    pub fn send(&mut self, request: &Request) -> Result<()> {
+        write_frame(&mut self.writer, &request.to_wire_bytes(), self.max_frame)?;
+        self.in_flight += 1;
+        Ok(())
+    }
+
+    /// Flushes all queued request frames to the socket in one push.
+    pub fn flush(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Blocks for the next response frame, in request order.  Unlike
+    /// [`Self::call`], a [`Response::Error`] is returned as a *value* — a
+    /// pipelined caller must keep consuming the remaining in-flight
+    /// responses even when one of them is a denial.
+    pub fn receive(&mut self) -> Result<Response> {
+        let payload =
+            read_frame(&mut self.reader, self.max_frame)?.ok_or(ClientError::Disconnected)?;
+        self.in_flight = self.in_flight.saturating_sub(1);
+        Ok(Response::from_wire_bytes(&payload, &self.ctx)?)
+    }
+
+    /// Responses sent (or queued) but not yet received.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Sends a whole burst pipelined — all requests in one flush, then all
+    /// responses read back in order.  Errors travel as
+    /// [`Response::Error`] values in the result vector, which always has
+    /// exactly `requests.len()` entries on success.
+    pub fn call_pipelined(&mut self, requests: &[Request]) -> Result<Vec<Response>> {
+        for request in requests {
+            self.send(request)?;
+        }
+        self.flush()?;
+        let mut responses = Vec::with_capacity(requests.len());
+        for _ in requests {
+            responses.push(self.receive()?);
+        }
+        Ok(responses)
     }
 
     /// [`Self::call`] expecting a bare [`Response::Ok`].

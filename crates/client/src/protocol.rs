@@ -236,6 +236,9 @@ pub enum Request {
     /// (Store) Promote a replica: stop rejecting writes with `WrongRole`.
     /// A no-op on a node that already accepts writes.
     Promote,
+    /// Batch-scheduler counters (every role answers; the counters are
+    /// process-global, so a node without a scheduler reports zeros).
+    SchedStats,
 }
 
 impl Request {
@@ -265,6 +268,7 @@ impl Request {
             Request::SubscribeReplication { .. } => "SubscribeReplication",
             Request::ReplicationStatus => "ReplicationStatus",
             Request::Promote => "Promote",
+            Request::SchedStats => "SchedStats",
         }
     }
 }
@@ -292,6 +296,7 @@ mod req_tag {
     pub const SUBSCRIBE_REPLICATION: u8 = 40;
     pub const REPLICATION_STATUS: u8 = 41;
     pub const PROMOTE: u8 = 42;
+    pub const SCHED_STATS: u8 = 43;
 }
 
 fn put_identity(w: &mut Writer, id: &Identity) {
@@ -444,6 +449,7 @@ impl WireEncode for Request {
             }
             Request::ReplicationStatus => w.put_u8(req_tag::REPLICATION_STATUS),
             Request::Promote => w.put_u8(req_tag::PROMOTE),
+            Request::SchedStats => w.put_u8(req_tag::SCHED_STATS),
         }
     }
 }
@@ -543,6 +549,7 @@ impl WireDecode for Request {
             }
             req_tag::REPLICATION_STATUS => Request::ReplicationStatus,
             req_tag::PROMOTE => Request::Promote,
+            req_tag::SCHED_STATS => Request::SchedStats,
             tag => return Err(DecodeError::invalid_tag(offset, "request", tag)),
         })
     }
@@ -695,6 +702,60 @@ impl WireDecode for RemoteError {
     }
 }
 
+/// Process-global batch-scheduler counters, answered by `SchedStats`.
+///
+/// The histogram buckets batch sizes as
+/// `1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, 65+` (index 0 through 7).  All
+/// counters are cumulative since node start; a node running without a
+/// scheduler reports zeros.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedStatsReport {
+    /// Batches executed by the scheduler.
+    pub batches: u64,
+    /// Requests that went through scheduler batches.
+    pub batched_requests: u64,
+    /// Requests answered inline, bypassing the scheduler queue.
+    pub bypass: u64,
+    /// Current submission-queue depth (sampled).
+    pub queue_depth: u64,
+    /// Highest submission-queue depth observed.
+    pub queue_peak: u64,
+    /// Batch-size histogram (buckets documented above).
+    pub hist: [u64; 8],
+}
+
+impl WireEncode for SchedStatsReport {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.batches);
+        w.put_u64(self.batched_requests);
+        w.put_u64(self.bypass);
+        w.put_u64(self.queue_depth);
+        w.put_u64(self.queue_peak);
+        for bucket in &self.hist {
+            w.put_u64(*bucket);
+        }
+    }
+}
+
+impl WireDecode for SchedStatsReport {
+    type Ctx = ();
+
+    fn decode(r: &mut Reader<'_>, _ctx: &()) -> Result<Self, DecodeError> {
+        let mut report = SchedStatsReport {
+            batches: r.u64()?,
+            batched_requests: r.u64()?,
+            bypass: r.u64()?,
+            queue_depth: r.u64()?,
+            queue_peak: r.u64()?,
+            hist: [0; 8],
+        };
+        for bucket in &mut report.hist {
+            *bucket = r.u64()?;
+        }
+        Ok(report)
+    }
+}
+
 /// One response frame, node → client.
 #[derive(Debug, Clone)]
 pub enum Response {
@@ -764,6 +825,8 @@ pub enum Response {
         /// The raw log bytes (never empty).
         bytes: Vec<u8>,
     },
+    /// Batch-scheduler counters, answering `SchedStats`.
+    SchedStats(SchedStatsReport),
 }
 
 mod resp_tag {
@@ -784,6 +847,7 @@ mod resp_tag {
     pub const REPLICA_STATUS: u8 = 15;
     pub const SNAPSHOT_GENERATION: u8 = 16;
     pub const SEGMENT_CHUNK: u8 = 17;
+    pub const SCHED_STATS: u8 = 18;
 }
 
 impl WireEncode for Response {
@@ -882,6 +946,10 @@ impl WireEncode for Response {
                 w.put_u64(*start);
                 w.put_bytes(bytes);
             }
+            Response::SchedStats(report) => {
+                w.put_u8(resp_tag::SCHED_STATS);
+                report.encode(w);
+            }
         }
     }
 }
@@ -968,6 +1036,7 @@ impl WireDecode for Response {
                 start: r.u64()?,
                 bytes: r.bytes()?.to_vec(),
             },
+            resp_tag::SCHED_STATS => Response::SchedStats(SchedStatsReport::decode(r, &())?),
             tag => return Err(DecodeError::invalid_tag(offset, "response", tag)),
         })
     }
@@ -1095,6 +1164,7 @@ mod tests {
             },
             Request::ReplicationStatus,
             Request::Promote,
+            Request::SchedStats,
         ];
         for req in &requests {
             let back = round_trip_request(req, &ctx);
@@ -1149,6 +1219,7 @@ mod tests {
                 start: 128,
                 bytes: vec![0xCD; 16],
             },
+            Response::SchedStats(SchedStatsReport::default()),
         ];
         for resp in &responses {
             let back = round_trip_response(resp, &ctx);
@@ -1212,6 +1283,18 @@ mod tests {
                 assert_eq!(positions, vec![64, 0, u64::MAX]);
                 assert!(writable);
             }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let report = SchedStatsReport {
+            batches: 5,
+            batched_requests: 40,
+            bypass: 12,
+            queue_depth: 3,
+            queue_peak: 17,
+            hist: [1, 2, 3, 4, 5, 6, 7, 8],
+        };
+        match round_trip_response(&Response::SchedStats(report.clone()), &ctx) {
+            Response::SchedStats(back) => assert_eq!(back, report),
             other => panic!("wrong variant: {other:?}"),
         }
     }

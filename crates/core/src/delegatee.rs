@@ -2,20 +2,66 @@
 
 use crate::proxy::ReEncryptedCiphertext;
 use crate::{PreError, Result};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use tibpre_ibe::{bf, IbePrivateKey, Identity, H1_DOMAIN};
-use tibpre_pairing::{G1Affine, Gt, PairingParams};
+use tibpre_pairing::{G1Affine, Gt, PairingParams, PreparedPairing};
+use tibpre_wire::WireEncode;
 
 /// The delegatee: holds a private key extracted by *their own* KGC (the
 /// paper's `KGC2`) and can open ciphertexts a proxy re-encrypted for them.
 pub struct Delegatee {
     private_key: IbePrivateKey,
+    /// `c'₃ ↦ prepared Miller loop for H1(Decrypt2(c'₃))`, keyed by the
+    /// exact wire bytes of `c'₃`.  Every ciphertext re-encrypted under one
+    /// re-encryption key carries the *same* `c'₃ = Encrypt2(X, id_j)`, so a
+    /// delegatee opening a run of disclosures pays the IBE decryption, the
+    /// hash-to-curve, and the Miller-loop tabulation once per key instead of
+    /// once per record.  Identical bytes decrypt to the identical `X`, and
+    /// the prepared pairing is bit-identical to the direct one, so the cache
+    /// cannot change any output.  Bounded: cleared when full.
+    mask_cache: Mutex<HashMap<Box<[u8]>, Arc<PreparedPairing>>>,
 }
+
+/// Cached prepared masks per delegatee (distinct re-encryption keys seen).
+const MASK_CACHE_CAP: usize = 256;
 
 impl Delegatee {
     /// Binds a delegatee to their extracted private key.
     pub fn new(private_key: IbePrivateKey) -> Self {
-        Delegatee { private_key }
+        Delegatee {
+            private_key,
+            mask_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The prepared Miller loop for `H1(Decrypt2(c'₃))`, served from the
+    /// cache when this exact `c'₃` has been opened before.
+    fn prepared_mask(&self, ciphertext: &ReEncryptedCiphertext) -> Result<Arc<PreparedPairing>> {
+        let caching = tibpre_pairing::crypto_caches_enabled();
+        let key: Box<[u8]> = ciphertext.encrypted_x.to_wire_bytes().into();
+        if caching {
+            if let Some(hit) = self
+                .mask_cache
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .get(&key)
+            {
+                return Ok(Arc::clone(hit));
+            }
+        }
+        let params = self.params();
+        let x = bf::decrypt_gt(&self.private_key, &ciphertext.encrypted_x)?;
+        let h1_of_x = params.hash_to_g1(H1_DOMAIN, &[&x.to_bytes()])?;
+        let prepared = Arc::new(params.prepare(&h1_of_x));
+        if caching {
+            let mut cache = self.mask_cache.lock().unwrap_or_else(|p| p.into_inner());
+            if cache.len() >= MASK_CACHE_CAP {
+                cache.clear();
+            }
+            cache.insert(key, Arc::clone(&prepared));
+        }
+        Ok(prepared)
     }
 
     /// The delegatee's identity.
@@ -36,12 +82,10 @@ impl Delegatee {
     /// Decrypts a re-encrypted ciphertext:
     /// `m = c'₂ / ê(c'₁, H1(Decrypt2(c'₃, sk_idj)))`.
     pub fn decrypt_reencrypted(&self, ciphertext: &ReEncryptedCiphertext) -> Result<Gt> {
-        let params = self.params();
-        // Recover the random element X with the delegatee's own IBE key.
-        let x = bf::decrypt_gt(&self.private_key, &ciphertext.encrypted_x)?;
-        // Remove the mask ê(g^r, H1(X)).
-        let h1_of_x = params.hash_to_g1(H1_DOMAIN, &[&x.to_bytes()])?;
-        let mask = params.pairing(&ciphertext.c1, &h1_of_x);
+        // Recover the random element X with the delegatee's own IBE key and
+        // remove the mask ê(g^r, H1(X)); the prepared loop for H1(X) comes
+        // from the per-key cache (bit-identical to the direct pairing).
+        let mask = self.prepared_mask(ciphertext)?.pairing(&ciphertext.c1);
         ciphertext
             .c2
             .div(&mask)
@@ -63,8 +107,10 @@ impl Delegatee {
         let params = self.params();
         let mut h1s = Vec::with_capacity(ciphertexts.len());
         for ct in ciphertexts {
-            let x = bf::decrypt_gt(&self.private_key, &ct.encrypted_x)?;
-            h1s.push(params.hash_to_g1(H1_DOMAIN, &[&x.to_bytes()])?);
+            // Keep the batch path on the direct pairing (it is the oracle
+            // the cached path is tested against), but share the recovered
+            // `H1(X)` via the same per-key preparation.
+            h1s.push(self.prepared_mask(ct)?.point().clone());
         }
         let pairs: Vec<(&G1Affine, &G1Affine)> = ciphertexts
             .iter()
@@ -164,6 +210,37 @@ mod tests {
             );
         }
         assert!(delegatee.decrypt_reencrypted_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn repeated_opens_hit_the_mask_cache_and_stay_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(84);
+        let params = PairingParams::insecure_toy();
+        let kgc1 = Kgc::setup(params.clone(), "kgc1", &mut rng);
+        let kgc2 = Kgc::setup(params.clone(), "kgc2", &mut rng);
+        let alice = Identity::new("alice");
+        let bob = Identity::new("bob");
+        let delegator = Delegator::new(kgc1.public_params().clone(), kgc1.extract(&alice));
+        let warm = Delegatee::new(kgc2.extract(&bob));
+        let t = TypeTag::new("t");
+        let rk = delegator
+            .make_reencryption_key(&bob, kgc2.public_params(), &t, &mut rng)
+            .unwrap();
+        let m = params.random_gt(&mut rng);
+        let ct = re_encrypt(&delegator.encrypt_typed(&m, &t, &mut rng), &rk).unwrap();
+
+        // Second open is served from the per-key mask cache; a fresh
+        // delegatee (cold cache) must agree byte-for-byte, so the cache
+        // is unobservable except in time.
+        let first = warm.decrypt_reencrypted(&ct).unwrap();
+        let second = warm.decrypt_reencrypted(&ct).unwrap();
+        assert_eq!(first.to_bytes(), second.to_bytes());
+        let cold = Delegatee::new(kgc2.extract(&bob));
+        assert_eq!(
+            first.to_bytes(),
+            cold.decrypt_reencrypted(&ct).unwrap().to_bytes()
+        );
+        assert_eq!(first, m);
     }
 
     #[test]

@@ -105,9 +105,19 @@ pub fn decode_g1_in_subgroup(
 ) -> Result<G1Affine, DecodeError> {
     let start = r.offset();
     let point = G1Affine::decode(r, ctx.fp_ctx())?;
+    // The scalar multiplication `q·P` dominates hot-path decoding, and the
+    // same few points recur constantly (a record's `c1` on every disclosure,
+    // a key's IBE header in every bundle), so successful checks are memoised
+    // process-wide by the exact canonical encoding.  Identical bytes decode
+    // to the identical point, so a hit is as strong as a fresh check.
+    let encoded = r.window(start);
+    if ctx.params().g1_subgroup_memo_contains(encoded) {
+        return Ok(point);
+    }
     if !point.is_in_subgroup(ctx.q()) {
         return Err(DecodeError::invalid(start, what));
     }
+    ctx.params().g1_subgroup_memo_insert(encoded);
     Ok(point)
 }
 
@@ -352,6 +362,47 @@ mod tests {
             assert_eq!(bytes, vec![0x00]);
             assert_eq!(decode_bare::<G1Affine>(&bytes, v, &ctx).unwrap(), id);
         }
+    }
+
+    #[test]
+    fn g1_subgroup_memo_serves_repeats_and_never_admits_bad_points() {
+        let pp = params();
+        let mut r = rng();
+        let ctx = DecodeCtx::from(&pp);
+        let p = pp.random_g1(&mut r);
+        let bytes = encode_bare(&p, WireVersion::V1);
+        // The first decode pays the q·P check and memoises the encoding;
+        // the repeat is a lookup with the identical result.
+        let mut rd = Reader::with_version(&bytes, WireVersion::V1);
+        assert_eq!(decode_g1_in_subgroup(&mut rd, &ctx, "p").unwrap(), p);
+        assert!(pp.g1_subgroup_memo_contains(&bytes));
+        let mut rd = Reader::with_version(&bytes, WireVersion::V1);
+        assert_eq!(decode_g1_in_subgroup(&mut rd, &ctx, "p").unwrap(), p);
+
+        // A curve point outside the order-q subgroup is rejected, and
+        // rejected again on retry — failures are never memoised.
+        let bad = loop {
+            let cand = crate::curve::random_curve_point(pp.fp_ctx(), &mut r);
+            if !cand.is_in_subgroup(pp.q()) {
+                break cand;
+            }
+        };
+        let bad_bytes = encode_bare(&bad, WireVersion::V1);
+        for _ in 0..2 {
+            let mut rd = Reader::with_version(&bad_bytes, WireVersion::V1);
+            assert!(decode_g1_in_subgroup(&mut rd, &ctx, "p").is_err());
+            assert!(!pp.g1_subgroup_memo_contains(&bad_bytes));
+        }
+
+        // The memo is bounded: flooding it with distinct encodings evicts
+        // old entries (wholesale clear at the cap) instead of growing
+        // without bound.
+        pp.g1_subgroup_memo_insert(b"first");
+        for i in 0u32..10_000 {
+            pp.g1_subgroup_memo_insert(&i.to_be_bytes());
+        }
+        assert!(!pp.g1_subgroup_memo_contains(b"first"));
+        assert!(pp.g1_subgroup_memo_contains(&9_999u32.to_be_bytes()));
     }
 
     #[test]

@@ -21,18 +21,33 @@ fn main() {
     };
 
     eprintln!(
-        "tibpre-load: {} clients x {} requests, {} patients (zipf {}), churn every {}",
-        config.clients, config.requests, config.patients, config.zipf_exponent, config.churn_every,
+        "tibpre-load: {} clients x {} requests (pipeline {}), {} patients (zipf {}), \
+         churn every {}",
+        config.clients,
+        config.requests,
+        config.pipeline,
+        config.patients,
+        config.zipf_exponent,
+        config.churn_every,
     );
     match run_load(&config) {
         Ok(report) => {
+            let sched = match &report.sched {
+                Some(s) => format!(
+                    ",\"sched\":{{\"batches\":{},\"batched_requests\":{},\"bypass\":{},\
+                     \"queue_depth\":{},\"queue_peak\":{},\"hist\":{:?}}}",
+                    s.batches, s.batched_requests, s.bypass, s.queue_depth, s.queue_peak, s.hist,
+                ),
+                None => String::new(),
+            };
             println!(
-                "{{\"ok\":{},\"denied\":{},\"errors\":{},\"churn_ops\":{},\
+                "{{\"ok\":{},\"denied\":{},\"errors\":{},\"reordered\":{},\"churn_ops\":{},\
                  \"elapsed_s\":{:.3},\"p50_us\":{},\"p99_us\":{},\"max_us\":{},\
-                 \"req_per_sec\":{:.1}}}",
+                 \"req_per_sec\":{:.1}{sched}}}",
                 report.ok,
                 report.denied,
                 report.errors,
+                report.reordered,
                 report.churn_ops,
                 report.elapsed.as_secs_f64(),
                 report.p50_us,
@@ -40,7 +55,14 @@ fn main() {
                 report.max_us,
                 report.req_per_sec,
             );
-            if report.errors > 0 {
+            if let Some(s) = &report.sched {
+                eprintln!(
+                    "tibpre-load: scheduler {} batches over {} requests \
+                     ({} bypassed), batch-size histogram {:?}, queue peak {}",
+                    s.batches, s.batched_requests, s.bypass, s.hist, s.queue_peak,
+                );
+            }
+            if report.errors > 0 || report.reordered > 0 {
                 std::process::exit(1);
             }
         }
@@ -80,6 +102,12 @@ fn parse_args(args: &[String]) -> Result<LoadConfig, String> {
             }
             "--payload" => config.payload_len = parse_num(flag, &value)?,
             "--seed" => config.seed = parse_num(flag, &value)?,
+            "--pipeline" => {
+                config.pipeline = parse_num(flag, &value)?;
+                if config.pipeline == 0 {
+                    return Err("--pipeline must be at least 1".to_string());
+                }
+            }
             "--read-replicas" => {
                 config.read_replicas = value
                     .split(',')
@@ -115,6 +143,8 @@ fn print_usage() {
          \x20 --open-rate <r>              per-client req/s (default: closed loop)\n\
          \x20 --payload <bytes>            record payload size (default 256)\n\
          \x20 --seed <n>                   deterministic seed\n\
+         \x20 --pipeline <k>               in-flight disclosures per client connection\n\
+         \x20                              (default 1 = lockstep request/response)\n\
          \x20 --read-replicas <a,b,...>    round-robin reads across these replica\n\
          \x20                              store nodes (writes stay on the primary)"
     );

@@ -5,7 +5,7 @@
 //! `--promote <addr>` opens a replica's write gate after its primary is
 //! lost.
 
-use tibpre_client::{params_for_level, ClientConfig, Connection, Request, Response};
+use tibpre_client::{params_for_level, ClientConfig, ClientError, Connection, Request, Response};
 use tibpre_pairing::SecurityLevel;
 use tibpre_server::{config::NodeConfig, node, signal};
 
@@ -84,31 +84,55 @@ fn run_admin(args: &[String]) -> Option<i32> {
             return Some(1);
         }
     };
-    let request = match verb {
-        "--promote" => Request::Promote,
-        _ => Request::ReplicationStatus,
+    if verb == "--promote" {
+        return Some(match conn.call(&Request::Promote) {
+            Ok(Response::Ok) => {
+                println!("{{\"promoted\":true}}");
+                0
+            }
+            Ok(other) => {
+                eprintln!("tibpre-node: unexpected response {other:?}");
+                1
+            }
+            Err(e) => {
+                eprintln!("tibpre-node: {verb} failed: {e}");
+                1
+            }
+        });
+    }
+    // `--status`: scheduler counters first (every role answers those), then
+    // the store-only replication view.
+    let sched = match conn.call(&Request::SchedStats) {
+        Ok(Response::SchedStats(s)) => format!(
+            "{{\"batches\":{},\"batched_requests\":{},\"bypass\":{},\
+             \"queue_depth\":{},\"queue_peak\":{},\"hist\":{:?}}}",
+            s.batches, s.batched_requests, s.bypass, s.queue_depth, s.queue_peak, s.hist,
+        ),
+        _ => "null".to_string(),
     };
-    match conn.call(&request) {
-        Ok(Response::Ok) => {
-            println!("{{\"promoted\":true}}");
-            Some(0)
-        }
+    Some(match conn.call(&Request::ReplicationStatus) {
         Ok(Response::ReplicaStatus {
             positions,
             writable,
         }) => {
-            println!("{{\"writable\":{writable},\"positions\":{positions:?}}}");
-            Some(0)
+            println!("{{\"writable\":{writable},\"positions\":{positions:?},\"sched\":{sched}}}");
+            0
+        }
+        // A kgc/proxy node has no replication view; its status is the
+        // scheduler counters alone.
+        Err(ClientError::Remote(_)) => {
+            println!("{{\"sched\":{sched}}}");
+            0
         }
         Ok(other) => {
             eprintln!("tibpre-node: unexpected response {other:?}");
-            Some(1)
+            1
         }
         Err(e) => {
             eprintln!("tibpre-node: {verb} failed: {e}");
-            Some(1)
+            1
         }
-    }
+    })
 }
 
 fn print_usage() {
@@ -129,9 +153,14 @@ fn print_usage() {
          \x20 --read-timeout-secs <n>      in-frame read limit (default 10)\n\
          \x20 --write-timeout-secs <n>     response write limit (default 10)\n\
          \x20 --max-frame <bytes>          request frame cap (default 8 MiB)\n\
+         \x20 --batch-max <n>              max requests per scheduler batch, proxy role\n\
+         \x20                              (default 16; 1 disables the scheduler)\n\
+         \x20 --batch-window-us <us>       linger for a partially filled batch under\n\
+         \x20                              load (default 200)\n\
          \n\
-         admin verbs (connect to a running store node and exit):\n\
-         \x20 --status <host:port>         print replication positions + write gate as JSON\n\
+         admin verbs (connect to a running node and exit):\n\
+         \x20 --status <host:port>         print replication positions, write gate, and\n\
+         \x20                              batch-scheduler counters as JSON\n\
          \x20 --promote <host:port>        open a replica's write gate (primary lost)"
     );
 }

@@ -21,8 +21,10 @@
 
 pub mod config;
 pub mod load;
+pub mod metrics;
 pub mod node;
 pub mod replica;
+mod scheduler;
 pub mod service;
 pub mod signal;
 

@@ -14,7 +14,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tibpre_client::{
-    params_for_level, ClientConfig, ClientError, KgcClient, ProxyClient, StoreClient,
+    params_for_level, ClientConfig, ClientError, KgcClient, ProxyClient, SchedStatsReport,
+    StoreClient,
 };
 use tibpre_core::{Delegator, ReEncryptionKey};
 use tibpre_ibe::Identity;
@@ -53,6 +54,12 @@ pub struct LoadConfig {
     pub payload_len: usize,
     /// Deterministic seed for identities, payloads, and arrival sampling.
     pub seed: u64,
+    /// Pipeline depth per client connection: each client keeps up to this
+    /// many disclosures in flight on its one socket (all requests written
+    /// before the first response is read), which is what feeds the proxy's
+    /// cross-request batch scheduler.  `1` is classic lockstep
+    /// request/response.  Ignored by replica-read traffic.
+    pub pipeline: usize,
     /// Read-replica store addresses.  When non-empty the measurement
     /// traffic becomes record *reads* round-robined across these replicas
     /// (every write — setup uploads and grant churn — still goes to the
@@ -77,6 +84,7 @@ impl Default for LoadConfig {
             open_rate: None,
             payload_len: 256,
             seed: 0x7135_e2e1,
+            pipeline: 1,
             read_replicas: Vec::new(),
         }
     }
@@ -92,6 +100,10 @@ pub struct LoadReport {
     pub denied: u64,
     /// Everything else: transport errors, failed decrypts.
     pub errors: u64,
+    /// Pipelined responses that came back for a different record than the
+    /// one their slot requested — any non-zero value is an ordering bug in
+    /// the node, never expected in a healthy run.
+    pub reordered: u64,
     /// Revoke + install operations performed by the churn traffic.
     pub churn_ops: u64,
     /// Wall-clock of the measurement phase.
@@ -105,6 +117,9 @@ pub struct LoadReport {
     /// Completed requests per second (ok + denied; a denial is a served
     /// policy answer, not a failure).
     pub req_per_sec: f64,
+    /// The proxy's batch-scheduler counters, sampled after the measurement
+    /// phase (best effort; `None` if the stats call failed).
+    pub sched: Option<SchedStatsReport>,
 }
 
 /// Load-generator failures.
@@ -193,6 +208,7 @@ struct Tally {
     latencies_us: Vec<u64>,
     denied: u64,
     errors: u64,
+    reordered: u64,
     churn_ops: u64,
 }
 
@@ -298,29 +314,53 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, LoadError> {
                 });
                 let mut next_at = pace.map(|(_, now)| now);
 
+                // Pipelined disclosure traffic claims a whole chunk of the
+                // shared budget per round trip; lockstep mode and replica
+                // reads claim one request at a time.
+                let depth = if replicas.is_empty() {
+                    config.pipeline.max(1) as u64
+                } else {
+                    1
+                };
                 loop {
-                    let i = issued.fetch_add(1, Ordering::Relaxed);
-                    if i >= config.requests {
+                    let start = issued.fetch_add(depth, Ordering::Relaxed);
+                    if start >= config.requests {
                         break;
                     }
+                    let n = depth.min(config.requests - start);
                     if let (Some((interval, _)), Some(at)) = (pace, next_at.as_mut()) {
                         // Open loop: fixed arrival schedule regardless of
-                        // response latency.
+                        // response latency (a pipelined chunk covers `n`
+                        // scheduled arrivals).
                         let now = Instant::now();
                         if *at > now {
                             std::thread::sleep(*at - now);
                         }
-                        *at += interval;
+                        *at += interval * n as u32;
                     }
 
-                    let p = zipf.sample(&mut rng);
-                    let ids = &fixture.records[p];
-                    let id = ids[(rng.next_u64() as usize) % ids.len()];
-                    let patient = &fixture.patients[p];
+                    let picks: Vec<(usize, RecordId)> = (0..n)
+                        .map(|_| {
+                            let p = zipf.sample(&mut rng);
+                            let ids = &fixture.records[p];
+                            (p, ids[(rng.next_u64() as usize) % ids.len()])
+                        })
+                        .collect();
 
                     let begin = Instant::now();
-                    if replicas.is_empty() {
-                        match proxy.disclose(patient, id, &fixture.provider_id) {
+                    if !replicas.is_empty() {
+                        // Reads round-robin across the replica set; every
+                        // write below still targets the primary.
+                        let (_, id) = picks[0];
+                        let which = (start as usize) % replicas.len();
+                        match replicas[which].get(id) {
+                            Ok(_) => tally.latencies_us.push(begin.elapsed().as_micros() as u64),
+                            Err(ClientError::Remote(_)) => tally.denied += 1,
+                            Err(_) => tally.errors += 1,
+                        }
+                    } else if n == 1 {
+                        let (p, id) = picks[0];
+                        match proxy.disclose(&fixture.patients[p], id, &fixture.provider_id) {
                             Ok(bundle) => match provider.open(&bundle) {
                                 Ok(_) => {
                                     tally.latencies_us.push(begin.elapsed().as_micros() as u64)
@@ -331,23 +371,46 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, LoadError> {
                             Err(_) => tally.errors += 1,
                         }
                     } else {
-                        // Reads round-robin across the replica set; every
-                        // write below still targets the primary.
-                        let which = (i as usize) % replicas.len();
-                        match replicas[which].get(id) {
-                            Ok(_) => tally.latencies_us.push(begin.elapsed().as_micros() as u64),
-                            Err(ClientError::Remote(_)) => tally.denied += 1,
-                            Err(_) => tally.errors += 1,
+                        let items: Vec<_> = picks
+                            .iter()
+                            .map(|&(p, id)| {
+                                (fixture.patients[p].clone(), id, fixture.provider_id.clone())
+                            })
+                            .collect();
+                        match proxy.disclose_pipelined(&items) {
+                            Ok(outcomes) => {
+                                // Responses land in request order or the run
+                                // is broken: a bundle for the wrong record
+                                // counts as reordered, not ok.
+                                let elapsed_us = begin.elapsed().as_micros() as u64;
+                                for (&(_, want), outcome) in picks.iter().zip(outcomes) {
+                                    match outcome {
+                                        Ok(bundle) if bundle.id != want => tally.reordered += 1,
+                                        Ok(bundle) => match provider.open(&bundle) {
+                                            Ok(_) => tally.latencies_us.push(elapsed_us),
+                                            Err(_) => tally.errors += 1,
+                                        },
+                                        Err(_) => tally.denied += 1,
+                                    }
+                                }
+                            }
+                            Err(_) => tally.errors += n,
                         }
                     }
 
-                    if config.churn_every > 0 && i % config.churn_every == config.churn_every - 1 {
+                    if config.churn_every > 0 {
                         // Grant/revoke churn riding along in the traffic:
-                        // drop the hot patient's grant and restore it.
-                        let hot = &fixture.patients[0];
-                        proxy.revoke_key(hot, &fixture.category, &fixture.provider_id)?;
-                        proxy.install_key(fixture.grants[0].clone())?;
-                        tally.churn_ops += 2;
+                        // drop the hot patient's grant and restore it, once
+                        // per cadence crossing inside the claimed chunk.
+                        let crossings = (start..start + n)
+                            .filter(|i| i % config.churn_every == config.churn_every - 1)
+                            .count();
+                        for _ in 0..crossings {
+                            let hot = &fixture.patients[0];
+                            proxy.revoke_key(hot, &fixture.category, &fixture.provider_id)?;
+                            proxy.install_key(fixture.grants[0].clone())?;
+                            tally.churn_ops += 2;
+                        }
                     }
                 }
                 Ok(tally)
@@ -383,12 +446,15 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, LoadError> {
         ok,
         denied,
         errors: tallies.iter().map(|t| t.errors).sum(),
+        reordered: tallies.iter().map(|t| t.reordered).sum(),
         churn_ops: tallies.iter().map(|t| t.churn_ops).sum(),
         elapsed,
         p50_us: percentile(0.50),
         p99_us: percentile(0.99),
         max_us: latencies.last().copied().unwrap_or(0),
         req_per_sec: (ok + denied) as f64 / elapsed.as_secs_f64().max(1e-9),
+        // Sampled after the measurement so the counters cover the whole run.
+        sched: proxy.sched_stats().ok(),
     })
 }
 

@@ -50,8 +50,31 @@ const TAIL_POLL: Duration = Duration::from_millis(100);
 /// means the primary is gone: tear down and reconnect.
 const SILENCE_LIMIT: Duration = Duration::from_secs(10);
 
-/// Backoff between reconnect attempts while the primary is unreachable.
+/// Steady-state backoff between reconnect attempts while the primary is
+/// unreachable.  A subscription that dies *after making progress* (any
+/// applied offset advanced) reconnects immediately instead: a transient
+/// network cut mid-stream must not cost a quarter second of catch-up per
+/// incident, or a flaky path that cuts faster than the backoff can starve
+/// the replica outright.  Only consecutive fruitless attempts climb the
+/// ladder — see [`reconnect_delay`].
 const RECONNECT_BACKOFF: Duration = Duration::from_millis(250);
+
+/// Intermediate rung of the reconnect ladder: one free immediate retry,
+/// then this, then [`RECONNECT_BACKOFF`] steady-state.
+const RECONNECT_BACKOFF_SHORT: Duration = Duration::from_millis(25);
+
+/// Delay before the next subscription attempt, given how many consecutive
+/// attempts have ended without applying anything: immediate, 25ms, then
+/// 250ms steady-state.  The ladder keeps a cut-prone-but-live path from
+/// starving the replica while still bounding the connect rate against a
+/// dead or persistently defective primary.
+fn reconnect_delay(fruitless: u32) -> Duration {
+    match fruitless {
+        0 | 1 => Duration::ZERO,
+        2 => RECONNECT_BACKOFF_SHORT,
+        _ => RECONNECT_BACKOFF,
+    }
+}
 
 /// Shared replica state: the write gate and the per-shard applied offsets.
 ///
@@ -333,6 +356,9 @@ pub fn run_tail(
     first_stream: TcpStream,
 ) {
     let mut stream = Some(first_stream);
+    // Consecutive subscription attempts that ended without applying a
+    // single byte — the index into the reconnect ladder.
+    let mut fruitless: u32 = 0;
     while !control.stopping() {
         let live = match stream.take() {
             Some(live) => live,
@@ -342,22 +368,48 @@ pub fn run_tail(
                     Err(_) => {
                         // Primary unreachable: keep serving reads from what
                         // is already applied, retry until stop/promote.
-                        std::thread::sleep(RECONNECT_BACKOFF);
+                        fruitless = fruitless.saturating_add(1);
+                        std::thread::sleep(reconnect_delay(fruitless));
                         continue;
                     }
                 }
             }
         };
         control.connected.store(true, Ordering::SeqCst);
+        let before = control.positions();
         let end = drain_stream(live, &store, &control, &ctx);
         control.connected.store(false, Ordering::SeqCst);
         match end {
             TailEnd::Stopped => break,
             TailEnd::Resync(_defect) => {
                 // Partial buffers died with drain_stream; the next
-                // subscription resumes from the applied offsets.
-                std::thread::sleep(RECONNECT_BACKOFF);
+                // subscription resumes from the applied offsets.  A stream
+                // that advanced them earns an immediate reconnect.
+                if control.positions() != before {
+                    fruitless = 0;
+                } else {
+                    fruitless = fruitless.saturating_add(1);
+                }
+                std::thread::sleep(reconnect_delay(fruitless));
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconnect_ladder_climbs_only_on_consecutive_fruitless_attempts() {
+        // A subscription that made progress reconnects immediately, and so
+        // does the first fruitless retry — a transient mid-stream cut must
+        // not cost a steady-state backoff.  Only repeated failures climb.
+        assert_eq!(reconnect_delay(0), Duration::ZERO);
+        assert_eq!(reconnect_delay(1), Duration::ZERO);
+        assert_eq!(reconnect_delay(2), RECONNECT_BACKOFF_SHORT);
+        assert_eq!(reconnect_delay(3), RECONNECT_BACKOFF);
+        assert_eq!(reconnect_delay(u32::MAX), RECONNECT_BACKOFF);
+        assert!(RECONNECT_BACKOFF_SHORT < RECONNECT_BACKOFF);
     }
 }

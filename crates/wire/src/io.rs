@@ -71,6 +71,13 @@ impl<'a> Reader<'a> {
         self.offset
     }
 
+    /// The raw bytes consumed since `start` (an offset previously obtained
+    /// from [`Self::offset`]) — lets a decoder key caches by a field's exact
+    /// canonical encoding without re-serializing the decoded value.
+    pub fn window(&self, start: usize) -> &'a [u8] {
+        &self.bytes[start.min(self.offset)..self.offset]
+    }
+
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
         self.bytes.len() - self.offset

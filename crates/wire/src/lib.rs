@@ -35,7 +35,7 @@ mod io;
 mod version;
 
 pub use error::{DecodeError, DecodeErrorKind};
-pub use framing::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
+pub use framing::{read_frame, write_frame, write_frames, FrameError, DEFAULT_MAX_FRAME};
 pub use io::{put_bytes, put_u32, put_u64, Reader, Writer};
 pub use version::WireVersion;
 

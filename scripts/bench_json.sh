@@ -18,6 +18,7 @@ benches=(
   e12_resident
   e13_server
   e15_multipairing
+  e16_coalesce
 )
 
 filter="${1:-}"
